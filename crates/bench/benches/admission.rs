@@ -1,0 +1,106 @@
+//! Micro-benchmarks for the `DACp2p` admission machinery (paper §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2ps_core::admission::{
+    attempt_admission, AdmissionVector, Candidate, Protocol, RequestDecision, SupplierConfig,
+    SupplierState,
+};
+use p2ps_core::PeerClass;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn class(k: u8) -> PeerClass {
+    PeerClass::new(k).unwrap()
+}
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission-vector");
+    group.bench_function("initial", |b| {
+        b.iter(|| AdmissionVector::initial(black_box(class(2)), 4).unwrap())
+    });
+    let v = AdmissionVector::initial(class(1), 4).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    group.bench_function("decide", |b| {
+        b.iter(|| black_box(&v).decide(class(4), &mut rng))
+    });
+    group.bench_function("relax+tighten", |b| {
+        b.iter(|| {
+            let mut w = v.clone();
+            w.relax();
+            w.tighten(class(2));
+            w
+        })
+    });
+    group.finish();
+}
+
+fn bench_supplier_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supplier-state");
+    let cfg = SupplierConfig::new(4, 1_200, Protocol::Dac).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    group.bench_function("handle_request-idle", |b| {
+        let mut s = SupplierState::new(class(2), cfg, 0).unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            s.handle_request(t, class(3), &mut rng)
+        })
+    });
+    group.bench_function("session-cycle", |b| {
+        let mut s = SupplierState::new(class(2), cfg, 0).unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            s.begin_session(t);
+            s.leave_reminder(class(1));
+            let _ = s.handle_request(t + 1, class(1), &mut rng);
+            s.leave_reminder(class(1));
+            s.end_session(t + 5);
+        })
+    });
+    group.finish();
+}
+
+/// A zero-cost scripted candidate for probe benchmarking.
+struct Scripted {
+    class: PeerClass,
+    decision: RequestDecision,
+}
+
+impl Candidate for Scripted {
+    fn class(&self) -> PeerClass {
+        self.class
+    }
+    fn request(&mut self, _from: PeerClass) -> RequestDecision {
+        self.decision
+    }
+    fn leave_reminder(&mut self, _from: PeerClass) {}
+    fn release(&mut self) {}
+}
+
+fn bench_attempt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attempt-admission");
+    for m in [4usize, 8, 32] {
+        group.bench_function(format!("m{m}-mixed"), |b| {
+            b.iter(|| {
+                let mut cands: Vec<Scripted> = (0..m)
+                    .map(|i| Scripted {
+                        class: class(1 + (i % 4) as u8),
+                        decision: if i % 3 == 0 {
+                            RequestDecision::Busy { favored: true }
+                        } else {
+                            RequestDecision::Granted
+                        },
+                    })
+                    .collect();
+                attempt_admission(black_box(class(3)), &mut cands)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_ops, bench_supplier_state, bench_attempt);
+criterion_main!(benches);

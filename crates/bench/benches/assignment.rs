@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the media data assignment algorithms (paper §3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2ps_core::assignment::{contiguous, edf, otsp2p, schedule::TransmissionSchedule, verify};
+use p2ps_core::PeerClass;
+
+fn classes_of(raw: &[u8]) -> Vec<PeerClass> {
+    raw.iter().map(|&k| PeerClass::new(k).unwrap()).collect()
+}
+
+/// Supplier sets of increasing period (the algorithm's work scales with
+/// the period `2^(ℓ-1)`).
+fn cases() -> Vec<(&'static str, Vec<PeerClass>)> {
+    vec![
+        ("figure1-p8", classes_of(&[2, 3, 4, 4])),
+        ("uniform-p8", classes_of(&[4; 8])),
+        ("wide-p32", classes_of(&[2, 3, 4, 5, 6, 6])),
+        ("deep-p256", classes_of(&[2, 3, 4, 5, 6, 7, 8, 9, 9])),
+    ]
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    for (name, classes) in cases() {
+        group.bench_with_input(BenchmarkId::new("otsp2p", name), &classes, |b, cls| {
+            b.iter(|| otsp2p(black_box(cls)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("edf", name), &classes, |b, cls| {
+            b.iter(|| edf(black_box(cls)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("contiguous", name), &classes, |b, cls| {
+            b.iter(|| contiguous(black_box(cls)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_delay_and_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment-analysis");
+    let classes = classes_of(&[2, 3, 4, 5, 6, 6]);
+    let assignment = otsp2p(&classes).unwrap();
+    group.bench_function("min_delay_slots-p32", |b| {
+        b.iter(|| black_box(&assignment).buffering_delay_slots())
+    });
+    group.bench_function("schedule-3600-segments", |b| {
+        b.iter(|| TransmissionSchedule::new(black_box(&assignment), 3_600))
+    });
+    let small = classes_of(&[2, 3, 4, 4]);
+    group.bench_function("exhaustive-optimum-p8", |b| {
+        b.iter(|| verify::exhaustive_min_delay(black_box(&small)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_delay_and_schedule);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the wire codec.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use p2ps_proto::{decode_frame, encode_frame, Message, SessionPlan};
+
+fn control_message() -> Message {
+    Message::StartSession {
+        session: 99,
+        plan: SessionPlan {
+            item: "video".into(),
+            segments: vec![0, 1, 3, 7],
+            period: 8,
+            total_segments: 3_600,
+            dt_ms: 1_000,
+        },
+    }
+}
+
+fn bench_control(c: &mut Criterion) {
+    let msg = control_message();
+    let mut group = c.benchmark_group("codec-control");
+    group.bench_function("encode-start-session", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(128);
+            encode_frame(black_box(&msg), &mut buf);
+            buf
+        })
+    });
+    let mut encoded = BytesMut::new();
+    encode_frame(&msg, &mut encoded);
+    group.bench_function("decode-start-session", |b| {
+        b.iter(|| {
+            let mut buf = encoded.clone();
+            decode_frame(&mut buf).unwrap().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_segment_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec-segment-data");
+    for size in [1_024usize, 64 * 1024, 1024 * 1024] {
+        let msg = Message::SegmentData {
+            session: 1,
+            index: 42,
+            payload: Bytes::from(vec![0xabu8; size]),
+        };
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, m| {
+            b.iter(|| {
+                let mut buf = BytesMut::with_capacity(size + 32);
+                encode_frame(black_box(m), &mut buf);
+                buf
+            })
+        });
+        let mut encoded = BytesMut::new();
+        encode_frame(&msg, &mut encoded);
+        group.bench_with_input(BenchmarkId::new("decode", size), &encoded, |b, e| {
+            b.iter(|| {
+                let mut buf = e.clone();
+                decode_frame(&mut buf).unwrap().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control, bench_segment_data);
+criterion_main!(benches);

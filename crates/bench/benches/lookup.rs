@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the lookup substrates: directory sampling and
+//! Chord routing (paper §4.2 footnote 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_lookup::chord::{ChordId, ChordRing};
+use p2ps_lookup::{Directory, Rendezvous};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_directory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory");
+    for n in [100u64, 10_000, 50_000] {
+        let mut dir = Directory::new();
+        for i in 0..n {
+            dir.register(
+                "video",
+                PeerId::new(i),
+                PeerClass::new(1 + (i % 4) as u8).unwrap(),
+            );
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("sample-8", n), &dir, |b, d| {
+            b.iter(|| d.sample(black_box("video"), 8, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord");
+    for n in [64u64, 512, 4_096] {
+        let mut ring = ChordRing::new();
+        for i in 0..n {
+            ring.join(PeerId::new(i));
+        }
+        let keys: Vec<ChordId> = (0..64)
+            .map(|i| ChordId::of_item(&format!("item-{i}")))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("lookup", n), &ring, |b, r| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                r.lookup(black_box(keys[i]))
+            })
+        });
+    }
+    // join cost at a mid-size ring
+    group.bench_function("join-into-512", |b| {
+        let mut ring = ChordRing::new();
+        for i in 0..512u64 {
+            ring.join(PeerId::new(i));
+        }
+        let mut next = 10_000u64;
+        b.iter(|| {
+            next += 1;
+            let mut r = ring.clone();
+            r.join(PeerId::new(next))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_directory, bench_chord);
+criterion_main!(benches);

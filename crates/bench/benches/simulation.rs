@@ -1,0 +1,56 @@
+//! End-to-end simulator benchmarks: how fast the paper's evaluation can
+//! be re-run, and the DAC-vs-NDAC cost comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2ps_core::admission::Protocol;
+use p2ps_sim::{ArrivalPattern, SimConfig, Simulation};
+
+fn config(peers: u32, protocol: Protocol) -> SimConfig {
+    SimConfig::builder()
+        .seed_suppliers((peers / 100).max(2))
+        .requesting_peers(peers)
+        .arrival_window_hours(12)
+        .duration_hours(24)
+        .session_minutes(30)
+        .pattern(ArrivalPattern::Ramp)
+        .protocol(protocol)
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for peers in [500u32, 2_000, 8_000] {
+        for protocol in [Protocol::Dac, Protocol::Ndac] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), peers),
+                &config(peers, protocol),
+                |b, cfg| b.iter(|| Simulation::new(black_box(cfg.clone()), 42).run()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_arrival_generation(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("arrivals");
+    let mut rng = SmallRng::seed_from_u64(1);
+    for pattern in [
+        ArrivalPattern::Constant,
+        ArrivalPattern::Ramp,
+        ArrivalPattern::PeriodicBursts,
+    ] {
+        group.bench_function(format!("{pattern}-50k"), |b| {
+            b.iter(|| pattern.generate(50_000, 72 * 3_600, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_arrival_generation);
+criterion_main!(benches);

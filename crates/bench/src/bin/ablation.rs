@@ -1,0 +1,6 @@
+//! Ablation study of the DACp2p mechanisms (beyond the paper).
+
+fn main() {
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::ablation::run(&mut harness);
+}

@@ -1,0 +1,6 @@
+//! Churn study: bounded supplier lifetimes (beyond the paper).
+
+fn main() {
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::churn::run(&mut harness);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3. See `p2ps_bench::experiments::fig3`.
+
+fn main() {
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::fig3::run(&mut harness);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8. See `p2ps_bench::experiments::fig8`.
+
+fn main() {
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::fig8::run(&mut harness);
+}

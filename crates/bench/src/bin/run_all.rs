@@ -1,0 +1,8 @@
+//! Regenerates every table and figure of the paper's evaluation.
+
+fn main() {
+    let started = std::time::Instant::now();
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::run_all(&mut harness);
+    eprintln!("all experiments regenerated in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,68 @@
+//! Figure 1 — different media data assignments lead to different
+//! buffering delays.
+//!
+//! The paper's example session: suppliers of classes 2, 3, 4 and 4
+//! (offers `R0/2 + R0/4 + R0/8 + R0/8 = R0`). Assignment I (contiguous
+//! blocks) needs `5·δt` of buffering; Assignment II (`OTSp2p`) needs the
+//! optimal `4·δt`.
+
+use p2ps_core::assignment::{contiguous, otsp2p, round_robin, verify, Assignment};
+use p2ps_core::PeerClass;
+use p2ps_metrics::Table;
+
+use crate::Harness;
+
+/// Regenerates Figure 1 (plus the round-robin ablation and the
+/// brute-force optimum).
+pub fn run(harness: &mut Harness) {
+    println!("=== Figure 1: media data assignment vs buffering delay ===");
+    let classes: Vec<PeerClass> = [2u8, 3, 4, 4]
+        .into_iter()
+        .map(|k| PeerClass::new(k).expect("valid class"))
+        .collect();
+
+    let strategies: Vec<(&str, Assignment)> = vec![
+        ("Assignment I (contiguous)", contiguous(&classes).unwrap()),
+        ("Assignment II (OTSp2p)", otsp2p(&classes).unwrap()),
+        ("round-robin (ablation)", round_robin(&classes).unwrap()),
+    ];
+    let optimum = verify::exhaustive_min_delay(&classes).unwrap();
+
+    let mut table = Table::new(["strategy", "delay (×δt)", "paper", "optimal (brute force)"]);
+    for (name, a) in &strategies {
+        let paper = match *name {
+            "Assignment I (contiguous)" => "5",
+            "Assignment II (OTSp2p)" => "4",
+            _ => "-",
+        };
+        table.row([
+            (*name).to_owned(),
+            a.buffering_delay_slots().to_string(),
+            paper.to_owned(),
+            optimum.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    for (name, a) in &strategies {
+        println!("{name}:\n{a}");
+    }
+    harness.write_text(
+        "fig1",
+        &format!(
+            "{}\n{}",
+            table.to_csv(),
+            strategies
+                .iter()
+                .map(|(n, a)| format!("{n}:\n{a}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ),
+    );
+
+    assert_eq!(
+        strategies[1].1.buffering_delay_slots(),
+        optimum,
+        "OTSp2p must match the brute-force optimum on the Figure-1 session"
+    );
+}

@@ -1,0 +1,29 @@
+//! One module per paper table/figure. Each `run` function regenerates the
+//! corresponding result on a [`Harness`](crate::Harness).
+
+pub mod ablation;
+pub mod churn;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+/// Runs every experiment in paper order.
+pub fn run_all(harness: &mut crate::Harness) {
+    fig1::run(harness);
+    fig3::run(harness);
+    fig4::run(harness);
+    fig5::run(harness);
+    fig6::run(harness);
+    table1::run(harness);
+    fig7::run(harness);
+    fig8::run(harness);
+    fig9::run(harness);
+    ablation::run(harness);
+    churn::run(harness);
+}

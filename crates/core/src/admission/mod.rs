@@ -1,0 +1,85 @@
+//! Differentiated admission control (paper §4).
+//!
+//! `DACp2p` amplifies the system's streaming capacity quickly by favoring
+//! requesting peers that pledge more out-bound bandwidth: they will
+//! contribute more capacity once they become suppliers. The protocol is
+//! fully distributed:
+//!
+//! * Every supplying peer keeps an [`AdmissionVector`] — one admission
+//!   probability per requesting-peer class, all exact powers of two. A
+//!   supplier *favors* the classes whose probability is `1.0`.
+//! * An **idle** supplier *relaxes* (doubles the sub-1.0 probabilities)
+//!   every [`Timeout`](SupplierConfig) period, so low-class peers are never
+//!   starved.
+//! * A **busy** supplier collects *reminders* from favored-class requesters
+//!   it had to turn away; when its session ends it *tightens* its vector
+//!   around the highest reminding class (or relaxes, if no favored-class
+//!   request arrived at all).
+//! * Requesting peers probe `M` random candidate suppliers from the lookup
+//!   service in descending class order, are admitted once they secure
+//!   exactly `R0` aggregate bandwidth, and otherwise back off
+//!   `T_bkf · E_bkf^(i-1)` after their `i`-th rejection.
+//!
+//! The non-differentiated baseline `NDACp2p` (all probabilities pinned at
+//! `1.0`) is selected with [`Protocol::Ndac`].
+//!
+//! This module is deliberately *runtime-agnostic*: the same state machines
+//! drive both the discrete-event simulator (`p2ps-sim`) and the real
+//! threaded node (`p2ps-node`). Time is an abstract `u64` tick supplied by
+//! the caller.
+
+mod requester;
+mod supplier;
+mod vector;
+
+pub use requester::{
+    attempt_admission, greedy_take, BackoffPolicy, Candidate, ProbeOutcome, RequesterState,
+};
+pub use supplier::{RequestDecision, SupplierConfig, SupplierState};
+pub use vector::AdmissionVector;
+
+use serde::{Deserialize, Serialize};
+
+/// Which admission protocol a supplier runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Protocol {
+    /// `DACp2p` — the paper's differentiated admission control.
+    #[default]
+    Dac,
+    /// `NDACp2p` — the non-differentiated baseline: every class is always
+    /// admitted with probability `1.0`.
+    Ndac,
+}
+
+impl Protocol {
+    /// Short lowercase name used in reports (`"dac"` / `"ndac"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Dac => "dac",
+            Protocol::Ndac => "ndac",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Protocol::Dac => write!(f, "DACp2p"),
+            Protocol::Ndac => write!(f, "NDACp2p"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Dac.name(), "dac");
+        assert_eq!(Protocol::Ndac.name(), "ndac");
+        assert_eq!(format!("{}", Protocol::Dac), "DACp2p");
+        assert_eq!(format!("{}", Protocol::Ndac), "NDACp2p");
+        assert_eq!(Protocol::default(), Protocol::Dac);
+    }
+}

@@ -1,0 +1,552 @@
+//! Requester-side `DACp2p` logic (paper §4.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandwidth, PeerClass};
+
+use super::RequestDecision;
+
+/// The requesting peer's retry backoff: after the `i`-th rejection the peer
+/// waits `T_bkf · E_bkf^(i-1)` before asking again (paper §4.2).
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::admission::BackoffPolicy;
+///
+/// // The paper's defaults: T_bkf = 10 min (600 s), E_bkf = 2.
+/// let b = BackoffPolicy::new(600, 2);
+/// assert_eq!(b.delay_after(1), 600);
+/// assert_eq!(b.delay_after(2), 1_200);
+/// assert_eq!(b.delay_after(4), 4_800);
+/// // E_bkf = 1 is the constant-backoff scheme of Figure 9.
+/// assert_eq!(BackoffPolicy::new(600, 1).delay_after(10), 600);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    base: u64,
+    factor: u32,
+}
+
+impl BackoffPolicy {
+    /// Creates a policy with base delay `T_bkf` (caller's tick unit) and
+    /// exponential factor `E_bkf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0` or `factor == 0`.
+    pub fn new(base: u64, factor: u32) -> Self {
+        assert!(base > 0, "backoff base must be positive");
+        assert!(factor > 0, "backoff factor must be at least 1");
+        BackoffPolicy { base, factor }
+    }
+
+    /// The base delay `T_bkf`.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The exponential factor `E_bkf`.
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Backoff delay after the `i`-th rejection (`i >= 1`), saturating at
+    /// `u64::MAX` instead of overflowing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rejections == 0` — the delay is only defined after at
+    /// least one rejection.
+    pub fn delay_after(&self, rejections: u32) -> u64 {
+        assert!(rejections >= 1, "delay_after requires at least one rejection");
+        let mut delay = self.base;
+        for _ in 1..rejections {
+            delay = delay.saturating_mul(self.factor as u64);
+        }
+        delay
+    }
+
+    /// Total waiting time accumulated by a peer that suffered `n`
+    /// rejections before admission: `Σ_{i=1..n} T_bkf · E_bkf^(i-1)`
+    /// (saturating). This is the paper's §5.2(4) formula for deriving the
+    /// average waiting time from the average rejection count.
+    pub fn total_wait_after(&self, rejections: u32) -> u64 {
+        let mut total = 0u64;
+        for i in 1..=rejections {
+            total = total.saturating_add(self.delay_after(i));
+        }
+        total
+    }
+}
+
+/// Admission bookkeeping of one requesting peer.
+///
+/// Tracks the first request time (for waiting-time statistics) and the
+/// rejection count driving the exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequesterState {
+    class: PeerClass,
+    backoff: BackoffPolicy,
+    rejections: u32,
+    first_request_at: Option<u64>,
+}
+
+impl RequesterState {
+    /// Creates the state for a class-`class` requesting peer.
+    pub fn new(class: PeerClass, backoff: BackoffPolicy) -> Self {
+        RequesterState {
+            class,
+            backoff,
+            rejections: 0,
+            first_request_at: None,
+        }
+    }
+
+    /// The peer's pledged class.
+    pub fn class(&self) -> PeerClass {
+        self.class
+    }
+
+    /// Number of rejections suffered so far.
+    pub fn rejections(&self) -> u32 {
+        self.rejections
+    }
+
+    /// Tick of the peer's first streaming request, once made.
+    pub fn first_request_at(&self) -> Option<u64> {
+        self.first_request_at
+    }
+
+    /// Records that a request was issued at tick `now` (only the first call
+    /// pins the waiting-time origin).
+    pub fn record_request(&mut self, now: u64) {
+        if self.first_request_at.is_none() {
+            self.first_request_at = Some(now);
+        }
+    }
+
+    /// Records a rejection and returns the backoff delay before the next
+    /// retry (paper §4.2: `T_bkf · E_bkf^(i-1)` after the `i`-th rejection).
+    pub fn record_rejection(&mut self) -> u64 {
+        self.rejections += 1;
+        self.backoff.delay_after(self.rejections)
+    }
+
+    /// Waiting time from first request to an admission at tick `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request was ever recorded or `now` precedes it.
+    pub fn waiting_time(&self, now: u64) -> u64 {
+        let first = self
+            .first_request_at
+            .expect("waiting_time before any request");
+        now.checked_sub(first)
+            .expect("admission cannot precede the first request")
+    }
+}
+
+/// Greedily takes offers (in the given order) while they fit under
+/// `target`, returning the chosen indices and the achieved total.
+///
+/// With power-of-two offers sorted in descending order this reaches
+/// `target` exactly whenever any subset does, which is why both the
+/// securing step and the reminder-set (`Ω`) selection of paper §4.2 use it.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::admission::greedy_take;
+/// use p2ps_core::{Bandwidth, PeerClass};
+///
+/// let offers: Vec<Bandwidth> = [2u8, 3, 3, 4]
+///     .into_iter()
+///     .map(|k| PeerClass::new(k).unwrap().bandwidth())
+///     .collect();
+/// let (taken, total) = greedy_take(&offers, Bandwidth::FULL_RATE);
+/// assert_eq!(taken, vec![0, 1, 2]); // 1/2 + 1/4 + 1/4 = R0
+/// assert!(total.is_full_rate());
+/// ```
+pub fn greedy_take(offers: &[Bandwidth], target: Bandwidth) -> (Vec<usize>, Bandwidth) {
+    let mut taken = Vec::new();
+    let mut total = Bandwidth::ZERO;
+    for (i, &b) in offers.iter().enumerate() {
+        if total + b <= target {
+            total += b;
+            taken.push(i);
+            if total == target {
+                break;
+            }
+        }
+    }
+    (taken, total)
+}
+
+/// Result of one admission attempt (paper §4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// The requester secured exactly `R0`; `granted` are the indices (into
+    /// the probed candidate list) of the suppliers to stream from.
+    Admitted {
+        /// Indices of the granting suppliers used for the session.
+        granted: Vec<usize>,
+    },
+    /// The requester could not reach `R0`.
+    Rejected {
+        /// Aggregate bandwidth that was secured (and then released).
+        secured: Bandwidth,
+        /// Indices of the busy candidates that received reminders (`Ω`).
+        reminders: Vec<usize>,
+    },
+}
+
+impl ProbeOutcome {
+    /// Whether the attempt was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, ProbeOutcome::Admitted { .. })
+    }
+}
+
+/// One candidate supplier as seen by a probing requester.
+///
+/// The discrete-event simulator implements this over its in-memory peer
+/// table; the real node implements it with network round-trips. Keeping
+/// the trait minimal ensures the *protocol* logic in [`attempt_admission`]
+/// is shared verbatim between the two.
+pub trait Candidate {
+    /// The candidate's advertised class (known from the lookup service).
+    fn class(&self) -> PeerClass;
+
+    /// The out-bound bandwidth this candidate offers.
+    ///
+    /// Defaults to the §2 model value `R0 / 2^(class-1)`. The paper's
+    /// *evaluation* operates on a scale where a class-`k` peer offers
+    /// `R0 / 2^k` (see DESIGN.md §4.6), so the simulator overrides this;
+    /// offers must remain monotone in class and powers of two.
+    fn offer(&self) -> Bandwidth {
+        self.class().bandwidth()
+    }
+
+    /// Contacts the supplier with a streaming request.
+    fn request(&mut self, from: PeerClass) -> RequestDecision;
+
+    /// Leaves a reminder with a busy supplier (paper §4.2).
+    fn leave_reminder(&mut self, from: PeerClass);
+
+    /// Releases a grant that will not be used (either the offer did not
+    /// fit, or the attempt was rejected overall).
+    fn release(&mut self);
+}
+
+/// Runs one full admission attempt of a class-`class` requesting peer
+/// against `M` candidate suppliers (paper §4.2).
+///
+/// Candidates are contacted from high to low class (stable order for
+/// ties). Grants are accumulated greedily while they fit under `R0`;
+/// over-sized grants are released immediately. On reaching exactly `R0`
+/// the attempt succeeds and remaining candidates are not contacted. On
+/// failure every secured grant is released and reminders are left with the
+/// busy candidates that (1) currently favor the requester's class and
+/// (2) greedily cover the bandwidth shortfall `R0 - secured` (the set `Ω`).
+///
+/// The caller is responsible for turning an `Admitted` outcome into a
+/// session: invoking `begin_session` on each granted supplier and running
+/// `OTSp2p` over their classes.
+pub fn attempt_admission<C: Candidate>(class: PeerClass, candidates: &mut [C]) -> ProbeOutcome {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&i| candidates[i].class().get());
+
+    let mut secured = Bandwidth::ZERO;
+    let mut granted: Vec<usize> = Vec::new();
+    let mut busy_favored: Vec<usize> = Vec::new();
+
+    for &i in &order {
+        if secured.is_full_rate() {
+            break;
+        }
+        let offer = candidates[i].offer();
+        match candidates[i].request(class) {
+            RequestDecision::Granted => {
+                if secured + offer <= Bandwidth::FULL_RATE {
+                    secured += offer;
+                    granted.push(i);
+                } else {
+                    candidates[i].release();
+                }
+            }
+            RequestDecision::Refused => {}
+            RequestDecision::Busy { favored } => {
+                if favored {
+                    busy_favored.push(i);
+                }
+            }
+        }
+    }
+
+    if secured.is_full_rate() {
+        return ProbeOutcome::Admitted { granted };
+    }
+
+    for &i in &granted {
+        candidates[i].release();
+    }
+
+    // Ω: busy candidates favoring our class, high class first, greedily
+    // covering the shortfall.
+    let shortfall = Bandwidth::FULL_RATE - secured;
+    let offers: Vec<Bandwidth> = busy_favored
+        .iter()
+        .map(|&i| candidates[i].offer())
+        .collect();
+    let (chosen, _) = greedy_take(&offers, shortfall);
+    let reminders: Vec<usize> = chosen.into_iter().map(|j| busy_favored[j]).collect();
+    for &i in &reminders {
+        candidates[i].leave_reminder(class);
+    }
+
+    ProbeOutcome::Rejected { secured, reminders }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(k: u8) -> PeerClass {
+        PeerClass::new(k).unwrap()
+    }
+
+    /// Scripted candidate for protocol tests.
+    struct Scripted {
+        class: PeerClass,
+        decision: RequestDecision,
+        requested: bool,
+        reminded: bool,
+        released: bool,
+    }
+
+    impl Scripted {
+        fn new(k: u8, decision: RequestDecision) -> Self {
+            Scripted {
+                class: class(k),
+                decision,
+                requested: false,
+                reminded: false,
+                released: false,
+            }
+        }
+    }
+
+    impl Candidate for Scripted {
+        fn class(&self) -> PeerClass {
+            self.class
+        }
+        fn request(&mut self, _from: PeerClass) -> RequestDecision {
+            self.requested = true;
+            self.decision
+        }
+        fn leave_reminder(&mut self, _from: PeerClass) {
+            self.reminded = true;
+        }
+        fn release(&mut self) {
+            self.released = true;
+        }
+    }
+
+    const GRANT: RequestDecision = RequestDecision::Granted;
+    const REFUSE: RequestDecision = RequestDecision::Refused;
+    const BUSY_FAV: RequestDecision = RequestDecision::Busy { favored: true };
+    const BUSY_UNFAV: RequestDecision = RequestDecision::Busy { favored: false };
+
+    #[test]
+    fn backoff_delays() {
+        let b = BackoffPolicy::new(600, 2);
+        assert_eq!(b.base(), 600);
+        assert_eq!(b.factor(), 2);
+        assert_eq!(b.delay_after(1), 600);
+        assert_eq!(b.delay_after(3), 2_400);
+        // saturation instead of overflow
+        assert_eq!(BackoffPolicy::new(u64::MAX, 2).delay_after(5), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rejection")]
+    fn delay_after_zero_panics() {
+        let _ = BackoffPolicy::new(1, 1).delay_after(0);
+    }
+
+    #[test]
+    fn total_wait_is_the_geometric_sum() {
+        let b = BackoffPolicy::new(600, 2); // paper defaults (seconds)
+        assert_eq!(b.total_wait_after(0), 0);
+        assert_eq!(b.total_wait_after(1), 600);
+        assert_eq!(b.total_wait_after(3), 600 + 1_200 + 2_400);
+        // constant backoff: n · T_bkf
+        assert_eq!(BackoffPolicy::new(600, 1).total_wait_after(5), 3_000);
+        // saturation
+        assert_eq!(BackoffPolicy::new(u64::MAX, 2).total_wait_after(3), u64::MAX);
+    }
+
+    #[test]
+    fn requester_state_tracks_rejections_and_waiting_time() {
+        let mut r = RequesterState::new(class(3), BackoffPolicy::new(600, 2));
+        assert_eq!(r.class(), class(3));
+        assert_eq!(r.rejections(), 0);
+        r.record_request(100);
+        r.record_request(500); // later retries keep the original origin
+        assert_eq!(r.first_request_at(), Some(100));
+        assert_eq!(r.record_rejection(), 600);
+        assert_eq!(r.record_rejection(), 1_200);
+        assert_eq!(r.rejections(), 2);
+        assert_eq!(r.waiting_time(1_900), 1_800);
+    }
+
+    #[test]
+    fn greedy_take_exact_cover() {
+        let offers: Vec<Bandwidth> =
+            [2, 3, 3, 4].iter().map(|&k| class(k).bandwidth()).collect();
+        let (taken, total) = greedy_take(&offers, Bandwidth::FULL_RATE);
+        assert_eq!(taken, vec![0, 1, 2]);
+        assert!(total.is_full_rate());
+    }
+
+    #[test]
+    fn greedy_take_skips_oversized_offers() {
+        // target 1/4: the 1/2 offers must be skipped.
+        let offers: Vec<Bandwidth> =
+            [2, 2, 3].iter().map(|&k| class(k).bandwidth()).collect();
+        let (taken, total) = greedy_take(&offers, class(3).bandwidth());
+        assert_eq!(taken, vec![2]);
+        assert_eq!(total, class(3).bandwidth());
+    }
+
+    #[test]
+    fn greedy_take_partial_when_unreachable() {
+        let offers = vec![class(3).bandwidth()];
+        let (taken, total) = greedy_take(&offers, Bandwidth::FULL_RATE);
+        assert_eq!(taken, vec![0]);
+        assert_eq!(total, class(3).bandwidth());
+    }
+
+    #[test]
+    fn admission_succeeds_and_stops_contacting() {
+        let mut cands = vec![
+            Scripted::new(2, GRANT),
+            Scripted::new(2, GRANT),
+            Scripted::new(4, GRANT), // should never be contacted
+        ];
+        let outcome = attempt_admission(class(3), &mut cands);
+        assert_eq!(
+            outcome,
+            ProbeOutcome::Admitted {
+                granted: vec![0, 1]
+            }
+        );
+        assert!(!cands[2].requested, "probing must stop once R0 is secured");
+    }
+
+    #[test]
+    fn candidates_are_contacted_high_class_first() {
+        let mut cands = vec![
+            Scripted::new(4, GRANT),
+            Scripted::new(1, GRANT),
+            Scripted::new(3, GRANT),
+        ];
+        let outcome = attempt_admission(class(4), &mut cands);
+        // The class-1 candidate alone covers R0.
+        assert_eq!(outcome, ProbeOutcome::Admitted { granted: vec![1] });
+        assert!(!cands[0].requested);
+        assert!(!cands[2].requested);
+    }
+
+    #[test]
+    fn grants_accumulate_in_class_order() {
+        // Candidates of classes [2,3,2,3]: contact order is both class-2
+        // peers first, so R0 is secured from exactly those two and the
+        // class-3 candidates are never contacted.
+        //
+        // Note on the "oversized grant" release branch in
+        // `attempt_admission`: because candidates are contacted in
+        // descending-bandwidth order, the secured total is always a
+        // multiple of the current candidate's offer, so an offer that
+        // overshoots R0 cannot actually occur — the branch is defensive.
+        let mut cands = vec![
+            Scripted::new(2, GRANT),
+            Scripted::new(3, GRANT),
+            Scripted::new(2, GRANT),
+            Scripted::new(3, GRANT),
+        ];
+        let outcome = attempt_admission(class(1), &mut cands);
+        assert_eq!(
+            outcome,
+            ProbeOutcome::Admitted {
+                granted: vec![0, 2]
+            }
+        );
+        assert!(!cands[1].requested);
+        assert!(!cands[3].requested);
+        assert!(!cands[0].released);
+    }
+
+    #[test]
+    fn rejection_releases_grants_and_leaves_reminders() {
+        let mut cands = vec![
+            Scripted::new(2, GRANT),
+            Scripted::new(2, BUSY_FAV),
+            Scripted::new(3, BUSY_UNFAV),
+            Scripted::new(4, REFUSE),
+        ];
+        let outcome = attempt_admission(class(2), &mut cands);
+        match outcome {
+            ProbeOutcome::Rejected { secured, reminders } => {
+                assert_eq!(secured, class(2).bandwidth());
+                // shortfall 1/2 covered by the favored busy class-2 peer
+                assert_eq!(reminders, vec![1]);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(cands[0].released, "secured grant must be released on rejection");
+        assert!(cands[1].reminded);
+        assert!(!cands[2].reminded, "unfavored busy candidate gets no reminder");
+        assert!(!cands[3].reminded);
+    }
+
+    #[test]
+    fn reminder_set_covers_shortfall_not_more() {
+        // Nothing secured; shortfall R0. Busy favored candidates of classes
+        // 2, 2, 2: greedy takes the first two (1/2 + 1/2) and stops.
+        let mut cands = vec![
+            Scripted::new(2, BUSY_FAV),
+            Scripted::new(2, BUSY_FAV),
+            Scripted::new(2, BUSY_FAV),
+        ];
+        let outcome = attempt_admission(class(1), &mut cands);
+        match outcome {
+            ProbeOutcome::Rejected { reminders, .. } => {
+                assert_eq!(reminders, vec![0, 1]);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(!cands[2].reminded);
+    }
+
+    #[test]
+    fn all_refused_leaves_no_reminders() {
+        let mut cands = vec![Scripted::new(1, REFUSE), Scripted::new(2, REFUSE)];
+        let outcome = attempt_admission(class(4), &mut cands);
+        assert_eq!(
+            outcome,
+            ProbeOutcome::Rejected {
+                secured: Bandwidth::ZERO,
+                reminders: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn empty_candidate_list_rejects() {
+        let mut cands: Vec<Scripted> = Vec::new();
+        let outcome = attempt_admission(class(1), &mut cands);
+        assert!(!outcome.is_admitted());
+    }
+}

@@ -1,0 +1,356 @@
+//! Per-class admission probability vectors (paper §4.1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{PeerClass, Result};
+
+/// A supplying peer's admission probability vector.
+///
+/// Entry `j` is the probability with which an idle supplier grants a
+/// streaming request from a class-`j` requesting peer. All probabilities
+/// are exact powers of two, stored as exponents (`P = 2^-e`), so the
+/// paper's update rules — doubling on relaxation, halving sequences on
+/// initialization and tightening — are exact and reproducible:
+///
+/// * **Initialization** for a class-`k` supplier: `P[j] = 1.0` for
+///   `j <= k` and `P[j] = 2^-(j-k)` for `j > k` (paper §4.1(a)).
+/// * **Relaxation** (idle timeout, or a session with no favored-class
+///   request): every probability below `1.0` doubles (paper §4.1(b)).
+/// * **Tightening** to class `k̂` (a reminder from a favored class-`k̂`
+///   requester): the vector is reset as if the supplier were class `k̂`
+///   (paper §4.1(c)).
+///
+/// A class `j` with `P[j] = 1.0` is a *favored class*.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::admission::AdmissionVector;
+/// use p2ps_core::PeerClass;
+///
+/// // The paper's example: a class-2 supplier with 4 classes starts at
+/// // [1.0, 1.0, 0.5, 0.25].
+/// let mut v = AdmissionVector::initial(PeerClass::new(2)?, 4)?;
+/// assert_eq!(v.probability(PeerClass::new(3)?), 0.5);
+/// assert_eq!(v.lowest_favored(), PeerClass::new(2)?);
+/// v.relax();
+/// assert_eq!(v.probability(PeerClass::new(3)?), 1.0);
+/// assert_eq!(v.probability(PeerClass::new(4)?), 0.5);
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdmissionVector {
+    /// `exps[j-1]` is `e` with `P[j] = 2^-e`.
+    exps: Vec<u8>,
+}
+
+impl AdmissionVector {
+    /// The initial vector of a class-`k` supplier over `num_classes`
+    /// classes (paper §4.1(a)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidClassCount`] if `num_classes` is zero
+    /// or exceeds [`PeerClass::MAX`], and [`crate::Error::InvalidClass`] if
+    /// `own` is not within `1..=num_classes`.
+    pub fn initial(own: PeerClass, num_classes: u8) -> Result<Self> {
+        if !(1..=PeerClass::MAX).contains(&num_classes) {
+            return Err(crate::Error::InvalidClassCount { value: num_classes });
+        }
+        if own.get() > num_classes {
+            return Err(crate::Error::InvalidClass { value: own.get() });
+        }
+        let k = own.get();
+        let exps = (1..=num_classes)
+            .map(|j| j.saturating_sub(k))
+            .collect();
+        Ok(AdmissionVector { exps })
+    }
+
+    /// A vector with every probability pinned at `1.0` — the `NDACp2p`
+    /// baseline (paper §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidClassCount`] for an invalid class
+    /// count.
+    pub fn all_ones(num_classes: u8) -> Result<Self> {
+        if !(1..=PeerClass::MAX).contains(&num_classes) {
+            return Err(crate::Error::InvalidClassCount { value: num_classes });
+        }
+        Ok(AdmissionVector {
+            exps: vec![0; num_classes as usize],
+        })
+    }
+
+    /// Number of classes the vector covers.
+    pub fn num_classes(&self) -> u8 {
+        self.exps.len() as u8
+    }
+
+    /// The admission probability for a class (`2^-e`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` exceeds [`Self::num_classes`].
+    pub fn probability(&self, class: PeerClass) -> f64 {
+        let e = self.exponent(class);
+        // 2^-e, exact for e < 1024 — e is a u8 so always exact.
+        f64::powi(2.0, -(e as i32))
+    }
+
+    /// The exponent `e` such that the class probability is `2^-e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` exceeds [`Self::num_classes`].
+    pub fn exponent(&self, class: PeerClass) -> u8 {
+        self.exps[(class.get() - 1) as usize]
+    }
+
+    /// Whether `class` is currently favored (probability `1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` exceeds [`Self::num_classes`].
+    pub fn favors(&self, class: PeerClass) -> bool {
+        self.exponent(class) == 0
+    }
+
+    /// The lowest (numerically largest) favored class. Class 1 is always
+    /// favored, so this always exists.
+    pub fn lowest_favored(&self) -> PeerClass {
+        let mut lowest = 1u8;
+        for (i, &e) in self.exps.iter().enumerate() {
+            if e == 0 {
+                lowest = i as u8 + 1;
+            }
+        }
+        PeerClass::new(lowest).expect("class 1 always favored")
+    }
+
+    /// One relaxation step: every probability below `1.0` doubles
+    /// (paper §4.1(b)).
+    ///
+    /// The paper phrases this as doubling classes below the supplier's own
+    /// class; after tightening, classes *above* the anchor can also sit
+    /// below `1.0`, and doubling them too is the only reading under which
+    /// "the update is performed until every probability is 1.0" holds in
+    /// all states. For vectors reachable without such tightening the two
+    /// readings coincide.
+    pub fn relax(&mut self) {
+        for e in &mut self.exps {
+            *e = e.saturating_sub(1);
+        }
+    }
+
+    /// Applies `n` relaxation steps (used for lazy idle-timeout catch-up).
+    pub fn relax_times(&mut self, n: u64) {
+        let max_e = self.exps.iter().copied().max().unwrap_or(0) as u64;
+        let n = n.min(max_e);
+        for _ in 0..n {
+            self.relax();
+        }
+    }
+
+    /// Tightens the vector around class `k̂`: `P[j] = 1.0` for `j <= k̂`
+    /// and `P[j] = 2^-(j-k̂)` below (paper §4.1(c), reminder handling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` exceeds [`Self::num_classes`].
+    pub fn tighten(&mut self, to: PeerClass) {
+        assert!(
+            to.get() <= self.num_classes(),
+            "tighten class {to} outside vector of {} classes",
+            self.num_classes()
+        );
+        let k = to.get();
+        for (i, e) in self.exps.iter_mut().enumerate() {
+            let j = i as u8 + 1;
+            *e = j.saturating_sub(k);
+        }
+    }
+
+    /// Whether every class is favored (fully relaxed vector).
+    pub fn is_fully_relaxed(&self) -> bool {
+        self.exps.iter().all(|&e| e == 0)
+    }
+
+    /// Draws the probabilistic admission test for `class`: `true` with
+    /// probability exactly `2^-e` using `e` fair bits from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` exceeds [`Self::num_classes`].
+    pub fn decide<R: Rng + ?Sized>(&self, class: PeerClass, rng: &mut R) -> bool {
+        let e = self.exponent(class);
+        if e == 0 {
+            return true;
+        }
+        debug_assert!(e < 64);
+        let mask = (1u64 << e) - 1;
+        rng.gen::<u64>() & mask == 0
+    }
+
+    /// Iterates over `(class, probability)` pairs, highest class first.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerClass, f64)> + '_ {
+        self.exps.iter().enumerate().map(|(i, &e)| {
+            (
+                PeerClass::new(i as u8 + 1).expect("valid by construction"),
+                f64::powi(2.0, -(e as i32)),
+            )
+        })
+    }
+}
+
+impl std::fmt::Display for AdmissionVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, (_, p)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn class(k: u8) -> PeerClass {
+        PeerClass::new(k).unwrap()
+    }
+
+    #[test]
+    fn paper_initialization_example() {
+        // class-2 supplier, K=4 -> [1.0, 1.0, 0.5, 0.25]
+        let v = AdmissionVector::initial(class(2), 4).unwrap();
+        let probs: Vec<f64> = v.iter().map(|(_, p)| p).collect();
+        assert_eq!(probs, vec![1.0, 1.0, 0.5, 0.25]);
+        assert!(v.favors(class(1)));
+        assert!(v.favors(class(2)));
+        assert!(!v.favors(class(3)));
+        assert_eq!(v.lowest_favored(), class(2));
+    }
+
+    #[test]
+    fn class1_supplier_initially_favors_only_class1() {
+        let v = AdmissionVector::initial(class(1), 4).unwrap();
+        let probs: Vec<f64> = v.iter().map(|(_, p)| p).collect();
+        assert_eq!(probs, vec![1.0, 0.5, 0.25, 0.125]);
+        assert_eq!(v.lowest_favored(), class(1));
+    }
+
+    #[test]
+    fn class4_supplier_favors_everyone() {
+        let v = AdmissionVector::initial(class(4), 4).unwrap();
+        assert!(v.is_fully_relaxed());
+        assert_eq!(v.lowest_favored(), class(4));
+    }
+
+    #[test]
+    fn initial_rejects_bad_arguments() {
+        assert!(AdmissionVector::initial(class(5), 4).is_err());
+        assert!(AdmissionVector::initial(class(1), 0).is_err());
+        assert!(AdmissionVector::initial(class(1), 17).is_err());
+        assert!(AdmissionVector::all_ones(0).is_err());
+    }
+
+    #[test]
+    fn relax_converges_to_all_ones() {
+        let mut v = AdmissionVector::initial(class(1), 4).unwrap();
+        v.relax();
+        assert_eq!(v.probability(class(2)), 1.0);
+        assert_eq!(v.probability(class(4)), 0.25);
+        v.relax();
+        v.relax();
+        assert!(v.is_fully_relaxed());
+        v.relax(); // idempotent at the fixed point
+        assert!(v.is_fully_relaxed());
+    }
+
+    #[test]
+    fn relax_times_matches_repeated_relax() {
+        let mut a = AdmissionVector::initial(class(1), 8).unwrap();
+        let mut b = a.clone();
+        a.relax_times(3);
+        for _ in 0..3 {
+            b.relax();
+        }
+        assert_eq!(a, b);
+        // huge n terminates and fully relaxes
+        let mut c = AdmissionVector::initial(class(1), 8).unwrap();
+        c.relax_times(u64::MAX);
+        assert!(c.is_fully_relaxed());
+    }
+
+    #[test]
+    fn tighten_resets_around_anchor() {
+        let mut v = AdmissionVector::all_ones(4).unwrap();
+        v.tighten(class(2));
+        let probs: Vec<f64> = v.iter().map(|(_, p)| p).collect();
+        assert_eq!(probs, vec![1.0, 1.0, 0.5, 0.25]);
+        v.tighten(class(1));
+        let probs: Vec<f64> = v.iter().map(|(_, p)| p).collect();
+        assert_eq!(probs, vec![1.0, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vector")]
+    fn tighten_outside_vector_panics() {
+        let mut v = AdmissionVector::all_ones(2).unwrap();
+        v.tighten(class(3));
+    }
+
+    #[test]
+    fn ndac_vector_always_grants() {
+        let v = AdmissionVector::all_ones(4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for k in 1..=4 {
+            assert!(v.decide(class(k), &mut rng));
+        }
+    }
+
+    #[test]
+    fn decide_frequency_approximates_probability() {
+        let v = AdmissionVector::initial(class(1), 4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 40_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            if v.decide(class(3), &mut rng) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!(
+            (freq - 0.25).abs() < 0.02,
+            "frequency {freq} too far from 0.25"
+        );
+    }
+
+    #[test]
+    fn display_shows_probabilities() {
+        let v = AdmissionVector::initial(class(2), 4).unwrap();
+        assert_eq!(format!("{v}"), "[1, 1, 0.5, 0.25]");
+    }
+
+    #[test]
+    fn lowest_favored_after_partial_relax() {
+        let mut v = AdmissionVector::initial(class(1), 4).unwrap();
+        assert_eq!(v.lowest_favored(), class(1));
+        v.relax();
+        assert_eq!(v.lowest_favored(), class(2));
+        v.relax();
+        assert_eq!(v.lowest_favored(), class(3));
+        v.relax();
+        assert_eq!(v.lowest_favored(), class(4));
+    }
+}

@@ -1,0 +1,149 @@
+//! Baseline (non-optimal) media data assignments.
+//!
+//! The paper's Figure 1 contrasts the optimal assignment (Assignment II,
+//! produced by `OTSp2p`) with a natural but suboptimal "contiguous block"
+//! assignment (Assignment I). These baselines let the benchmark harness and
+//! examples quantify how much buffering delay `OTSp2p` saves.
+
+use crate::{PeerClass, Result};
+
+use super::{session_period, sort_by_bandwidth, Assignment};
+
+/// The paper's Figure 1 "Assignment I": each supplier receives a
+/// *contiguous block* of segments proportional to its bandwidth, fastest
+/// supplier first.
+///
+/// For the Figure-1 session (classes 2, 3, 4, 4) this assigns segments
+/// `0–3` to the class-2 supplier, `4–5` to the class-3 supplier and one
+/// segment each to the class-4 suppliers, yielding a buffering delay of
+/// `5·δt` versus the optimal `4·δt`.
+///
+/// # Errors
+///
+/// Same conditions as [`super::otsp2p`].
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::assignment::{contiguous, otsp2p};
+/// use p2ps_core::PeerClass;
+///
+/// let classes = [2u8, 3, 4, 4]
+///     .into_iter()
+///     .map(PeerClass::new)
+///     .collect::<Result<Vec<_>, _>>()?;
+/// assert_eq!(contiguous(&classes)?.buffering_delay_slots(), 5);
+/// assert_eq!(otsp2p(&classes)?.buffering_delay_slots(), 4);
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+pub fn contiguous(classes: &[PeerClass]) -> Result<Assignment> {
+    let period = session_period(classes)?;
+    let (sorted, input_order) = sort_by_bandwidth(classes);
+    let mut segments = Vec::with_capacity(sorted.len());
+    let mut next = 0u32;
+    for c in &sorted {
+        let quota = period / c.slots_per_segment();
+        segments.push((next..next + quota).collect());
+        next += quota;
+    }
+    Assignment::from_sorted_parts(sorted, input_order, segments)
+}
+
+/// Round-robin assignment: segments `0, 1, 2, …` are dealt to suppliers in
+/// turn (fastest first), skipping suppliers whose per-period quota is
+/// already exhausted.
+///
+/// This is `OTSp2p` run *forwards* instead of backwards; it spreads
+/// segments like the optimal algorithm but anchors the sparse (slow)
+/// suppliers at the *start* of the period, which hurts the early deadlines
+/// and generally costs extra buffering delay.
+///
+/// # Errors
+///
+/// Same conditions as [`super::otsp2p`].
+pub fn round_robin(classes: &[PeerClass]) -> Result<Assignment> {
+    let period = session_period(classes)?;
+    let (sorted, input_order) = sort_by_bandwidth(classes);
+    let quotas: Vec<u32> = sorted
+        .iter()
+        .map(|c| period / c.slots_per_segment())
+        .collect();
+    let mut segments: Vec<Vec<u32>> = vec![Vec::new(); sorted.len()];
+    let mut s = 0u32;
+    while s < period {
+        for (i, quota) in quotas.iter().enumerate() {
+            if s >= period {
+                break;
+            }
+            if (segments[i].len() as u32) < *quota {
+                segments[i].push(s);
+                s += 1;
+            }
+        }
+    }
+    Assignment::from_sorted_parts(sorted, input_order, segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{classes_of, otsp2p};
+
+    #[test]
+    fn figure1_assignment_i() {
+        let a = contiguous(&classes_of(&[2, 3, 4, 4])).unwrap();
+        assert_eq!(a.segments_of(0), &[0, 1, 2, 3]);
+        assert_eq!(a.segments_of(1), &[4, 5]);
+        assert_eq!(a.segments_of(2), &[6]);
+        assert_eq!(a.segments_of(3), &[7]);
+        assert_eq!(a.buffering_delay_slots(), 5);
+    }
+
+    #[test]
+    fn round_robin_dealing_order() {
+        let a = round_robin(&classes_of(&[2, 3, 4, 4])).unwrap();
+        assert_eq!(a.segments_of(0), &[0, 4, 6, 7]);
+        assert_eq!(a.segments_of(1), &[1, 5]);
+        assert_eq!(a.segments_of(2), &[2]);
+        assert_eq!(a.segments_of(3), &[3]);
+    }
+
+    #[test]
+    fn baselines_never_beat_otsp2p() {
+        let cases: &[&[u8]] = &[
+            &[1],
+            &[2, 2],
+            &[2, 3, 3],
+            &[2, 3, 4, 4],
+            &[3, 3, 3, 3],
+            &[2, 4, 4, 4, 4],
+            &[4, 4, 4, 4, 4, 4, 4, 4],
+            &[2, 3, 4, 5, 6, 6],
+        ];
+        for raw in cases {
+            let classes = classes_of(raw);
+            let best = otsp2p(&classes).unwrap().buffering_delay_slots();
+            let cont = contiguous(&classes).unwrap().buffering_delay_slots();
+            let rr = round_robin(&classes).unwrap().buffering_delay_slots();
+            assert!(cont >= best, "contiguous beat otsp2p on {raw:?}");
+            assert!(rr >= best, "round_robin beat otsp2p on {raw:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_supplier_sets_are_equivalent() {
+        // With all suppliers of the same class each transmits exactly one
+        // segment per period, so every assignment is a permutation and all
+        // strategies achieve the same (optimal) delay of n·δt.
+        let classes = classes_of(&[3, 3, 3, 3]);
+        assert_eq!(otsp2p(&classes).unwrap().buffering_delay_slots(), 4);
+        assert_eq!(contiguous(&classes).unwrap().buffering_delay_slots(), 4);
+        assert_eq!(round_robin(&classes).unwrap().buffering_delay_slots(), 4);
+    }
+
+    #[test]
+    fn baselines_reject_invalid_sets() {
+        assert!(contiguous(&[]).is_err());
+        assert!(round_robin(&classes_of(&[2])).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! Media data assignment for multi-supplier streaming sessions (paper §3).
+//!
+//! A streaming session involves a requesting peer and `n` supplying peers
+//! whose out-bound bandwidth offers sum to exactly the playback rate `R0`.
+//! The media file is divided into segments of equal playback time `δt`; an
+//! *assignment* decides which supplier transmits which segments. Every
+//! assignment is **periodic** with period `2^(ℓ-1)` segments, where `ℓ` is
+//! the lowest class among the suppliers: within one period a class-`k`
+//! supplier transmits `period / 2^(k-1)` segments, which exactly matches its
+//! bandwidth share.
+//!
+//! Different assignments lead to different **buffering delays** — the time
+//! between the start of transmission and the start of playback (paper
+//! Fig. 1). [`otsp2p`] computes the provably optimal assignment
+//! (Theorem 1: minimum delay `n·δt`); [`contiguous`] and [`round_robin`]
+//! are the baselines used for comparison; [`verify`] contains an
+//! exhaustive-search optimality checker used by the test-suite.
+
+mod baseline;
+mod edf;
+mod otsp2p;
+pub mod schedule;
+pub mod verify;
+
+pub use baseline::{contiguous, round_robin};
+pub use edf::edf;
+pub use otsp2p::otsp2p;
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandwidth, Error, PeerClass, Result};
+
+/// Playback time `δt` of one media segment.
+///
+/// The paper assumes `δt` is "typically in the magnitude of seconds"; the
+/// real node scales it down to milliseconds so tests and examples finish
+/// quickly. Buffering delays are integer multiples of `δt`.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::assignment::SegmentDuration;
+///
+/// let dt = SegmentDuration::from_secs(1);
+/// assert_eq!(dt.as_millis(), 1_000);
+/// assert_eq!(dt.slots(5).as_millis(), 5_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SegmentDuration(u64);
+
+impl SegmentDuration {
+    /// Creates a segment duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms == 0`; zero-length segments make playback deadlines
+    /// meaningless.
+    pub fn from_millis(ms: u64) -> Self {
+        assert!(ms > 0, "segment duration must be positive");
+        SegmentDuration(ms)
+    }
+
+    /// Creates a segment duration from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs == 0`.
+    pub fn from_secs(secs: u64) -> Self {
+        Self::from_millis(secs * 1_000)
+    }
+
+    /// The duration in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The wall-clock duration of `n` slots (`n · δt`).
+    pub const fn slots(self, n: u32) -> Duration {
+        Duration::from_millis(self.0 * n as u64)
+    }
+}
+
+impl From<SegmentDuration> for Duration {
+    fn from(dt: SegmentDuration) -> Duration {
+        Duration::from_millis(dt.0)
+    }
+}
+
+impl fmt::Display for SegmentDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δt={}ms", self.0)
+    }
+}
+
+/// A periodic media data assignment for one streaming session.
+///
+/// Suppliers are stored in descending-bandwidth order (the order `OTSp2p`
+/// operates in); [`Assignment::input_index`] maps each slot back to the
+/// caller's original supplier list. Segment numbers are *within one
+/// period*: supplier `i` transmits segment `s + j·period` for every period
+/// `j` whenever `s` is in its per-period list.
+///
+/// Construct assignments with [`otsp2p`], [`contiguous`], [`round_robin`]
+/// or — for experiments with arbitrary assignments — [`Assignment::from_parts`].
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::assignment::otsp2p;
+/// use p2ps_core::PeerClass;
+///
+/// let classes = [2, 3, 4, 4]
+///     .into_iter()
+///     .map(PeerClass::new)
+///     .collect::<Result<Vec<_>, _>>()?;
+/// let a = otsp2p(&classes)?;
+/// assert_eq!(a.period(), 8);
+/// assert_eq!(a.supplier_count(), 4);
+/// // Fastest supplier (class 2) carries half the segments of each period.
+/// assert_eq!(a.segments_of(0), &[0, 1, 3, 7]);
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    classes: Vec<PeerClass>,
+    input_order: Vec<usize>,
+    period: u32,
+    segments: Vec<Vec<u32>>,
+}
+
+impl Assignment {
+    /// Builds an assignment from raw parts, validating every model
+    /// invariant. `classes` must be in the intended supplier order and
+    /// `segments[i]` lists the per-period segments of supplier `i`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoSuppliers`] for an empty supplier list.
+    /// * [`Error::BandwidthMismatch`] if offers do not sum to `R0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment lists do not form a partition of
+    /// `0..period` with each supplier receiving exactly its bandwidth share
+    /// (`period / 2^(k-1)` segments) — such inputs are programming errors,
+    /// not recoverable conditions.
+    pub fn from_parts(classes: Vec<PeerClass>, segments: Vec<Vec<u32>>) -> Result<Self> {
+        let period = session_period(&classes)?;
+        assert_eq!(
+            classes.len(),
+            segments.len(),
+            "one segment list per supplier required"
+        );
+        let mut seen = vec![false; period as usize];
+        for (i, (class, segs)) in classes.iter().zip(&segments).enumerate() {
+            let quota = (period / class.slots_per_segment()) as usize;
+            assert_eq!(
+                segs.len(),
+                quota,
+                "supplier {i} ({class}) must receive exactly {quota} segments per period"
+            );
+            let mut prev: Option<u32> = None;
+            for &s in segs {
+                assert!((s as usize) < seen.len(), "segment {s} out of period range");
+                assert!(!seen[s as usize], "segment {s} assigned twice");
+                if let Some(p) = prev {
+                    assert!(s > p, "segment list of supplier {i} must be ascending");
+                }
+                seen[s as usize] = true;
+                prev = Some(s);
+            }
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "every segment of the period must be assigned"
+        );
+        let input_order = (0..classes.len()).collect();
+        Ok(Assignment {
+            classes,
+            input_order,
+            period,
+            segments,
+        })
+    }
+
+    pub(crate) fn from_sorted_parts(
+        classes: Vec<PeerClass>,
+        input_order: Vec<usize>,
+        segments: Vec<Vec<u32>>,
+    ) -> Result<Self> {
+        let mut a = Assignment::from_parts(classes, segments)?;
+        a.input_order = input_order;
+        Ok(a)
+    }
+
+    /// Number of participating suppliers `n`.
+    pub fn supplier_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The assignment period `2^(ℓ-1)` in segments, where `ℓ` is the lowest
+    /// supplier class.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Class of supplier slot `i` (descending-bandwidth order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= supplier_count()`.
+    pub fn class_of(&self, i: usize) -> PeerClass {
+        self.classes[i]
+    }
+
+    /// All supplier classes in slot order.
+    pub fn classes(&self) -> &[PeerClass] {
+        &self.classes
+    }
+
+    /// Index of supplier slot `i` in the caller's original supplier list
+    /// (algorithms sort by bandwidth internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= supplier_count()`.
+    pub fn input_index(&self, i: usize) -> usize {
+        self.input_order[i]
+    }
+
+    /// The per-period segments transmitted by supplier slot `i`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= supplier_count()`.
+    pub fn segments_of(&self, i: usize) -> &[u32] {
+        &self.segments[i]
+    }
+
+    /// Which supplier slot transmits segment `seg` (segment numbers are
+    /// global; the period is applied internally).
+    pub fn supplier_of_segment(&self, seg: u64) -> usize {
+        let s = (seg % self.period as u64) as u32;
+        self.segments
+            .iter()
+            .position(|list| list.binary_search(&s).is_ok())
+            .expect("assignment partitions the period")
+    }
+
+    /// Iterates over `(slot, class, per-period segments)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, PeerClass, &[u32])> + '_ {
+        self.classes
+            .iter()
+            .zip(&self.segments)
+            .enumerate()
+            .map(|(i, (&c, s))| (i, c, s.as_slice()))
+    }
+
+    /// The minimum buffering delay of this assignment in units of `δt`
+    /// (paper: the interval between the start of transmission and the start
+    /// of playback needed for continuous playback).
+    pub fn buffering_delay_slots(&self) -> u32 {
+        schedule::min_delay_slots(self)
+    }
+
+    /// The minimum buffering delay as wall-clock time for a given `δt`.
+    pub fn buffering_delay(&self, dt: SegmentDuration) -> Duration {
+        dt.slots(self.buffering_delay_slots())
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "assignment over {} suppliers, period {} segments, delay {}·δt:",
+            self.supplier_count(),
+            self.period,
+            self.buffering_delay_slots()
+        )?;
+        for (i, c, segs) in self.iter() {
+            writeln!(f, "  slot {i} ({c}): segments {segs:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the session period `2^(ℓ-1)` for a supplier set, validating the
+/// aggregate-bandwidth precondition `Σ b_i = R0`.
+///
+/// # Errors
+///
+/// * [`Error::NoSuppliers`] for an empty list.
+/// * [`Error::BandwidthMismatch`] if offers do not sum to exactly `R0`.
+pub fn session_period(classes: &[PeerClass]) -> Result<u32> {
+    if classes.is_empty() {
+        return Err(Error::NoSuppliers);
+    }
+    let mut total = Bandwidth::ZERO;
+    for c in classes {
+        total = total
+            .checked_add(c.bandwidth())
+            .ok_or(Error::BandwidthMismatch { offered: total })?;
+    }
+    if !total.is_full_rate() {
+        return Err(Error::BandwidthMismatch { offered: total });
+    }
+    let lowest = classes.iter().max().expect("non-empty");
+    Ok(lowest.slots_per_segment())
+}
+
+/// Sorts supplier classes descending by bandwidth (ascending class number),
+/// stably, returning `(sorted_classes, input_order)`.
+pub(crate) fn sort_by_bandwidth(classes: &[PeerClass]) -> (Vec<PeerClass>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    order.sort_by_key(|&i| classes[i].get());
+    let sorted = order.iter().map(|&i| classes[i]).collect();
+    (sorted, order)
+}
+
+#[cfg(test)]
+pub(crate) fn classes_of(raw: &[u8]) -> Vec<PeerClass> {
+    raw.iter().map(|&k| PeerClass::new(k).unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_duration_conversions() {
+        let dt = SegmentDuration::from_secs(2);
+        assert_eq!(dt.as_millis(), 2_000);
+        assert_eq!(Duration::from(dt), Duration::from_millis(2_000));
+        assert_eq!(dt.slots(3), Duration::from_millis(6_000));
+        assert_eq!(format!("{dt}"), "δt=2000ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_segment_duration_panics() {
+        let _ = SegmentDuration::from_millis(0);
+    }
+
+    #[test]
+    fn session_period_requires_full_rate() {
+        assert_eq!(session_period(&classes_of(&[1])).unwrap(), 1);
+        assert_eq!(session_period(&classes_of(&[2, 2])).unwrap(), 2);
+        assert_eq!(session_period(&classes_of(&[2, 3, 4, 4])).unwrap(), 8);
+        assert!(matches!(
+            session_period(&classes_of(&[2])),
+            Err(Error::BandwidthMismatch { .. })
+        ));
+        assert!(matches!(
+            session_period(&classes_of(&[1, 2])),
+            Err(Error::BandwidthMismatch { .. })
+        ));
+        assert!(matches!(session_period(&[]), Err(Error::NoSuppliers)));
+    }
+
+    #[test]
+    fn from_parts_validates_partition() {
+        let classes = classes_of(&[2, 2]);
+        let a = Assignment::from_parts(classes.clone(), vec![vec![0], vec![1]]).unwrap();
+        assert_eq!(a.period(), 2);
+        assert_eq!(a.supplier_count(), 2);
+        assert_eq!(a.segments_of(0), &[0]);
+        assert_eq!(a.input_index(1), 1);
+        assert_eq!(a.supplier_of_segment(0), 0);
+        assert_eq!(a.supplier_of_segment(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_segment_panics() {
+        let _ = Assignment::from_parts(classes_of(&[2, 2]), vec![vec![0], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn wrong_quota_panics() {
+        let _ = Assignment::from_parts(classes_of(&[2, 2]), vec![vec![0, 1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn descending_segments_panic() {
+        // classes [2,3,3]: period 4, quotas 2/1/1 — supplier 0's list is
+        // the right length but out of order.
+        let classes = classes_of(&[2, 3, 3]);
+        let _ = Assignment::from_parts(classes, vec![vec![1, 0], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn sort_by_bandwidth_is_stable() {
+        let classes = classes_of(&[4, 2, 4, 3]);
+        let (sorted, order) = sort_by_bandwidth(&classes);
+        assert_eq!(sorted, classes_of(&[2, 3, 4, 4]));
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn display_lists_slots() {
+        let a = Assignment::from_parts(classes_of(&[1]), vec![vec![0]]).unwrap();
+        let text = format!("{a}");
+        assert!(text.contains("slot 0"));
+        assert!(text.contains("period 1"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Transmission schedules and buffering-delay computation.
+//!
+//! Given an [`Assignment`], each supplier transmits its assigned segments in
+//! ascending segment order, back to back, at its offered bandwidth: a
+//! class-`k` supplier needs `2^(k-1)` slots of `δt` per segment. The
+//! requesting peer plays segment `s` during slot `D + s` where `D` is the
+//! buffering delay in slots. Playback is continuous iff every segment
+//! arrives no later than its playback deadline; the *minimum* feasible `D`
+//! is the assignment's buffering delay (paper §3).
+
+use serde::{Deserialize, Serialize};
+
+use super::Assignment;
+
+/// The minimum buffering delay of `assignment` in slots of `δt`.
+///
+/// For supplier `i` with `2^(k-1)` slots per segment, its `p`-th assigned
+/// segment (1-based, ascending) finishes arriving at slot `p · 2^(k-1)` of
+/// each period; the segment's playback deadline is `D + s` slots after the
+/// start of that period. The schedule is periodic and each supplier's
+/// per-period transmission time exactly fills the period, so checking one
+/// period suffices; the minimum `D` is the largest deadline violation at
+/// `D = 0`.
+pub fn min_delay_slots(assignment: &Assignment) -> u32 {
+    let mut delay: i64 = 1; // playback can never start before one slot of data exists
+    for (_, class, segments) in assignment.iter() {
+        let spp = class.slots_per_segment() as i64;
+        for (p, &s) in segments.iter().enumerate() {
+            let arrival = (p as i64 + 1) * spp;
+            delay = delay.max(arrival - s as i64);
+        }
+    }
+    delay as u32
+}
+
+/// Whether playback with buffering delay `delay_slots` is continuous
+/// (no segment misses its deadline).
+pub fn is_feasible(assignment: &Assignment, delay_slots: u32) -> bool {
+    delay_slots >= min_delay_slots(assignment)
+}
+
+/// One scheduled segment transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentEvent {
+    /// Supplier slot index within the assignment.
+    pub supplier: usize,
+    /// Global segment number.
+    pub segment: u64,
+    /// Slot (in units of `δt` from session start) at which transmission of
+    /// this segment starts.
+    pub start_slot: u64,
+    /// Slot at which the segment has fully arrived at the requesting peer.
+    pub arrival_slot: u64,
+}
+
+/// Expands an [`Assignment`] into the concrete per-segment transmission
+/// timetable for a media file of `total_segments` segments.
+///
+/// The timetable is what the runnable node uses to pace its sends and what
+/// the playback buffer uses to check continuity; it is also a convenient
+/// oracle for tests.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::assignment::{otsp2p, schedule::TransmissionSchedule};
+/// use p2ps_core::PeerClass;
+///
+/// let classes = [2u8, 2]
+///     .into_iter()
+///     .map(PeerClass::new)
+///     .collect::<Result<Vec<_>, _>>()?;
+/// let a = otsp2p(&classes)?;
+/// let schedule = TransmissionSchedule::new(&a, 4);
+/// assert_eq!(schedule.len(), 4);
+/// // Every segment arrives by its deadline with the optimal delay.
+/// let d = a.buffering_delay_slots() as u64;
+/// for ev in schedule.iter() {
+///     assert!(ev.arrival_slot <= d + ev.segment);
+/// }
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransmissionSchedule {
+    events: Vec<SegmentEvent>,
+}
+
+impl TransmissionSchedule {
+    /// Builds the timetable for the first `total_segments` segments of the
+    /// media file under `assignment`.
+    pub fn new(assignment: &Assignment, total_segments: u64) -> Self {
+        let period = assignment.period() as u64;
+        let mut events = Vec::with_capacity(total_segments as usize);
+        for (slot_idx, class, segments) in assignment.iter() {
+            let spp = class.slots_per_segment() as u64;
+            let per_period = segments.len() as u64;
+            // Global transmission position p maps to the segment
+            // `(p / per_period) * period + segments[p % per_period]`, which
+            // is strictly increasing in p, so we can stop at the first
+            // overflow past the end of the media file.
+            for p in 0u64.. {
+                let seg = (p / per_period) * period + segments[(p % per_period) as usize] as u64;
+                if seg >= total_segments {
+                    break;
+                }
+                let start = p * spp;
+                events.push(SegmentEvent {
+                    supplier: slot_idx,
+                    segment: seg,
+                    start_slot: start,
+                    arrival_slot: start + spp,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.arrival_slot, e.segment));
+        TransmissionSchedule { events }
+    }
+
+    /// Number of scheduled segment transmissions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over events in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &SegmentEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// The slot by which all segments have arrived.
+    pub fn completion_slot(&self) -> u64 {
+        self.events.iter().map(|e| e.arrival_slot).max().unwrap_or(0)
+    }
+
+    /// The minimal feasible buffering delay for this concrete (finite)
+    /// timetable: `max(arrival - segment)` over all events.
+    pub fn min_delay_slots(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.arrival_slot.saturating_sub(e.segment))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{classes_of, contiguous, otsp2p, Assignment};
+
+    #[test]
+    fn figure1_delays() {
+        let classes = classes_of(&[2, 3, 4, 4]);
+        assert_eq!(min_delay_slots(&otsp2p(&classes).unwrap()), 4);
+        assert_eq!(min_delay_slots(&contiguous(&classes).unwrap()), 5);
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+        assert!(!is_feasible(&a, 3));
+        assert!(is_feasible(&a, 4));
+        assert!(is_feasible(&a, 100));
+    }
+
+    #[test]
+    fn schedule_covers_every_segment_once() {
+        let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+        let s = TransmissionSchedule::new(&a, 20);
+        assert_eq!(s.len(), 20);
+        let mut segs: Vec<u64> = s.iter().map(|e| e.segment).collect();
+        segs.sort_unstable();
+        assert_eq!(segs, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_delay_matches_analytic_delay() {
+        for raw in [&[2u8, 3, 4, 4][..], &[2, 2], &[1], &[3, 3, 3, 3]] {
+            let classes = classes_of(raw);
+            let a = otsp2p(&classes).unwrap();
+            // several whole periods so the steady state is visible
+            let s = TransmissionSchedule::new(&a, a.period() as u64 * 4);
+            assert_eq!(
+                s.min_delay_slots(),
+                min_delay_slots(&a) as u64,
+                "classes {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn supplier_transmissions_do_not_overlap() {
+        let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+        let s = TransmissionSchedule::new(&a, 32);
+        for i in 0..a.supplier_count() {
+            let mut mine: Vec<_> = s.iter().filter(|e| e.supplier == i).collect();
+            mine.sort_by_key(|e| e.start_slot);
+            for w in mine.windows(2) {
+                assert!(
+                    w[0].arrival_slot <= w[1].start_slot,
+                    "supplier {i} overlaps: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supplier_is_busy_for_the_whole_period() {
+        // Each supplier's per-period transmissions exactly fill the period:
+        // quota * slots_per_segment == period.
+        let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+        for (_, class, segs) in a.iter() {
+            assert_eq!(
+                segs.len() as u32 * class.slots_per_segment(),
+                a.period()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_period_schedule() {
+        let a = otsp2p(&classes_of(&[2, 2])).unwrap();
+        let s = TransmissionSchedule::new(&a, 3); // one and a half periods
+        assert_eq!(s.len(), 3);
+        assert!(s.completion_slot() >= 3);
+    }
+
+    #[test]
+    fn min_delay_of_custom_assignment() {
+        // Give the slow supplier the *first* segment: delay blows up to the
+        // slow supplier's transmission time.
+        let classes = classes_of(&[2, 3, 4, 4]);
+        let a = Assignment::from_parts(
+            classes,
+            vec![vec![4, 5, 6, 7], vec![2, 3], vec![0], vec![1]],
+        )
+        .unwrap();
+        // class-4 supplier (8 slots/segment) owns segment 0 -> D >= 8.
+        assert_eq!(min_delay_slots(&a), 8);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let a = otsp2p(&classes_of(&[1])).unwrap();
+        let s = TransmissionSchedule::new(&a, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.completion_slot(), 0);
+        assert_eq!(s.min_delay_slots(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Exhaustive optimality checking for media data assignments.
+//!
+//! Theorem 1 of the paper states that `OTSp2p` achieves the minimum
+//! possible buffering delay of `n·δt`. This module provides a brute-force
+//! oracle that enumerates *every* valid assignment of one period and
+//! returns the best achievable delay, so the test-suite can confirm the
+//! theorem on small instances instead of trusting it.
+
+use crate::{PeerClass, Result};
+
+use super::{session_period, sort_by_bandwidth};
+
+/// Minimum buffering delay (in slots of `δt`) achievable by *any* valid
+/// assignment for the given supplier set, found by exhaustive search with
+/// branch-and-bound pruning.
+///
+/// The search assigns segments `period-1, period-2, …, 0` one at a time to
+/// any supplier with remaining quota, tracking each supplier's deadline
+/// slack incrementally. Supplier sets with periods up to 16 (a few thousand
+/// assignments) finish instantly; larger periods grow combinatorially, so
+/// keep this to tests.
+///
+/// # Errors
+///
+/// Same conditions as [`super::otsp2p`]: the supplier list must be
+/// non-empty and offers must sum to `R0`.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::assignment::{otsp2p, verify::exhaustive_min_delay};
+/// use p2ps_core::PeerClass;
+///
+/// let classes = [2u8, 3, 4, 4]
+///     .into_iter()
+///     .map(PeerClass::new)
+///     .collect::<Result<Vec<_>, _>>()?;
+/// // Theorem 1: no assignment beats n·δt, and OTSp2p attains it.
+/// assert_eq!(exhaustive_min_delay(&classes)?, 4);
+/// assert_eq!(otsp2p(&classes)?.buffering_delay_slots(), 4);
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+pub fn exhaustive_min_delay(classes: &[PeerClass]) -> Result<u32> {
+    let period = session_period(classes)?;
+    let (sorted, _) = sort_by_bandwidth(classes);
+    let spp: Vec<u32> = sorted.iter().map(|c| c.slots_per_segment()).collect();
+    let mut quota: Vec<u32> = sorted.iter().map(|c| period / c.slots_per_segment()).collect();
+
+    // Assign segments from the END of the period downward. When supplier i
+    // has q_i segments still unassigned (out of Q_i total), the next segment
+    // it takes becomes its q_i-th in ascending order, arriving at slot
+    // q_i * spp_i; assigning segment s to it imposes delay >= q_i*spp_i - s.
+    struct Search {
+        spp: Vec<u32>,
+        best: i64,
+    }
+
+    impl Search {
+        fn go(&mut self, seg: i64, quota: &mut [u32], current: i64) {
+            if current >= self.best {
+                return; // prune: already no better than the best found
+            }
+            if seg < 0 {
+                self.best = current;
+                return;
+            }
+            for i in 0..quota.len() {
+                if quota[i] == 0 {
+                    continue;
+                }
+                // Skip symmetric twins: identical suppliers with identical
+                // remaining quotas produce identical subtrees.
+                if i > 0 && self.spp[i] == self.spp[i - 1] && quota[i] == quota[i - 1] {
+                    continue;
+                }
+                let arrival = quota[i] as i64 * self.spp[i] as i64;
+                let need = arrival - seg;
+                quota[i] -= 1;
+                self.go(seg - 1, quota, current.max(need));
+                quota[i] += 1;
+            }
+        }
+    }
+
+    let mut search = Search {
+        spp,
+        best: i64::MAX,
+    };
+    search.go(period as i64 - 1, &mut quota, 1);
+    Ok(search.best as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{classes_of, otsp2p};
+
+    #[test]
+    fn theorem1_on_small_instances() {
+        let cases: &[&[u8]] = &[
+            &[1],
+            &[2, 2],
+            &[2, 3, 3],
+            &[2, 3, 4, 4],
+            &[3, 3, 3, 3],
+            &[2, 4, 4, 4, 4],
+            &[3, 3, 4, 4, 4, 4],
+            &[4, 4, 4, 4, 4, 4, 4, 4],
+            &[2, 3, 4, 5, 5],
+            &[2, 3, 5, 5, 5, 5],
+        ];
+        for raw in cases {
+            let classes = classes_of(raw);
+            let brute = exhaustive_min_delay(&classes).unwrap();
+            let ots = otsp2p(&classes).unwrap().buffering_delay_slots();
+            assert_eq!(brute, classes.len() as u32, "brute force on {raw:?}");
+            assert_eq!(ots, brute, "otsp2p matches brute force on {raw:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_sets_are_rejected() {
+        assert!(exhaustive_min_delay(&[]).is_err());
+        assert!(exhaustive_min_delay(&classes_of(&[3])).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Crate error type.
+
+use std::fmt;
+
+/// Errors produced by the core model and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A peer class outside `1 ..= PeerClass::MAX` was requested.
+    InvalidClass {
+        /// The rejected raw class value.
+        value: u8,
+    },
+    /// A class system with zero classes or more than [`crate::PeerClass::MAX`]
+    /// classes was requested.
+    InvalidClassCount {
+        /// The rejected number of classes.
+        value: u8,
+    },
+    /// The aggregated supplier bandwidth does not equal the playback rate
+    /// `R0`, so no continuous streaming session is possible (paper §3
+    /// requires `Σ b_i = R0`).
+    BandwidthMismatch {
+        /// Aggregated offer of the proposed supplier set.
+        offered: crate::Bandwidth,
+    },
+    /// An empty supplier set was provided where at least one supplier is
+    /// required.
+    NoSuppliers,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidClass { value } => {
+                write!(
+                    f,
+                    "peer class {value} is outside the valid range 1..={}",
+                    crate::PeerClass::MAX
+                )
+            }
+            Error::InvalidClassCount { value } => {
+                write!(
+                    f,
+                    "class count {value} is outside the valid range 1..={}",
+                    crate::PeerClass::MAX
+                )
+            }
+            Error::BandwidthMismatch { offered } => {
+                write!(
+                    f,
+                    "aggregated supplier bandwidth {offered} does not equal the playback rate"
+                )
+            }
+            Error::NoSuppliers => write!(f, "at least one supplying peer is required"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bandwidth;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidClass { value: 0 };
+        assert!(e.to_string().contains("class 0"));
+        let e = Error::BandwidthMismatch {
+            offered: Bandwidth::ZERO,
+        };
+        assert!(e.to_string().contains("does not equal"));
+        let e = Error::NoSuppliers;
+        assert!(e.to_string().contains("at least one"));
+        let e = Error::InvalidClassCount { value: 200 };
+        assert!(e.to_string().contains("200"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,352 @@
+//! Model-level value types: peer identifiers, classes and bandwidth.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Opaque identifier for a peer.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::PeerId;
+///
+/// let a = PeerId::new(7);
+/// assert_eq!(a.get(), 7);
+/// assert_eq!(format!("{a}"), "peer-7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PeerId(u64);
+
+impl PeerId {
+    /// Wraps a raw identifier.
+    pub const fn new(id: u64) -> Self {
+        PeerId(id)
+    }
+
+    /// Returns the raw identifier.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer-{}", self.0)
+    }
+}
+
+impl From<u64> for PeerId {
+    fn from(v: u64) -> Self {
+        PeerId(v)
+    }
+}
+
+/// A peer's bandwidth class (paper §2(3)).
+///
+/// A class-`k` peer offers out-bound bandwidth `R0 / 2^(k-1)` where `R0` is
+/// the media playback rate. Class 1 is the *highest* class (offers the full
+/// rate); larger numbers are lower classes. The special power-of-two value
+/// set is what keeps media data assignment out of bin-packing territory
+/// (paper footnote 2).
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::{Bandwidth, PeerClass};
+///
+/// let c1 = PeerClass::new(1)?;
+/// let c2 = PeerClass::new(2)?;
+/// assert_eq!(c1.bandwidth(), Bandwidth::FULL_RATE);
+/// assert_eq!(c2.bandwidth() + c2.bandwidth(), Bandwidth::FULL_RATE);
+/// assert!(c1.is_higher_than(c2));
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PeerClass(u8);
+
+impl PeerClass {
+    /// The lowest (numerically largest) supported class.
+    ///
+    /// Classes up to 16 keep bandwidth arithmetic exact in the fixed-point
+    /// representation used by [`Bandwidth`]; the paper's evaluation uses
+    /// four classes.
+    pub const MAX: u8 = 16;
+
+    /// The highest class (offers the full playback rate `R0`).
+    pub const HIGHEST: PeerClass = PeerClass(1);
+
+    /// Creates a class from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidClass`] unless `1 <= k <= PeerClass::MAX`.
+    pub fn new(k: u8) -> Result<Self> {
+        if (1..=Self::MAX).contains(&k) {
+            Ok(PeerClass(k))
+        } else {
+            Err(Error::InvalidClass { value: k })
+        }
+    }
+
+    /// The class number (`1` is highest).
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The out-bound bandwidth offered by a peer of this class:
+    /// `R0 / 2^(k-1)`.
+    pub const fn bandwidth(self) -> Bandwidth {
+        Bandwidth(Bandwidth::FULL_RATE.0 >> (self.0 - 1))
+    }
+
+    /// Transmission time of one segment in units of the segment playback
+    /// time `δt`: a class-`k` supplier needs `2^(k-1)` slots per segment.
+    pub const fn slots_per_segment(self) -> u32 {
+        1 << (self.0 - 1)
+    }
+
+    /// Whether `self` is a higher class (more bandwidth) than `other`.
+    pub const fn is_higher_than(self, other: PeerClass) -> bool {
+        self.0 < other.0
+    }
+
+    /// Iterator over all classes `1 ..= num_classes`, highest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidClassCount`] unless
+    /// `1 <= num_classes <= PeerClass::MAX`.
+    pub fn all(num_classes: u8) -> Result<impl DoubleEndedIterator<Item = PeerClass> + Clone> {
+        if !(1..=Self::MAX).contains(&num_classes) {
+            return Err(Error::InvalidClassCount { value: num_classes });
+        }
+        Ok((1..=num_classes).map(PeerClass))
+    }
+}
+
+impl fmt::Display for PeerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class-{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for PeerClass {
+    type Error = Error;
+
+    fn try_from(v: u8) -> Result<Self> {
+        PeerClass::new(v)
+    }
+}
+
+impl From<PeerClass> for u8 {
+    fn from(c: PeerClass) -> u8 {
+        c.0
+    }
+}
+
+/// Out-bound bandwidth in exact fixed-point units of `R0 / 2^16`.
+///
+/// All bandwidths appearing in the model are sums of `R0 / 2^(k-1)` terms,
+/// so this representation is exact: aggregating offers and comparing the
+/// total against the playback rate never suffers floating-point error.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_core::{Bandwidth, PeerClass};
+///
+/// let half = PeerClass::new(2)?.bandwidth();
+/// let quarter = PeerClass::new(3)?.bandwidth();
+/// assert_eq!(half + quarter + quarter, Bandwidth::FULL_RATE);
+/// assert_eq!(Bandwidth::FULL_RATE.fraction_of_rate(), 1.0);
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u32);
+
+impl Bandwidth {
+    /// Number of fractional bits in the fixed-point representation.
+    pub const FRACTION_BITS: u32 = 16;
+
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// The full playback rate `R0`.
+    pub const FULL_RATE: Bandwidth = Bandwidth(1 << Self::FRACTION_BITS);
+
+    /// Creates a bandwidth from raw fixed-point units of `R0 / 2^16`.
+    pub const fn from_raw(units: u32) -> Self {
+        Bandwidth(units)
+    }
+
+    /// The raw fixed-point value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// This bandwidth as a fraction of the playback rate (`1.0 == R0`).
+    pub fn fraction_of_rate(self) -> f64 {
+        self.0 as f64 / Self::FULL_RATE.0 as f64
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub const fn checked_add(self, rhs: Bandwidth) -> Option<Bandwidth> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Bandwidth(v)),
+            None => None,
+        }
+    }
+
+    /// Whether this is exactly the playback rate.
+    pub const fn is_full_rate(self) -> bool {
+        self.0 == Self::FULL_RATE.0
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}·R0", self.fraction_of_rate())
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bandwidth {
+    fn sub_assign(&mut self, rhs: Bandwidth) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_bounds() {
+        assert!(PeerClass::new(0).is_err());
+        assert!(PeerClass::new(1).is_ok());
+        assert!(PeerClass::new(16).is_ok());
+        assert!(PeerClass::new(17).is_err());
+    }
+
+    #[test]
+    fn class_bandwidth_halves_per_class() {
+        for k in 1..PeerClass::MAX {
+            let hi = PeerClass::new(k).unwrap().bandwidth();
+            let lo = PeerClass::new(k + 1).unwrap().bandwidth();
+            assert_eq!(lo + lo, hi, "class {k} vs {}", k + 1);
+        }
+    }
+
+    #[test]
+    fn class_ordering_and_display() {
+        let c1 = PeerClass::new(1).unwrap();
+        let c4 = PeerClass::new(4).unwrap();
+        assert!(c1.is_higher_than(c4));
+        assert!(!c4.is_higher_than(c1));
+        assert!(!c1.is_higher_than(c1));
+        assert_eq!(format!("{c1}"), "class-1");
+        assert_eq!(format!("{c4}"), "class-4");
+    }
+
+    #[test]
+    fn slots_per_segment() {
+        assert_eq!(PeerClass::HIGHEST.slots_per_segment(), 1);
+        assert_eq!(PeerClass::new(4).unwrap().slots_per_segment(), 8);
+    }
+
+    #[test]
+    fn all_classes_iterator() {
+        let v: Vec<u8> = PeerClass::all(4).unwrap().map(PeerClass::get).collect();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        assert!(PeerClass::all(0).is_err());
+        assert!(PeerClass::all(17).is_err());
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let c = PeerClass::try_from(3).unwrap();
+        assert_eq!(u8::from(c), 3);
+        assert!(PeerClass::try_from(0).is_err());
+    }
+
+    #[test]
+    fn bandwidth_arithmetic_is_exact() {
+        let b4 = PeerClass::new(4).unwrap().bandwidth();
+        let sum: Bandwidth = std::iter::repeat_n(b4, 8).sum();
+        assert!(sum.is_full_rate());
+        assert_eq!(sum, Bandwidth::FULL_RATE);
+    }
+
+    #[test]
+    fn bandwidth_fraction() {
+        assert_eq!(Bandwidth::ZERO.fraction_of_rate(), 0.0);
+        assert_eq!(Bandwidth::FULL_RATE.fraction_of_rate(), 1.0);
+        assert_eq!(PeerClass::new(2).unwrap().bandwidth().fraction_of_rate(), 0.5);
+    }
+
+    #[test]
+    fn bandwidth_saturating_and_checked() {
+        let b = PeerClass::new(2).unwrap().bandwidth();
+        assert_eq!(Bandwidth::ZERO.saturating_sub(b), Bandwidth::ZERO);
+        assert_eq!(Bandwidth::FULL_RATE.saturating_sub(b), b);
+        assert_eq!(b.checked_add(b), Some(Bandwidth::FULL_RATE));
+        assert_eq!(Bandwidth::from_raw(u32::MAX).checked_add(b), None);
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(format!("{}", Bandwidth::FULL_RATE), "1.0000·R0");
+    }
+
+    #[test]
+    fn peer_id_basics() {
+        let id = PeerId::from(3);
+        assert_eq!(id, PeerId::new(3));
+        assert_eq!(id.get(), 3);
+        assert_eq!(format!("{id}"), "peer-3");
+        assert_eq!(PeerId::default().get(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests of the `DACp2p` admission machinery: the vector
+//! algebra, the greedy covering rule, and model-based state-machine
+//! checks on arbitrary operation sequences.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use p2ps_core::admission::{
+    greedy_take, AdmissionVector, BackoffPolicy, Protocol, RequestDecision, SupplierConfig,
+    SupplierState,
+};
+use p2ps_core::{Bandwidth, PeerClass};
+
+fn class(k: u8) -> PeerClass {
+    PeerClass::new(k).unwrap()
+}
+
+fn class_strategy(max: u8) -> impl Strategy<Value = PeerClass> {
+    (1u8..=max).prop_map(class)
+}
+
+proptest! {
+    /// Initialization (§4.1(a)): a class-k supplier favors exactly the
+    /// classes 1..=k, and probabilities halve per class below.
+    #[test]
+    fn initial_vector_structure(k in 1u8..=8, num in 1u8..=8) {
+        prop_assume!(k <= num);
+        let v = AdmissionVector::initial(class(k), num).unwrap();
+        for j in 1..=num {
+            let p = v.probability(class(j));
+            if j <= k {
+                prop_assert_eq!(p, 1.0);
+            } else {
+                prop_assert_eq!(p, f64::powi(2.0, -((j - k) as i32)));
+            }
+        }
+        prop_assert_eq!(v.lowest_favored(), class(k));
+    }
+
+    /// Relaxation is monotone: no probability ever decreases, and after
+    /// enough steps the vector is all ones.
+    #[test]
+    fn relaxation_is_monotone_and_convergent(k in 1u8..=8, num in 1u8..=8, steps in 0u64..12) {
+        prop_assume!(k <= num);
+        let mut v = AdmissionVector::initial(class(k), num).unwrap();
+        let mut prev: Vec<f64> = v.iter().map(|(_, p)| p).collect();
+        for _ in 0..steps {
+            v.relax();
+            let now: Vec<f64> = v.iter().map(|(_, p)| p).collect();
+            for (a, b) in prev.iter().zip(&now) {
+                prop_assert!(b >= a, "relaxation decreased a probability");
+            }
+            prev = now;
+        }
+        v.relax_times(64);
+        prop_assert!(v.is_fully_relaxed());
+    }
+
+    /// Tightening to class k̂ yields exactly the initial vector of a
+    /// class-k̂ supplier — the paper's reset semantics.
+    #[test]
+    fn tighten_equals_reinitialization(anchor in 1u8..=8, num in 1u8..=8, pre_relax in 0u64..8) {
+        prop_assume!(anchor <= num);
+        let mut v = AdmissionVector::all_ones(num).unwrap();
+        v.relax_times(pre_relax); // no-op on all-ones; just exercise the path
+        v.tighten(class(anchor));
+        let fresh = AdmissionVector::initial(class(anchor), num).unwrap();
+        prop_assert_eq!(v, fresh);
+    }
+
+    /// Class 1 is favored in every reachable vector state.
+    #[test]
+    fn class_one_is_always_favored(
+        k in 1u8..=8,
+        num in 1u8..=8,
+        ops in prop::collection::vec((0u8..3, 1u8..=8), 0..32),
+    ) {
+        prop_assume!(k <= num);
+        let mut v = AdmissionVector::initial(class(k), num).unwrap();
+        for (op, arg) in ops {
+            match op {
+                0 => v.relax(),
+                1 => v.relax_times(arg as u64),
+                _ => {
+                    let anchor = 1 + (arg - 1) % num;
+                    v.tighten(class(anchor));
+                }
+            }
+            prop_assert!(v.favors(class(1)));
+        }
+    }
+
+    /// The probabilistic test's empirical frequency tracks the stored
+    /// probability (law of large numbers at test scale).
+    #[test]
+    fn decide_frequency_matches_probability(e in 0u8..5, seed in 0u64..1_000) {
+        let mut v = AdmissionVector::all_ones(4).unwrap();
+        // Build a vector whose class-4 exponent is e.
+        for _ in 0..e {
+            // halve class 4 by tightening around class 3 repeatedly is not
+            // expressible directly; construct via initial of class (4-e).
+        }
+        let anchor = 4u8.saturating_sub(e).max(1);
+        v.tighten(class(anchor));
+        let p_expected = v.probability(class(4));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trials = 4_000u32;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            if v.decide(class(4), &mut rng) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        prop_assert!(
+            (freq - p_expected).abs() < 0.05,
+            "freq {freq} vs expected {p_expected}"
+        );
+    }
+
+    /// `greedy_take` never overshoots the target, picks indices in order,
+    /// and achieves the target exactly whenever offers are descending
+    /// powers of two and some subset reaches it.
+    #[test]
+    fn greedy_take_invariants(classes in prop::collection::vec(class_strategy(8), 0..12), target_class in 1u8..=4) {
+        let mut sorted = classes.clone();
+        sorted.sort();
+        let offers: Vec<Bandwidth> = sorted.iter().map(|c| c.bandwidth()).collect();
+        let target = class(target_class).bandwidth();
+        let (taken, total) = greedy_take(&offers, target);
+        prop_assert!(total <= target);
+        prop_assert!(taken.windows(2).all(|w| w[0] < w[1]));
+        let sum_taken: Bandwidth = taken.iter().map(|&i| offers[i]).sum();
+        prop_assert_eq!(sum_taken, total);
+        // For descending powers of two, greedy reaches the target exactly
+        // whenever the offers that *fit* (≤ target) sum to at least the
+        // target; oversized offers can never contribute.
+        let usable_total: u64 = offers
+            .iter()
+            .filter(|b| **b <= target)
+            .map(|b| b.raw() as u64)
+            .sum();
+        if usable_total >= target.raw() as u64 {
+            prop_assert_eq!(total, target, "greedy must cover a coverable target");
+        }
+    }
+
+    /// Backoff delays are monotone in the rejection count and exactly
+    /// geometric until saturation.
+    #[test]
+    fn backoff_is_geometric(base in 1u64..10_000, factor in 1u32..5, i in 1u32..12) {
+        let b = BackoffPolicy::new(base, factor);
+        let d_i = b.delay_after(i);
+        let d_next = b.delay_after(i + 1);
+        prop_assert!(d_next >= d_i);
+        if d_next < u64::MAX {
+            prop_assert_eq!(d_next, d_i.saturating_mul(factor as u64));
+        }
+    }
+
+    /// Model-based supplier state machine: arbitrary interleavings of
+    /// requests, reminders, sessions and time jumps never panic, never
+    /// grant while busy, and keep the favored-class invariant.
+    #[test]
+    fn supplier_state_machine_is_sound(
+        own in 1u8..=4,
+        timeout in prop::option::of(1u64..5_000),
+        ops in prop::collection::vec((0u8..4, 1u8..=4, 0u64..10_000), 1..64),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SupplierConfig::new(4, timeout.unwrap_or(0), Protocol::Dac).unwrap();
+        let mut s = SupplierState::new(class(own), cfg, 0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut now = 0u64;
+        for (op, k, dt) in ops {
+            now += dt;
+            match op {
+                0 => {
+                    let d = s.handle_request(now, class(k), &mut rng);
+                    let busy_reply = matches!(d, RequestDecision::Busy { .. });
+                    prop_assert_eq!(busy_reply, s.is_busy());
+                }
+                1 => s.leave_reminder(class(k)),
+                2 => {
+                    if !s.is_busy() {
+                        s.begin_session(now);
+                    }
+                    prop_assert!(s.is_busy());
+                }
+                _ => {
+                    if s.is_busy() {
+                        s.end_session(now);
+                    }
+                    prop_assert!(!s.is_busy());
+                }
+            }
+            prop_assert!(s.vector_at(now).favors(class(1)));
+        }
+    }
+
+    /// NDAC suppliers grant every idle request regardless of history.
+    #[test]
+    fn ndac_always_grants_when_idle(
+        ops in prop::collection::vec((1u8..=4, 0u64..1_000), 1..32),
+        seed in 0u64..100,
+    ) {
+        let cfg = SupplierConfig::new(4, 60, Protocol::Ndac).unwrap();
+        let mut s = SupplierState::new(class(2), cfg, 0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut now = 0;
+        for (k, dt) in ops {
+            now += dt;
+            prop_assert_eq!(
+                s.handle_request(now, class(k), &mut rng),
+                RequestDecision::Granted
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_relaxation_equals_eager_relaxation() {
+    // The simulator relies on lazy catch-up being observationally
+    // equivalent to waking on every T_out: compare against an explicit
+    // eager loop over many checkpoints.
+    let timeout = 97u64; // deliberately not a divisor of the checkpoints
+    let cfg = SupplierConfig::new(6, timeout, Protocol::Dac).unwrap();
+    let mut lazy = SupplierState::new(class(1), cfg, 0).unwrap();
+
+    let mut eager_vector = AdmissionVector::initial(class(1), 6).unwrap();
+    let mut eager_elapsed = 0u64;
+    for checkpoint in (0..2_000u64).step_by(13) {
+        while eager_elapsed + timeout <= checkpoint {
+            eager_vector.relax();
+            eager_elapsed += timeout;
+        }
+        assert_eq!(
+            lazy.vector_at(checkpoint),
+            &eager_vector,
+            "diverged at t={checkpoint}"
+        );
+    }
+}

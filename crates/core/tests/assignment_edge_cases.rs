@@ -1,0 +1,147 @@
+//! Targeted edge cases for the assignment algorithms beyond the
+//! property-based suite.
+
+use p2ps_core::assignment::{
+    contiguous, edf, otsp2p, round_robin, schedule, session_period, Assignment, SegmentDuration,
+};
+use p2ps_core::{Error, PeerClass};
+
+fn classes_of(raw: &[u8]) -> Vec<PeerClass> {
+    raw.iter().map(|&k| PeerClass::new(k).unwrap()).collect()
+}
+
+#[test]
+fn single_supplier_of_every_strategy() {
+    let classes = classes_of(&[1]);
+    for a in [
+        otsp2p(&classes).unwrap(),
+        edf(&classes).unwrap(),
+        contiguous(&classes).unwrap(),
+        round_robin(&classes).unwrap(),
+    ] {
+        assert_eq!(a.period(), 1);
+        assert_eq!(a.supplier_count(), 1);
+        assert_eq!(a.segments_of(0), &[0]);
+        assert_eq!(a.buffering_delay_slots(), 1);
+    }
+}
+
+#[test]
+fn maximal_class_spread_is_supported() {
+    // One supplier per class 2..=16 plus a final class-16 to close the sum:
+    // 1/2 + 1/4 + … + 1/2^15 + 1/2^15 = 1.
+    let mut raw: Vec<u8> = (2..=16).collect();
+    raw.push(16);
+    let classes = classes_of(&raw);
+    assert_eq!(session_period(&classes).unwrap(), 1 << 15);
+    let a = edf(&classes).unwrap();
+    assert_eq!(a.supplier_count(), 16);
+    assert_eq!(
+        a.buffering_delay_slots(),
+        16,
+        "Theorem 1 at the maximum supported spread"
+    );
+    // The literal pseudo-code still produces a *valid* schedule here,
+    // just not the optimal one.
+    let literal = otsp2p(&classes).unwrap();
+    assert!(literal.buffering_delay_slots() >= 16);
+}
+
+#[test]
+fn sixty_four_uniform_suppliers() {
+    // 64 class-7 suppliers (1/64 each): the widest uniform session.
+    let classes = classes_of(&[7; 64]);
+    let a = otsp2p(&classes).unwrap();
+    assert_eq!(a.period(), 64);
+    assert_eq!(a.buffering_delay_slots(), 64);
+    for (i, _, segs) in a.iter() {
+        assert_eq!(segs.len(), 1, "supplier {i} quota");
+    }
+}
+
+#[test]
+fn supplier_of_segment_is_total_over_many_periods() {
+    let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+    for seg in 0..1_000u64 {
+        let slot = a.supplier_of_segment(seg);
+        assert!(a.segments_of(slot).contains(&((seg % 8) as u32)));
+    }
+}
+
+#[test]
+fn schedule_total_bytes_parity() {
+    // Over whole periods every supplier transmits exactly its share.
+    let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+    let periods = 5u64;
+    let schedule = schedule::TransmissionSchedule::new(&a, a.period() as u64 * periods);
+    for (slot, class, segs) in a.iter() {
+        let count = schedule.iter().filter(|e| e.supplier == slot).count() as u64;
+        assert_eq!(count, segs.len() as u64 * periods, "{class}");
+    }
+}
+
+#[test]
+fn from_parts_preserves_caller_order() {
+    // from_parts (unlike the algorithms) must not reorder suppliers.
+    let classes = classes_of(&[3, 2, 3]);
+    let a = Assignment::from_parts(classes.clone(), vec![vec![3], vec![0, 2], vec![1]]).unwrap();
+    assert_eq!(a.classes(), classes.as_slice());
+    assert_eq!(a.input_index(0), 0);
+    assert_eq!(a.input_index(2), 2);
+}
+
+#[test]
+fn error_cases_are_precise() {
+    assert_eq!(session_period(&[]).unwrap_err(), Error::NoSuppliers);
+    let short = classes_of(&[3]);
+    match session_period(&short).unwrap_err() {
+        Error::BandwidthMismatch { offered } => {
+            assert_eq!(offered, PeerClass::new(3).unwrap().bandwidth());
+        }
+        other => panic!("wrong error {other:?}"),
+    }
+    // Overflowing aggregation (many class-1 suppliers) errors out instead
+    // of wrapping.
+    let too_many = classes_of(&[1; 9]);
+    assert!(matches!(
+        session_period(&too_many),
+        Err(Error::BandwidthMismatch { .. })
+    ));
+}
+
+#[test]
+fn buffering_delay_scales_with_segment_duration() {
+    let a = otsp2p(&classes_of(&[2, 2])).unwrap();
+    assert_eq!(
+        a.buffering_delay(SegmentDuration::from_millis(10)),
+        std::time::Duration::from_millis(20)
+    );
+    assert_eq!(
+        a.buffering_delay(SegmentDuration::from_secs(3)),
+        std::time::Duration::from_secs(6)
+    );
+}
+
+#[test]
+fn strategies_agree_on_two_suppliers() {
+    // With two equal suppliers there are only two assignments of each
+    // period; all strategies are optimal.
+    let classes = classes_of(&[2, 2]);
+    for a in [
+        otsp2p(&classes).unwrap(),
+        edf(&classes).unwrap(),
+        contiguous(&classes).unwrap(),
+        round_robin(&classes).unwrap(),
+    ] {
+        assert_eq!(a.buffering_delay_slots(), 2);
+    }
+}
+
+#[test]
+fn display_roundtrips_are_informative() {
+    let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
+    let text = format!("{a}");
+    assert!(text.contains("4 suppliers"));
+    assert!(text.contains("period 8"));
+    assert!(text.contains("delay 4·δt"));
+}

@@ -1,0 +1,314 @@
+//! Napster-style centralized directory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::RngCore;
+
+use p2ps_core::{PeerClass, PeerId};
+
+use crate::{CandidateInfo, Rendezvous};
+
+/// The supplier set of one media item, organized for `O(1)` registration,
+/// removal and uniform sampling without replacement.
+#[derive(Debug, Default, Clone)]
+struct SupplierSet {
+    entries: Vec<CandidateInfo>,
+    index: HashMap<PeerId, usize>,
+}
+
+impl SupplierSet {
+    fn insert(&mut self, info: CandidateInfo) {
+        if let Some(&i) = self.index.get(&info.id) {
+            self.entries[i] = info; // class update on re-registration
+            return;
+        }
+        self.index.insert(info.id, self.entries.len());
+        self.entries.push(info);
+    }
+
+    fn remove(&mut self, peer: PeerId) {
+        if let Some(i) = self.index.remove(&peer) {
+            let last = self.entries.len() - 1;
+            self.entries.swap(i, last);
+            self.entries.pop();
+            if i < self.entries.len() {
+                self.index.insert(self.entries[i].id, i);
+            }
+        }
+    }
+
+    /// Partial Fisher–Yates: uniform sample of `m` distinct entries.
+    fn sample(&self, m: usize, rng: &mut dyn RngCore) -> Vec<CandidateInfo> {
+        let n = self.entries.len();
+        let m = m.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let j = i + (rng.next_u64() as usize) % (n - i);
+            pool.swap(i, j);
+            out.push(self.entries[pool[i]]);
+        }
+        out
+    }
+}
+
+/// A centralized directory server mapping media items to their supplying
+/// peers (the paper's Napster-style option for candidate lookup).
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_lookup::{Directory, Rendezvous};
+/// use p2ps_core::{PeerClass, PeerId};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut dir = Directory::new();
+/// dir.register("video", PeerId::new(1), PeerClass::new(1)?);
+/// dir.register("video", PeerId::new(2), PeerClass::new(2)?);
+/// assert_eq!(dir.supplier_count("video"), 2);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// assert_eq!(dir.sample("video", 8, &mut rng).len(), 2);
+/// dir.unregister("video", PeerId::new(1));
+/// assert_eq!(dir.supplier_count("video"), 1);
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Directory {
+    items: HashMap<String, SupplierSet>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Names of all items with at least one supplier.
+    pub fn items(&self) -> impl Iterator<Item = &str> + '_ {
+        self.items
+            .iter()
+            .filter(|(_, s)| !s.entries.is_empty())
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// All suppliers of `item` (unsampled), mainly for tests and tools.
+    pub fn suppliers(&self, item: &str) -> Vec<CandidateInfo> {
+        self.items
+            .get(item)
+            .map(|s| s.entries.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl Rendezvous for Directory {
+    fn register(&mut self, item: &str, peer: PeerId, class: PeerClass) {
+        self.items
+            .entry(item.to_owned())
+            .or_default()
+            .insert(CandidateInfo::new(peer, class));
+    }
+
+    fn unregister(&mut self, item: &str, peer: PeerId) {
+        if let Some(set) = self.items.get_mut(item) {
+            set.remove(peer);
+        }
+    }
+
+    fn sample(&self, item: &str, m: usize, rng: &mut dyn RngCore) -> Vec<CandidateInfo> {
+        self.items
+            .get(item)
+            .map(|s| s.sample(m, rng))
+            .unwrap_or_default()
+    }
+
+    fn supplier_count(&self, item: &str) -> usize {
+        self.items.get(item).map(|s| s.entries.len()).unwrap_or(0)
+    }
+}
+
+/// A clonable, thread-safe handle to a [`Directory`], used by the runnable
+/// node where many peer threads talk to one directory server.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_lookup::{Rendezvous, SharedDirectory};
+/// use p2ps_core::{PeerClass, PeerId};
+///
+/// let dir = SharedDirectory::new();
+/// let clone = dir.clone();
+/// clone.with_mut(|d| d.register("v", PeerId::new(1), PeerClass::new(1).unwrap()));
+/// assert_eq!(dir.with(|d| d.supplier_count("v")), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SharedDirectory {
+    inner: Arc<RwLock<Directory>>,
+}
+
+impl SharedDirectory {
+    /// Creates an empty shared directory.
+    pub fn new() -> Self {
+        SharedDirectory::default()
+    }
+
+    /// Runs `f` with read access to the directory.
+    pub fn with<T>(&self, f: impl FnOnce(&Directory) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with write access to the directory.
+    pub fn with_mut<T>(&self, f: impl FnOnce(&mut Directory) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+impl Rendezvous for SharedDirectory {
+    fn register(&mut self, item: &str, peer: PeerId, class: PeerClass) {
+        self.inner.write().register(item, peer, class);
+    }
+
+    fn unregister(&mut self, item: &str, peer: PeerId) {
+        self.inner.write().unregister(item, peer);
+    }
+
+    fn sample(&self, item: &str, m: usize, rng: &mut dyn RngCore) -> Vec<CandidateInfo> {
+        self.inner.read().sample(item, m, rng)
+    }
+
+    fn supplier_count(&self, item: &str) -> usize {
+        self.inner.read().supplier_count(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn class(k: u8) -> PeerClass {
+        PeerClass::new(k).unwrap()
+    }
+
+    fn populated(n: u64) -> Directory {
+        let mut d = Directory::new();
+        for i in 0..n {
+            d.register("v", PeerId::new(i), class(1 + (i % 4) as u8));
+        }
+        d
+    }
+
+    #[test]
+    fn register_unregister_counts() {
+        let mut d = populated(10);
+        assert_eq!(d.supplier_count("v"), 10);
+        assert_eq!(d.supplier_count("unknown"), 0);
+        d.unregister("v", PeerId::new(3));
+        assert_eq!(d.supplier_count("v"), 9);
+        d.unregister("v", PeerId::new(3)); // idempotent
+        assert_eq!(d.supplier_count("v"), 9);
+        d.unregister("unknown", PeerId::new(3)); // no-op
+    }
+
+    #[test]
+    fn reregistration_updates_class() {
+        let mut d = Directory::new();
+        d.register("v", PeerId::new(1), class(4));
+        d.register("v", PeerId::new(1), class(2));
+        assert_eq!(d.supplier_count("v"), 1);
+        assert_eq!(d.suppliers("v")[0].class, class(2));
+    }
+
+    #[test]
+    fn sample_returns_distinct_candidates() {
+        let d = populated(50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = d.sample("v", 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let mut ids: Vec<u64> = s.iter().map(|c| c.id.get()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "sampled candidates must be distinct");
+    }
+
+    #[test]
+    fn sample_caps_at_population() {
+        let d = populated(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(d.sample("v", 8, &mut rng).len(), 3);
+        assert_eq!(d.sample("v", 0, &mut rng).len(), 0);
+        assert_eq!(d.sample("none", 8, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let d = populated(10);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut hits = [0u32; 10];
+        for _ in 0..10_000 {
+            for c in d.sample("v", 1, &mut rng) {
+                hits[c.id.get() as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&h),
+                "peer {i} sampled {h} times out of 10000"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_keeps_sampling_consistent() {
+        let mut d = populated(5);
+        d.unregister("v", PeerId::new(0)); // exercises swap-remove re-index
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            for c in d.sample("v", 3, &mut rng) {
+                assert_ne!(c.id, PeerId::new(0));
+            }
+        }
+    }
+
+    #[test]
+    fn items_lists_active_items() {
+        let mut d = Directory::new();
+        d.register("a", PeerId::new(1), class(1));
+        d.register("b", PeerId::new(2), class(1));
+        d.unregister("b", PeerId::new(2));
+        let items: Vec<&str> = d.items().collect();
+        assert_eq!(items, vec!["a"]);
+    }
+
+    #[test]
+    fn shared_directory_round_trip() {
+        let dir = SharedDirectory::new();
+        let mut writer = dir.clone();
+        writer.register("v", PeerId::new(1), class(1));
+        assert_eq!(dir.supplier_count("v"), 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(dir.sample("v", 4, &mut rng).len(), 1);
+        writer.unregister("v", PeerId::new(1));
+        assert_eq!(dir.supplier_count("v"), 0);
+    }
+
+    #[test]
+    fn shared_directory_concurrent_access() {
+        let dir = SharedDirectory::new();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let mut d = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    d.register("v", PeerId::new(t * 100 + i), class(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dir.supplier_count("v"), 400);
+    }
+}

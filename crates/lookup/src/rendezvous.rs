@@ -1,0 +1,58 @@
+//! The lookup-service abstraction.
+
+use p2ps_core::{PeerClass, PeerId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A candidate supplying peer returned by a lookup query.
+///
+/// The paper assumes "the class of each candidate is also obtained"
+/// (§4.2), so lookup results carry the advertised class alongside the
+/// identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CandidateInfo {
+    /// The candidate's identity.
+    pub id: PeerId,
+    /// The candidate's advertised bandwidth class.
+    pub class: PeerClass,
+}
+
+impl CandidateInfo {
+    /// Creates a candidate record.
+    pub fn new(id: PeerId, class: PeerClass) -> Self {
+        CandidateInfo { id, class }
+    }
+}
+
+/// A lookup service that maps a media item to candidate supplying peers.
+///
+/// Implemented by the centralized [`Directory`](crate::Directory) and by
+/// the [`chord`](crate::chord) ring. The admission layer only ever needs
+/// these three operations.
+pub trait Rendezvous {
+    /// Announces `peer` (of class `class`) as a supplier of `item`.
+    fn register(&mut self, item: &str, peer: PeerId, class: PeerClass);
+
+    /// Removes `peer` from the supplier set of `item`. Unknown peers are
+    /// ignored.
+    fn unregister(&mut self, item: &str, peer: PeerId);
+
+    /// Returns up to `m` distinct candidates for `item`, sampled uniformly
+    /// at random (fewer if fewer suppliers exist).
+    fn sample(&self, item: &str, m: usize, rng: &mut dyn RngCore) -> Vec<CandidateInfo>;
+
+    /// Number of registered suppliers of `item`.
+    fn supplier_count(&self, item: &str) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_info_holds_identity_and_class() {
+        let c = CandidateInfo::new(PeerId::new(9), PeerClass::new(3).unwrap());
+        assert_eq!(c.id, PeerId::new(9));
+        assert_eq!(c.class.get(), 3);
+    }
+}

@@ -1,0 +1,268 @@
+//! The requesting peer's playback buffer.
+
+use serde::{Deserialize, Serialize};
+
+use p2ps_core::assignment::SegmentDuration;
+
+/// A segment that missed its playback deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferEvent {
+    /// Index of the late segment.
+    pub segment: u64,
+    /// Playback deadline in ms since transmission start
+    /// (`delay + segment · δt`).
+    pub deadline_ms: u64,
+    /// Actual arrival time in ms since transmission start.
+    pub arrival_ms: u64,
+}
+
+impl BufferEvent {
+    /// How late the segment was.
+    pub fn lateness_ms(&self) -> u64 {
+        self.arrival_ms.saturating_sub(self.deadline_ms)
+    }
+}
+
+/// Continuity analysis of one playback run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaybackReport {
+    /// The buffering delay that was applied, in ms.
+    pub delay_ms: u64,
+    /// Segments that had not arrived by their playback deadline.
+    pub late_segments: Vec<BufferEvent>,
+    /// Segments that never arrived at all.
+    pub missing_segments: Vec<u64>,
+}
+
+impl PlaybackReport {
+    /// Whether playback was perfectly continuous.
+    pub fn is_smooth(&self) -> bool {
+        self.late_segments.is_empty() && self.missing_segments.is_empty()
+    }
+
+    /// The worst lateness observed, in ms.
+    pub fn max_lateness_ms(&self) -> u64 {
+        self.late_segments
+            .iter()
+            .map(BufferEvent::lateness_ms)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Records segment arrival times during a streaming session and evaluates
+/// playback continuity (paper §3: "ensure a continuous playback, with
+/// minimum buffering delay").
+///
+/// All times are milliseconds since the start of transmission, matching
+/// the paper's definition of buffering delay as the interval between the
+/// start of transmission and the start of playback.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_media::PlaybackBuffer;
+/// use p2ps_core::assignment::SegmentDuration;
+///
+/// let dt = SegmentDuration::from_millis(100);
+/// let mut buf = PlaybackBuffer::new(3, dt);
+/// buf.record_arrival(0, 150);
+/// buf.record_arrival(1, 250);
+/// buf.record_arrival(2, 300);
+/// // Playback with a 2-slot (200 ms) delay is smooth...
+/// assert!(buf.report(200).is_smooth());
+/// // ...and 150 ms is in fact the minimum feasible delay.
+/// assert_eq!(buf.min_feasible_delay_ms(), Some(150));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaybackBuffer {
+    dt: SegmentDuration,
+    arrivals: Vec<Option<u64>>,
+}
+
+impl PlaybackBuffer {
+    /// Creates a buffer for a file of `total_segments` segments with
+    /// playback time `dt` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_segments == 0`.
+    pub fn new(total_segments: u64, dt: SegmentDuration) -> Self {
+        assert!(total_segments > 0, "cannot play an empty file");
+        PlaybackBuffer {
+            dt,
+            arrivals: vec![None; total_segments as usize],
+        }
+    }
+
+    /// Number of segments in the file.
+    pub fn total_segments(&self) -> u64 {
+        self.arrivals.len() as u64
+    }
+
+    /// Records that segment `index` finished arriving `at_ms` after the
+    /// start of transmission. Re-deliveries keep the *earliest* arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn record_arrival(&mut self, index: u64, at_ms: u64) {
+        let slot = &mut self.arrivals[index as usize];
+        *slot = Some(match *slot {
+            Some(prev) => prev.min(at_ms),
+            None => at_ms,
+        });
+    }
+
+    /// Number of distinct segments that have arrived.
+    pub fn received_count(&self) -> u64 {
+        self.arrivals.iter().filter(|a| a.is_some()).count() as u64
+    }
+
+    /// Whether every segment has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.arrivals.iter().all(Option::is_some)
+    }
+
+    /// The smallest buffering delay (ms) under which playback would have
+    /// been continuous, or `None` while segments are still missing.
+    ///
+    /// This is `max_s (arrival_s - s·δt)`, the empirical counterpart of the
+    /// assignment-level delay formula.
+    pub fn min_feasible_delay_ms(&self) -> Option<u64> {
+        let dt = self.dt.as_millis();
+        let mut delay: u64 = 0;
+        for (s, a) in self.arrivals.iter().enumerate() {
+            let arrival = (*a)?;
+            delay = delay.max(arrival.saturating_sub(s as u64 * dt));
+        }
+        Some(delay)
+    }
+
+    /// Evaluates playback with buffering delay `delay_ms`: segment `s`
+    /// plays at `delay_ms + s·δt` and is *late* if it arrived after that.
+    pub fn report(&self, delay_ms: u64) -> PlaybackReport {
+        let dt = self.dt.as_millis();
+        let mut late = Vec::new();
+        let mut missing = Vec::new();
+        for (s, a) in self.arrivals.iter().enumerate() {
+            let deadline = delay_ms + s as u64 * dt;
+            match a {
+                None => missing.push(s as u64),
+                Some(arrival) if *arrival > deadline => late.push(BufferEvent {
+                    segment: s as u64,
+                    deadline_ms: deadline,
+                    arrival_ms: *arrival,
+                }),
+                Some(_) => {}
+            }
+        }
+        PlaybackReport {
+            delay_ms,
+            late_segments: late,
+            missing_segments: missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dt() -> SegmentDuration {
+        SegmentDuration::from_millis(100)
+    }
+
+    #[test]
+    #[should_panic(expected = "empty file")]
+    fn empty_file_panics() {
+        let _ = PlaybackBuffer::new(0, dt());
+    }
+
+    #[test]
+    fn arrival_bookkeeping() {
+        let mut b = PlaybackBuffer::new(3, dt());
+        assert_eq!(b.total_segments(), 3);
+        assert_eq!(b.received_count(), 0);
+        b.record_arrival(1, 100);
+        assert_eq!(b.received_count(), 1);
+        assert!(!b.is_complete());
+        b.record_arrival(0, 50);
+        b.record_arrival(2, 290);
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    fn redelivery_keeps_earliest_arrival() {
+        let mut b = PlaybackBuffer::new(1, dt());
+        b.record_arrival(0, 500);
+        b.record_arrival(0, 100);
+        b.record_arrival(0, 900);
+        assert_eq!(b.min_feasible_delay_ms(), Some(100));
+    }
+
+    #[test]
+    fn min_feasible_delay_is_none_until_complete() {
+        let mut b = PlaybackBuffer::new(2, dt());
+        b.record_arrival(0, 10);
+        assert_eq!(b.min_feasible_delay_ms(), None);
+        b.record_arrival(1, 120);
+        assert_eq!(b.min_feasible_delay_ms(), Some(20));
+    }
+
+    #[test]
+    fn smooth_playback_report() {
+        let mut b = PlaybackBuffer::new(3, dt());
+        b.record_arrival(0, 100);
+        b.record_arrival(1, 200);
+        b.record_arrival(2, 250);
+        let r = b.report(100);
+        assert!(r.is_smooth());
+        assert_eq!(r.max_lateness_ms(), 0);
+    }
+
+    #[test]
+    fn late_segments_are_reported_with_lateness() {
+        let mut b = PlaybackBuffer::new(2, dt());
+        b.record_arrival(0, 50);
+        b.record_arrival(1, 400); // deadline with delay 100 is 200
+        let r = b.report(100);
+        assert!(!r.is_smooth());
+        assert_eq!(r.late_segments.len(), 1);
+        assert_eq!(r.late_segments[0].segment, 1);
+        assert_eq!(r.late_segments[0].lateness_ms(), 200);
+        assert_eq!(r.max_lateness_ms(), 200);
+        // With the min feasible delay, playback is smooth.
+        let min = b.min_feasible_delay_ms().unwrap();
+        assert_eq!(min, 300);
+        assert!(b.report(min).is_smooth());
+    }
+
+    #[test]
+    fn missing_segments_are_reported() {
+        let mut b = PlaybackBuffer::new(3, dt());
+        b.record_arrival(0, 10);
+        let r = b.report(1_000_000);
+        assert!(!r.is_smooth());
+        assert_eq!(r.missing_segments, vec![1, 2]);
+    }
+
+    #[test]
+    fn theorem1_empirically_on_schedule() {
+        // Drive arrivals from the optimal assignment's schedule; the
+        // empirical minimum delay must equal n·δt.
+        use p2ps_core::assignment::{otsp2p, schedule::TransmissionSchedule};
+        use p2ps_core::PeerClass;
+
+        let classes: Vec<PeerClass> =
+            [2u8, 3, 4, 4].iter().map(|&k| PeerClass::new(k).unwrap()).collect();
+        let a = otsp2p(&classes).unwrap();
+        let total = 32u64;
+        let sched = TransmissionSchedule::new(&a, total);
+        let mut buf = PlaybackBuffer::new(total, dt());
+        for ev in sched.iter() {
+            buf.record_arrival(ev.segment, ev.arrival_slot * 100);
+        }
+        assert_eq!(buf.min_feasible_delay_ms(), Some(4 * 100));
+    }
+}

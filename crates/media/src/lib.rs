@@ -1,0 +1,40 @@
+//! CBR media substrate for the `p2ps` peer-to-peer streaming reproduction.
+//!
+//! The paper's model (§2(5)) assumes the media file is a constant-bit-rate
+//! stream partitioned into small sequential segments of equal size, each
+//! with playback time `δt`. This crate supplies everything the runnable
+//! node and the examples need to treat "a video" as a concrete object:
+//!
+//! * [`MediaInfo`] / [`MediaFile`] — metadata and synthetic deterministic
+//!   content for a CBR file (no real video is required; the streaming
+//!   algorithms never inspect payload bytes).
+//! * [`Segment`] / [`SegmentStore`] — owned segment payloads and the
+//!   per-peer store of received segments.
+//! * [`PlaybackBuffer`] — the requesting peer's play-out process: segments
+//!   arrive asynchronously, playback starts after the buffering delay, and
+//!   the buffer reports continuity violations (underruns) exactly where a
+//!   real player would stall.
+//!
+//! # Examples
+//!
+//! ```
+//! use p2ps_media::{MediaFile, MediaInfo};
+//! use p2ps_core::assignment::SegmentDuration;
+//!
+//! let info = MediaInfo::new("demo", 16, SegmentDuration::from_millis(250), 1_024);
+//! let file = MediaFile::synthesize(info.clone());
+//! assert_eq!(file.info().segment_count(), 16);
+//! let seg = file.segment(3);
+//! assert_eq!(seg.payload().len(), 1_024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod file;
+mod segment;
+
+pub use buffer::{BufferEvent, PlaybackBuffer, PlaybackReport};
+pub use file::{MediaFile, MediaInfo};
+pub use segment::{Segment, SegmentStore};

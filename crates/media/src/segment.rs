@@ -1,0 +1,209 @@
+//! Owned segments and per-peer segment stores.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+/// One media segment: its index in the file plus its payload bytes.
+///
+/// Payloads are [`Bytes`], so cloning a segment is cheap (reference
+/// counted) — suppliers can hand the same payload to many sessions.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_media::Segment;
+/// use bytes::Bytes;
+///
+/// let s = Segment::new(7, Bytes::from_static(b"payload"));
+/// assert_eq!(s.index(), 7);
+/// assert_eq!(&s.payload()[..], b"payload");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Segment {
+    index: u64,
+    payload: Bytes,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(index: u64, payload: Bytes) -> Self {
+        Segment { index, payload }
+    }
+
+    /// The segment's index within the media file.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Consumes the segment, returning its payload.
+    pub fn into_payload(self) -> Bytes {
+        self.payload
+    }
+}
+
+/// A peer's store of received media segments.
+///
+/// Requesting peers fill the store during a streaming session ("playback
+/// *and store*", paper §1) and later serve from it as suppliers. The store
+/// tracks which prefix of the file is complete, which is what a peer must
+/// know before re-serving the file.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_media::{Segment, SegmentStore};
+/// use bytes::Bytes;
+///
+/// let mut store = SegmentStore::new(3);
+/// store.insert(Segment::new(1, Bytes::from_static(b"b")));
+/// assert!(!store.is_complete());
+/// store.insert(Segment::new(0, Bytes::from_static(b"a")));
+/// store.insert(Segment::new(2, Bytes::from_static(b"c")));
+/// assert!(store.is_complete());
+/// assert_eq!(store.contiguous_prefix(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentStore {
+    expected: u64,
+    segments: BTreeMap<u64, Bytes>,
+}
+
+impl SegmentStore {
+    /// Creates an empty store expecting `expected` segments.
+    pub fn new(expected: u64) -> Self {
+        SegmentStore {
+            expected,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Number of segments the complete file has.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Inserts a segment; returns the previous payload if the segment was
+    /// already present (duplicate delivery).
+    pub fn insert(&mut self, segment: Segment) -> Option<Bytes> {
+        self.segments.insert(segment.index, segment.payload)
+    }
+
+    /// The payload of segment `index`, if received.
+    pub fn get(&self, index: u64) -> Option<&Bytes> {
+        self.segments.get(&index)
+    }
+
+    /// Whether segment `index` has been received.
+    pub fn contains(&self, index: u64) -> bool {
+        self.segments.contains_key(&index)
+    }
+
+    /// Number of distinct segments received.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether no segments have been received.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Whether every expected segment has been received.
+    pub fn is_complete(&self) -> bool {
+        self.segments.len() as u64 == self.expected
+    }
+
+    /// Length of the complete prefix: the largest `n` such that segments
+    /// `0..n` are all present.
+    pub fn contiguous_prefix(&self) -> u64 {
+        let mut n = 0;
+        for (&idx, _) in self.segments.iter() {
+            if idx == n {
+                n += 1;
+            } else if idx > n {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Iterates over `(index, payload)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Bytes)> + '_ {
+        self.segments.iter().map(|(&i, b)| (i, b))
+    }
+}
+
+impl Extend<Segment> for SegmentStore {
+    fn extend<T: IntoIterator<Item = Segment>>(&mut self, iter: T) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: u64) -> Segment {
+        Segment::new(i, Bytes::from(vec![i as u8; 4]))
+    }
+
+    #[test]
+    fn segment_accessors() {
+        let s = seg(5);
+        assert_eq!(s.index(), 5);
+        assert_eq!(s.payload().len(), 4);
+        let p = s.clone().into_payload();
+        assert_eq!(p, *s.payload());
+    }
+
+    #[test]
+    fn insert_get_contains() {
+        let mut store = SegmentStore::new(10);
+        assert!(store.is_empty());
+        assert_eq!(store.insert(seg(3)), None);
+        assert!(store.contains(3));
+        assert!(!store.contains(4));
+        assert_eq!(store.get(3).unwrap().len(), 4);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.expected(), 10);
+    }
+
+    #[test]
+    fn duplicate_insert_returns_previous() {
+        let mut store = SegmentStore::new(10);
+        store.insert(seg(0));
+        let prev = store.insert(Segment::new(0, Bytes::from_static(b"new")));
+        assert!(prev.is_some());
+        assert_eq!(&store.get(0).unwrap()[..], b"new");
+    }
+
+    #[test]
+    fn contiguous_prefix_tracks_gaps() {
+        let mut store = SegmentStore::new(5);
+        assert_eq!(store.contiguous_prefix(), 0);
+        store.insert(seg(0));
+        store.insert(seg(2));
+        assert_eq!(store.contiguous_prefix(), 1);
+        store.insert(seg(1));
+        assert_eq!(store.contiguous_prefix(), 3);
+        store.extend([seg(3), seg(4)]);
+        assert_eq!(store.contiguous_prefix(), 5);
+        assert!(store.is_complete());
+    }
+
+    #[test]
+    fn iteration_is_index_ordered() {
+        let mut store = SegmentStore::new(3);
+        store.extend([seg(2), seg(0), seg(1)]);
+        let order: Vec<u64> = store.iter().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

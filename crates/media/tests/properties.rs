@@ -1,0 +1,109 @@
+//! Property-based tests for the media substrate.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_media::{MediaFile, MediaInfo, PlaybackBuffer, Segment, SegmentStore};
+
+proptest! {
+    /// Synthesized files are deterministic, size-exact and self-verifying.
+    #[test]
+    fn synthesis_is_reproducible(
+        name in "[a-z]{1,12}",
+        segments in 1u64..64,
+        bytes in 1u32..2_048,
+    ) {
+        let info = MediaInfo::new(&name, segments, SegmentDuration::from_millis(10), bytes);
+        let a = MediaFile::synthesize(info.clone());
+        let b = MediaFile::synthesize(info);
+        prop_assert_eq!(&a, &b);
+        for s in a.iter() {
+            prop_assert_eq!(s.payload().len(), bytes as usize);
+            prop_assert!(a.verify(&s));
+        }
+    }
+
+    /// Any permutation of delivery fills the store; completeness and the
+    /// contiguous prefix behave like their definitions.
+    #[test]
+    fn store_completeness_under_any_delivery_order(
+        n in 1u64..40,
+        order in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        let mut indices: Vec<u64> = (0..n).collect();
+        // Derive a permutation prefix from the random indices.
+        let mut delivered: Vec<u64> = Vec::new();
+        for idx in order {
+            if indices.is_empty() { break; }
+            delivered.push(indices.swap_remove(idx.index(indices.len())));
+        }
+        let mut store = SegmentStore::new(n);
+        for &i in &delivered {
+            store.insert(Segment::new(i, Bytes::from(vec![i as u8; 4])));
+        }
+        prop_assert_eq!(store.len(), delivered.len());
+        prop_assert_eq!(store.is_complete(), delivered.len() as u64 == n);
+        // contiguous prefix = first gap in the delivered set
+        let mut have = vec![false; n as usize];
+        for &i in &delivered {
+            have[i as usize] = true;
+        }
+        let expected_prefix = have.iter().take_while(|&&b| b).count() as u64;
+        prop_assert_eq!(store.contiguous_prefix(), expected_prefix);
+    }
+
+    /// Rebuilding a file from a complete store round-trips; any missing
+    /// segment makes it fail.
+    #[test]
+    fn from_store_round_trip(segments in 1u64..32, drop_one in any::<bool>(), which in any::<prop::sample::Index>()) {
+        let info = MediaInfo::new("prop", segments, SegmentDuration::from_millis(10), 64);
+        let file = MediaFile::synthesize(info.clone());
+        let mut store = SegmentStore::new(segments);
+        let skip = if drop_one { Some(which.index(segments as usize) as u64) } else { None };
+        for s in file.iter() {
+            if Some(s.index()) != skip {
+                store.insert(s);
+            }
+        }
+        match skip {
+            None => prop_assert_eq!(MediaFile::from_store(info, &store).unwrap(), file),
+            Some(_) => prop_assert!(MediaFile::from_store(info, &store).is_none()),
+        }
+    }
+
+    /// The buffer's minimum feasible delay makes playback smooth, and one
+    /// millisecond less does not.
+    #[test]
+    fn min_feasible_delay_is_tight(
+        arrivals in prop::collection::vec(0u64..10_000, 1..64),
+    ) {
+        let dt = SegmentDuration::from_millis(100);
+        let mut buf = PlaybackBuffer::new(arrivals.len() as u64, dt);
+        for (i, &at) in arrivals.iter().enumerate() {
+            buf.record_arrival(i as u64, at);
+        }
+        let min = buf.min_feasible_delay_ms().unwrap();
+        prop_assert!(buf.report(min).is_smooth());
+        if min > 0 {
+            prop_assert!(!buf.report(min - 1).is_smooth());
+        }
+    }
+
+    /// Lateness accounting: with delay D the total number of late segments
+    /// is non-increasing in D.
+    #[test]
+    fn lateness_monotone_in_delay(
+        arrivals in prop::collection::vec(0u64..5_000, 1..48),
+        d1 in 0u64..6_000,
+        d2 in 0u64..6_000,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let dt = SegmentDuration::from_millis(50);
+        let mut buf = PlaybackBuffer::new(arrivals.len() as u64, dt);
+        for (i, &at) in arrivals.iter().enumerate() {
+            buf.record_arrival(i as u64, at);
+        }
+        prop_assert!(buf.report(hi).late_segments.len() <= buf.report(lo).late_segments.len());
+    }
+}

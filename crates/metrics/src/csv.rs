@@ -1,0 +1,149 @@
+//! Minimal CSV emission.
+
+use std::io::{self, Write};
+
+use crate::TimeSeries;
+
+/// Writes aligned series and raw rows as CSV to any [`Write`] sink.
+///
+/// Good enough for the experiment harness (numeric cells only, no quoting).
+/// A `&mut Vec<u8>` or a `File` both work as sinks.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::{CsvWriter, TimeSeries};
+///
+/// let mut a = TimeSeries::new("dac");
+/// a.push(0.0, 1.0);
+/// a.push(1.0, 2.0);
+/// let mut buf = Vec::new();
+/// CsvWriter::new(&mut buf).write_series("t", &[&a])?;
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.starts_with("t,dac\n"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter<W> {
+    sink: W,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a sink. A `mut` reference also works because `&mut W: Write`.
+    pub fn new(sink: W) -> Self {
+        CsvWriter { sink }
+    }
+
+    /// Writes one raw row of cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_row<I, S>(&mut self, cells: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.sink.write_all(b",")?;
+            }
+            self.sink.write_all(cell.as_ref().as_bytes())?;
+            first = false;
+        }
+        self.sink.write_all(b"\n")
+    }
+
+    /// Writes several series sharing a time axis: one header row
+    /// (`time_label, name1, name2, …`) then one row per time point of the
+    /// *first* series, sampling the others with step semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty or the first series is empty.
+    pub fn write_series(&mut self, time_label: &str, series: &[&TimeSeries]) -> io::Result<()> {
+        assert!(!series.is_empty(), "need at least one series");
+        assert!(!series[0].is_empty(), "the reference series must be non-empty");
+        let mut header = vec![time_label.to_owned()];
+        header.extend(series.iter().map(|s| s.name().to_owned()));
+        self.write_row(header.iter().map(String::as_str))?;
+        for (t, v0) in series[0].iter() {
+            let mut row = vec![format_num(t), format_num(v0)];
+            for s in &series[1..] {
+                let v = s.value_at(t);
+                row.push(match v {
+                    Some(v) => format_num(v),
+                    None => String::new(),
+                });
+            }
+            self.write_row(row.iter().map(String::as_str))?;
+        }
+        Ok(())
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+fn format_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_rows() {
+        let mut buf = Vec::new();
+        let mut w = CsvWriter::new(&mut buf);
+        w.write_row(["a", "b"]).unwrap();
+        w.write_row(["1", "2"]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn write_aligned_series() {
+        let mut a = TimeSeries::new("a");
+        a.push(0.0, 1.0);
+        a.push(2.0, 3.0);
+        let mut b = TimeSeries::new("b");
+        b.push(1.0, 10.0);
+        let mut buf = Vec::new();
+        CsvWriter::new(&mut buf).write_series("t", &[&a, &b]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // at t=0 series b has no value yet -> empty cell
+        assert_eq!(text, "t,a,b\n0,1,\n2,3,10\n");
+    }
+
+    #[test]
+    fn integer_like_values_render_without_decimals() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(3.5), "3.500000");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_list_panics() {
+        let mut buf = Vec::new();
+        let _ = CsvWriter::new(&mut buf).write_series("t", &[]);
+    }
+
+    #[test]
+    fn into_inner_round_trips() {
+        let buf: Vec<u8> = Vec::new();
+        let w = CsvWriter::new(buf);
+        assert!(w.into_inner().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Linear-bucket histogram.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, linear-bucket histogram with saturating overflow buckets.
+///
+/// The simulator uses histograms for per-peer quantities such as the number
+/// of rejections before admission or the buffering delay (in units of `δt`),
+/// where the interesting range is small and known in advance.
+///
+/// Values below the range land in an underflow bucket; values at or above
+/// the upper bound land in an overflow bucket. Percentile queries treat the
+/// underflow bucket as the range minimum and the overflow bucket as the
+/// range maximum.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in [1.0, 1.5, 2.0, 9.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_count(1.0), 2); // bucket [1, 2)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `n` equal buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0, "histogram needs at least one bucket");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded observations (exact, not bucket-estimated).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Count in the bucket containing `x`, or the under/overflow bucket if
+    /// `x` is out of range.
+    pub fn bucket_count(&self, x: f64) -> u64 {
+        if x < self.lo {
+            self.underflow
+        } else if x >= self.hi {
+            self.overflow
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx]
+        }
+    }
+
+    /// Count of observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) using bucket midpoints.
+    ///
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * w);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs, excluding the
+    /// under/overflow buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * w, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.999);
+        h.record(9.999);
+        assert_eq!(h.bucket_count(0.5), 2);
+        assert_eq!(h.bucket_count(9.5), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(30.0); // overflow still contributes to the exact mean
+        assert!((h.mean() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 49.5).abs() <= 1.0, "median was {median}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.5);
+        assert!(h.quantile(1.0).unwrap() >= 99.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 1);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn iter_yields_all_buckets() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(2.5);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(0.0, 0), (1.0, 0), (2.0, 1), (3.0, 0)]);
+    }
+}

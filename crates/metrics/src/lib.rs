@@ -1,0 +1,58 @@
+//! Metrics substrate for the `p2ps` peer-to-peer media streaming
+//! reproduction.
+//!
+//! The evaluation section of *On Peer-to-Peer Media Streaming* (ICDCS 2002)
+//! reports time series (system capacity, accumulative admission rate,
+//! accumulative average buffering delay), windowed averages (lowest favored
+//! class per 3-hour window) and tables (average rejections before
+//! admission). This crate provides the small, dependency-light building
+//! blocks used by the simulator and the experiment harness to collect and
+//! render those results:
+//!
+//! * [`OnlineStats`] — streaming mean/variance/min/max (Welford).
+//! * [`TimeSeries`] — `(t, value)` samples with resampling helpers.
+//! * [`StepSeries`] — piecewise-constant series sampled on demand.
+//! * [`WindowedAverage`] — fixed-width window averages (paper Fig. 7).
+//! * [`Histogram`] — linear-bucket histogram with percentile queries.
+//! * [`Reservoir`] — uniform reservoir sample with exact quantiles.
+//! * [`Table`] — aligned text tables (paper Table 1).
+//! * [`AsciiPlot`] — multi-series terminal line plots (paper figures).
+//! * [`CsvWriter`] — minimal CSV emission for post-processing.
+//!
+//! # Examples
+//!
+//! ```
+//! use p2ps_metrics::{OnlineStats, TimeSeries};
+//!
+//! let mut stats = OnlineStats::new();
+//! for x in [1.0, 2.0, 3.0] {
+//!     stats.record(x);
+//! }
+//! assert_eq!(stats.mean(), 2.0);
+//!
+//! let mut series = TimeSeries::new("capacity");
+//! series.push(0.0, 100.0);
+//! series.push(1.0, 150.0);
+//! assert_eq!(series.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+mod histogram;
+mod plot;
+mod reservoir;
+mod stats;
+mod table;
+mod timeseries;
+mod window;
+
+pub use csv::CsvWriter;
+pub use histogram::Histogram;
+pub use plot::AsciiPlot;
+pub use reservoir::Reservoir;
+pub use stats::OnlineStats;
+pub use table::Table;
+pub use timeseries::{StepSeries, TimeSeries};
+pub use window::WindowedAverage;

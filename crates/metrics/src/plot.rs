@@ -1,0 +1,224 @@
+//! Multi-series ASCII line plots.
+
+use crate::TimeSeries;
+
+/// Renders one or more [`TimeSeries`] as an ASCII scatter/line chart, used
+/// by the experiment binaries to reproduce the paper's figures in a
+/// terminal.
+///
+/// Each series is drawn with its own glyph (`*`, `+`, `o`, `x`, …); where
+/// series overlap the glyph of the earlier-added series wins. Axes are
+/// labelled with the value range and the time range.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::{AsciiPlot, TimeSeries};
+///
+/// let mut s = TimeSeries::new("capacity");
+/// s.push(0.0, 0.0);
+/// s.push(10.0, 100.0);
+/// let plot = AsciiPlot::new("Fig 4", 40, 10).series(&s).render();
+/// assert!(plot.contains("Fig 4"));
+/// assert!(plot.contains("capacity"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot<'a> {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<&'a TimeSeries>,
+    y_min: Option<f64>,
+    y_max: Option<f64>,
+}
+
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+impl<'a> AsciiPlot<'a> {
+    /// Creates an empty plot with a title and a canvas size in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8` or `height < 3` (too small to draw anything).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8, "plot width must be at least 8");
+        assert!(height >= 3, "plot height must be at least 3");
+        AsciiPlot {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+            y_min: None,
+            y_max: None,
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn series(mut self, s: &'a TimeSeries) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Pins the y-axis range instead of auto-scaling.
+    pub fn y_range(mut self, min: f64, max: f64) -> Self {
+        self.y_min = Some(min);
+        self.y_max = Some(max);
+        self
+    }
+
+    /// Renders the plot. Empty series are skipped; with no drawable series
+    /// the output contains only the title and a note.
+    pub fn render(&self) -> String {
+        let drawable: Vec<&TimeSeries> = self
+            .series
+            .iter()
+            .copied()
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if drawable.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+
+        let mut t_lo = f64::INFINITY;
+        let mut t_hi = f64::NEG_INFINITY;
+        let mut v_lo = f64::INFINITY;
+        let mut v_hi = f64::NEG_INFINITY;
+        for s in &drawable {
+            let (a, b) = s.time_range().expect("non-empty");
+            let (c, d) = s.value_range().expect("non-empty");
+            t_lo = t_lo.min(a);
+            t_hi = t_hi.max(b);
+            v_lo = v_lo.min(c);
+            v_hi = v_hi.max(d);
+        }
+        if let Some(m) = self.y_min {
+            v_lo = m;
+        }
+        if let Some(m) = self.y_max {
+            v_hi = m;
+        }
+        if (t_hi - t_lo).abs() < f64::EPSILON {
+            t_hi = t_lo + 1.0;
+        }
+        if (v_hi - v_lo).abs() < f64::EPSILON {
+            v_hi = v_lo + 1.0;
+        }
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for (si, s) in drawable.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (t, v) in s.iter() {
+                let x = ((t - t_lo) / (t_hi - t_lo) * (self.width - 1) as f64).round() as usize;
+                let v = v.clamp(v_lo, v_hi);
+                let y = ((v - v_lo) / (v_hi - v_lo) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - y;
+                let x = x.min(self.width - 1);
+                if canvas[row][x] == ' ' {
+                    canvas[row][x] = glyph;
+                }
+            }
+        }
+
+        let y_label_hi = format!("{v_hi:.1}");
+        let y_label_lo = format!("{v_lo:.1}");
+        let label_w = y_label_hi.len().max(y_label_lo.len());
+        for (i, row) in canvas.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_label_hi:>label_w$}")
+            } else if i == self.height - 1 {
+                format!("{y_label_lo:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}t: {:.1} .. {:.1}\n",
+            " ".repeat(label_w + 1),
+            t_lo,
+            t_hi
+        ));
+        for (si, s) in drawable.iter().enumerate() {
+            out.push_str(&format!(
+                "  {} {}\n",
+                GLYPHS[si % GLYPHS.len()],
+                s.name()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(f64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for &(t, v) in pts {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_title_and_legend() {
+        let s = series("dac", &[(0.0, 0.0), (1.0, 1.0)]);
+        let p = AsciiPlot::new("Capacity", 20, 5).series(&s).render();
+        assert!(p.contains("Capacity"));
+        assert!(p.contains("* dac"));
+        assert!(p.contains("t: 0.0 .. 1.0"));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let s = series("x", &[]);
+        let p = AsciiPlot::new("T", 20, 5).series(&s).render();
+        assert!(p.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = series("c", &[(0.0, 5.0), (1.0, 5.0)]);
+        let p = AsciiPlot::new("T", 20, 5).series(&s).render();
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = series("a", &[(0.0, 0.0), (1.0, 1.0)]);
+        let b = series("b", &[(0.0, 1.0), (1.0, 0.0)]);
+        let p = AsciiPlot::new("T", 20, 5).series(&a).series(&b).render();
+        assert!(p.contains("* a"));
+        assert!(p.contains("+ b"));
+        assert!(p.contains('+'));
+    }
+
+    #[test]
+    fn pinned_y_range_clamps() {
+        let s = series("s", &[(0.0, -100.0), (1.0, 100.0)]);
+        let p = AsciiPlot::new("T", 20, 5)
+            .series(&s)
+            .y_range(0.0, 10.0)
+            .render();
+        assert!(p.contains("10.0"));
+        assert!(p.contains("0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least")]
+    fn tiny_plot_panics() {
+        let _ = AsciiPlot::new("T", 2, 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Uniform reservoir sampling for quantile estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity uniform sample of an unbounded observation stream
+/// (Vitter's Algorithm R), with exact quantiles over the retained sample.
+///
+/// The simulator records one waiting time per admitted peer — up to
+/// 50,000 per class per run. A reservoir keeps quantile queries cheap and
+/// memory bounded while staying unbiased.
+///
+/// The reservoir is deterministic: it derives its replacement choices from
+/// an internal splitmix64 stream seeded at construction, so simulation
+/// reports remain reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::Reservoir;
+///
+/// let mut r = Reservoir::new(64, 7);
+/// for x in 0..1_000 {
+///     r.record(x as f64);
+/// }
+/// assert_eq!(r.observed(), 1_000);
+/// assert_eq!(r.sample_len(), 64);
+/// let median = r.quantile(0.5).unwrap();
+/// assert!((200.0..800.0).contains(&median));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    sample: Vec<f64>,
+    observed: u64,
+    rng_state: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir retaining at most `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            sample: Vec::with_capacity(capacity.min(1024)),
+            observed: 0,
+            rng_state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.rng_state = self.rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.observed += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(x);
+        } else {
+            // Algorithm R: replace a random slot with probability
+            // capacity / observed.
+            let j = (self.next_u64() % self.observed) as usize;
+            if j < self.capacity {
+                self.sample[j] = x;
+            }
+        }
+    }
+
+    /// Total observations seen (not just those retained).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of retained observations (`min(capacity, observed)`).
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the retained sample by nearest
+    /// rank, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sample.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let rank = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        Some(sorted[rank])
+    }
+
+    /// Mean of the retained sample (an unbiased estimate of the stream
+    /// mean), or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sample.is_empty() {
+            None
+        } else {
+            Some(self.sample.iter().sum::<f64>() / self.sample.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::new(0, 0);
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything() {
+        let mut r = Reservoir::new(100, 1);
+        for x in 0..50 {
+            r.record(x as f64);
+        }
+        assert_eq!(r.sample_len(), 50);
+        assert_eq!(r.observed(), 50);
+        assert_eq!(r.quantile(0.0), Some(0.0));
+        assert_eq!(r.quantile(1.0), Some(49.0));
+    }
+
+    #[test]
+    fn above_capacity_is_bounded_and_plausible() {
+        let mut r = Reservoir::new(32, 42);
+        for x in 0..100_000 {
+            r.record(x as f64);
+        }
+        assert_eq!(r.sample_len(), 32);
+        assert_eq!(r.observed(), 100_000);
+        // With 32 uniform samples of [0, 100k), the median estimate lands
+        // well inside the central half with overwhelming probability.
+        let median = r.quantile(0.5).unwrap();
+        assert!((10_000.0..90_000.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn sampling_is_unbiased_across_seeds() {
+        // Average the retained-sample mean over many seeds: it must
+        // approach the stream mean (4999.5).
+        let mut grand = 0.0;
+        let seeds = 200;
+        for seed in 0..seeds {
+            let mut r = Reservoir::new(16, seed);
+            for x in 0..10_000 {
+                r.record(x as f64);
+            }
+            grand += r.mean().unwrap();
+        }
+        let avg = grand / seeds as f64;
+        assert!(
+            (avg - 4_999.5).abs() < 300.0,
+            "reservoir mean biased: {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(8, seed);
+            for x in 0..1_000 {
+                r.record(x as f64);
+            }
+            r.quantile(0.5)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn non_finite_ignored_and_empty_queries() {
+        let mut r = Reservoir::new(4, 0);
+        r.record(f64::NAN);
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.mean(), None);
+    }
+}

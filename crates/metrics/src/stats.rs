@@ -1,0 +1,272 @@
+//! Streaming summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance / min / max accumulator using Welford's
+/// online algorithm.
+///
+/// The accumulator is `O(1)` in memory regardless of how many samples are
+/// recorded, which matters when the simulator records one observation per
+/// admitted peer (tens of thousands per run).
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(9.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// Non-finite samples are ignored (and do not count towards
+    /// [`count`](Self::count)) so that a stray `NaN` cannot poison a whole
+    /// experiment series.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the observations; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by `n`); `0.0` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divide by `n - 1`); `0.0` for fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Sum of all observations (`mean * count`).
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+impl std::fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+                self.count,
+                self.mean(),
+                self.std_dev(),
+                self.min,
+                self.max
+            )
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineStats::new();
+        s.record(42.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn mean_and_variance_match_textbook() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!(close(s.mean(), 5.0));
+        assert!(close(s.population_variance(), 4.0));
+        assert!(close(s.std_dev(), 2.0));
+        assert!(close(s.sample_variance(), 32.0 / 7.0));
+    }
+
+    #[test]
+    fn nan_and_infinite_samples_are_ignored() {
+        let mut s = OnlineStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
+        s.record(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 10.0).collect();
+        let sequential: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..33].iter().copied().collect();
+        let b: OnlineStats = xs[33..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), sequential.count());
+        assert!(close(a.mean(), sequential.mean()));
+        assert!(close(a.population_variance(), sequential.population_variance()));
+        assert_eq!(a.min(), sequential.min());
+        assert_eq!(a.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn sum_matches_mean_times_count() {
+        let s: OnlineStats = [1.5, 2.5, 3.0].into_iter().collect();
+        assert!(close(s.sum(), 7.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = OnlineStats::new();
+        assert_eq!(format!("{s}"), "n=0");
+        let s: OnlineStats = [1.0].into_iter().collect();
+        assert!(format!("{s}").contains("n=1"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Aligned text tables.
+
+/// A simple aligned text table for experiment output (paper Table 1).
+///
+/// Columns are sized to their widest cell; the first row added with
+/// [`Table::new`] is the header and is separated from the body by a rule.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::Table;
+///
+/// let mut t = Table::new(["Class", "DACp2p", "NDACp2p"]);
+/// t.row(["1", "1.77", "3.73"]);
+/// t.row(["2", "1.93", "3.75"]);
+/// let text = t.render();
+/// assert!(text.contains("Class"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a body row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than the header.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of body rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as text with a header rule.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["wide-cell", "1"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // header line pads "a" to the width of "wide-cell"
+        assert!(lines[0].starts_with("a        "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match header width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n3,4\n");
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

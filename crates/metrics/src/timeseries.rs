@@ -1,0 +1,316 @@
+//! Time-indexed series of measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(time, value)` samples in ascending time order.
+///
+/// Used for every "X over time" curve in the paper's figures (capacity
+/// amplification, accumulative admission rate, accumulative buffering
+/// delay). Times are plain `f64` in whatever unit the caller chooses —
+/// experiment binaries use hours to match the paper's axes.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::TimeSeries;
+///
+/// let mut s = TimeSeries::new("capacity");
+/// s.push(0.0, 100.0);
+/// s.push(24.0, 4000.0);
+/// s.push(48.0, 9000.0);
+/// assert_eq!(s.value_at(24.0), Some(4000.0));
+/// assert_eq!(s.value_at(30.0), Some(4000.0)); // step semantics
+/// assert_eq!(s.last(), Some((48.0, 9000.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The display name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded time; series are
+    /// append-only in time order.
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(
+                t >= last,
+                "TimeSeries::push out of order: t={t} after t={last}"
+            );
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// The value in effect at time `t` under step (sample-and-hold)
+    /// semantics: the value of the latest sample with `time <= t`.
+    /// Returns `None` before the first sample.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        self
+            .times
+            .partition_point(|&x| x <= t)
+            .checked_sub(1).map(|i| self.values[i])
+    }
+
+    /// Resamples onto a regular grid `[start, end]` with the given step,
+    /// using step semantics; times before the first sample yield the first
+    /// sample's value. Useful to align several series for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0.0` or `end < start` or the series is empty.
+    pub fn resample(&self, start: f64, end: f64, step: f64) -> TimeSeries {
+        assert!(step > 0.0, "resample step must be positive");
+        assert!(end >= start, "resample range must be non-decreasing");
+        assert!(!self.is_empty(), "cannot resample an empty series");
+        let mut out = TimeSeries::new(self.name.clone());
+        let mut t = start;
+        while t <= end + step * 1e-9 {
+            let v = self.value_at(t).unwrap_or(self.values[0]);
+            out.push(t, v);
+            t += step;
+        }
+        out
+    }
+
+    /// Minimum and maximum values over the series, if non-empty.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Minimum and maximum times over the series, if non-empty.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        if self.is_empty() {
+            None
+        } else {
+            Some((self.times[0], *self.times.last().unwrap()))
+        }
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+/// A piecewise-constant counter sampled on demand.
+///
+/// The simulator updates quantities such as "total system capacity" whenever
+/// an event changes them; `StepSeries` stores every change point and can be
+/// converted to a [`TimeSeries`] snapshot on a fixed grid for reporting.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::StepSeries;
+///
+/// let mut cap = StepSeries::new("capacity", 100.0);
+/// cap.set(5.0, 101.0);
+/// cap.add(7.0, 2.0);
+/// assert_eq!(cap.current(), 103.0);
+/// assert_eq!(cap.value_at(6.0), 101.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepSeries {
+    inner: TimeSeries,
+    initial: f64,
+}
+
+impl StepSeries {
+    /// Creates a step series with an initial value in effect from `-inf`.
+    pub fn new(name: impl Into<String>, initial: f64) -> Self {
+        StepSeries {
+            inner: TimeSeries::new(name),
+            initial,
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Records that the value changed to `value` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous change point.
+    pub fn set(&mut self, t: f64, value: f64) {
+        self.inner.push(t, value);
+    }
+
+    /// Records a relative change at time `t`.
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.current() + delta;
+        self.set(t, v);
+    }
+
+    /// The value currently in effect (after the last change).
+    pub fn current(&self) -> f64 {
+        self.inner.last().map(|(_, v)| v).unwrap_or(self.initial)
+    }
+
+    /// The value in effect at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.inner.value_at(t).unwrap_or(self.initial)
+    }
+
+    /// Number of recorded change points.
+    pub fn change_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Snapshots onto a regular grid as a [`TimeSeries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0.0` or `end < start`.
+    pub fn sample_grid(&self, start: f64, end: f64, step: f64) -> TimeSeries {
+        assert!(step > 0.0, "sample_grid step must be positive");
+        assert!(end >= start, "sample_grid range must be non-decreasing");
+        let mut out = TimeSeries::new(self.inner.name().to_owned());
+        let mut t = start;
+        while t <= end + step * 1e-9 {
+            out.push(t, self.value_at(t));
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = TimeSeries::new("x");
+        s.extend([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(s.len(), 3);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new("x");
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn equal_time_pushes_are_allowed() {
+        let mut s = TimeSeries::new("x");
+        s.push(1.0, 1.0);
+        s.push(1.0, 2.0);
+        // step semantics: the later sample wins
+        assert_eq!(s.value_at(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn value_at_step_semantics() {
+        let mut s = TimeSeries::new("x");
+        s.extend([(1.0, 10.0), (3.0, 30.0)]);
+        assert_eq!(s.value_at(0.0), None);
+        assert_eq!(s.value_at(1.0), Some(10.0));
+        assert_eq!(s.value_at(2.9), Some(10.0));
+        assert_eq!(s.value_at(3.0), Some(30.0));
+        assert_eq!(s.value_at(100.0), Some(30.0));
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut s = TimeSeries::new("x");
+        s.extend([(0.0, 0.0), (10.0, 10.0)]);
+        let r = s.resample(0.0, 20.0, 5.0);
+        let collected: Vec<_> = r.iter().collect();
+        assert_eq!(
+            collected,
+            vec![(0.0, 0.0), (5.0, 0.0), (10.0, 10.0), (15.0, 10.0), (20.0, 10.0)]
+        );
+    }
+
+    #[test]
+    fn ranges() {
+        let mut s = TimeSeries::new("x");
+        assert_eq!(s.value_range(), None);
+        assert_eq!(s.time_range(), None);
+        s.extend([(0.0, 5.0), (2.0, -1.0), (4.0, 3.0)]);
+        assert_eq!(s.value_range(), Some((-1.0, 5.0)));
+        assert_eq!(s.time_range(), Some((0.0, 4.0)));
+    }
+
+    #[test]
+    fn step_series_tracks_changes() {
+        let mut s = StepSeries::new("cap", 100.0);
+        assert_eq!(s.current(), 100.0);
+        assert_eq!(s.value_at(-5.0), 100.0);
+        s.add(1.0, 1.0);
+        s.add(2.0, 0.5);
+        assert_eq!(s.current(), 101.5);
+        assert_eq!(s.value_at(1.5), 101.0);
+        assert_eq!(s.change_count(), 2);
+    }
+
+    #[test]
+    fn step_series_sample_grid() {
+        let mut s = StepSeries::new("cap", 0.0);
+        s.set(1.0, 5.0);
+        let g = s.sample_grid(0.0, 2.0, 1.0);
+        let collected: Vec<_> = g.iter().collect();
+        assert_eq!(collected, vec![(0.0, 0.0), (1.0, 5.0), (2.0, 5.0)]);
+    }
+}

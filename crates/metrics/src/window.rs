@@ -1,0 +1,162 @@
+//! Fixed-width window averages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimeSeries;
+
+/// Averages observations into fixed-width, non-overlapping time windows.
+///
+/// Paper Fig. 7 plots the "lowest favored class" averaged over every
+/// 3-hour window (non-accumulative); this type implements exactly that
+/// aggregation: each observation `(t, v)` is attributed to window
+/// `⌊t / width⌋` and each window reports the mean of its observations.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::WindowedAverage;
+///
+/// let mut w = WindowedAverage::new("favored", 3.0);
+/// w.record(0.5, 4.0);
+/// w.record(1.0, 2.0);
+/// w.record(4.0, 1.0);
+/// let series = w.to_series();
+/// // window [0,3) midpoint 1.5 averages 3.0; window [3,6) midpoint 4.5 is 1.0
+/// let points: Vec<_> = series.iter().collect();
+/// assert_eq!(points, vec![(1.5, 3.0), (4.5, 1.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedAverage {
+    name: String,
+    width: f64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl WindowedAverage {
+    /// Creates an aggregator with the given window width (same unit as the
+    /// observation times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive and finite.
+    pub fn new(name: impl Into<String>, width: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "window width must be positive");
+        WindowedAverage {
+            name: name.into(),
+            width,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The window width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Records an observation at time `t >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or non-finite.
+    pub fn record(&mut self, t: f64, value: f64) {
+        assert!(t >= 0.0 && t.is_finite(), "observation time must be >= 0");
+        if !value.is_finite() {
+            return;
+        }
+        let idx = (t / self.width) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Number of windows that have received at least one observation
+    /// (windows are indexed from zero, so trailing empty windows do not
+    /// count but interior gaps do occupy a slot).
+    pub fn window_count(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// The mean of window `idx`, if it has observations.
+    pub fn window_mean(&self, idx: usize) -> Option<f64> {
+        match self.counts.get(idx) {
+            Some(&c) if c > 0 => Some(self.sums[idx] / c as f64),
+            _ => None,
+        }
+    }
+
+    /// Converts to a [`TimeSeries`] with one point per non-empty window,
+    /// placed at the window midpoint.
+    pub fn to_series(&self) -> TimeSeries {
+        let mut out = TimeSeries::new(self.name.clone());
+        for i in 0..self.sums.len() {
+            if self.counts[i] > 0 {
+                let mid = (i as f64 + 0.5) * self.width;
+                out.push(mid, self.sums[i] / self.counts[i] as f64);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_within_windows() {
+        let mut w = WindowedAverage::new("w", 10.0);
+        w.record(0.0, 1.0);
+        w.record(9.999, 3.0);
+        w.record(10.0, 10.0);
+        assert_eq!(w.window_mean(0), Some(2.0));
+        assert_eq!(w.window_mean(1), Some(10.0));
+        assert_eq!(w.window_mean(2), None);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped_in_series() {
+        let mut w = WindowedAverage::new("w", 1.0);
+        w.record(0.5, 1.0);
+        w.record(2.5, 2.0); // window 1 stays empty
+        let pts: Vec<_> = w.to_series().iter().collect();
+        assert_eq!(pts, vec![(0.5, 1.0), (2.5, 2.0)]);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut w = WindowedAverage::new("w", 1.0);
+        w.record(0.0, f64::NAN);
+        assert_eq!(w.window_mean(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn negative_time_panics() {
+        let mut w = WindowedAverage::new("w", 1.0);
+        w.record(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = WindowedAverage::new("w", 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let w = WindowedAverage::new("favored", 3.0);
+        assert_eq!(w.name(), "favored");
+        assert_eq!(w.width(), 3.0);
+        assert_eq!(w.window_count(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! A tiny dependency-free command-line argument parser for the `p2psd`
+//! binary.
+//!
+//! Supports `--flag value` and `--flag=value` forms plus positional
+//! arguments; unknown flags are errors so typos fail loudly.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+/// Argument parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name), validating flags
+    /// against the allowed set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for unknown flags or flags missing a value.
+    pub fn parse<I, S>(raw: I, allowed: &[&str]) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut positionals = Vec::new();
+        let mut options = HashMap::new();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                let (key, value) = match stripped.split_once('=') {
+                    Some((k, v)) => (k.to_owned(), v.to_owned()),
+                    None => {
+                        let key = stripped.to_owned();
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| ArgsError(format!("--{key} needs a value")))?;
+                        (key, value)
+                    }
+                };
+                if !allowed.contains(&key.as_str()) {
+                    return Err(ArgsError(format!("unknown flag --{key}")));
+                }
+                options.insert(key, value);
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Args {
+            positionals,
+            options,
+        })
+    }
+
+    /// Positional argument `i`, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// The raw value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// The value of `--key` parsed as `T`; an error when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] when missing or unparsable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgsError> {
+        let v = self
+            .options
+            .get(key)
+            .ok_or_else(|| ArgsError(format!("--{key} is required")))?;
+        v.parse()
+            .map_err(|_| ArgsError(format!("--{key}: cannot parse {v:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALLOWED: &[&str] = &["dir", "class", "m"];
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(["stream", "--dir", "127.0.0.1:9000", "--class=3"], ALLOWED).unwrap();
+        assert_eq!(a.positional(0), Some("stream"));
+        assert_eq!(a.positional_count(), 1);
+        assert_eq!(a.get("dir"), Some("127.0.0.1:9000"));
+        assert_eq!(a.get("class"), Some("3"));
+        assert_eq!(a.get("m"), None);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = Args::parse(["--class", "3"], ALLOWED).unwrap();
+        assert_eq!(a.get_or("class", 1u8).unwrap(), 3);
+        assert_eq!(a.get_or("m", 8usize).unwrap(), 8);
+        assert_eq!(a.require::<u8>("class").unwrap(), 3);
+        assert!(a.require::<u8>("m").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = Args::parse(["--bogus", "1"], ALLOWED).unwrap_err();
+        assert!(err.to_string().contains("unknown flag --bogus"));
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let err = Args::parse(["--class"], ALLOWED).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn unparsable_value_is_rejected() {
+        let a = Args::parse(["--class", "banana"], ALLOWED).unwrap();
+        assert!(a.get_or("class", 1u8).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = Args::parse(Vec::<String>::new(), ALLOWED).unwrap();
+        assert_eq!(a.positional_count(), 0);
+        assert_eq!(a, Args::default());
+    }
+}

@@ -1,0 +1,138 @@
+//! `p2psd` — run the peer-to-peer streaming system from a shell.
+//!
+//! ```text
+//! p2psd directory [--port 0]
+//! p2psd seed    --dir HOST:PORT [--id N] [--class K] [--item NAME]
+//!               [--segments N] [--dt-ms MS] [--segment-bytes B]
+//! p2psd stream  --dir HOST:PORT [--id N] [--class K] [--item NAME]
+//!               [--segments N] [--dt-ms MS] [--segment-bytes B]
+//!               [--m M] [--retries N] [--serve-secs S]
+//! ```
+//!
+//! `directory` runs until killed; `seed` serves until killed; `stream`
+//! performs the paper's §4.2 admission + streaming, prints the measured
+//! buffering delay, then (optionally) stays around serving as a supplier
+//! for `--serve-secs`.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaInfo;
+use p2ps_node::{Args, Clock, DirectoryServer, NodeConfig, PeerNode};
+
+const MEDIA_FLAGS: &[&str] = &[
+    "dir",
+    "id",
+    "class",
+    "item",
+    "segments",
+    "dt-ms",
+    "segment-bytes",
+    "m",
+    "retries",
+    "serve-secs",
+    "port",
+];
+
+fn media_info(args: &Args) -> Result<MediaInfo, Box<dyn std::error::Error>> {
+    let item = args.get("item").unwrap_or("p2ps-demo").to_owned();
+    let segments: u64 = args.get_or("segments", 120)?;
+    let dt_ms: u64 = args.get_or("dt-ms", 250)?;
+    let bytes: u32 = args.get_or("segment-bytes", 16 * 1024)?;
+    Ok(MediaInfo::new(
+        item,
+        segments,
+        SegmentDuration::from_millis(dt_ms),
+        bytes,
+    ))
+}
+
+fn node_config(args: &Args) -> Result<NodeConfig, Box<dyn std::error::Error>> {
+    let dir: SocketAddr = args.require("dir")?;
+    let id: u64 = args.get_or("id", std::process::id() as u64)?;
+    let class: u8 = args.get_or("class", 1)?;
+    Ok(NodeConfig::new(
+        PeerId::new(id),
+        PeerClass::new(class)?,
+        media_info(args)?,
+        dir,
+    ))
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(raw, MEDIA_FLAGS)?;
+    match args.positional(0) {
+        Some("directory") => {
+            let server = DirectoryServer::start()?;
+            println!("directory listening on {}", server.addr());
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Some("seed") => {
+            let config = node_config(&args)?;
+            let item = config.info.name().to_owned();
+            let node = PeerNode::spawn_seed(config, Clock::new())?;
+            println!(
+                "seed {} ({}) serving {item:?} on port {}",
+                node.id(),
+                node.class(),
+                node.port()
+            );
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Some("stream") => {
+            let config = node_config(&args)?;
+            let m: usize = args.get_or("m", 8)?;
+            let retries: u32 = args.get_or("retries", 10)?;
+            let serve_secs: u64 = args.get_or("serve-secs", 0)?;
+            let node = PeerNode::spawn(config, Clock::new())?;
+            println!(
+                "requesting peer {} ({}) probing M={m} candidates…",
+                node.id(),
+                node.class()
+            );
+            let outcome =
+                node.request_stream_with_retry(m, retries, Duration::from_millis(500))?;
+            println!(
+                "admitted: {} supplier(s) of classes {:?}",
+                outcome.supplier_count,
+                outcome
+                    .supplier_classes
+                    .iter()
+                    .map(|c| c.get())
+                    .collect::<Vec<_>>()
+            );
+            println!(
+                "buffering delay: measured {} ms, Theorem-1 optimum {} ms; session {} ms",
+                outcome.measured_delay_ms, outcome.theoretical_delay_ms, outcome.duration_ms
+            );
+            if serve_secs > 0 {
+                println!("now supplying on port {} for {serve_secs}s…", node.port());
+                std::thread::sleep(Duration::from_secs(serve_secs));
+            }
+            node.shutdown();
+            Ok(())
+        }
+        other => {
+            eprintln!(
+                "usage: p2psd <directory|seed|stream> [--flags]\n  (got {other:?}; see the binary's module docs for the full flag list)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("p2psd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Millisecond ticks for the admission state machines.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared monotonic clock translating wall time into the `u64`
+/// millisecond ticks the `p2ps-core` admission state machines expect.
+///
+/// Every node of a deployment clones one clock so that their admission
+/// timers (idle relaxation `T_out`, reservations) share an origin.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_node::Clock;
+///
+/// let clock = Clock::new();
+/// let t0 = clock.now_ms();
+/// let later = clock.clone();
+/// assert!(later.now_ms() >= t0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clock {
+    origin: Arc<Instant>,
+}
+
+impl Clock {
+    /// Creates a clock anchored at the current instant.
+    pub fn new() -> Self {
+        Clock {
+            origin: Arc::new(Instant::now()),
+        }
+    }
+
+    /// Milliseconds elapsed since the clock's origin.
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_shared() {
+        let a = Clock::new();
+        let b = a.clone();
+        let t1 = a.now_ms();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t2 = b.now_ms();
+        assert!(t2 >= t1 + 4, "clones share the origin: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn default_is_fresh() {
+        assert!(Clock::default().now_ms() < 1_000);
+    }
+}

@@ -1,0 +1,402 @@
+//! The TCP directory server and its client helpers.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_proto::{read_message, write_message, CandidateRecord, Message};
+
+/// How the lookup service indexes its supplier records.
+///
+/// The paper names two options (§4.2 footnote 4): a Napster-style central
+/// table and a Chord ring. Both are served through the same TCP front-end.
+trait LookupBackend: Send {
+    fn register(&mut self, item: &str, rec: CandidateRecord);
+    fn sample(&mut self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord>;
+}
+
+/// In-memory registry behind the directory server: item → suppliers.
+#[derive(Debug, Default)]
+struct Registry {
+    items: HashMap<String, Vec<CandidateRecord>>,
+}
+
+impl LookupBackend for Registry {
+    fn register(&mut self, item: &str, rec: CandidateRecord) {
+        let list = self.items.entry(item.to_owned()).or_default();
+        match list.iter_mut().find(|c| c.id == rec.id) {
+            Some(existing) => *existing = rec,
+            None => list.push(rec),
+        }
+    }
+
+    fn sample(&mut self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
+        let Some(list) = self.items.get(item) else {
+            return Vec::new();
+        };
+        let n = list.len();
+        let m = m.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let j = i + rng.gen_range(0..n - i);
+            pool.swap(i, j);
+            out.push(list[pool[i]]);
+        }
+        out
+    }
+}
+
+/// A Chord ring as the lookup index: supplier lists live at the item
+/// key's successor node and every query routes through finger tables.
+/// Ports (not part of the generic `CandidateInfo`) ride in a side table.
+struct ChordBackend {
+    ring: p2ps_lookup::chord::ChordRing,
+    ports: HashMap<u64, u16>,
+}
+
+impl ChordBackend {
+    fn new(index_nodes: u64) -> Self {
+        let mut ring = p2ps_lookup::chord::ChordRing::new();
+        for i in 0..index_nodes.max(1) {
+            // Index nodes get ids far away from peer ids to avoid clashes.
+            ring.join(p2ps_core::PeerId::new(u64::MAX - i));
+        }
+        ChordBackend {
+            ring,
+            ports: HashMap::new(),
+        }
+    }
+}
+
+impl LookupBackend for ChordBackend {
+    fn register(&mut self, item: &str, rec: CandidateRecord) {
+        use p2ps_lookup::Rendezvous;
+        self.ring.register(item, rec.id, rec.class);
+        self.ports.insert(rec.id.get(), rec.port);
+    }
+
+    fn sample(&mut self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
+        use p2ps_lookup::Rendezvous;
+        self.ring
+            .sample(item, m, rng)
+            .into_iter()
+            .filter_map(|c| {
+                Some(CandidateRecord {
+                    id: c.id,
+                    class: c.class,
+                    port: *self.ports.get(&c.id.get())?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// A Napster-style directory server listening on a loopback TCP port
+/// (paper §4.2 footnote 4).
+///
+/// Peers send [`Message::Register`] to announce themselves as suppliers
+/// and [`Message::QueryCandidates`] to obtain `M` random candidates with
+/// their classes and ports.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_node::DirectoryServer;
+///
+/// let dir = DirectoryServer::start()?;
+/// assert_ne!(dir.port(), 0);
+/// dir.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct DirectoryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DirectoryServer {
+    /// Binds an ephemeral loopback port and starts serving with a
+    /// centralized (Napster-style) index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn start() -> io::Result<Self> {
+        Self::start_with_backend(Box::new(Registry::default()))
+    }
+
+    /// Like [`start`](Self::start), but the index is a Chord ring of
+    /// `index_nodes` nodes: supplier lists live at each item key's
+    /// successor and queries route through finger tables — the paper's
+    /// distributed lookup option, behind the same wire protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn start_with_chord(index_nodes: u64) -> io::Result<Self> {
+        Self::start_with_backend(Box::new(ChordBackend::new(index_nodes)))
+    }
+
+    fn start_with_backend(backend: Box<dyn LookupBackend>) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Mutex::new(backend));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("p2ps-directory".into())
+            .spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5eed);
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let _ = Self::serve_connection(stream, &registry, &mut rng);
+                }
+            })
+            .expect("spawning the directory thread cannot fail");
+        Ok(DirectoryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    fn serve_connection(
+        mut stream: TcpStream,
+        registry: &Mutex<Box<dyn LookupBackend>>,
+        rng: &mut SmallRng,
+    ) -> io::Result<()> {
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        loop {
+            let msg = match read_message(&mut stream) {
+                Ok(m) => m,
+                Err(_) => return Ok(()), // peer closed or timed out
+            };
+            match msg {
+                Message::Register {
+                    item,
+                    peer,
+                    class,
+                    port,
+                } => {
+                    registry.lock().register(
+                        &item,
+                        CandidateRecord {
+                            id: peer,
+                            class,
+                            port,
+                        },
+                    );
+                }
+                Message::QueryCandidates { item, m } => {
+                    let list = registry.lock().sample(&item, m as usize, rng);
+                    write_message(&mut stream, &Message::Candidates { list })?;
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("directory got unexpected {}", other.name()),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The listening port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with one dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DirectoryServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Registers `peer` as a supplier of `item` with the directory at `dir`.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn register_supplier(
+    dir: SocketAddr,
+    item: &str,
+    peer: PeerId,
+    class: PeerClass,
+    port: u16,
+) -> io::Result<()> {
+    let mut stream = TcpStream::connect(dir)?;
+    write_message(
+        &mut stream,
+        &Message::Register {
+            item: item.to_owned(),
+            peer,
+            class,
+            port,
+        },
+    )
+}
+
+/// Queries the directory at `dir` for up to `m` candidates for `item`.
+///
+/// # Errors
+///
+/// Propagates socket errors; a malformed response surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn query_candidates(
+    dir: SocketAddr,
+    item: &str,
+    m: usize,
+) -> io::Result<Vec<CandidateRecord>> {
+    let mut stream = TcpStream::connect(dir)?;
+    write_message(
+        &mut stream,
+        &Message::QueryCandidates {
+            item: item.to_owned(),
+            m: m as u16,
+        },
+    )?;
+    match read_message(&mut stream)? {
+        Message::Candidates { list } => Ok(list),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected candidates, got {}", other.name()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(k: u8) -> PeerClass {
+        PeerClass::new(k).unwrap()
+    }
+
+    #[test]
+    fn register_then_query() {
+        let dir = DirectoryServer::start().unwrap();
+        for i in 0..10u64 {
+            register_supplier(dir.addr(), "video", PeerId::new(i), class(1 + (i % 4) as u8), 9000 + i as u16)
+                .unwrap();
+        }
+        // Registration is async relative to the query connection; retry
+        // briefly until all writes are applied.
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got = query_candidates(dir.addr(), "video", 8).unwrap();
+            if got.len() == 8 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(got.len(), 8);
+        let mut ids: Vec<u64> = got.iter().map(|c| c.id.get()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "candidates are distinct");
+        dir.shutdown();
+    }
+
+    #[test]
+    fn unknown_item_yields_empty() {
+        let dir = DirectoryServer::start().unwrap();
+        let got = query_candidates(dir.addr(), "nope", 8).unwrap();
+        assert!(got.is_empty());
+        dir.shutdown();
+    }
+
+    #[test]
+    fn reregistration_replaces_record() {
+        let dir = DirectoryServer::start().unwrap();
+        register_supplier(dir.addr(), "v", PeerId::new(1), class(4), 1111).unwrap();
+        register_supplier(dir.addr(), "v", PeerId::new(1), class(2), 2222).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got = query_candidates(dir.addr(), "v", 8).unwrap();
+            if got.len() == 1 && got[0].port == 2222 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].class, class(2));
+        assert_eq!(got[0].port, 2222);
+        dir.shutdown();
+    }
+
+    #[test]
+    fn chord_backend_round_trips() {
+        let dir = DirectoryServer::start_with_chord(16).unwrap();
+        for i in 0..6u64 {
+            register_supplier(
+                dir.addr(),
+                "chord-item",
+                PeerId::new(i),
+                class(1 + (i % 4) as u8),
+                7000 + i as u16,
+            )
+            .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got = query_candidates(dir.addr(), "chord-item", 8).unwrap();
+            if got.len() == 6 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(got.len(), 6, "all suppliers reachable through the ring");
+        for c in &got {
+            assert_eq!(c.port, 7000 + c.id.get() as u16, "ports survive the ring");
+        }
+        assert!(query_candidates(dir.addr(), "other-item", 4).unwrap().is_empty());
+        dir.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let dir = DirectoryServer::start().unwrap();
+        let addr = dir.addr();
+        drop(dir);
+        // After shutdown new queries fail (connection refused) or at least
+        // the port is no longer served; give the OS a moment.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let res = query_candidates(addr, "v", 1);
+        assert!(res.is_err() || res.unwrap().is_empty());
+    }
+}

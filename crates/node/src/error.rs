@@ -1,0 +1,95 @@
+//! Node error type.
+
+use std::fmt;
+
+/// Errors surfaced by the peer node runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NodeError {
+    /// An underlying socket operation failed.
+    Io(std::io::Error),
+    /// The admission attempt failed: not enough bandwidth was secured
+    /// (paper §4.2 rejection). Contains the number of reminders left.
+    Rejected {
+        /// Reminders successfully left with busy, favoring suppliers.
+        reminders_left: usize,
+    },
+    /// The streaming session ended with segments missing.
+    IncompleteStream {
+        /// Segments received.
+        received: u64,
+        /// Segments expected.
+        expected: u64,
+    },
+    /// A peer answered with a message that violates the protocol.
+    Protocol(String),
+    /// The model rejected the supplier set (should not happen when grants
+    /// are aggregated correctly; indicates a peer lied about its class).
+    Model(p2ps_core::Error),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Io(e) => write!(f, "i/o failure: {e}"),
+            NodeError::Rejected { reminders_left } => {
+                write!(f, "admission rejected ({reminders_left} reminders left)")
+            }
+            NodeError::IncompleteStream { received, expected } => {
+                write!(f, "stream incomplete: {received}/{expected} segments")
+            }
+            NodeError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NodeError::Model(e) => write!(f, "model violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NodeError::Io(e) => Some(e),
+            NodeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NodeError {
+    fn from(e: std::io::Error) -> Self {
+        NodeError::Io(e)
+    }
+}
+
+impl From<p2ps_core::Error> for NodeError {
+    fn from(e: p2ps_core::Error) -> Self {
+        NodeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let io = NodeError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+
+        let rej = NodeError::Rejected { reminders_left: 2 };
+        assert!(rej.to_string().contains("2 reminders"));
+        assert!(std::error::Error::source(&rej).is_none());
+
+        let inc = NodeError::IncompleteStream {
+            received: 3,
+            expected: 8,
+        };
+        assert!(inc.to_string().contains("3/8"));
+
+        let proto = NodeError::Protocol("bad".into());
+        assert!(proto.to_string().contains("bad"));
+
+        let model = NodeError::from(p2ps_core::Error::NoSuppliers);
+        assert!(model.to_string().contains("model violation"));
+    }
+}

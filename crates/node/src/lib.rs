@@ -1,0 +1,62 @@
+//! A runnable peer-to-peer media streaming node.
+//!
+//! This crate turns the paper's algorithms into a working system: real OS
+//! threads, real TCP sockets on the loopback interface, real paced segment
+//! transmission. A deployment consists of one [`DirectoryServer`]
+//! (the Napster-style lookup service of §4.2) and any number of
+//! [`PeerNode`]s:
+//!
+//! * A **seed** node owns the media file from the start and registers as a
+//!   supplier (paper §2(1) "seed supplying peers").
+//! * Any other node calls [`PeerNode::request_stream`]: it queries the
+//!   directory for `M` candidates, runs the `DACp2p` admission handshake
+//!   against them (grants, denials, reminders, releases — the exact
+//!   protocol logic of `p2ps-core`, driven over TCP), computes the
+//!   `OTSp2p` assignment across the granting suppliers, and receives the
+//!   stream while measuring its real buffering delay. When the session
+//!   completes the node stores the file and registers as a supplier
+//!   itself — the system's capacity grows exactly as the paper describes.
+//!
+//! The admission state machines are shared verbatim with the simulator
+//! (`p2ps-core::admission`); only the transport differs.
+//!
+//! One deliberate addition over the paper: a supplier that issues a grant
+//! holds a short *reservation* until the requester either confirms
+//! (`StartSession`) or releases it. Without this, two concurrent
+//! requesters could both secure the same supplier — a race the paper's
+//! event-ordered simulation never exhibits but a real system must handle.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use p2ps_node::{DirectoryServer, NodeConfig, PeerNode, Swarm};
+//! use p2ps_core::PeerClass;
+//! use p2ps_media::MediaInfo;
+//! use p2ps_core::assignment::SegmentDuration;
+//!
+//! // A 2-second "video" of 25 ms segments, streamed across a small swarm.
+//! let info = MediaInfo::new("demo", 80, SegmentDuration::from_millis(25), 2_048);
+//! let mut swarm = Swarm::start(info, 4)?; // 4 class-1 seeds
+//! let outcome = swarm.stream_one(PeerClass::new(2)?, 8)?;
+//! println!("streamed from {} suppliers", outcome.supplier_count);
+//! # Ok::<(), p2ps_node::NodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod clock;
+mod directory;
+mod error;
+mod node;
+mod requester;
+mod supplier;
+mod swarm;
+
+pub use args::{Args, ArgsError};
+pub use clock::Clock;
+pub use directory::{query_candidates, register_supplier, DirectoryServer};
+pub use error::NodeError;
+pub use node::{NodeConfig, PeerNode, StreamOutcome};
+pub use swarm::Swarm;

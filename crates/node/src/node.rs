@@ -1,0 +1,292 @@
+//! The peer node: listener, roles and the public handle.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use p2ps_core::admission::{Protocol, SupplierConfig, SupplierState};
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::{MediaFile, MediaInfo};
+
+use crate::directory::{query_candidates, register_supplier};
+use crate::supplier::{handle_connection, AdmissionGuard, SupplierShared};
+use crate::{Clock, NodeError};
+
+/// Static configuration of one peer node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The peer's identity.
+    pub id: PeerId,
+    /// The peer's bandwidth class.
+    pub class: PeerClass,
+    /// The media item this deployment streams.
+    pub info: MediaInfo,
+    /// Address of the directory server.
+    pub directory: SocketAddr,
+    /// Number of classes in the system (paper `K`; default 4).
+    pub num_classes: u8,
+    /// Idle relaxation timeout `T_out` in milliseconds (default 60 s).
+    pub idle_timeout_ms: u64,
+    /// Admission protocol (default `DACp2p`).
+    pub protocol: Protocol,
+}
+
+impl NodeConfig {
+    /// A configuration with the defaults described on each field.
+    pub fn new(id: PeerId, class: PeerClass, info: MediaInfo, directory: SocketAddr) -> Self {
+        NodeConfig {
+            id,
+            class,
+            info,
+            directory,
+            num_classes: 4,
+            idle_timeout_ms: 60_000,
+            protocol: Protocol::Dac,
+        }
+    }
+}
+
+/// Result of one successful streaming session at a requesting peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Number of supplying peers that served the session (`n`).
+    pub supplier_count: usize,
+    /// Their classes, in assignment (descending-bandwidth) order.
+    pub supplier_classes: Vec<PeerClass>,
+    /// Empirical minimum buffering delay (ms) measured from real segment
+    /// arrival times.
+    pub measured_delay_ms: u64,
+    /// Theorem-1 delay `n·δt` in ms, for comparison.
+    pub theoretical_delay_ms: u64,
+    /// Wall-clock duration of the whole session.
+    pub duration_ms: u64,
+}
+
+/// A runnable peer: a TCP listener plus the paper's requester/supplier
+/// behaviors. See the crate docs for the full lifecycle.
+pub struct PeerNode {
+    config: NodeConfig,
+    shared: Arc<SupplierShared>,
+    port: u16,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    session_rng: Mutex<SmallRng>,
+}
+
+impl std::fmt::Debug for PeerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerNode")
+            .field("id", &self.config.id)
+            .field("class", &self.config.class)
+            .field("port", &self.port)
+            .field("supplier", &self.is_supplier())
+            .finish()
+    }
+}
+
+impl PeerNode {
+    /// Starts a node with no media content (a future requesting peer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn(config: NodeConfig, clock: Clock) -> io::Result<Self> {
+        Self::spawn_inner(config, clock, None)
+    }
+
+    /// Starts a node that already owns the complete media file and
+    /// registers it with the directory (a "seed" supplying peer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding or from the directory
+    /// registration.
+    pub fn spawn_seed(config: NodeConfig, clock: Clock) -> io::Result<Self> {
+        let file = MediaFile::synthesize(config.info.clone());
+        let node = Self::spawn_inner(config, clock, Some(file))?;
+        node.register()?;
+        Ok(node)
+    }
+
+    fn spawn_inner(
+        config: NodeConfig,
+        clock: Clock,
+        file: Option<MediaFile>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let port = listener.local_addr()?.port();
+        let supplier_config = SupplierConfig::new(
+            config.num_classes,
+            config.idle_timeout_ms,
+            config.protocol,
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let state = SupplierState::new(config.class, supplier_config, clock.now_ms())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+        let shared = Arc::new(SupplierShared {
+            id: config.id,
+            class: config.class,
+            clock,
+            admission: Mutex::new(AdmissionGuard {
+                state,
+                rng: SmallRng::seed_from_u64(config.id.get() ^ 0xda7a_5eed),
+                reserved_at: None,
+            }),
+            file: Mutex::new(file),
+            stop: AtomicBool::new(false),
+        });
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_shared = Arc::clone(&shared);
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("p2ps-node-{}", config.id))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let per_conn = Arc::clone(&accept_shared);
+                    std::thread::spawn(move || handle_connection(&per_conn, stream));
+                }
+            })
+            .expect("spawning the accept thread cannot fail");
+
+        Ok(PeerNode {
+            session_rng: Mutex::new(SmallRng::seed_from_u64(config.id.get() ^ 0x5e55)),
+            config,
+            shared,
+            port,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> PeerId {
+        self.config.id
+    }
+
+    /// The node's class.
+    pub fn class(&self) -> PeerClass {
+        self.config.class
+    }
+
+    /// The node's listening port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Whether the node owns the complete media file (and can supply it).
+    pub fn is_supplier(&self) -> bool {
+        self.shared.file.lock().is_some()
+    }
+
+    /// A snapshot of the node's current admission probability vector
+    /// (with idle relaxation folded in up to now) — the paper's
+    /// per-supplier `DACp2p` state, exposed for monitoring and tests.
+    pub fn admission_vector(&self) -> p2ps_core::admission::AdmissionVector {
+        let now = self.shared.clock.now_ms();
+        self.shared.admission.lock().state.vector_at(now).clone()
+    }
+
+    /// Whether the node is currently busy serving a streaming session.
+    pub fn is_busy(&self) -> bool {
+        self.shared.admission.lock().state.is_busy()
+    }
+
+    fn register(&self) -> io::Result<()> {
+        register_supplier(
+            self.config.directory,
+            self.config.info.name(),
+            self.config.id,
+            self.config.class,
+            self.port,
+        )
+    }
+
+    /// One admission attempt (paper §4.2) followed, on success, by the
+    /// full streaming session; afterwards the node stores the file,
+    /// registers as a supplier and returns the session outcome.
+    ///
+    /// # Errors
+    ///
+    /// * [`NodeError::Rejected`] — could not secure the playback rate;
+    ///   retry after a backoff (the paper's `T_bkf · E_bkf^(i-1)`).
+    /// * [`NodeError::IncompleteStream`] / [`NodeError::Io`] — a supplier
+    ///   failed mid-session.
+    pub fn request_stream(&self, m: usize) -> Result<StreamOutcome, NodeError> {
+        let candidates = query_candidates(self.config.directory, self.config.info.name(), m)?;
+        let session: u64 = self.session_rng.lock().gen();
+        let (outcome, store) =
+            crate::requester::attempt_and_stream(candidates, self.config.class, session, &self.config.info)?;
+        let file = MediaFile::from_store(self.config.info.clone(), &store)
+            .ok_or(NodeError::IncompleteStream {
+                received: store.len() as u64,
+                expected: self.config.info.segment_count(),
+            })?;
+        *self.shared.file.lock() = Some(file);
+        self.register()?;
+        Ok(outcome)
+    }
+
+    /// Like [`request_stream`](Self::request_stream) but retries rejected
+    /// attempts up to `max_attempts` times with the given backoff between
+    /// attempts (a scaled-down version of the paper's retry loop).
+    ///
+    /// # Errors
+    ///
+    /// The final error once attempts are exhausted.
+    pub fn request_stream_with_retry(
+        &self,
+        m: usize,
+        max_attempts: u32,
+        backoff: std::time::Duration,
+    ) -> Result<StreamOutcome, NodeError> {
+        let mut last = NodeError::Rejected { reminders_left: 0 };
+        for attempt in 0..max_attempts.max(1) {
+            match self.request_stream(m) {
+                Ok(outcome) => return Ok(outcome),
+                Err(e @ NodeError::Rejected { .. }) => {
+                    last = e;
+                    if attempt + 1 < max_attempts {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last)
+    }
+
+    /// Stops the listener and joins the accept thread. Connection handler
+    /// threads for in-flight sessions run to completion on their own.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PeerNode {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.stop_inner();
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Requester-side probing and stream reception.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use p2ps_core::admission::{attempt_admission, Candidate, ProbeOutcome, RequestDecision};
+use p2ps_core::assignment::otsp2p;
+use p2ps_core::PeerClass;
+use p2ps_media::{MediaInfo, PlaybackBuffer, Segment, SegmentStore};
+use p2ps_proto::{read_message, write_message, CandidateRecord, Message, SessionPlan};
+
+use crate::{NodeError, StreamOutcome};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
+const STREAM_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A candidate supplier reached over TCP. Implements the *same*
+/// [`Candidate`] trait the simulator uses, so the admission protocol logic
+/// is shared verbatim.
+struct NetCandidate {
+    rec: CandidateRecord,
+    session: u64,
+    requester_class: PeerClass,
+    /// Open while the candidate may still receive follow-up messages.
+    stream: Option<TcpStream>,
+    granted: bool,
+}
+
+impl NetCandidate {
+    fn new(rec: CandidateRecord, session: u64, requester_class: PeerClass) -> Self {
+        NetCandidate {
+            rec,
+            session,
+            requester_class,
+            stream: None,
+            granted: false,
+        }
+    }
+
+    fn try_request(&mut self) -> io::Result<RequestDecision> {
+        let addr = std::net::SocketAddr::from(([127, 0, 0, 1], self.rec.port));
+        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(2_000)))?;
+        write_message(
+            &mut stream,
+            &Message::StreamRequest {
+                session: self.session,
+                class: self.requester_class,
+            },
+        )?;
+        let reply = read_message(&mut stream)?;
+        match reply {
+            Message::Grant { .. } => {
+                self.granted = true;
+                self.stream = Some(stream);
+                Ok(RequestDecision::Granted)
+            }
+            Message::Deny { busy, favored, .. } => {
+                if busy && favored {
+                    // Keep the connection open: a reminder may follow.
+                    self.stream = Some(stream);
+                }
+                if busy {
+                    Ok(RequestDecision::Busy { favored })
+                } else {
+                    Ok(RequestDecision::Refused)
+                }
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected grant/deny, got {}", other.name()),
+            )),
+        }
+    }
+
+    fn take_stream(&mut self) -> Option<TcpStream> {
+        self.stream.take()
+    }
+}
+
+impl Candidate for NetCandidate {
+    fn class(&self) -> PeerClass {
+        self.rec.class
+    }
+
+    fn request(&mut self, _from: PeerClass) -> RequestDecision {
+        // An unreachable or misbehaving candidate is "down" in the paper's
+        // terms: no bandwidth can be secured from it and no reminder can
+        // be left with it.
+        self.try_request().unwrap_or(RequestDecision::Refused)
+    }
+
+    fn leave_reminder(&mut self, from: PeerClass) {
+        if let Some(stream) = &mut self.stream {
+            let _ = write_message(
+                stream,
+                &Message::Reminder {
+                    session: self.session,
+                    class: from,
+                },
+            );
+        }
+        self.stream = None; // hang up after the reminder
+    }
+
+    fn release(&mut self) {
+        if self.granted {
+            if let Some(stream) = &mut self.stream {
+                let _ = write_message(
+                    stream,
+                    &Message::Release {
+                        session: self.session,
+                    },
+                );
+            }
+        }
+        self.stream = None;
+    }
+}
+
+/// One full admission attempt followed (on success) by the streaming
+/// session. Returns the outcome and the received segments.
+pub(crate) fn attempt_and_stream(
+    candidates: Vec<CandidateRecord>,
+    class: PeerClass,
+    session: u64,
+    info: &MediaInfo,
+) -> Result<(StreamOutcome, SegmentStore), NodeError> {
+    let mut net: Vec<NetCandidate> = candidates
+        .into_iter()
+        .map(|rec| NetCandidate::new(rec, session, class))
+        .collect();
+
+    let outcome = attempt_admission(class, &mut net);
+    match outcome {
+        ProbeOutcome::Admitted { granted } => {
+            let mut suppliers: Vec<(PeerClass, TcpStream)> = Vec::with_capacity(granted.len());
+            for i in granted {
+                let stream = net[i]
+                    .take_stream()
+                    .ok_or_else(|| NodeError::Protocol("granted candidate lost stream".into()))?;
+                suppliers.push((net[i].class(), stream));
+            }
+            receive_stream(suppliers, session, info)
+        }
+        ProbeOutcome::Rejected { reminders, .. } => Err(NodeError::Rejected {
+            reminders_left: reminders.len(),
+        }),
+    }
+}
+
+/// Computes the `OTSp2p` assignment over the granted suppliers, starts the
+/// session on every connection and receives until all suppliers finish.
+fn receive_stream(
+    mut suppliers: Vec<(PeerClass, TcpStream)>,
+    session: u64,
+    info: &MediaInfo,
+) -> Result<(StreamOutcome, SegmentStore), NodeError> {
+    let classes: Vec<PeerClass> = suppliers.iter().map(|(c, _)| *c).collect();
+    let assignment = otsp2p(&classes)?;
+    let dt_ms = info.segment_duration().as_millis();
+    let started = Instant::now();
+
+    // Kick off every supplier with its share of the assignment. Slot i of
+    // the assignment maps back to our supplier list via input_index.
+    for slot in 0..assignment.supplier_count() {
+        let input = assignment.input_index(slot);
+        let plan = SessionPlan {
+            item: info.name().to_owned(),
+            segments: assignment.segments_of(slot).to_vec(),
+            period: assignment.period(),
+            total_segments: info.segment_count(),
+            dt_ms: dt_ms as u32,
+        };
+        let (_, stream) = &mut suppliers[input];
+        write_message(&mut *stream, &Message::StartSession { session, plan })
+            .map_err(NodeError::Io)?;
+    }
+
+    // One reader thread per supplier feeding a common channel.
+    let (tx, rx) = channel::unbounded::<(u64, bytes::Bytes, u64)>();
+    let mut readers = Vec::new();
+    for (_, stream) in suppliers {
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || -> io::Result<()> {
+            let mut stream = stream;
+            stream.set_read_timeout(Some(STREAM_READ_TIMEOUT))?;
+            loop {
+                match read_message(&mut stream)? {
+                    Message::SegmentData { index, payload, .. } => {
+                        let at = started.elapsed().as_millis() as u64;
+                        let _ = tx.send((index, payload, at));
+                    }
+                    Message::EndSession { .. } => return Ok(()),
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("expected segment data, got {}", other.name()),
+                        ));
+                    }
+                }
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut store = SegmentStore::new(info.segment_count());
+    let mut buffer = PlaybackBuffer::new(info.segment_count(), info.segment_duration());
+    while let Ok((index, payload, at_ms)) = rx.recv() {
+        if index < info.segment_count() {
+            buffer.record_arrival(index, at_ms);
+            store.insert(Segment::new(index, payload));
+        }
+    }
+    for handle in readers {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(NodeError::Io(e)),
+            Err(_) => return Err(NodeError::Protocol("reader thread panicked".into())),
+        }
+    }
+
+    if !store.is_complete() {
+        return Err(NodeError::IncompleteStream {
+            received: store.len() as u64,
+            expected: info.segment_count(),
+        });
+    }
+
+    let measured = buffer
+        .min_feasible_delay_ms()
+        .expect("store is complete, so is the buffer");
+    let theoretical = assignment.buffering_delay(info.segment_duration());
+    let outcome = StreamOutcome {
+        supplier_count: classes.len(),
+        supplier_classes: classes,
+        measured_delay_ms: measured,
+        theoretical_delay_ms: theoretical.as_millis() as u64,
+        duration_ms: started.elapsed().as_millis() as u64,
+    };
+    Ok((outcome, store))
+}

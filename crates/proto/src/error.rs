@@ -1,0 +1,66 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The frame body ended before all advertised fields were read.
+    UnexpectedEof,
+    /// The message tag byte is not a known message type.
+    UnknownTag(u8),
+    /// A peer-class byte was outside the valid range.
+    InvalidClass(u8),
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// The frame length prefix exceeds [`crate::MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// Bytes remained in the frame after the last field — a framing bug or
+    /// a protocol-version mismatch.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "frame ended before all fields were read"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            DecodeError::InvalidClass(c) => write!(f, "invalid peer class byte {c}"),
+            DecodeError::InvalidUtf8 => write!(f, "string field was not valid utf-8"),
+            DecodeError::FrameTooLarge(n) => write!(f, "frame length {n} exceeds the limit"),
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for std::io::Error {
+    fn from(e: DecodeError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DecodeError::UnexpectedEof.to_string().contains("ended"));
+        assert!(DecodeError::UnknownTag(0xff).to_string().contains("0xff"));
+        assert!(DecodeError::InvalidClass(0).to_string().contains("class"));
+        assert!(DecodeError::InvalidUtf8.to_string().contains("utf-8"));
+        assert!(DecodeError::FrameTooLarge(1).to_string().contains("exceeds"));
+        assert!(DecodeError::TrailingBytes(3).to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn converts_to_io_error() {
+        let io: std::io::Error = DecodeError::UnexpectedEof.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

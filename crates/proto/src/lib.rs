@@ -1,0 +1,45 @@
+//! Wire protocol for the `p2ps` peer node.
+//!
+//! Peers and the directory server exchange length-prefixed binary frames.
+//! The codec is hand-rolled on top of [`bytes`] — no serialization
+//! framework — so the byte layout is explicit, stable and cheap to parse:
+//!
+//! ```text
+//! frame  := len:u32le  body
+//! body   := tag:u8     fields…       (layout per message, see `Message`)
+//! ```
+//!
+//! The message set covers the three planes of the paper's protocol:
+//!
+//! * **Lookup** — register with / query the directory (`Register`,
+//!   `QueryCandidates`, `Candidates`).
+//! * **Admission** — the `DACp2p` handshake (`StreamRequest`, `Grant`,
+//!   `Deny`, `Release`, `Reminder`).
+//! * **Streaming** — session setup and paced segment delivery
+//!   (`StartSession`, `SegmentData`, `EndSession`).
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::BytesMut;
+//! use p2ps_proto::{decode_frame, encode_frame, Message};
+//! use p2ps_core::PeerClass;
+//!
+//! let msg = Message::StreamRequest { session: 42, class: PeerClass::new(2)? };
+//! let mut buf = BytesMut::new();
+//! encode_frame(&msg, &mut buf);
+//! let decoded = decode_frame(&mut buf)?.expect("complete frame");
+//! assert_eq!(decoded, msg);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod message;
+
+pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
+pub use error::DecodeError;
+pub use message::{CandidateRecord, Message, SessionPlan};

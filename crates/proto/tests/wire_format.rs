@@ -1,0 +1,199 @@
+//! Golden-byte tests pinning the wire format.
+//!
+//! The codec is hand-rolled, so nothing but these tests guarantees that a
+//! refactor keeps old and new nodes interoperable. Every message's exact
+//! byte layout is asserted against a hex golden value; if one of these
+//! fails, the change broke protocol compatibility.
+
+use bytes::{Bytes, BytesMut};
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_proto::{decode_frame, encode_frame, CandidateRecord, Message, SessionPlan};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn encoded(msg: &Message) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    encode_frame(msg, &mut buf);
+    buf.to_vec()
+}
+
+#[track_caller]
+fn assert_golden(msg: Message, expected_hex: &str) {
+    let bytes = encoded(&msg);
+    assert_eq!(
+        hex(&bytes),
+        expected_hex,
+        "wire layout changed for {}",
+        msg.name()
+    );
+    // and the golden bytes still decode to the message
+    let mut buf = BytesMut::from(&bytes[..]);
+    assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), msg);
+}
+
+#[test]
+fn register_layout() {
+    assert_golden(
+        Message::Register {
+            item: "v".into(),
+            peer: PeerId::new(2),
+            class: PeerClass::new(3).unwrap(),
+            port: 0x1234,
+        },
+        // len=15 | tag 01 | strlen 0100 | 'v' | peer u64le | class 03 | port 3412
+        "0f000000010100760200000000000000033412",
+    );
+}
+
+#[test]
+fn query_candidates_layout() {
+    assert_golden(
+        Message::QueryCandidates {
+            item: "v".into(),
+            m: 8,
+        },
+        "06000000020100760800",
+    );
+}
+
+#[test]
+fn candidates_layout() {
+    assert_golden(
+        Message::Candidates {
+            list: vec![CandidateRecord {
+                id: PeerId::new(1),
+                class: PeerClass::new(2).unwrap(),
+                port: 0x00ff,
+            }],
+        },
+        // len=14 | tag 03 | count 0100 | id u64le | class 02 | port ff00
+        "0e000000030100010000000000000002ff00",
+    );
+}
+
+#[test]
+fn stream_request_layout() {
+    assert_golden(
+        Message::StreamRequest {
+            session: 0x0102030405060708,
+            class: PeerClass::new(4).unwrap(),
+        },
+        // len=10 | tag 10 | session u64le | class 04
+        "0a000000100807060504030201 04".replace(' ', "").as_str(),
+    );
+}
+
+#[test]
+fn grant_layout() {
+    assert_golden(
+        Message::Grant {
+            session: 1,
+            class: PeerClass::new(1).unwrap(),
+        },
+        "0a00000011010000000000000001",
+    );
+}
+
+#[test]
+fn deny_flag_packing() {
+    // busy -> bit 0, favored -> bit 1
+    let cases = [
+        (false, false, "00"),
+        (true, false, "01"),
+        (false, true, "02"),
+        (true, true, "03"),
+    ];
+    for (busy, favored, flags) in cases {
+        let bytes = encoded(&Message::Deny {
+            session: 0,
+            busy,
+            favored,
+        });
+        assert_eq!(
+            hex(&bytes),
+            format!("0a000000120000000000000000{flags}"),
+            "busy={busy} favored={favored}"
+        );
+    }
+}
+
+#[test]
+fn release_and_reminder_and_end_layout() {
+    assert_eq!(
+        hex(&encoded(&Message::Release { session: 2 })),
+        "09000000130200000000000000"
+    );
+    assert_eq!(
+        hex(&encoded(&Message::Reminder {
+            session: 2,
+            class: PeerClass::new(1).unwrap(),
+        })),
+        "0a00000014020000000000000001"
+    );
+    assert_eq!(
+        hex(&encoded(&Message::EndSession { session: 2 })),
+        "09000000220200000000000000"
+    );
+}
+
+#[test]
+fn start_session_layout() {
+    let bytes = encoded(&Message::StartSession {
+        session: 1,
+        plan: SessionPlan {
+            item: "v".into(),
+            segments: vec![0, 7],
+            period: 8,
+            total_segments: 16,
+            dt_ms: 1000,
+        },
+    });
+    assert_eq!(
+        hex(&bytes),
+        concat!(
+            "28000000", // len = 40
+            "20",       // tag
+            "0100000000000000", // session
+            "010076",   // item "v"
+            "02000000", // 2 segments
+            "00000000", "07000000",
+            "08000000", // period
+            "1000000000000000", // total = 16
+            "e8030000"  // dt_ms = 1000
+        )
+    );
+}
+
+#[test]
+fn segment_data_layout() {
+    let bytes = encoded(&Message::SegmentData {
+        session: 1,
+        index: 2,
+        payload: Bytes::from_static(b"\xAA\xBB"),
+    });
+    assert_eq!(
+        hex(&bytes),
+        concat!(
+            "17000000", // len = 23
+            "21",
+            "0100000000000000",
+            "0200000000000000",
+            "02000000",
+            "aabb"
+        )
+    );
+}
+
+#[test]
+fn length_prefix_is_little_endian_body_length() {
+    for msg in [
+        Message::Release { session: 0 },
+        Message::EndSession { session: u64::MAX },
+    ] {
+        let bytes = encoded(&msg);
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4);
+    }
+}

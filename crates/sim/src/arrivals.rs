@@ -1,0 +1,311 @@
+//! First-time request arrival patterns (paper §5.1).
+//!
+//! The paper simulates four arrival patterns over the first 72 hours and
+//! defers their exact specification to a technical report we do not have;
+//! the shapes implemented here follow the prose (see DESIGN.md §4):
+//!
+//! 1. **Constant** arrivals.
+//! 2. **Ramp** — gradually increasing, then gradually decreasing.
+//! 3. **Initial burst** — bursty arrivals followed by lower, constant
+//!    arrivals.
+//! 4. **Periodic bursts** — bursts every 12 h with low constant arrivals
+//!    between bursts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant arrival-rate density over `[0, 1)` (normalized
+/// time; scaled to the arrival window when sampling).
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_sim::PiecewiseRate;
+///
+/// // Twice the base rate in the first tenth of the window.
+/// let rate = PiecewiseRate::new(vec![(0.0, 0.1, 2.0), (0.1, 1.0, 1.0)]);
+/// assert!((rate.total_mass() - 1.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseRate {
+    /// `(start, end, weight)` pieces covering `[0, 1)`; weights are
+    /// relative densities.
+    pieces: Vec<(f64, f64, f64)>,
+}
+
+impl PiecewiseRate {
+    /// Creates a density from `(start, end, weight)` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pieces are empty, out of `[0, 1]`, unordered, overlapping
+    /// or carry negative/zero total weight.
+    pub fn new(pieces: Vec<(f64, f64, f64)>) -> Self {
+        assert!(!pieces.is_empty(), "need at least one piece");
+        let mut prev_end = 0.0;
+        for &(s, e, w) in &pieces {
+            assert!(
+                (0.0..=1.0).contains(&s) && (0.0..=1.0).contains(&e) && s < e,
+                "piece ({s}, {e}) must lie within [0, 1] and be non-empty"
+            );
+            assert!(s >= prev_end, "pieces must be ordered and disjoint");
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+            prev_end = e;
+        }
+        let rate = PiecewiseRate { pieces };
+        assert!(rate.total_mass() > 0.0, "total arrival mass must be positive");
+        rate
+    }
+
+    /// Integral of the density over `[0, 1)`.
+    pub fn total_mass(&self) -> f64 {
+        self.pieces.iter().map(|&(s, e, w)| (e - s) * w).sum()
+    }
+
+    /// Draws one normalized arrival time by inverse-transform sampling.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let target = rng.gen::<f64>() * self.total_mass();
+        let mut acc = 0.0;
+        for &(s, e, w) in &self.pieces {
+            let mass = (e - s) * w;
+            if acc + mass >= target {
+                if mass == 0.0 {
+                    return s;
+                }
+                return s + (target - acc) / w;
+            }
+            acc += mass;
+        }
+        self.pieces.last().map(|&(_, e, _)| e).unwrap_or(1.0)
+    }
+}
+
+/// The four first-time request arrival patterns of the paper's §5.1.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Pattern 1: constant arrivals over the whole window.
+    Constant,
+    /// Pattern 2: gradually increasing, then gradually decreasing arrivals
+    /// (triangular density peaking at the middle of the window).
+    #[default]
+    Ramp,
+    /// Pattern 3: a heavy burst in the first twelfth of the window (half
+    /// of all arrivals), then low constant arrivals.
+    InitialBurst,
+    /// Pattern 4: periodic bursts — six 2-hour-per-12-hour bursts carrying
+    /// 70 % of arrivals, low constant arrivals between bursts.
+    PeriodicBursts,
+    /// A caller-supplied density (for ablations beyond the paper).
+    Custom(PiecewiseRate),
+}
+
+impl ArrivalPattern {
+    /// The paper's pattern number (1–4), or `None` for custom densities.
+    pub fn paper_number(&self) -> Option<u8> {
+        match self {
+            ArrivalPattern::Constant => Some(1),
+            ArrivalPattern::Ramp => Some(2),
+            ArrivalPattern::InitialBurst => Some(3),
+            ArrivalPattern::PeriodicBursts => Some(4),
+            ArrivalPattern::Custom(_) => None,
+        }
+    }
+
+    /// The pattern's density over normalized time `[0, 1)`.
+    pub fn density(&self) -> PiecewiseRate {
+        match self {
+            ArrivalPattern::Constant => PiecewiseRate::new(vec![(0.0, 1.0, 1.0)]),
+            ArrivalPattern::Ramp => {
+                // Staircase triangle: up over the first half, down over the
+                // second (8 steps approximate the paper's "gradual" shape).
+                let mut pieces = Vec::new();
+                let steps = 8;
+                for i in 0..steps {
+                    let s = i as f64 / steps as f64;
+                    let e = (i + 1) as f64 / steps as f64;
+                    let mid = (s + e) / 2.0;
+                    let w = if mid < 0.5 { mid * 4.0 } else { (1.0 - mid) * 4.0 };
+                    pieces.push((s, e, w));
+                }
+                PiecewiseRate::new(pieces)
+            }
+            ArrivalPattern::InitialBurst => PiecewiseRate::new(vec![
+                // Half of all arrivals in the first 1/12 of the window.
+                (0.0, 1.0 / 12.0, 6.0),
+                (1.0 / 12.0, 1.0, 6.0 / 11.0),
+            ]),
+            ArrivalPattern::PeriodicBursts => {
+                // 6 bursts of 2h each within 12h periods of a 72h window:
+                // burst occupies the first 1/6 of each period and carries
+                // 70% of that period's arrivals.
+                let mut pieces = Vec::new();
+                let periods = 6;
+                for p in 0..periods {
+                    let start = p as f64 / periods as f64;
+                    let burst_end = start + 1.0 / (periods as f64 * 6.0);
+                    let period_end = (p + 1) as f64 / periods as f64;
+                    // burst: 0.7 mass over width 1/36 -> weight 25.2
+                    pieces.push((start, burst_end, 0.7 * 36.0));
+                    // trough: 0.3 mass over width 5/36 -> weight 2.16
+                    pieces.push((burst_end, period_end, 0.3 * 36.0 / 5.0));
+                }
+                PiecewiseRate::new(pieces)
+            }
+            ArrivalPattern::Custom(rate) => rate.clone(),
+        }
+    }
+
+    /// Generates `n` arrival times (seconds) within `[0, window_secs)`,
+    /// sorted ascending.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        window_secs: u64,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let density = self.density();
+        let mut times: Vec<u64> = (0..n)
+            .map(|_| {
+                let x = density.sample(rng);
+                ((x * window_secs as f64) as u64).min(window_secs.saturating_sub(1))
+            })
+            .collect();
+        times.sort_unstable();
+        times
+    }
+}
+
+impl std::fmt::Display for ArrivalPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.paper_number() {
+            Some(n) => write!(f, "pattern-{n}"),
+            None => write!(f, "pattern-custom"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn all_patterns_generate_exactly_n_sorted_in_window() {
+        let window = 72 * 3_600;
+        for pattern in [
+            ArrivalPattern::Constant,
+            ArrivalPattern::Ramp,
+            ArrivalPattern::InitialBurst,
+            ArrivalPattern::PeriodicBursts,
+        ] {
+            let times = pattern.generate(5_000, window, &mut rng());
+            assert_eq!(times.len(), 5_000, "{pattern}");
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "{pattern} sorted");
+            assert!(*times.last().unwrap() < window, "{pattern} in window");
+        }
+    }
+
+    #[test]
+    fn constant_pattern_is_roughly_uniform() {
+        let window = 72_000;
+        let times = ArrivalPattern::Constant.generate(20_000, window, &mut rng());
+        let first_half = times.iter().filter(|&&t| t < window / 2).count();
+        assert!(
+            (9_000..11_000).contains(&first_half),
+            "first half got {first_half} of 20000"
+        );
+    }
+
+    #[test]
+    fn ramp_peaks_in_the_middle() {
+        let window = 72_000;
+        let times = ArrivalPattern::Ramp.generate(30_000, window, &mut rng());
+        let third = |lo: u64, hi: u64| times.iter().filter(|&&t| t >= lo && t < hi).count();
+        let early = third(0, window / 3);
+        let middle = third(window / 3, 2 * window / 3);
+        let late = third(2 * window / 3, window);
+        assert!(middle > early + early / 2, "middle {middle} vs early {early}");
+        assert!(middle > late + late / 2, "middle {middle} vs late {late}");
+    }
+
+    #[test]
+    fn initial_burst_frontloads_half() {
+        let window = 72_000;
+        let times = ArrivalPattern::InitialBurst.generate(20_000, window, &mut rng());
+        let in_burst = times.iter().filter(|&&t| t < window / 12).count();
+        assert!(
+            (9_000..11_000).contains(&in_burst),
+            "burst got {in_burst} of 20000"
+        );
+    }
+
+    #[test]
+    fn periodic_bursts_have_six_spikes() {
+        let window = 72 * 3_600u64;
+        let times = ArrivalPattern::PeriodicBursts.generate(36_000, window, &mut rng());
+        // Each 12h period: first 2h must hold ~70% of that period's mass.
+        for p in 0..6u64 {
+            let start = p * window / 6;
+            let burst_end = start + window / 36;
+            let period_end = (p + 1) * window / 6;
+            let burst = times.iter().filter(|&&t| t >= start && t < burst_end).count();
+            let whole = times.iter().filter(|&&t| t >= start && t < period_end).count();
+            let frac = burst as f64 / whole as f64;
+            assert!(
+                (0.6..0.8).contains(&frac),
+                "period {p}: burst fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_density_is_respected() {
+        let rate = PiecewiseRate::new(vec![(0.0, 0.5, 0.0), (0.5, 1.0, 1.0)]);
+        let times = ArrivalPattern::Custom(rate).generate(1_000, 1_000, &mut rng());
+        assert!(times.iter().all(|&t| t >= 500));
+    }
+
+    #[test]
+    fn paper_numbers() {
+        assert_eq!(ArrivalPattern::Constant.paper_number(), Some(1));
+        assert_eq!(ArrivalPattern::Ramp.paper_number(), Some(2));
+        assert_eq!(ArrivalPattern::InitialBurst.paper_number(), Some(3));
+        assert_eq!(ArrivalPattern::PeriodicBursts.paper_number(), Some(4));
+        let custom = ArrivalPattern::Custom(PiecewiseRate::new(vec![(0.0, 1.0, 1.0)]));
+        assert_eq!(custom.paper_number(), None);
+        assert_eq!(format!("{custom}"), "pattern-custom");
+        assert_eq!(format!("{}", ArrivalPattern::Ramp), "pattern-2");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ArrivalPattern::Ramp.generate(100, 1_000, &mut SmallRng::seed_from_u64(1));
+        let b = ArrivalPattern::Ramp.generate(100, 1_000, &mut SmallRng::seed_from_u64(1));
+        let c = ArrivalPattern::Ramp.generate(100, 1_000, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn overlapping_pieces_panic() {
+        let _ = PiecewiseRate::new(vec![(0.0, 0.6, 1.0), (0.5, 1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass must be positive")]
+    fn zero_mass_panics() {
+        let _ = PiecewiseRate::new(vec![(0.0, 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn zero_arrivals_is_fine() {
+        let times = ArrivalPattern::Constant.generate(0, 1_000, &mut rng());
+        assert!(times.is_empty());
+    }
+}

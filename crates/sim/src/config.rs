@@ -1,0 +1,577 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use p2ps_core::admission::Protocol;
+use p2ps_core::PeerClass;
+
+use crate::{ArrivalPattern, HOUR, MINUTE};
+
+/// Configuration errors raised by [`SimConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The per-class mix does not have one weight per class or sums to 0.
+    BadClassMix,
+    /// Number of classes outside `1..=PeerClass::MAX`.
+    BadClassCount(u8),
+    /// The arrival window exceeds the simulation duration.
+    WindowExceedsDuration,
+    /// Zero requesting peers and zero seeds — nothing to simulate.
+    EmptySystem,
+    /// `m` (candidates per probe) must be at least 1.
+    ZeroCandidates,
+    /// Session duration must be positive.
+    ZeroSessionDuration,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadClassMix => write!(f, "class mix must have one positive-sum weight per class"),
+            ConfigError::BadClassCount(k) => write!(f, "invalid class count {k}"),
+            ConfigError::WindowExceedsDuration => {
+                write!(f, "arrival window exceeds simulation duration")
+            }
+            ConfigError::EmptySystem => write!(f, "no peers to simulate"),
+            ConfigError::ZeroCandidates => write!(f, "need at least one candidate per probe"),
+            ConfigError::ZeroSessionDuration => write!(f, "session duration must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full parameterization of one simulation run.
+///
+/// Defaults reproduce the paper's §5.1 setup: 100 class-1 seeds, 50,000
+/// requesting peers (classes 1–4 at 10/10/40/40 %), `M = 8`,
+/// `T_out = 20 min`, `T_bkf = 10 min`, `E_bkf = 2`, a 60-minute show, a
+/// 72-hour arrival window and a 144-hour horizon.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_sim::SimConfig;
+///
+/// let paper = SimConfig::paper_defaults();
+/// assert_eq!(paper.requesting_peers(), 50_000);
+/// assert_eq!(paper.m(), 8);
+/// let small = SimConfig::builder().requesting_peers(100).build()?;
+/// assert_eq!(small.requesting_peers(), 100);
+/// # Ok::<(), p2ps_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    seed_suppliers: u32,
+    seed_class: PeerClass,
+    requesting_peers: u32,
+    num_classes: u8,
+    class_mix: Vec<f64>,
+    m: usize,
+    t_out_secs: u64,
+    t_bkf_secs: u64,
+    e_bkf: u32,
+    session_secs: u64,
+    arrival_window_secs: u64,
+    duration_secs: u64,
+    pattern: ArrivalPattern,
+    protocol: Protocol,
+    down_probability: f64,
+    snapshot_secs: u64,
+    favored_window_secs: u64,
+    bandwidth_shift: u8,
+    reminders_enabled: bool,
+    session_relax_enabled: bool,
+    supplier_lifetime_secs: Option<u64>,
+}
+
+impl SimConfig {
+    /// A builder preloaded with the paper's defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// The exact §5.1 configuration (50,100 peers, 144 h).
+    pub fn paper_defaults() -> Self {
+        SimConfig::builder().build().expect("paper defaults are valid")
+    }
+
+    /// Number of seed supplying peers present at `t = 0`.
+    pub fn seed_suppliers(&self) -> u32 {
+        self.seed_suppliers
+    }
+
+    /// Class of the seed suppliers (class 1 in the paper).
+    pub fn seed_class(&self) -> PeerClass {
+        self.seed_class
+    }
+
+    /// Number of requesting peers arriving during the window.
+    pub fn requesting_peers(&self) -> u32 {
+        self.requesting_peers
+    }
+
+    /// Number of bandwidth classes `K`.
+    pub fn num_classes(&self) -> u8 {
+        self.num_classes
+    }
+
+    /// Relative weight of each class among requesting peers.
+    pub fn class_mix(&self) -> &[f64] {
+        &self.class_mix
+    }
+
+    /// Candidates probed per admission attempt (the paper's `M`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Idle relaxation timeout `T_out` in seconds.
+    pub fn t_out_secs(&self) -> u64 {
+        self.t_out_secs
+    }
+
+    /// Base backoff `T_bkf` in seconds.
+    pub fn t_bkf_secs(&self) -> u64 {
+        self.t_bkf_secs
+    }
+
+    /// Exponential backoff factor `E_bkf`.
+    pub fn e_bkf(&self) -> u32 {
+        self.e_bkf
+    }
+
+    /// Streaming session duration `T` (the show time) in seconds.
+    pub fn session_secs(&self) -> u64 {
+        self.session_secs
+    }
+
+    /// First-time arrival window in seconds (72 h in the paper).
+    pub fn arrival_window_secs(&self) -> u64 {
+        self.arrival_window_secs
+    }
+
+    /// Total simulated time in seconds (144 h in the paper).
+    pub fn duration_secs(&self) -> u64 {
+        self.duration_secs
+    }
+
+    /// The first-time request arrival pattern.
+    pub fn pattern(&self) -> &ArrivalPattern {
+        &self.pattern
+    }
+
+    /// Which admission protocol suppliers run.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Probability that a probed candidate is down (transiently
+    /// unreachable); `0.0` in the paper's setup.
+    pub fn down_probability(&self) -> f64 {
+        self.down_probability
+    }
+
+    /// Metric snapshot interval in seconds (1 h by default).
+    pub fn snapshot_secs(&self) -> u64 {
+        self.snapshot_secs
+    }
+
+    /// Window for the Fig.-7 lowest-favored-class average (3 h default).
+    pub fn favored_window_secs(&self) -> u64 {
+        self.favored_window_secs
+    }
+
+    /// Bandwidth scale shift: a (protocol-)class-`k` peer offers
+    /// `R0 / 2^(k - 1 + shift)`.
+    ///
+    /// The paper's §2 model reads `shift = 0` (class 1 offers the full
+    /// playback rate), but every quantitative aspect of its §5 evaluation —
+    /// final capacity ≈ 7.5k not 15.1k, buffering delays never below
+    /// `2·δt`, the capacity collapse at `M = 4` — is only reproducible
+    /// with `shift = 1` (class-`k` offers `R0/2^k`, so no single peer can
+    /// serve a session alone). The default is therefore `1`; set `0` to
+    /// exercise the literal §2 scale. See DESIGN.md §4.6.
+    pub fn bandwidth_shift(&self) -> u8 {
+        self.bandwidth_shift
+    }
+
+    /// The out-bound bandwidth a peer of protocol class `class` offers
+    /// under this configuration's [`bandwidth_shift`](Self::bandwidth_shift).
+    pub fn offer_of(&self, class: PeerClass) -> p2ps_core::Bandwidth {
+        PeerClass::new(class.get() + self.bandwidth_shift)
+            .expect("validated: class + shift within range")
+            .bandwidth()
+    }
+
+    /// Whether the reminder mechanism is active (ablation switch,
+    /// default `true`).
+    pub fn reminders_enabled(&self) -> bool {
+        self.reminders_enabled
+    }
+
+    /// Whether end-of-session relaxation is active (ablation switch,
+    /// default `true`).
+    pub fn session_relax_enabled(&self) -> bool {
+        self.session_relax_enabled
+    }
+
+    /// How long a peer keeps supplying after it becomes a supplier, or
+    /// `None` for the paper's model (suppliers never leave). This *churn*
+    /// extension stresses the protocols' resilience; see the `churn`
+    /// experiment binary.
+    pub fn supplier_lifetime_secs(&self) -> Option<u64> {
+        self.supplier_lifetime_secs
+    }
+
+    /// The maximum possible capacity: every peer (seeds + requesters)
+    /// supplying, in expectation over the class mix, at this
+    /// configuration's bandwidth scale.
+    pub fn expected_max_capacity(&self) -> f64 {
+        let mix_total: f64 = self.class_mix.iter().sum();
+        let mut cap = self.seed_suppliers as f64
+            * self.offer_of(self.seed_class).fraction_of_rate();
+        for (i, w) in self.class_mix.iter().enumerate() {
+            let class = PeerClass::new(i as u8 + 1).expect("validated");
+            cap += self.requesting_peers as f64 * (w / mix_total)
+                * self.offer_of(class).fraction_of_rate();
+        }
+        cap
+    }
+}
+
+/// Builder for [`SimConfig`] (non-consuming, per the API guidelines).
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            config: SimConfig {
+                seed_suppliers: 100,
+                seed_class: PeerClass::HIGHEST,
+                requesting_peers: 50_000,
+                num_classes: 4,
+                class_mix: vec![0.10, 0.10, 0.40, 0.40],
+                m: 8,
+                t_out_secs: 20 * MINUTE,
+                t_bkf_secs: 10 * MINUTE,
+                e_bkf: 2,
+                session_secs: 60 * MINUTE,
+                arrival_window_secs: 72 * HOUR,
+                duration_secs: 144 * HOUR,
+                pattern: ArrivalPattern::Ramp,
+                protocol: Protocol::Dac,
+                down_probability: 0.0,
+                snapshot_secs: HOUR,
+                favored_window_secs: 3 * HOUR,
+                bandwidth_shift: 1,
+                reminders_enabled: true,
+                session_relax_enabled: true,
+                supplier_lifetime_secs: None,
+            },
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the number of seed suppliers.
+    pub fn seed_suppliers(&mut self, n: u32) -> &mut Self {
+        self.config.seed_suppliers = n;
+        self
+    }
+
+    /// Sets the class of seed suppliers.
+    pub fn seed_class(&mut self, class: PeerClass) -> &mut Self {
+        self.config.seed_class = class;
+        self
+    }
+
+    /// Sets the number of requesting peers.
+    pub fn requesting_peers(&mut self, n: u32) -> &mut Self {
+        self.config.requesting_peers = n;
+        self
+    }
+
+    /// Sets the number of classes and their mix weights.
+    pub fn class_mix(&mut self, weights: Vec<f64>) -> &mut Self {
+        self.config.num_classes = weights.len() as u8;
+        self.config.class_mix = weights;
+        self
+    }
+
+    /// Sets `M`, the candidates probed per attempt.
+    pub fn m(&mut self, m: usize) -> &mut Self {
+        self.config.m = m;
+        self
+    }
+
+    /// Sets `T_out` in minutes (paper units).
+    pub fn t_out_minutes(&mut self, minutes: u64) -> &mut Self {
+        self.config.t_out_secs = minutes * MINUTE;
+        self
+    }
+
+    /// Sets `T_bkf` in minutes (paper units).
+    pub fn t_bkf_minutes(&mut self, minutes: u64) -> &mut Self {
+        self.config.t_bkf_secs = minutes * MINUTE;
+        self
+    }
+
+    /// Sets the exponential backoff factor `E_bkf`.
+    pub fn e_bkf(&mut self, factor: u32) -> &mut Self {
+        self.config.e_bkf = factor;
+        self
+    }
+
+    /// Sets the session (show) duration in minutes.
+    pub fn session_minutes(&mut self, minutes: u64) -> &mut Self {
+        self.config.session_secs = minutes * MINUTE;
+        self
+    }
+
+    /// Sets the first-time arrival window in hours.
+    pub fn arrival_window_hours(&mut self, hours: u64) -> &mut Self {
+        self.config.arrival_window_secs = hours * HOUR;
+        self
+    }
+
+    /// Sets the simulated horizon in hours.
+    pub fn duration_hours(&mut self, hours: u64) -> &mut Self {
+        self.config.duration_secs = hours * HOUR;
+        self
+    }
+
+    /// Sets the arrival pattern.
+    pub fn pattern(&mut self, pattern: ArrivalPattern) -> &mut Self {
+        self.config.pattern = pattern;
+        self
+    }
+
+    /// Sets the admission protocol.
+    pub fn protocol(&mut self, protocol: Protocol) -> &mut Self {
+        self.config.protocol = protocol;
+        self
+    }
+
+    /// Sets the probability that a probed candidate is down.
+    pub fn down_probability(&mut self, p: f64) -> &mut Self {
+        self.config.down_probability = p;
+        self
+    }
+
+    /// Sets the bandwidth scale shift (see
+    /// [`SimConfig::bandwidth_shift`]). `1` reproduces the paper's
+    /// evaluation; `0` is the literal §2 model.
+    pub fn bandwidth_shift(&mut self, shift: u8) -> &mut Self {
+        self.config.bandwidth_shift = shift;
+        self
+    }
+
+    /// Ablation switch: enables/disables the reminder mechanism.
+    pub fn reminders(&mut self, enabled: bool) -> &mut Self {
+        self.config.reminders_enabled = enabled;
+        self
+    }
+
+    /// Ablation switch: enables/disables end-of-session relaxation.
+    pub fn session_relax(&mut self, enabled: bool) -> &mut Self {
+        self.config.session_relax_enabled = enabled;
+        self
+    }
+
+    /// Churn extension: suppliers depart this many hours after becoming a
+    /// supplier (`None`/unset = the paper's no-departure model).
+    pub fn supplier_lifetime_hours(&mut self, hours: u64) -> &mut Self {
+        self.config.supplier_lifetime_secs = Some(hours * HOUR);
+        self
+    }
+
+    /// Sets the metric snapshot interval in seconds.
+    pub fn snapshot_secs(&mut self, secs: u64) -> &mut Self {
+        self.config.snapshot_secs = secs;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] describing the first violated constraint.
+    pub fn build(&self) -> Result<SimConfig, ConfigError> {
+        let c = &self.config;
+        if c.num_classes == 0 || c.num_classes > PeerClass::MAX {
+            return Err(ConfigError::BadClassCount(c.num_classes));
+        }
+        if c.class_mix.len() != c.num_classes as usize
+            || c.class_mix.iter().any(|&w| w.is_nan() || w < 0.0 || !w.is_finite())
+            || c.class_mix.iter().sum::<f64>() <= 0.0
+        {
+            return Err(ConfigError::BadClassMix);
+        }
+        if c.seed_class.get() > c.num_classes {
+            return Err(ConfigError::BadClassCount(c.seed_class.get()));
+        }
+        if c.arrival_window_secs > c.duration_secs {
+            return Err(ConfigError::WindowExceedsDuration);
+        }
+        if c.seed_suppliers == 0 && c.requesting_peers == 0 {
+            return Err(ConfigError::EmptySystem);
+        }
+        if c.m == 0 {
+            return Err(ConfigError::ZeroCandidates);
+        }
+        if c.session_secs == 0 {
+            return Err(ConfigError::ZeroSessionDuration);
+        }
+        if c.num_classes.saturating_add(c.bandwidth_shift) > PeerClass::MAX {
+            return Err(ConfigError::BadClassCount(
+                c.num_classes.saturating_add(c.bandwidth_shift),
+            ));
+        }
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let c = SimConfig::paper_defaults();
+        assert_eq!(c.seed_suppliers(), 100);
+        assert_eq!(c.seed_class(), PeerClass::HIGHEST);
+        assert_eq!(c.requesting_peers(), 50_000);
+        assert_eq!(c.num_classes(), 4);
+        assert_eq!(c.class_mix(), &[0.10, 0.10, 0.40, 0.40]);
+        assert_eq!(c.m(), 8);
+        assert_eq!(c.t_out_secs(), 1_200);
+        assert_eq!(c.t_bkf_secs(), 600);
+        assert_eq!(c.e_bkf(), 2);
+        assert_eq!(c.session_secs(), 3_600);
+        assert_eq!(c.arrival_window_secs(), 72 * HOUR);
+        assert_eq!(c.duration_secs(), 144 * HOUR);
+        assert_eq!(c.protocol(), Protocol::Dac);
+        assert_eq!(c.down_probability(), 0.0);
+        assert_eq!(c.favored_window_secs(), 3 * HOUR);
+    }
+
+    #[test]
+    fn expected_max_capacity_matches_paper_model() {
+        // Evaluation scale (shift 1): 100·0.5 + 50,000·(0.1·0.5 + 0.1·0.25
+        // + 0.4·0.125 + 0.4·0.0625) = 7,550 — consistent with the paper's
+        // Fig. 4 axis and its "95% of maximum" claim.
+        let c = SimConfig::paper_defaults();
+        assert_eq!(c.bandwidth_shift(), 1);
+        assert!((c.expected_max_capacity() - 7_550.0).abs() < 1e-6);
+        // Literal §2 scale (shift 0): 100 + 50,000·0.3 = 15,100.
+        let literal = SimConfig::builder().bandwidth_shift(0).build().unwrap();
+        assert!((literal.expected_max_capacity() - 15_100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offer_of_applies_shift() {
+        let c = SimConfig::paper_defaults();
+        assert_eq!(
+            c.offer_of(PeerClass::HIGHEST),
+            PeerClass::new(2).unwrap().bandwidth()
+        );
+        let literal = SimConfig::builder().bandwidth_shift(0).build().unwrap();
+        assert!(literal.offer_of(PeerClass::HIGHEST).is_full_rate());
+        // shift pushing classes past PeerClass::MAX is rejected
+        assert!(SimConfig::builder().bandwidth_shift(13).build().is_err());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SimConfig::builder()
+            .seed_suppliers(5)
+            .requesting_peers(50)
+            .m(4)
+            .t_out_minutes(1)
+            .t_bkf_minutes(2)
+            .e_bkf(3)
+            .session_minutes(10)
+            .arrival_window_hours(2)
+            .duration_hours(4)
+            .protocol(Protocol::Ndac)
+            .down_probability(0.1)
+            .snapshot_secs(60)
+            .pattern(ArrivalPattern::Constant)
+            .build()
+            .unwrap();
+        assert_eq!(c.seed_suppliers(), 5);
+        assert_eq!(c.m(), 4);
+        assert_eq!(c.t_out_secs(), 60);
+        assert_eq!(c.t_bkf_secs(), 120);
+        assert_eq!(c.e_bkf(), 3);
+        assert_eq!(c.session_secs(), 600);
+        assert_eq!(c.protocol(), Protocol::Ndac);
+        assert_eq!(c.down_probability(), 0.1);
+        assert_eq!(c.snapshot_secs(), 60);
+        assert_eq!(c.pattern(), &ArrivalPattern::Constant);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            SimConfig::builder().class_mix(vec![]).build().unwrap_err(),
+            ConfigError::BadClassCount(0)
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .class_mix(vec![0.0, 0.0])
+                .build()
+                .unwrap_err(),
+            ConfigError::BadClassMix
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .arrival_window_hours(10)
+                .duration_hours(5)
+                .build()
+                .unwrap_err(),
+            ConfigError::WindowExceedsDuration
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .seed_suppliers(0)
+                .requesting_peers(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptySystem
+        );
+        assert_eq!(
+            SimConfig::builder().m(0).build().unwrap_err(),
+            ConfigError::ZeroCandidates
+        );
+        assert_eq!(
+            SimConfig::builder().session_minutes(0).build().unwrap_err(),
+            ConfigError::ZeroSessionDuration
+        );
+        // seed class outside the configured classes
+        assert!(SimConfig::builder()
+            .class_mix(vec![1.0, 1.0])
+            .seed_class(PeerClass::new(3).unwrap())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn config_error_display() {
+        for e in [
+            ConfigError::BadClassMix,
+            ConfigError::BadClassCount(0),
+            ConfigError::WindowExceedsDuration,
+            ConfigError::EmptySystem,
+            ConfigError::ZeroCandidates,
+            ConfigError::ZeroSessionDuration,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

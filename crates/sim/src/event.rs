@@ -1,0 +1,110 @@
+//! The event queue driving the simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use p2ps_core::PeerId;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A requesting peer issues its first streaming request.
+    FirstRequest(PeerId),
+    /// A previously rejected requesting peer retries after backoff.
+    Retry(PeerId),
+    /// An active streaming session completes.
+    SessionEnd {
+        /// The requesting peer whose session ends.
+        requester: PeerId,
+    },
+    /// A supplying peer departs the system (churn extension; the paper's
+    /// model keeps suppliers forever).
+    Departure(PeerId),
+}
+
+/// Priority queue of `(time, sequence, kind)` — the sequence number makes
+/// event ordering total and therefore the simulation deterministic even
+/// when events share a timestamp.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at absolute time `at` (seconds).
+    pub fn schedule(&mut self, at: u64, kind: EventKind) {
+        self.heap.push(Reverse((at, self.seq, kind)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, EventKind)> {
+        self.heap.pop().map(|Reverse((t, _, k))| (t, k))
+    }
+
+    /// The time of the next event without removing it.
+    #[allow(dead_code)] // used by tests and handy for debugging
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)] // used by tests and handy for debugging
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[allow(dead_code)] // used by tests and handy for debugging
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, EventKind::Retry(PeerId::new(1)));
+        q.schedule(10, EventKind::FirstRequest(PeerId::new(2)));
+        q.schedule(20, EventKind::SessionEnd {
+            requester: PeerId::new(3),
+        });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, EventKind::FirstRequest(PeerId::new(1)));
+        q.schedule(5, EventKind::FirstRequest(PeerId::new(2)));
+        q.schedule(5, EventKind::FirstRequest(PeerId::new(3)));
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::FirstRequest(p) => p.get(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

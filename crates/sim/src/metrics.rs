@@ -1,0 +1,207 @@
+//! Metric collection during a simulation run.
+
+use p2ps_metrics::{Reservoir, StepSeries, TimeSeries, WindowedAverage};
+
+use crate::HOUR;
+
+/// One [`TimeSeries`] per peer class (index 0 = class 1), used for every
+/// per-class figure in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSeries {
+    series: Vec<TimeSeries>,
+}
+
+impl ClassSeries {
+    pub(crate) fn new(prefix: &str, num_classes: u8) -> Self {
+        ClassSeries {
+            series: (1..=num_classes)
+                .map(|k| TimeSeries::new(format!("{prefix}-class-{k}")))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn from_series(series: Vec<TimeSeries>) -> Self {
+        ClassSeries { series }
+    }
+
+    /// Number of classes covered.
+    pub fn num_classes(&self) -> u8 {
+        self.series.len() as u8
+    }
+
+    /// The series of class `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the class count.
+    pub fn class(&self, k: u8) -> &TimeSeries {
+        &self.series[(k - 1) as usize]
+    }
+
+    /// Iterates over `(class_number, series)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &TimeSeries)> + '_ {
+        self.series.iter().enumerate().map(|(i, s)| (i as u8 + 1, s))
+    }
+
+    pub(crate) fn push(&mut self, k: u8, t: f64, v: f64) {
+        self.series[(k - 1) as usize].push(t, v);
+    }
+}
+
+/// Internal collector; converted into a `SimReport` when the run ends.
+#[derive(Debug)]
+pub(crate) struct Collector {
+    num_classes: u8,
+    /// Total system capacity in sessions, stepped at every change (hours).
+    pub capacity: StepSeries,
+    /// Cumulative counters, indexed by class-1.
+    pub first_requests: Vec<u64>,
+    pub admitted: Vec<u64>,
+    pub rejections_of_admitted: Vec<u64>,
+    pub delay_slots_sum: Vec<u64>,
+    pub waiting_secs_sum: Vec<u64>,
+    pub attempts: u64,
+    pub sessions_completed: u64,
+    /// Snapshots (hours) of the cumulative per-class admission rate (%).
+    pub admission_rate: ClassSeries,
+    /// Snapshot of the overall cumulative admission rate (%).
+    pub overall_admission_rate: TimeSeries,
+    /// Snapshots of the cumulative average buffering delay (units of δt).
+    pub buffering_delay: ClassSeries,
+    /// Fig. 7: lowest favored class, averaged per supplier class over
+    /// fixed windows.
+    pub favored: Vec<WindowedAverage>,
+    /// Per-class waiting-time samples (seconds) for quantile reporting.
+    pub waiting: Vec<Reservoir>,
+}
+
+impl Collector {
+    pub(crate) fn new(num_classes: u8, initial_capacity: f64, favored_window_secs: u64) -> Self {
+        let n = num_classes as usize;
+        Collector {
+            num_classes,
+            capacity: StepSeries::new("capacity", initial_capacity),
+            first_requests: vec![0; n],
+            admitted: vec![0; n],
+            rejections_of_admitted: vec![0; n],
+            delay_slots_sum: vec![0; n],
+            waiting_secs_sum: vec![0; n],
+            attempts: 0,
+            sessions_completed: 0,
+            admission_rate: ClassSeries::new("admission-rate", num_classes),
+            overall_admission_rate: TimeSeries::new("overall-admission-rate"),
+            buffering_delay: ClassSeries::new("buffering-delay", num_classes),
+            favored: (1..=num_classes)
+                .map(|k| {
+                    WindowedAverage::new(
+                        format!("lowest-favored-by-class-{k}"),
+                        (favored_window_secs as f64) / HOUR as f64,
+                    )
+                })
+                .collect(),
+            waiting: (0..num_classes)
+                .map(|k| Reservoir::new(4_096, 0xaaaa + k as u64))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record_first_request(&mut self, class_idx: usize) {
+        self.first_requests[class_idx] += 1;
+    }
+
+    pub(crate) fn record_admission(
+        &mut self,
+        class_idx: usize,
+        rejections: u32,
+        supplier_count: usize,
+        waiting_secs: u64,
+    ) {
+        self.admitted[class_idx] += 1;
+        self.rejections_of_admitted[class_idx] += rejections as u64;
+        self.delay_slots_sum[class_idx] += supplier_count as u64;
+        self.waiting_secs_sum[class_idx] += waiting_secs;
+        self.waiting[class_idx].record(waiting_secs as f64);
+    }
+
+    pub(crate) fn record_capacity_gain(&mut self, t_secs: u64, sessions_delta: f64) {
+        self.capacity.add(t_secs as f64 / HOUR as f64, sessions_delta);
+    }
+
+    pub(crate) fn record_favored(&mut self, t_secs: u64, supplier_class_idx: usize, lowest: u8) {
+        self.favored[supplier_class_idx]
+            .record(t_secs as f64 / HOUR as f64, lowest as f64);
+    }
+
+    /// Takes the cumulative-metric snapshots at `t_secs`.
+    pub(crate) fn snapshot(&mut self, t_secs: u64) {
+        let t = t_secs as f64 / HOUR as f64;
+        let mut req_total = 0u64;
+        let mut adm_total = 0u64;
+        for k in 1..=self.num_classes {
+            let i = (k - 1) as usize;
+            req_total += self.first_requests[i];
+            adm_total += self.admitted[i];
+            if self.first_requests[i] > 0 {
+                let rate = 100.0 * self.admitted[i] as f64 / self.first_requests[i] as f64;
+                self.admission_rate.push(k, t, rate);
+            }
+            if self.admitted[i] > 0 {
+                let avg = self.delay_slots_sum[i] as f64 / self.admitted[i] as f64;
+                self.buffering_delay.push(k, t, avg);
+            }
+        }
+        if req_total > 0 {
+            self.overall_admission_rate
+                .push(t, 100.0 * adm_total as f64 / req_total as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_series_access() {
+        let mut cs = ClassSeries::new("x", 4);
+        assert_eq!(cs.num_classes(), 4);
+        cs.push(2, 1.0, 5.0);
+        assert_eq!(cs.class(2).last(), Some((1.0, 5.0)));
+        assert!(cs.class(1).is_empty());
+        let names: Vec<&str> = cs.iter().map(|(_, s)| s.name()).collect();
+        assert_eq!(names, vec!["x-class-1", "x-class-2", "x-class-3", "x-class-4"]);
+    }
+
+    #[test]
+    fn collector_counters_and_snapshots() {
+        let mut c = Collector::new(4, 100.0, 3 * HOUR);
+        c.record_first_request(0);
+        c.record_first_request(0);
+        c.record_admission(0, 3, 4, 600);
+        c.snapshot(HOUR);
+        assert_eq!(c.admission_rate.class(1).last(), Some((1.0, 50.0)));
+        assert_eq!(c.buffering_delay.class(1).last(), Some((1.0, 4.0)));
+        assert_eq!(c.overall_admission_rate.last(), Some((1.0, 50.0)));
+        // classes with no requests produce no points
+        assert!(c.admission_rate.class(2).is_empty());
+    }
+
+    #[test]
+    fn capacity_steps_in_hours() {
+        let mut c = Collector::new(4, 100.0, 3 * HOUR);
+        c.record_capacity_gain(2 * HOUR, 0.5);
+        assert_eq!(c.capacity.current(), 100.5);
+        assert_eq!(c.capacity.value_at(1.0), 100.0);
+        assert_eq!(c.capacity.value_at(2.0), 100.5);
+    }
+
+    #[test]
+    fn favored_window_averages() {
+        let mut c = Collector::new(2, 0.0, 3 * HOUR);
+        c.record_favored(0, 0, 1);
+        c.record_favored(HOUR, 0, 3);
+        let series = c.favored[0].to_series();
+        // single 3h window, average (1+3)/2 = 2
+        assert_eq!(series.iter().next(), Some((1.5, 2.0)));
+    }
+}

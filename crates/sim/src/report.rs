@@ -1,0 +1,170 @@
+//! The result of a simulation run.
+
+use p2ps_metrics::{Reservoir, TimeSeries};
+
+use crate::metrics::{ClassSeries, Collector};
+use crate::{SimConfig, HOUR};
+
+/// Everything the paper's evaluation section measures, produced by one
+/// [`Simulation::run`](crate::Simulation::run).
+///
+/// All time axes are in hours (matching the paper's figures); buffering
+/// delays are in units of `δt` (the paper's Fig. 6 y-axis) and waiting
+/// times in seconds.
+#[derive(Debug)]
+pub struct SimReport {
+    config: SimConfig,
+    capacity: TimeSeries,
+    admission_rate: ClassSeries,
+    overall_admission_rate: TimeSeries,
+    buffering_delay: ClassSeries,
+    lowest_favored: ClassSeries,
+    first_requests: Vec<u64>,
+    admitted: Vec<u64>,
+    rejections_of_admitted: Vec<u64>,
+    waiting_secs_sum: Vec<u64>,
+    waiting_samples: Vec<Reservoir>,
+    delay_slots_sum: Vec<u64>,
+    attempts: u64,
+    sessions_completed: u64,
+    final_capacity: f64,
+}
+
+impl SimReport {
+    pub(crate) fn from_collector(config: SimConfig, collector: Collector) -> Self {
+        let duration_h = config.duration_secs() as f64 / HOUR as f64;
+        let snap_h = config.snapshot_secs() as f64 / HOUR as f64;
+        let capacity = collector.capacity.sample_grid(0.0, duration_h, snap_h);
+        let lowest_favored = ClassSeries::from_series(
+            collector.favored.iter().map(|w| w.to_series()).collect(),
+        );
+        SimReport {
+            final_capacity: collector.capacity.current(),
+            capacity,
+            admission_rate: collector.admission_rate,
+            overall_admission_rate: collector.overall_admission_rate,
+            buffering_delay: collector.buffering_delay,
+            lowest_favored,
+            first_requests: collector.first_requests,
+            admitted: collector.admitted,
+            rejections_of_admitted: collector.rejections_of_admitted,
+            waiting_secs_sum: collector.waiting_secs_sum,
+            waiting_samples: collector.waiting,
+            delay_slots_sum: collector.delay_slots_sum,
+            attempts: collector.attempts,
+            sessions_completed: collector.sessions_completed,
+            config,
+        }
+    }
+
+    /// The configuration that produced this report.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Total system capacity over time (sessions; hourly grid) — the
+    /// paper's Figures 4 and 8.
+    pub fn capacity(&self) -> &TimeSeries {
+        &self.capacity
+    }
+
+    /// Capacity at the end of the run.
+    pub fn final_capacity(&self) -> f64 {
+        self.final_capacity
+    }
+
+    /// Cumulative per-class admission rate (%) over time — Figure 5.
+    pub fn admission_rate(&self) -> &ClassSeries {
+        &self.admission_rate
+    }
+
+    /// Cumulative overall admission rate (%) over time — Figure 9.
+    pub fn overall_admission_rate(&self) -> &TimeSeries {
+        &self.overall_admission_rate
+    }
+
+    /// Cumulative per-class average buffering delay in units of `δt` —
+    /// Figure 6.
+    pub fn buffering_delay(&self) -> &ClassSeries {
+        &self.buffering_delay
+    }
+
+    /// Lowest favored requesting-peer class, averaged per supplier class
+    /// over 3-hour windows — Figure 7.
+    pub fn lowest_favored(&self) -> &ClassSeries {
+        &self.lowest_favored
+    }
+
+    /// First-time requests per class (index 0 = class 1).
+    pub fn first_requests(&self) -> &[u64] {
+        &self.first_requests
+    }
+
+    /// Admitted peers per class.
+    pub fn admitted(&self) -> &[u64] {
+        &self.admitted
+    }
+
+    /// Total admission attempts (first requests plus retries).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Streaming sessions that ran to completion.
+    pub fn sessions_completed(&self) -> u64 {
+        self.sessions_completed
+    }
+
+    /// Average number of rejections before admission for class `k`
+    /// (1-based) among admitted peers — the paper's Table 1. `None` if no
+    /// peer of that class was admitted.
+    pub fn avg_rejections(&self, k: u8) -> Option<f64> {
+        let i = (k - 1) as usize;
+        if self.admitted[i] == 0 {
+            return None;
+        }
+        Some(self.rejections_of_admitted[i] as f64 / self.admitted[i] as f64)
+    }
+
+    /// Average waiting time (seconds) from first request to admission for
+    /// class `k` among admitted peers.
+    pub fn avg_waiting_secs(&self, k: u8) -> Option<f64> {
+        let i = (k - 1) as usize;
+        if self.admitted[i] == 0 {
+            return None;
+        }
+        Some(self.waiting_secs_sum[i] as f64 / self.admitted[i] as f64)
+    }
+
+    /// The `q`-quantile of the class-`k` waiting time in seconds,
+    /// estimated from a 4,096-element uniform reservoir of the admitted
+    /// peers' waiting times. `None` if nobody of that class was admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn waiting_quantile_secs(&self, k: u8, q: f64) -> Option<f64> {
+        self.waiting_samples[(k - 1) as usize].quantile(q)
+    }
+
+    /// Average buffering delay (units of `δt`) for class `k` among
+    /// admitted peers, over the whole run.
+    pub fn avg_delay_slots(&self, k: u8) -> Option<f64> {
+        let i = (k - 1) as usize;
+        if self.admitted[i] == 0 {
+            return None;
+        }
+        Some(self.delay_slots_sum[i] as f64 / self.admitted[i] as f64)
+    }
+
+    /// Final overall admission rate in percent.
+    pub fn final_overall_admission_rate(&self) -> f64 {
+        let req: u64 = self.first_requests.iter().sum();
+        let adm: u64 = self.admitted.iter().sum();
+        if req == 0 {
+            0.0
+        } else {
+            100.0 * adm as f64 / req as f64
+        }
+    }
+}

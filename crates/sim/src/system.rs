@@ -1,0 +1,668 @@
+//! The simulation engine.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashSet};
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use p2ps_core::admission::{
+    attempt_admission, BackoffPolicy, Candidate, ProbeOutcome, RequestDecision, RequesterState,
+    SupplierConfig, SupplierState,
+};
+use p2ps_core::{PeerClass, PeerId};
+
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::Collector;
+use crate::{SimConfig, SimReport};
+
+/// Lifecycle phase of a peer (paper §2(1): requesting → streaming →
+/// supplying).
+#[derive(Debug)]
+enum Phase {
+    /// Waiting to be admitted (possibly backing off between retries).
+    Waiting,
+    /// Streaming from the given suppliers.
+    Streaming { suppliers: Vec<PeerId> },
+    /// Serving as a supplying peer.
+    Supplying,
+    /// Left the system (churn extension).
+    Departed,
+}
+
+#[derive(Debug)]
+struct PeerRec {
+    class: PeerClass,
+    requester: RequesterState,
+    phase: Phase,
+}
+
+/// A probed candidate: its supplier state is temporarily checked out of
+/// the supplier table for the duration of one admission attempt.
+struct SimCandidate {
+    id: PeerId,
+    now: u64,
+    down: bool,
+    offer: p2ps_core::Bandwidth,
+    state: SupplierState,
+    rng: Rc<RefCell<SmallRng>>,
+}
+
+impl Candidate for SimCandidate {
+    fn class(&self) -> PeerClass {
+        self.state.class()
+    }
+
+    fn offer(&self) -> p2ps_core::Bandwidth {
+        self.offer
+    }
+
+    fn request(&mut self, from: PeerClass) -> RequestDecision {
+        if self.down {
+            // A down candidate never responds; the requester treats it
+            // like a refusal (it cannot secure bandwidth from it and must
+            // not leave a reminder with it).
+            return RequestDecision::Refused;
+        }
+        self.state
+            .handle_request(self.now, from, &mut *self.rng.borrow_mut())
+    }
+
+    fn leave_reminder(&mut self, from: PeerClass) {
+        self.state.leave_reminder(from);
+    }
+
+    fn release(&mut self) {
+        // Grants carry no reservation in the simulator; nothing to undo.
+    }
+}
+
+/// A deterministic discrete-event simulation of the paper's §5 system.
+///
+/// Construction seeds the RNG, creates the peer population and schedules
+/// every first-time request; [`run`](Simulation::run) then processes
+/// events until the horizon and returns the collected [`SimReport`].
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    rng: SmallRng,
+    queue: EventQueue,
+    peers: Vec<PeerRec>,
+    /// Supplier states, keyed by raw peer id. A `BTreeMap` keeps every
+    /// iteration order deterministic across runs.
+    suppliers: BTreeMap<u64, SupplierState>,
+    /// Sampling pool of all supplier ids (busy ones included — they can
+    /// receive reminders).
+    pool: Vec<PeerId>,
+    /// Position of each pool entry, for O(1) swap-removal under churn.
+    pool_index: std::collections::HashMap<u64, usize>,
+    /// Suppliers whose departure fired while they were mid-session; they
+    /// leave as soon as the session ends.
+    pending_departures: std::collections::HashSet<u64>,
+    metrics: Collector,
+    supplier_config: SupplierConfig,
+}
+
+impl Simulation {
+    /// Builds the initial system state for `config`, deterministically
+    /// derived from `seed`.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let supplier_config = SupplierConfig::new(
+            config.num_classes(),
+            config.t_out_secs(),
+            config.protocol(),
+        )
+        .expect("SimConfig validated the class count")
+        .reminders(config.reminders_enabled())
+        .session_relax(config.session_relax_enabled());
+        let backoff = BackoffPolicy::new(config.t_bkf_secs(), config.e_bkf());
+
+        let mut peers = Vec::with_capacity(
+            config.seed_suppliers() as usize + config.requesting_peers() as usize,
+        );
+        let mut suppliers = BTreeMap::new();
+        let mut pool = Vec::new();
+
+        let mut pool_index = std::collections::HashMap::new();
+        let mut queue = EventQueue::new();
+        for i in 0..config.seed_suppliers() {
+            let id = PeerId::new(i as u64);
+            peers.push(PeerRec {
+                class: config.seed_class(),
+                requester: RequesterState::new(config.seed_class(), backoff),
+                phase: Phase::Supplying,
+            });
+            suppliers.insert(
+                id.get(),
+                SupplierState::new(config.seed_class(), supplier_config, 0)
+                    .expect("seed class validated"),
+            );
+            pool_index.insert(id.get(), pool.len());
+            pool.push(id);
+            if let Some(lifetime) = config.supplier_lifetime_secs() {
+                queue.schedule(lifetime, EventKind::Departure(id));
+            }
+        }
+
+        // Class mix: cumulative weights for sampling requester classes.
+        let total: f64 = config.class_mix().iter().sum();
+        let cumulative: Vec<f64> = config
+            .class_mix()
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total;
+                Some(*acc)
+            })
+            .collect();
+
+        let arrivals = config.pattern().generate(
+            config.requesting_peers() as usize,
+            config.arrival_window_secs().max(1),
+            &mut rng,
+        );
+        for (i, &at) in arrivals.iter().enumerate() {
+            let id = PeerId::new(config.seed_suppliers() as u64 + i as u64);
+            let x: f64 = rng.gen();
+            let class_idx = cumulative.partition_point(|&c| c < x);
+            let class = PeerClass::new((class_idx as u8 + 1).min(config.num_classes()))
+                .expect("class index within configured range");
+            peers.push(PeerRec {
+                class,
+                requester: RequesterState::new(class, backoff),
+                phase: Phase::Waiting,
+            });
+            queue.schedule(at, EventKind::FirstRequest(id));
+        }
+
+        let initial_capacity = config.seed_suppliers() as f64
+            * config.offer_of(config.seed_class()).fraction_of_rate();
+        let metrics = Collector::new(
+            config.num_classes(),
+            initial_capacity,
+            config.favored_window_secs(),
+        );
+
+        Simulation {
+            config,
+            rng,
+            queue,
+            peers,
+            suppliers,
+            pool,
+            pool_index,
+            pending_departures: std::collections::HashSet::new(),
+            metrics,
+            supplier_config,
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to its horizon and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let duration = self.config.duration_secs();
+        let snap = self.config.snapshot_secs().max(1);
+        let mut next_snap = 0u64;
+
+        while let Some((t, kind)) = self.queue.pop() {
+            if t > duration {
+                break;
+            }
+            while next_snap <= t {
+                self.take_snapshot(next_snap);
+                next_snap += snap;
+            }
+            match kind {
+                EventKind::FirstRequest(peer) => {
+                    let class_idx = (self.peers[peer.get() as usize].class.get() - 1) as usize;
+                    self.metrics.record_first_request(class_idx);
+                    self.peers[peer.get() as usize].requester.record_request(t);
+                    self.attempt(t, peer);
+                }
+                EventKind::Retry(peer) => {
+                    self.attempt(t, peer);
+                }
+                EventKind::SessionEnd { requester } => {
+                    self.finish_session(t, requester);
+                }
+                EventKind::Departure(peer) => {
+                    self.handle_departure(t, peer);
+                }
+            }
+        }
+        while next_snap <= duration {
+            self.take_snapshot(next_snap);
+            next_snap += snap;
+        }
+
+        SimReport::from_collector(self.config, self.metrics)
+    }
+
+    /// One admission attempt of `peer` at time `t` (paper §4.2).
+    fn attempt(&mut self, t: u64, peer: PeerId) {
+        self.metrics.attempts += 1;
+        let class = self.peers[peer.get() as usize].class;
+
+        let candidate_ids = self.sample_candidates(self.config.m());
+        let down_p = self.config.down_probability();
+        let shared_rng = Rc::new(RefCell::new(std::mem::replace(
+            &mut self.rng,
+            SmallRng::seed_from_u64(0),
+        )));
+        let mut candidates: Vec<SimCandidate> = candidate_ids
+            .iter()
+            .map(|&id| {
+                let state = self
+                    .suppliers
+                    .remove(&id.get())
+                    .expect("pool entries are suppliers");
+                let down = down_p > 0.0 && shared_rng.borrow_mut().gen::<f64>() < down_p;
+                SimCandidate {
+                    id,
+                    now: t,
+                    down,
+                    offer: self.config.offer_of(state.class()),
+                    state,
+                    rng: Rc::clone(&shared_rng),
+                }
+            })
+            .collect();
+
+        let outcome = attempt_admission(class, &mut candidates);
+
+        match &outcome {
+            ProbeOutcome::Admitted { granted } => {
+                let supplier_ids: Vec<PeerId> =
+                    granted.iter().map(|&i| candidates[i].id).collect();
+                for &i in granted {
+                    candidates[i].state.begin_session(t);
+                }
+                let rec = &mut self.peers[peer.get() as usize];
+                let class_idx = (rec.class.get() - 1) as usize;
+                let rejections = rec.requester.rejections();
+                let waiting = rec.requester.waiting_time(t);
+                self.metrics.record_admission(
+                    class_idx,
+                    rejections,
+                    supplier_ids.len(),
+                    waiting,
+                );
+                rec.phase = Phase::Streaming {
+                    suppliers: supplier_ids,
+                };
+                self.queue.schedule(
+                    t + self.config.session_secs(),
+                    EventKind::SessionEnd { requester: peer },
+                );
+            }
+            ProbeOutcome::Rejected { .. } => {
+                let delay = self.peers[peer.get() as usize].requester.record_rejection();
+                let retry_at = t.saturating_add(delay);
+                if retry_at <= self.config.duration_secs() {
+                    self.queue.schedule(retry_at, EventKind::Retry(peer));
+                }
+            }
+        }
+
+        for c in candidates {
+            self.suppliers.insert(c.id.get(), c.state);
+        }
+        self.rng = Rc::try_unwrap(shared_rng)
+            .expect("all candidate rng handles dropped")
+            .into_inner();
+    }
+
+    /// Session completion: suppliers run the §4.1(c) update and the
+    /// requester becomes a new supplying peer.
+    fn finish_session(&mut self, t: u64, requester: PeerId) {
+        let rec = &mut self.peers[requester.get() as usize];
+        let class = rec.class;
+        let suppliers = match std::mem::replace(&mut rec.phase, Phase::Supplying) {
+            Phase::Streaming { suppliers } => suppliers,
+            other => panic!("session end for peer in phase {other:?}"),
+        };
+        for id in suppliers {
+            self.suppliers
+                .get_mut(&id.get())
+                .expect("session suppliers exist")
+                .end_session(t);
+            if self.pending_departures.remove(&id.get()) {
+                self.remove_supplier(t, id);
+            }
+        }
+        self.suppliers.insert(
+            requester.get(),
+            SupplierState::new(class, self.supplier_config, t)
+                .expect("requester class validated"),
+        );
+        self.pool_index.insert(requester.get(), self.pool.len());
+        self.pool.push(requester);
+        self.metrics
+            .record_capacity_gain(t, self.config.offer_of(class).fraction_of_rate());
+        self.metrics.sessions_completed += 1;
+        if let Some(lifetime) = self.config.supplier_lifetime_secs() {
+            self.queue
+                .schedule(t + lifetime, EventKind::Departure(requester));
+        }
+    }
+
+    /// Churn: a supplier's lifetime expired. Busy suppliers finish their
+    /// current session first (deferred removal).
+    fn handle_departure(&mut self, t: u64, peer: PeerId) {
+        let Some(state) = self.suppliers.get(&peer.get()) else {
+            return; // already gone
+        };
+        if state.is_busy() {
+            self.pending_departures.insert(peer.get());
+        } else {
+            self.remove_supplier(t, peer);
+        }
+    }
+
+    /// Removes a supplier from the pool, table and capacity accounting.
+    fn remove_supplier(&mut self, t: u64, peer: PeerId) {
+        if self.suppliers.remove(&peer.get()).is_none() {
+            return;
+        }
+        let idx = self
+            .pool_index
+            .remove(&peer.get())
+            .expect("pool and table stay in sync");
+        let last = self.pool.len() - 1;
+        self.pool.swap(idx, last);
+        self.pool.pop();
+        if idx < self.pool.len() {
+            self.pool_index.insert(self.pool[idx].get(), idx);
+        }
+        let class = self.peers[peer.get() as usize].class;
+        self.peers[peer.get() as usize].phase = Phase::Departed;
+        self.metrics
+            .record_capacity_gain(t, -self.config.offer_of(class).fraction_of_rate());
+    }
+
+    /// Uniformly samples up to `m` distinct supplier ids from the pool.
+    fn sample_candidates(&mut self, m: usize) -> Vec<PeerId> {
+        let n = self.pool.len();
+        if n <= m {
+            return self.pool.clone();
+        }
+        let mut chosen = HashSet::with_capacity(m);
+        let mut out = Vec::with_capacity(m);
+        while out.len() < m {
+            let idx = self.rng.gen_range(0..n);
+            if chosen.insert(idx) {
+                out.push(self.pool[idx]);
+            }
+        }
+        out
+    }
+
+    /// Hourly bookkeeping: Fig.-5/6/9 cumulative snapshots plus the Fig.-7
+    /// favored-class sample across all suppliers.
+    fn take_snapshot(&mut self, t: u64) {
+        self.metrics.snapshot(t);
+        for state in self.suppliers.values_mut() {
+            let class_idx = (state.class().get() - 1) as usize;
+            let lowest = state.lowest_favored_at(t).get();
+            self.metrics.record_favored(t, class_idx, lowest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrivalPattern;
+    use p2ps_core::admission::Protocol;
+
+    fn small_config(protocol: Protocol) -> SimConfig {
+        SimConfig::builder()
+            .seed_suppliers(4)
+            .requesting_peers(200)
+            .arrival_window_hours(12)
+            .duration_hours(30)
+            .session_minutes(30)
+            .pattern(ArrivalPattern::Constant)
+            .protocol(protocol)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn capacity_grows_from_seeds() {
+        let report = Simulation::new(small_config(Protocol::Dac), 1).run();
+        assert!(
+            report.final_capacity() > 4.0,
+            "capacity {} did not grow past the seeds",
+            report.final_capacity()
+        );
+        // capacity is monotone non-decreasing (no departures)
+        let vals: Vec<f64> = report.capacity().iter().map(|(_, v)| v).collect();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = Simulation::new(small_config(Protocol::Dac), 99).run();
+        let b = Simulation::new(small_config(Protocol::Dac), 99).run();
+        assert_eq!(a.final_capacity(), b.final_capacity());
+        assert_eq!(a.attempts(), b.attempts());
+        assert_eq!(a.admitted(), b.admitted());
+        assert_eq!(
+            a.capacity().iter().collect::<Vec<_>>(),
+            b.capacity().iter().collect::<Vec<_>>()
+        );
+        let c = Simulation::new(small_config(Protocol::Dac), 100).run();
+        assert_ne!(a.attempts(), c.attempts());
+    }
+
+    #[test]
+    fn most_peers_eventually_admitted() {
+        let report = Simulation::new(small_config(Protocol::Dac), 7).run();
+        let admitted: u64 = report.admitted().iter().sum();
+        let requested: u64 = report.first_requests().iter().sum();
+        assert_eq!(requested, 200);
+        assert!(
+            admitted as f64 >= 0.9 * requested as f64,
+            "only {admitted}/{requested} admitted"
+        );
+        assert_eq!(report.sessions_completed(), admitted);
+    }
+
+    #[test]
+    fn ndac_also_converges() {
+        let report = Simulation::new(small_config(Protocol::Ndac), 7).run();
+        let admitted: u64 = report.admitted().iter().sum();
+        assert!(admitted > 150, "NDAC admitted only {admitted}");
+    }
+
+    #[test]
+    fn dac_beats_ndac_on_early_capacity() {
+        // The paper's central claim (Fig. 4): DACp2p amplifies capacity
+        // faster. Compare capacity midway through the run.
+        let dac = Simulation::new(small_config(Protocol::Dac), 5).run();
+        let ndac = Simulation::new(small_config(Protocol::Ndac), 5).run();
+        let mid = 10.0;
+        let dac_mid = dac.capacity().value_at(mid).unwrap();
+        let ndac_mid = ndac.capacity().value_at(mid).unwrap();
+        assert!(
+            dac_mid >= ndac_mid,
+            "DAC {dac_mid} behind NDAC {ndac_mid} at {mid}h"
+        );
+    }
+
+    #[test]
+    fn higher_classes_see_fewer_rejections_under_dac() {
+        let cfg = SimConfig::builder()
+            .seed_suppliers(4)
+            .requesting_peers(600)
+            .arrival_window_hours(12)
+            .duration_hours(36)
+            .session_minutes(30)
+            .pattern(ArrivalPattern::Constant)
+            .protocol(Protocol::Dac)
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg, 3).run();
+        let r1 = report.avg_rejections(1).unwrap();
+        let r4 = report.avg_rejections(4).unwrap();
+        assert!(
+            r1 <= r4,
+            "class 1 averaged {r1} rejections vs class 4's {r4}"
+        );
+    }
+
+    #[test]
+    fn buffering_delay_is_at_least_one_slot() {
+        let report = Simulation::new(small_config(Protocol::Dac), 11).run();
+        for k in 1..=4 {
+            if let Some(d) = report.avg_delay_slots(k) {
+                assert!(d >= 1.0, "class {k} delay {d}");
+                assert!(d <= 8.0, "class {k} delay {d} exceeds 8 suppliers");
+            }
+        }
+    }
+
+    #[test]
+    fn down_probability_slows_admission() {
+        let mut builder = SimConfig::builder();
+        builder
+            .seed_suppliers(4)
+            .requesting_peers(200)
+            .arrival_window_hours(12)
+            .duration_hours(20)
+            .session_minutes(30)
+            .pattern(ArrivalPattern::Constant);
+        let healthy = Simulation::new(builder.build().unwrap(), 2).run();
+        let flaky =
+            Simulation::new(builder.down_probability(0.8).build().unwrap(), 2).run();
+        assert!(
+            flaky.final_overall_admission_rate() < healthy.final_overall_admission_rate(),
+            "80% down candidates should hurt admission"
+        );
+    }
+
+    #[test]
+    fn snapshots_cover_the_whole_horizon() {
+        let report = Simulation::new(small_config(Protocol::Dac), 1).run();
+        let (t0, t_end) = report.capacity().time_range().unwrap();
+        assert_eq!(t0, 0.0);
+        assert_eq!(t_end, 30.0);
+        assert_eq!(report.capacity().len(), 31);
+    }
+
+    #[test]
+    fn favored_series_present_for_dac() {
+        let report = Simulation::new(small_config(Protocol::Dac), 1).run();
+        // Seeds are class 1; their favored series must have samples.
+        assert!(!report.lowest_favored().class(1).is_empty());
+    }
+
+    #[test]
+    fn zero_requesters_is_a_quiet_run() {
+        let cfg = SimConfig::builder()
+            .seed_suppliers(3)
+            .requesting_peers(0)
+            .arrival_window_hours(1)
+            .duration_hours(2)
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg, 1).run();
+        // 3 class-1 seeds at the evaluation scale offer R0/2 each.
+        assert_eq!(report.final_capacity(), 1.5);
+        assert_eq!(report.attempts(), 0);
+        assert_eq!(report.final_overall_admission_rate(), 0.0);
+    }
+
+    #[test]
+    fn no_seeds_means_nobody_admitted() {
+        let cfg = SimConfig::builder()
+            .seed_suppliers(0)
+            .requesting_peers(50)
+            .arrival_window_hours(2)
+            .duration_hours(4)
+            .pattern(ArrivalPattern::Constant)
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg, 1).run();
+        // With an empty pool nobody can ever be admitted...
+        assert_eq!(report.admitted().iter().sum::<u64>(), 0);
+        // ...and capacity stays at zero.
+        assert_eq!(report.final_capacity(), 0.0);
+    }
+
+    #[test]
+    fn churn_departures_shrink_capacity() {
+        let cfg = SimConfig::builder()
+            .seed_suppliers(6)
+            .requesting_peers(0)
+            .arrival_window_hours(1)
+            .duration_hours(10)
+            .supplier_lifetime_hours(2)
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg, 1).run();
+        // All six idle seeds depart at hour 2; capacity drops to zero.
+        assert_eq!(report.final_capacity(), 0.0);
+        assert_eq!(report.capacity().value_at(1.0), Some(3.0));
+        assert_eq!(report.capacity().value_at(3.0), Some(0.0));
+    }
+
+    #[test]
+    fn churn_system_still_functions_with_replenishment() {
+        let cfg = SimConfig::builder()
+            .seed_suppliers(8)
+            .requesting_peers(400)
+            .arrival_window_hours(12)
+            .duration_hours(30)
+            .session_minutes(30)
+            .supplier_lifetime_hours(6)
+            .pattern(ArrivalPattern::Constant)
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg, 3).run();
+        let admitted: u64 = report.admitted().iter().sum();
+        assert!(admitted > 100, "churned system admitted only {admitted}");
+        // Everyone alive at the end has had their lifetime bounded, so
+        // capacity must sit well below the no-churn maximum.
+        assert!(report.final_capacity() < report.config().expected_max_capacity() / 2.0);
+    }
+
+    #[test]
+    fn busy_suppliers_depart_only_after_their_session() {
+        // Two seeds, lifetime shorter than a session: the departure fires
+        // mid-session and must be deferred, so the session still
+        // completes and the requester still becomes a supplier. A single
+        // class (mix = [1.0]) makes the class-1 request always granted.
+        let cfg = SimConfig::builder()
+            .seed_suppliers(2) // class-1 at shift 1 offers R0/2 each: both serve
+            .requesting_peers(1)
+            .class_mix(vec![1.0])
+            .arrival_window_hours(1)
+            .duration_hours(4)
+            .session_minutes(90)
+            .supplier_lifetime_hours(1)
+            .pattern(ArrivalPattern::Constant)
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg, 5).run();
+        assert_eq!(report.sessions_completed(), 1);
+        // Seeds departed after the session; the one new supplier remains
+        // until its own lifetime expires.
+        assert_eq!(report.final_capacity(), 0.0);
+    }
+
+    #[test]
+    fn peer_id_space_is_seeds_then_requesters() {
+        let sim = Simulation::new(small_config(Protocol::Dac), 1);
+        assert_eq!(sim.peers.len(), 204);
+        assert_eq!(sim.config().seed_suppliers(), 4);
+        assert!(matches!(sim.peers[0].phase, Phase::Supplying));
+        assert!(matches!(sim.peers[4].phase, Phase::Waiting));
+    }
+}

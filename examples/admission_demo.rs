@@ -1,0 +1,116 @@
+//! The `DACp2p` differentiation mechanics, step by step (paper §4).
+//!
+//! Walks one supplier population through a burst of requests, showing how
+//! admission probability vectors relax when idle, tighten on reminders,
+//! and how the requester-side probe secures exactly the playback rate.
+//!
+//! Run with `cargo run --example admission_demo`.
+
+use p2ps::core::admission::{
+    attempt_admission, BackoffPolicy, Candidate, ProbeOutcome, Protocol, RequestDecision,
+    RequesterState, SupplierConfig, SupplierState,
+};
+use p2ps::core::{Bandwidth, PeerClass};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A direct in-memory candidate (the same adapter shape the simulator and
+/// the TCP node use).
+struct LocalCandidate {
+    state: SupplierState,
+    rng: SmallRng,
+    now: u64,
+}
+
+impl Candidate for LocalCandidate {
+    fn class(&self) -> PeerClass {
+        self.state.class()
+    }
+    fn request(&mut self, from: PeerClass) -> RequestDecision {
+        self.state.handle_request(self.now, from, &mut self.rng)
+    }
+    fn leave_reminder(&mut self, from: PeerClass) {
+        self.state.leave_reminder(from);
+    }
+    fn release(&mut self) {}
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SupplierConfig::new(4, 1_200, Protocol::Dac)?;
+    let class = |k: u8| PeerClass::new(k).unwrap();
+
+    // A supplier population: one class-1, one class-2, two class-3.
+    // Offers: 1 + 1/2 + 1/4 + 1/4.
+    let mut candidates: Vec<LocalCandidate> = [1u8, 2, 3, 3]
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| LocalCandidate {
+            state: SupplierState::new(class(k), config, 0).unwrap(),
+            rng: SmallRng::seed_from_u64(i as u64),
+            now: 0,
+        })
+        .collect();
+
+    println!("supplier vectors at t=0 (class-k suppliers favor classes ≤ k):");
+    for c in &mut candidates {
+        let k = c.state.class();
+        println!("  {}: {}", k, c.state.vector_at(0));
+    }
+
+    // A class-2 requesting peer probes all four (M = 4 here).
+    let mut requester = RequesterState::new(class(2), BackoffPolicy::new(600, 2));
+    requester.record_request(0);
+    println!("\nclass-2 requester probes the candidates (descending class order):");
+    match attempt_admission(class(2), &mut candidates) {
+        ProbeOutcome::Admitted { granted } => {
+            let total: Bandwidth = granted
+                .iter()
+                .map(|&i| candidates[i].class().bandwidth())
+                .sum();
+            println!(
+                "  ADMITTED by slots {granted:?} (aggregate offer {total}, exactly R0: {})",
+                total.is_full_rate()
+            );
+        }
+        ProbeOutcome::Rejected { secured, reminders } => {
+            println!("  REJECTED with {secured} secured; reminders at {reminders:?}");
+            let delay = requester.record_rejection();
+            println!("  backoff before retry: {delay} s (T_bkf·E_bkf^(i-1))");
+        }
+    }
+
+    // Make everyone busy and watch a burst of favored requests tighten
+    // the vectors through reminders.
+    let t_busy = 100;
+    for c in &mut candidates {
+        c.now = t_busy;
+        if !c.state.is_busy() {
+            c.state.begin_session(t_busy);
+        }
+    }
+    println!("\nall suppliers are now busy; a class-1 requester probes and leaves reminders:");
+    for c in &mut candidates {
+        let d = c.state.handle_request(t_busy + 1, class(1), &mut c.rng);
+        println!("  {} answers {:?}", c.state.class(), d);
+        if matches!(d, RequestDecision::Busy { favored: true }) {
+            c.state.leave_reminder(class(1));
+        }
+    }
+    for c in &mut candidates {
+        c.state.end_session(t_busy + 600);
+    }
+    println!("\nvectors after the sessions end (reminder from class 1 tightens):");
+    for c in &mut candidates {
+        let k = c.state.class();
+        println!("  {}: {}", k, c.state.vector_at(t_busy + 600));
+    }
+
+    // Idle relaxation: after enough T_out periods everyone favors all.
+    let later = t_busy + 600 + 10 * 1_200;
+    println!("\nvectors after ten idle T_out periods (fully relaxed):");
+    for c in &mut candidates {
+        let k = c.state.class();
+        println!("  {}: {}", k, c.state.vector_at(later));
+    }
+    Ok(())
+}

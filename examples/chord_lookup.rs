@@ -1,0 +1,82 @@
+//! Candidate lookup over a Chord ring (paper §4.2, footnote 4).
+//!
+//! The paper's requesting peers may discover candidate suppliers either
+//! through a central directory or a distributed lookup service such as
+//! Chord. This example builds a 1,024-node Chord ring, registers
+//! suppliers for a media item, and measures lookup hop counts to confirm
+//! the `O(log n)` routing bound.
+//!
+//! Run with `cargo run --release --example chord_lookup`.
+
+use p2ps::core::{PeerClass, PeerId};
+use p2ps::lookup::chord::{ChordId, ChordRing};
+use p2ps::lookup::Rendezvous;
+use p2ps::metrics::{Histogram, OnlineStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_nodes = 1_024u64;
+    let mut ring = ChordRing::new();
+    for i in 0..n_nodes {
+        ring.join(PeerId::new(i));
+    }
+    println!("built a Chord ring of {} nodes", ring.len());
+
+    // Register a supplier population for one popular item.
+    for i in 0..40u64 {
+        ring.register(
+            "icdcs-video",
+            PeerId::new(i),
+            PeerClass::new(1 + (i % 4) as u8)?,
+        );
+    }
+    println!(
+        "registered {} suppliers of 'icdcs-video' at the item key's successor node",
+        ring.supplier_count("icdcs-video")
+    );
+
+    // A requesting peer samples M = 8 candidates through the ring.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let candidates = ring.sample("icdcs-video", 8, &mut rng);
+    println!("\nM = 8 sampled candidates:");
+    for c in &candidates {
+        println!("  {} ({})", c.id, c.class);
+    }
+
+    // Measure routing cost from many start nodes to many keys.
+    let mut stats = OnlineStats::new();
+    let mut hops_hist = Histogram::new(0.0, 16.0, 16);
+    let starts: Vec<ChordId> = ring.node_ids().step_by(37).collect();
+    for probe in 0..256u64 {
+        let key = ChordId::of_item(&format!("probe-{probe}"));
+        for &start in &starts {
+            let result = ring.lookup_from(start, key);
+            stats.record(result.hops as f64);
+            hops_hist.record(result.hops as f64);
+        }
+    }
+    println!(
+        "\nlookup hops over {} routed lookups: mean {:.2}, max {:.0} (log2({n_nodes}) = {:.0})",
+        stats.count(),
+        stats.mean(),
+        stats.max().unwrap_or(0.0),
+        (n_nodes as f64).log2()
+    );
+    println!("hop distribution:");
+    for (lo, count) in hops_hist.iter() {
+        if count > 0 {
+            println!("  {lo:>4.0} hops: {count}");
+        }
+    }
+
+    // Churn: the item's owner leaves; the supplier list must survive.
+    let owner = ring.lookup(ChordId::of_item("icdcs-video")).owner;
+    let owner_peer = ring.peer_of(owner).expect("owner exists");
+    ring.leave(owner_peer);
+    println!(
+        "\nafter the owner node left, the item still has {} suppliers (keys migrated to the successor)",
+        ring.supplier_count("icdcs-video")
+    );
+    Ok(())
+}

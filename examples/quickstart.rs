@@ -1,0 +1,75 @@
+//! Quickstart: the paper's two algorithms in twenty lines each.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use p2ps::core::admission::{Protocol, RequestDecision, SupplierConfig, SupplierState};
+use p2ps::core::assignment::{contiguous, otsp2p, SegmentDuration};
+use p2ps::core::PeerClass;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. OTSp2p: optimal media data assignment (paper §3, Figure 1).
+    //
+    // A streaming session aggregates suppliers whose offers sum to the
+    // playback rate R0. Here: R0/2 + R0/4 + R0/8 + R0/8.
+    // ------------------------------------------------------------------
+    let classes = [2u8, 3, 4, 4]
+        .into_iter()
+        .map(PeerClass::new)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let naive = contiguous(&classes)?;
+    let optimal = otsp2p(&classes)?;
+    let dt = SegmentDuration::from_secs(1);
+
+    println!("Figure-1 session (supplier classes 2, 3, 4, 4):");
+    println!(
+        "  contiguous blocks (Assignment I):  buffering delay {}·δt = {:?}",
+        naive.buffering_delay_slots(),
+        naive.buffering_delay(dt)
+    );
+    println!(
+        "  OTSp2p            (Assignment II): buffering delay {}·δt = {:?}",
+        optimal.buffering_delay_slots(),
+        optimal.buffering_delay(dt)
+    );
+    println!("\nOTSp2p per-supplier segment lists (one period of {}):", optimal.period());
+    for (slot, class, segments) in optimal.iter() {
+        println!("  slot {slot} ({class}): {segments:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // 2. DACp2p: a supplier's admission vector in action (paper §4.1).
+    // ------------------------------------------------------------------
+    let config = SupplierConfig::new(4, 20 * 60, Protocol::Dac)?;
+    let mut supplier = SupplierState::new(PeerClass::new(2)?, config, 0)?;
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    println!("\nA class-2 supplier starts with vector {}", supplier.vector_at(0));
+    println!(
+        "  class-2 request at t=0: {:?}",
+        supplier.handle_request(0, PeerClass::new(2)?, &mut rng)
+    );
+
+    // Idle for two timeout periods: lower classes get doubled twice.
+    println!(
+        "  after 2·T_out idle, vector relaxes to {}",
+        supplier.vector_at(2 * 20 * 60)
+    );
+
+    // A busy stretch with a reminder from a favored class-1 peer.
+    let t = 2 * 20 * 60;
+    supplier.begin_session(t);
+    let d = supplier.handle_request(t + 60, PeerClass::new(1)?, &mut rng);
+    assert_eq!(d, RequestDecision::Busy { favored: true });
+    supplier.leave_reminder(PeerClass::new(1)?);
+    supplier.end_session(t + 3_600);
+    println!(
+        "  after a busy session with a class-1 reminder, vector tightens to {}",
+        supplier.vector_at(t + 3_600)
+    );
+
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace root helper crate.
+//!
+//! The real public API lives in the [`p2ps`] facade crate; this package
+//! exists so that the repository-level `examples/` and `tests/` directories
+//! can exercise the whole workspace. Use `p2ps` (or the individual
+//! `p2ps-*` crates) from downstream code.
+
+pub use p2ps;

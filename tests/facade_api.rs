@@ -1,0 +1,73 @@
+//! Smoke tests of the `p2ps` facade: the documented entry points work as
+//! a downstream user would call them.
+
+use p2ps::core::admission::{AdmissionVector, Protocol};
+use p2ps::core::assignment::{edf, otsp2p};
+use p2ps::core::{CapacityTracker, PeerClass};
+use p2ps::lookup::{Directory, Rendezvous};
+use p2ps::media::{MediaFile, MediaInfo};
+use p2ps::metrics::{OnlineStats, Table, TimeSeries};
+use p2ps::sim::{ArrivalPattern, SimConfig, Simulation};
+
+#[test]
+fn the_readme_quickstart_works() {
+    let classes: Vec<PeerClass> = [2u8, 3, 4, 4]
+        .into_iter()
+        .map(|k| PeerClass::new(k).unwrap())
+        .collect();
+    let assignment = otsp2p(&classes).unwrap();
+    assert_eq!(assignment.buffering_delay_slots(), 4);
+    assert_eq!(edf(&classes).unwrap().buffering_delay_slots(), 4);
+}
+
+#[test]
+fn every_subsystem_is_reachable_through_the_facade() {
+    // core
+    let v = AdmissionVector::initial(PeerClass::new(2).unwrap(), 4).unwrap();
+    assert!(v.favors(PeerClass::new(1).unwrap()));
+    let mut cap = CapacityTracker::new();
+    cap.add_supplier(PeerClass::HIGHEST);
+    assert_eq!(cap.sessions(), 1.0);
+
+    // media
+    let info = MediaInfo::new(
+        "facade",
+        4,
+        p2ps::core::assignment::SegmentDuration::from_millis(100),
+        64,
+    );
+    let file = MediaFile::synthesize(info);
+    assert!(file.verify(&file.segment(0)));
+
+    // lookup
+    let mut dir = Directory::new();
+    dir.register("facade", p2ps::core::PeerId::new(1), PeerClass::HIGHEST);
+    assert_eq!(dir.supplier_count("facade"), 1);
+
+    // metrics
+    let stats: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+    assert_eq!(stats.mean(), 2.0);
+    let mut series = TimeSeries::new("x");
+    series.push(0.0, 1.0);
+    assert_eq!(series.len(), 1);
+    let mut table = Table::new(["a"]);
+    table.row(["1"]);
+    assert_eq!(table.row_count(), 1);
+}
+
+#[test]
+fn a_small_simulation_runs_through_the_facade() {
+    let config = SimConfig::builder()
+        .requesting_peers(120)
+        .seed_suppliers(4)
+        .arrival_window_hours(4)
+        .duration_hours(8)
+        .session_minutes(30)
+        .pattern(ArrivalPattern::InitialBurst)
+        .protocol(Protocol::Dac)
+        .build()
+        .unwrap();
+    let report = Simulation::new(config, 1).run();
+    assert!(report.final_capacity() > 2.0);
+    assert!(report.final_overall_admission_rate() > 0.0);
+}

@@ -1,0 +1,87 @@
+//! The two lookup services are interchangeable: a model-based test runs
+//! identical register/unregister/sample sequences against the centralized
+//! directory and the Chord ring and checks they expose identical supplier
+//! *sets* (sampling order may differ — it is random — but membership,
+//! counts and candidate metadata must agree).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use p2ps::core::{PeerClass, PeerId};
+use p2ps::lookup::chord::ChordRing;
+use p2ps::lookup::{Directory, Rendezvous};
+
+fn class(k: u8) -> PeerClass {
+    PeerClass::new(k).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register { item: u8, peer: u64, class: u8 },
+    Unregister { item: u8, peer: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u64..40, 1u8..=4).prop_map(|(item, peer, class)| Op::Register {
+            item,
+            peer,
+            class
+        }),
+        (0u8..3, 0u64..40).prop_map(|(item, peer)| Op::Unregister { item, peer }),
+    ]
+}
+
+fn item_name(i: u8) -> String {
+    format!("item-{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn directory_and_chord_expose_identical_membership(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+        ring_nodes in 1u64..24,
+    ) {
+        let mut dir = Directory::new();
+        let mut ring = ChordRing::new();
+        for i in 0..ring_nodes {
+            ring.join(PeerId::new(100_000 + i));
+        }
+
+        for op in &ops {
+            match *op {
+                Op::Register { item, peer, class: k } => {
+                    dir.register(&item_name(item), PeerId::new(peer), class(k));
+                    ring.register(&item_name(item), PeerId::new(peer), class(k));
+                }
+                Op::Unregister { item, peer } => {
+                    dir.unregister(&item_name(item), PeerId::new(peer));
+                    ring.unregister(&item_name(item), PeerId::new(peer));
+                }
+            }
+        }
+
+        for item in 0..3u8 {
+            let name = item_name(item);
+            prop_assert_eq!(
+                dir.supplier_count(&name),
+                ring.supplier_count(&name),
+                "count mismatch for {}",
+                &name
+            );
+            // Exhaustive sample (m = population) must return the same set
+            // with the same classes.
+            let n = dir.supplier_count(&name);
+            let mut rng_a = SmallRng::seed_from_u64(1);
+            let mut rng_b = SmallRng::seed_from_u64(2);
+            let mut a = dir.sample(&name, n, &mut rng_a);
+            let mut b = ring.sample(&name, n, &mut rng_b);
+            a.sort_by_key(|c| c.id);
+            b.sort_by_key(|c| c.id);
+            prop_assert_eq!(a, b, "membership mismatch for {}", &name);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based wire-codec verification: every representable message
+//! survives an encode/decode round trip, and adversarial byte streams
+//! never panic the decoder.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+
+use p2ps::core::{PeerClass, PeerId};
+use p2ps::proto::{decode_frame, encode_frame, Message, SessionPlan};
+
+fn class_strategy() -> impl Strategy<Value = PeerClass> {
+    (1u8..=16).prop_map(|k| PeerClass::new(k).unwrap())
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    let item = "[a-z0-9 /_.-]{0,40}";
+    prop_oneof![
+        (item, any::<u64>(), class_strategy(), any::<u16>()).prop_map(
+            |(item, peer, class, port)| Message::Register {
+                item,
+                peer: PeerId::new(peer),
+                class,
+                port,
+            }
+        ),
+        (item, any::<u16>()).prop_map(|(item, m)| Message::QueryCandidates { item, m }),
+        prop::collection::vec((any::<u64>(), class_strategy(), any::<u16>()), 0..20).prop_map(
+            |list| Message::Candidates {
+                list: list
+                    .into_iter()
+                    .map(|(id, class, port)| p2ps::proto::CandidateRecord {
+                        id: PeerId::new(id),
+                        class,
+                        port,
+                    })
+                    .collect(),
+            }
+        ),
+        (any::<u64>(), class_strategy())
+            .prop_map(|(session, class)| Message::StreamRequest { session, class }),
+        (any::<u64>(), class_strategy())
+            .prop_map(|(session, class)| Message::Grant { session, class }),
+        (any::<u64>(), any::<bool>(), any::<bool>()).prop_map(|(session, busy, favored)| {
+            Message::Deny {
+                session,
+                busy,
+                favored,
+            }
+        }),
+        any::<u64>().prop_map(|session| Message::Release { session }),
+        (any::<u64>(), class_strategy())
+            .prop_map(|(session, class)| Message::Reminder { session, class }),
+        (
+            any::<u64>(),
+            item,
+            prop::collection::vec(any::<u32>(), 0..64),
+            1u32..1024,
+            any::<u64>(),
+            1u32..100_000,
+        )
+            .prop_map(|(session, item, segments, period, total, dt)| {
+                Message::StartSession {
+                    session,
+                    plan: SessionPlan {
+                        item,
+                        segments,
+                        period,
+                        total_segments: total,
+                        dt_ms: dt,
+                    },
+                }
+            }),
+        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..4096)).prop_map(
+            |(session, index, payload)| Message::SegmentData {
+                session,
+                index,
+                payload: Bytes::from(payload),
+            }
+        ),
+        any::<u64>().prop_map(|session| Message::EndSession { session }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn round_trip(msg in message_strategy()) {
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        let decoded = decode_frame(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pipelined_messages_round_trip(msgs in prop::collection::vec(message_strategy(), 1..8)) {
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode_frame(m, &mut buf);
+        }
+        for expected in &msgs {
+            let got = decode_frame(&mut buf).unwrap().unwrap();
+            prop_assert_eq!(&got, expected);
+        }
+        prop_assert!(decode_frame(&mut buf).unwrap().is_none());
+    }
+
+    /// Truncating a valid frame anywhere yields "need more bytes", never a
+    /// panic or a bogus message.
+    #[test]
+    fn truncation_is_detected(msg in message_strategy(), cut_ratio in 0.0f64..1.0) {
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        let cut = ((buf.len() as f64) * cut_ratio) as usize;
+        if cut < buf.len() {
+            let mut partial = BytesMut::from(&buf[..cut]);
+            prop_assert_eq!(decode_frame(&mut partial).unwrap(), None);
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        let _ = decode_frame(&mut buf); // any Result is fine; no panic
+    }
+
+    /// Corrupting one byte of a valid frame either still decodes (the
+    /// byte was payload-like) or errors out — but never panics and never
+    /// loops forever.
+    #[test]
+    fn single_byte_corruption_is_safe(msg in message_strategy(), pos_ratio in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        // Skip the 4-byte length prefix so the frame is still "complete".
+        if buf.len() > 5 {
+            let pos = 4 + ((buf.len() - 5) as f64 * pos_ratio) as usize;
+            buf[pos] ^= 1 << bit;
+            let _ = decode_frame(&mut buf);
+        }
+    }
+}

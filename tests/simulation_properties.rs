@@ -1,0 +1,189 @@
+//! System-level invariants of the evaluation simulator, including
+//! property-based checks over random small configurations.
+
+use proptest::prelude::*;
+
+use p2ps::core::admission::Protocol;
+use p2ps::sim::{ArrivalPattern, SimConfig, Simulation};
+
+fn mid_config(protocol: Protocol, pattern: ArrivalPattern) -> SimConfig {
+    SimConfig::builder()
+        .seed_suppliers(10)
+        .requesting_peers(2_000)
+        .arrival_window_hours(24)
+        .duration_hours(48)
+        .pattern(pattern)
+        .protocol(protocol)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn dac_amplifies_capacity_faster_than_ndac() {
+    // The paper's central claim (Fig. 4) at reduced scale: DAC capacity
+    // dominates NDAC through the growth phase.
+    let dac = Simulation::new(mid_config(Protocol::Dac, ArrivalPattern::Ramp), 42).run();
+    let ndac = Simulation::new(mid_config(Protocol::Ndac, ArrivalPattern::Ramp), 42).run();
+    for hour in [12.0, 18.0, 24.0, 30.0] {
+        let d = dac.capacity().value_at(hour).unwrap();
+        let n = ndac.capacity().value_at(hour).unwrap();
+        assert!(
+            d >= n,
+            "at {hour}h DAC capacity {d:.0} fell behind NDAC {n:.0}"
+        );
+    }
+    assert!(
+        dac.capacity().value_at(18.0).unwrap() > 1.2 * ndac.capacity().value_at(18.0).unwrap(),
+        "DAC should lead by a clear margin mid-growth"
+    );
+}
+
+#[test]
+fn dac_differentiates_rejections_by_class_ndac_does_not() {
+    // Table 1's structure: under DAC rejections grow with class number;
+    // under NDAC all classes look alike.
+    let dac = Simulation::new(mid_config(Protocol::Dac, ArrivalPattern::Ramp), 42).run();
+    let ndac = Simulation::new(mid_config(Protocol::Ndac, ArrivalPattern::Ramp), 42).run();
+
+    let d: Vec<f64> = (1..=4).map(|k| dac.avg_rejections(k).unwrap()).collect();
+    assert!(
+        d[0] < d[3],
+        "DAC class 1 ({:.2}) must beat class 4 ({:.2})",
+        d[0],
+        d[3]
+    );
+
+    let n: Vec<f64> = (1..=4).map(|k| ndac.avg_rejections(k).unwrap()).collect();
+    let spread = (n.iter().cloned().fold(f64::MIN, f64::max)
+        - n.iter().cloned().fold(f64::MAX, f64::min))
+        / n.iter().sum::<f64>()
+        * 4.0;
+    assert!(
+        spread < 0.25,
+        "NDAC per-class rejections should be nearly flat, spread {spread:.2}: {n:?}"
+    );
+
+    // The paper's "benefits all requesting peers" claim: at full paper
+    // scale every class improves (verified by the fig4/table1 harness);
+    // at this reduced scale the high classes improve strictly and the
+    // lowest class stays within a small margin of NDAC.
+    for k in 0..3 {
+        assert!(
+            d[k] < n[k],
+            "class {} rejections: DAC {:.2} vs NDAC {:.2}",
+            k + 1,
+            d[k],
+            n[k]
+        );
+    }
+    assert!(
+        d[3] <= n[3] * 1.15,
+        "class 4 rejections under DAC ({:.2}) blew past NDAC ({:.2})",
+        d[3],
+        n[3]
+    );
+    let dac_total: f64 = d.iter().sum();
+    let ndac_total: f64 = n.iter().sum();
+    assert!(
+        dac_total < ndac_total,
+        "aggregate rejections: DAC {dac_total:.2} vs NDAC {ndac_total:.2}"
+    );
+}
+
+#[test]
+fn capacity_accounting_is_exact() {
+    // Final capacity == seeds + contributions of exactly the peers whose
+    // sessions *completed* within the horizon.
+    let cfg = mid_config(Protocol::Dac, ArrivalPattern::Constant);
+    let report = Simulation::new(cfg.clone(), 7).run();
+    let initial = cfg.seed_suppliers() as f64 * cfg.offer_of(p2ps::core::PeerClass::HIGHEST).fraction_of_rate();
+    assert!(report.final_capacity() >= initial);
+    assert!(report.final_capacity() <= cfg.expected_max_capacity() * 1.05);
+    assert!(report.sessions_completed() <= report.admitted().iter().sum::<u64>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small configurations: the run terminates and basic
+    /// conservation laws hold.
+    #[test]
+    fn conservation_on_random_configs(
+        seeds in 1u32..8,
+        requesters in 1u32..150,
+        window in 1u64..6,
+        extra in 0u64..6,
+        session_min in 5u64..90,
+        m in 1usize..12,
+        e_bkf in 1u32..4,
+        pattern_no in 0usize..4,
+        protocol_dac in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let pattern = [
+            ArrivalPattern::Constant,
+            ArrivalPattern::Ramp,
+            ArrivalPattern::InitialBurst,
+            ArrivalPattern::PeriodicBursts,
+        ][pattern_no].clone();
+        let cfg = SimConfig::builder()
+            .seed_suppliers(seeds)
+            .requesting_peers(requesters)
+            .arrival_window_hours(window)
+            .duration_hours(window + extra)
+            .session_minutes(session_min)
+            .m(m)
+            .e_bkf(e_bkf)
+            .pattern(pattern)
+            .protocol(if protocol_dac { Protocol::Dac } else { Protocol::Ndac })
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg.clone(), seed).run();
+
+        let requested: u64 = report.first_requests().iter().sum();
+        let admitted: u64 = report.admitted().iter().sum();
+        prop_assert_eq!(requested, requesters as u64);
+        prop_assert!(admitted <= requested);
+        prop_assert!(report.sessions_completed() <= admitted);
+        prop_assert!(report.attempts() >= requested);
+        // capacity is monotone and bounded (the hard bound uses the best
+        // possible class for every requester; expected_max_capacity is an
+        // expectation over the mix, not a bound)
+        let caps: Vec<f64> = report.capacity().iter().map(|(_, v)| v).collect();
+        prop_assert!(caps.windows(2).all(|w| w[1] >= w[0]));
+        let best_offer = cfg
+            .offer_of(p2ps::core::PeerClass::HIGHEST)
+            .fraction_of_rate();
+        let hard_max = (seeds as f64 + requesters as f64) * best_offer;
+        prop_assert!(report.final_capacity() <= hard_max + 1e-9);
+        // per-class delay, when present, spans 1..=16 suppliers
+        for k in 1..=4u8 {
+            if let Some(d) = report.avg_delay_slots(k) {
+                prop_assert!((1.0..=16.0).contains(&d));
+            }
+        }
+    }
+
+    /// Replays are bit-identical for any seed.
+    #[test]
+    fn determinism_on_random_seeds(seed in 0u64..500) {
+        let cfg = SimConfig::builder()
+            .seed_suppliers(3)
+            .requesting_peers(60)
+            .arrival_window_hours(3)
+            .duration_hours(6)
+            .session_minutes(20)
+            .pattern(ArrivalPattern::PeriodicBursts)
+            .build()
+            .unwrap();
+        let a = Simulation::new(cfg.clone(), seed).run();
+        let b = Simulation::new(cfg, seed).run();
+        prop_assert_eq!(a.attempts(), b.attempts());
+        prop_assert_eq!(a.admitted(), b.admitted());
+        prop_assert_eq!(a.final_capacity(), b.final_capacity());
+        prop_assert_eq!(
+            a.capacity().iter().collect::<Vec<_>>(),
+            b.capacity().iter().collect::<Vec<_>>()
+        );
+    }
+}
