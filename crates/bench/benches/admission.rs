@@ -102,5 +102,10 @@ fn bench_attempt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vector_ops, bench_supplier_state, bench_attempt);
+criterion_group!(
+    benches,
+    bench_vector_ops,
+    bench_supplier_state,
+    bench_attempt
+);
 criterion_main!(benches);

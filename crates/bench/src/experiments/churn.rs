@@ -56,10 +56,7 @@ pub fn run(harness: &mut Harness) {
                 format!("{:.1}", report.final_overall_admission_rate()),
             ]);
             if protocol == Protocol::Dac {
-                curves.push(renamed(
-                    report.capacity(),
-                    &format!("DAC lifetime {label}"),
-                ));
+                curves.push(renamed(report.capacity(), &format!("DAC lifetime {label}")));
             }
         }
     }

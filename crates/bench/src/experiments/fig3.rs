@@ -30,7 +30,9 @@ fn timeline(mut waiting: Vec<PeerClass>) -> (Vec<f64>, Vec<(PeerClass, u64)>) {
     while !waiting.is_empty() {
         // Admit as many waiting requesters (in order) as whole sessions fit.
         let slots = capacity_raw / full;
-        let admit: Vec<PeerClass> = waiting.drain(..slots.min(waiting.len() as u64) as usize).collect();
+        let admit: Vec<PeerClass> = waiting
+            .drain(..slots.min(waiting.len() as u64) as usize)
+            .collect();
         for class in &admit {
             waits.push((*class, round));
         }
@@ -56,11 +58,14 @@ pub fn run(harness: &mut Harness) {
     // Differentiated order: the class-1 requester first.
     let (cap_b, waits_b) = timeline(vec![c1, c2, c2]);
 
-    let avg = |w: &[(PeerClass, u64)]| {
-        w.iter().map(|&(_, t)| t as f64).sum::<f64>() / w.len() as f64
-    };
+    let avg =
+        |w: &[(PeerClass, u64)]| w.iter().map(|&(_, t)| t as f64).sum::<f64>() / w.len() as f64;
 
-    let mut table = Table::new(["round (×T)", "capacity (admit class-2 first)", "capacity (admit class-1 first)"]);
+    let mut table = Table::new([
+        "round (×T)",
+        "capacity (admit class-2 first)",
+        "capacity (admit class-1 first)",
+    ]);
     let rounds = cap_a.len().max(cap_b.len());
     for r in 0..rounds {
         table.row([
@@ -86,7 +91,17 @@ pub fn run(harness: &mut Harness) {
     );
 
     // The paper's claims, checked:
-    assert_eq!(avg(&waits_a), 1.0, "non-differentiated average waiting is T");
-    assert!((avg(&waits_b) - 2.0 / 3.0).abs() < 1e-9, "differentiated average is 2T/3");
-    assert!(waits_b.iter().all(|&(_, t)| t <= 1), "all admitted by T under differentiation");
+    assert_eq!(
+        avg(&waits_a),
+        1.0,
+        "non-differentiated average waiting is T"
+    );
+    assert!(
+        (avg(&waits_b) - 2.0 / 3.0).abs() < 1e-9,
+        "differentiated average is 2T/3"
+    );
+    assert!(
+        waits_b.iter().all(|&(_, t)| t <= 1),
+        "all admitted by T under differentiation"
+    );
 }

@@ -17,11 +17,7 @@ pub fn run(harness: &mut Harness) {
             &format!("Fig 5 — accumulative admission rate (%), {protocol}"),
             &series,
         );
-        harness.write_csv(
-            &format!("fig5_{}", protocol.name()),
-            "hour",
-            &series,
-        );
+        harness.write_csv(&format!("fig5_{}", protocol.name()), "hour", &series);
         let finals: Vec<String> = (1..=4)
             .map(|k| {
                 format!(

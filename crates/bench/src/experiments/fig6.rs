@@ -41,7 +41,11 @@ pub fn run(harness: &mut Harness) {
         let n = ndac.avg_delay_slots(k).unwrap_or(f64::NAN);
         println!(
             "class {k}: DAC {d:.2}·δt vs NDAC {n:.2}·δt ({})",
-            if d <= n { "DAC lower, as in the paper" } else { "NDAC lower (!)" }
+            if d <= n {
+                "DAC lower, as in the paper"
+            } else {
+                "NDAC lower (!)"
+            }
         );
     }
 }

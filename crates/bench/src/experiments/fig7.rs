@@ -14,7 +14,12 @@ use crate::Harness;
 /// Regenerates Figure 7.
 pub fn run(harness: &mut Harness) {
     println!("=== Figure 7: lowest favored class per supplier class (pattern 4, DACp2p) ===");
-    let report = harness.run("fig4", ArrivalPattern::PeriodicBursts, Protocol::Dac, |_| {});
+    let report = harness.run(
+        "fig4",
+        ArrivalPattern::PeriodicBursts,
+        Protocol::Dac,
+        |_| {},
+    );
     let favored = report.lowest_favored();
     let series: Vec<_> = (1..=4).map(|k| favored.class(k)).collect();
     harness.plot(
@@ -35,7 +40,11 @@ pub fn run(harness: &mut Harness) {
     // fewer classes than class-4 suppliers on average over the first day.
     let early_avg = |k: u8| {
         let s = favored.class(k);
-        let pts: Vec<f64> = s.iter().filter(|(t, _)| *t <= 24.0).map(|(_, v)| v).collect();
+        let pts: Vec<f64> = s
+            .iter()
+            .filter(|(t, _)| *t <= 24.0)
+            .map(|(_, v)| v)
+            .collect();
         pts.iter().sum::<f64>() / pts.len().max(1) as f64
     };
     println!(

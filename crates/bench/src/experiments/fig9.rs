@@ -32,7 +32,10 @@ pub fn run(harness: &mut Harness) {
         );
         curves.push((
             factor,
-            renamed(report.overall_admission_rate(), &format!("E_bkf = {factor}")),
+            renamed(
+                report.overall_admission_rate(),
+                &format!("E_bkf = {factor}"),
+            ),
             report,
         ));
     }

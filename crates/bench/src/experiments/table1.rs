@@ -25,8 +25,18 @@ pub fn run(harness: &mut Harness) {
     println!("=== Table 1: average rejections before admission ===");
     let p2_dac = harness.run("fig4", ArrivalPattern::Ramp, Protocol::Dac, |_| {});
     let p2_ndac = harness.run("fig4", ArrivalPattern::Ramp, Protocol::Ndac, |_| {});
-    let p4_dac = harness.run("fig4", ArrivalPattern::PeriodicBursts, Protocol::Dac, |_| {});
-    let p4_ndac = harness.run("fig4", ArrivalPattern::PeriodicBursts, Protocol::Ndac, |_| {});
+    let p4_dac = harness.run(
+        "fig4",
+        ArrivalPattern::PeriodicBursts,
+        Protocol::Dac,
+        |_| {},
+    );
+    let p4_ndac = harness.run(
+        "fig4",
+        ArrivalPattern::PeriodicBursts,
+        Protocol::Ndac,
+        |_| {},
+    );
 
     let mut table = Table::new([
         "Avg. rejections",
@@ -66,10 +76,22 @@ pub fn run(harness: &mut Harness) {
     for k in 1..=4u8 {
         waiting.row([
             format!("Class {k}"),
-            format!("{:.1}", p2_dac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0),
-            format!("{:.1}", p2_ndac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0),
-            format!("{:.1}", p4_dac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0),
-            format!("{:.1}", p4_ndac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0),
+            format!(
+                "{:.1}",
+                p2_dac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0
+            ),
+            format!(
+                "{:.1}",
+                p2_ndac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0
+            ),
+            format!(
+                "{:.1}",
+                p4_dac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0
+            ),
+            format!(
+                "{:.1}",
+                p4_ndac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0
+            ),
         ]);
     }
     println!("{waiting}");
@@ -91,18 +113,16 @@ pub fn run(harness: &mut Harness) {
         let predicted = backoff.total_wait_after(rejections.round() as u32) as f64 / 60.0;
         formula.row([
             format!("Class {k}"),
-            format!("{:.1}", p2_dac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0),
+            format!(
+                "{:.1}",
+                p2_dac.avg_waiting_secs(k).unwrap_or(f64::NAN) / 60.0
+            ),
             format!("{predicted:.1}"),
         ]);
     }
     println!("{formula}");
 
-    let mut tail = Table::new([
-        "Waiting (min), pattern 2 DAC",
-        "p50",
-        "p90",
-        "p99",
-    ]);
+    let mut tail = Table::new(["Waiting (min), pattern 2 DAC", "p50", "p90", "p99"]);
     for k in 1..=4u8 {
         tail.row([
             format!("Class {k}"),

@@ -59,7 +59,10 @@ impl BackoffPolicy {
     /// Panics if `rejections == 0` — the delay is only defined after at
     /// least one rejection.
     pub fn delay_after(&self, rejections: u32) -> u64 {
-        assert!(rejections >= 1, "delay_after requires at least one rejection");
+        assert!(
+            rejections >= 1,
+            "delay_after requires at least one rejection"
+        );
         let mut delay = self.base;
         for _ in 1..rejections {
             delay = delay.saturating_mul(self.factor as u64);
@@ -384,7 +387,10 @@ mod tests {
         // constant backoff: n · T_bkf
         assert_eq!(BackoffPolicy::new(600, 1).total_wait_after(5), 3_000);
         // saturation
-        assert_eq!(BackoffPolicy::new(u64::MAX, 2).total_wait_after(3), u64::MAX);
+        assert_eq!(
+            BackoffPolicy::new(u64::MAX, 2).total_wait_after(3),
+            u64::MAX
+        );
     }
 
     #[test]
@@ -403,8 +409,7 @@ mod tests {
 
     #[test]
     fn greedy_take_exact_cover() {
-        let offers: Vec<Bandwidth> =
-            [2, 3, 3, 4].iter().map(|&k| class(k).bandwidth()).collect();
+        let offers: Vec<Bandwidth> = [2, 3, 3, 4].iter().map(|&k| class(k).bandwidth()).collect();
         let (taken, total) = greedy_take(&offers, Bandwidth::FULL_RATE);
         assert_eq!(taken, vec![0, 1, 2]);
         assert!(total.is_full_rate());
@@ -413,8 +418,7 @@ mod tests {
     #[test]
     fn greedy_take_skips_oversized_offers() {
         // target 1/4: the 1/2 offers must be skipped.
-        let offers: Vec<Bandwidth> =
-            [2, 2, 3].iter().map(|&k| class(k).bandwidth()).collect();
+        let offers: Vec<Bandwidth> = [2, 2, 3].iter().map(|&k| class(k).bandwidth()).collect();
         let (taken, total) = greedy_take(&offers, class(3).bandwidth());
         assert_eq!(taken, vec![2]);
         assert_eq!(total, class(3).bandwidth());
@@ -505,9 +509,15 @@ mod tests {
             }
             other => panic!("expected rejection, got {other:?}"),
         }
-        assert!(cands[0].released, "secured grant must be released on rejection");
+        assert!(
+            cands[0].released,
+            "secured grant must be released on rejection"
+        );
         assert!(cands[1].reminded);
-        assert!(!cands[2].reminded, "unfavored busy candidate gets no reminder");
+        assert!(
+            !cands[2].reminded,
+            "unfavored busy candidate gets no reminder"
+        );
         assert!(!cands[3].reminded);
     }
 

@@ -343,8 +343,14 @@ mod tests {
     fn grants_favored_class_when_idle() {
         let mut s = SupplierState::new(class(2), dac_config(1200), 0).unwrap();
         let mut r = rng();
-        assert_eq!(s.handle_request(0, class(1), &mut r), RequestDecision::Granted);
-        assert_eq!(s.handle_request(0, class(2), &mut r), RequestDecision::Granted);
+        assert_eq!(
+            s.handle_request(0, class(1), &mut r),
+            RequestDecision::Granted
+        );
+        assert_eq!(
+            s.handle_request(0, class(2), &mut r),
+            RequestDecision::Granted
+        );
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl AdmissionVector {
             return Err(crate::Error::InvalidClass { value: own.get() });
         }
         let k = own.get();
-        let exps = (1..=num_classes)
-            .map(|j| j.saturating_sub(k))
-            .collect();
+        let exps = (1..=num_classes).map(|j| j.saturating_sub(k)).collect();
         Ok(AdmissionVector { exps })
     }
 

@@ -143,10 +143,7 @@ mod tests {
         let a = edf(&classes).unwrap();
         // from_parts would have panicked otherwise; double-check quotas.
         for (_, class, segs) in a.iter() {
-            assert_eq!(
-                segs.len() as u32,
-                a.period() / class.slots_per_segment()
-            );
+            assert_eq!(segs.len() as u32, a.period() / class.slots_per_segment());
         }
     }
 

@@ -48,9 +48,7 @@ use crate::{Bandwidth, Error, PeerClass, Result};
 /// assert_eq!(dt.as_millis(), 1_000);
 /// assert_eq!(dt.slots(5).as_millis(), 5_000);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SegmentDuration(u64);
 
 impl SegmentDuration {

@@ -133,7 +133,11 @@ impl TransmissionSchedule {
 
     /// The slot by which all segments have arrived.
     pub fn completion_slot(&self) -> u64 {
-        self.events.iter().map(|e| e.arrival_slot).max().unwrap_or(0)
+        self.events
+            .iter()
+            .map(|e| e.arrival_slot)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The minimal feasible buffering delay for this concrete (finite)
@@ -217,10 +221,7 @@ mod tests {
         // quota * slots_per_segment == period.
         let a = otsp2p(&classes_of(&[2, 3, 4, 4])).unwrap();
         for (_, class, segs) in a.iter() {
-            assert_eq!(
-                segs.len() as u32 * class.slots_per_segment(),
-                a.period()
-            );
+            assert_eq!(segs.len() as u32 * class.slots_per_segment(), a.period());
         }
     }
 

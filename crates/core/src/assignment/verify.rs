@@ -44,7 +44,10 @@ pub fn exhaustive_min_delay(classes: &[PeerClass]) -> Result<u32> {
     let period = session_period(classes)?;
     let (sorted, _) = sort_by_bandwidth(classes);
     let spp: Vec<u32> = sorted.iter().map(|c| c.slots_per_segment()).collect();
-    let mut quota: Vec<u32> = sorted.iter().map(|c| period / c.slots_per_segment()).collect();
+    let mut quota: Vec<u32> = sorted
+        .iter()
+        .map(|c| period / c.slots_per_segment())
+        .collect();
 
     // Assign segments from the END of the period downward. When supplier i
     // has q_i segments still unassigned (out of Q_i total), the next segment

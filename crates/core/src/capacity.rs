@@ -124,15 +124,17 @@ mod tests {
         // Two class-2 and two class-1 peers: 0.5+0.5+1+1 ... the paper's
         // Figure 3 uses two class-2 and two class-1 suppliers for capacity 1
         // under its axis; here we verify the arithmetic of the definition:
-        let cap: CapacityTracker =
-            [class(2), class(2), class(1), class(1)].into_iter().collect();
+        let cap: CapacityTracker = [class(2), class(2), class(1), class(1)]
+            .into_iter()
+            .collect();
         assert_eq!(cap.sessions(), 3.0);
 
         // Four suppliers of classes 2,2,1,1 in the paper's figure add to
         // capacity 1 only if classes are 2,2,3,3 — the published figure is
         // schematic. With 2,2,3,3:
-        let cap: CapacityTracker =
-            [class(2), class(2), class(3), class(3)].into_iter().collect();
+        let cap: CapacityTracker = [class(2), class(2), class(3), class(3)]
+            .into_iter()
+            .collect();
         assert_eq!(cap.sessions(), 1.5);
         assert_eq!(cap.whole_sessions(), 1);
     }

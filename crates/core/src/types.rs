@@ -68,9 +68,7 @@ impl From<u64> for PeerId {
 /// assert!(c1.is_higher_than(c2));
 /// # Ok::<(), p2ps_core::Error>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PeerClass(u8);
 
 impl PeerClass {
@@ -324,7 +322,10 @@ mod tests {
     fn bandwidth_fraction() {
         assert_eq!(Bandwidth::ZERO.fraction_of_rate(), 0.0);
         assert_eq!(Bandwidth::FULL_RATE.fraction_of_rate(), 1.0);
-        assert_eq!(PeerClass::new(2).unwrap().bandwidth().fraction_of_rate(), 0.5);
+        assert_eq!(
+            PeerClass::new(2).unwrap().bandwidth().fraction_of_rate(),
+            0.5
+        );
     }
 
     #[test]

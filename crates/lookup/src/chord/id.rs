@@ -22,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(ChordId::from_raw(5).in_half_open(b, a));
 /// assert!(ChordId::from_raw(25).in_half_open(b, a));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChordId(u64);
 
 impl ChordId {

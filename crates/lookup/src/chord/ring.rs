@@ -183,7 +183,10 @@ impl ChordRing {
                 .expect("lookup must start at a ring node");
             if key.in_half_open(current, node.successor) {
                 if node.successor == current {
-                    return LookupResult { owner: current, hops };
+                    return LookupResult {
+                        owner: current,
+                        hops,
+                    };
                 }
                 return LookupResult {
                     owner: node.successor,
@@ -199,7 +202,10 @@ impl ChordRing {
                 }
             }
             if next == current {
-                return LookupResult { owner: current, hops };
+                return LookupResult {
+                    owner: current,
+                    hops,
+                };
             }
             current = next;
             hops += 1;

@@ -254,8 +254,10 @@ mod tests {
         use p2ps_core::assignment::{otsp2p, schedule::TransmissionSchedule};
         use p2ps_core::PeerClass;
 
-        let classes: Vec<PeerClass> =
-            [2u8, 3, 4, 4].iter().map(|&k| PeerClass::new(k).unwrap()).collect();
+        let classes: Vec<PeerClass> = [2u8, 3, 4, 4]
+            .iter()
+            .map(|&k| PeerClass::new(k).unwrap())
+            .collect();
         let a = otsp2p(&classes).unwrap();
         let total = 32u64;
         let sched = TransmissionSchedule::new(&a, total);

@@ -68,7 +68,10 @@ impl<W: Write> CsvWriter<W> {
     /// Panics if `series` is empty or the first series is empty.
     pub fn write_series(&mut self, time_label: &str, series: &[&TimeSeries]) -> io::Result<()> {
         assert!(!series.is_empty(), "need at least one series");
-        assert!(!series[0].is_empty(), "the reference series must be non-empty");
+        assert!(
+            !series[0].is_empty(),
+            "the reference series must be non-empty"
+        );
         let mut header = vec![time_label.to_owned()];
         header.extend(series.iter().map(|s| s.name().to_owned()));
         self.write_row(header.iter().map(String::as_str))?;
@@ -121,7 +124,9 @@ mod tests {
         let mut b = TimeSeries::new("b");
         b.push(1.0, 10.0);
         let mut buf = Vec::new();
-        CsvWriter::new(&mut buf).write_series("t", &[&a, &b]).unwrap();
+        CsvWriter::new(&mut buf)
+            .write_series("t", &[&a, &b])
+            .unwrap();
         let text = String::from_utf8(buf).unwrap();
         // at t=0 series b has no value yet -> empty cell
         assert_eq!(text, "t,a,b\n0,1,\n2,3,10\n");

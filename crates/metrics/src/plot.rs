@@ -150,11 +150,7 @@ impl<'a> AsciiPlot<'a> {
             t_hi
         ));
         for (si, s) in drawable.iter().enumerate() {
-            out.push_str(&format!(
-                "  {} {}\n",
-                GLYPHS[si % GLYPHS.len()],
-                s.name()
-            ));
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name()));
         }
         out
     }

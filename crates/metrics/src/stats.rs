@@ -212,7 +212,9 @@ mod tests {
 
     #[test]
     fn mean_and_variance_match_textbook() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!(close(s.mean(), 5.0));
         assert!(close(s.population_variance(), 4.0));
         assert!(close(s.std_dev(), 2.0));
@@ -239,7 +241,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), sequential.count());
         assert!(close(a.mean(), sequential.mean()));
-        assert!(close(a.population_variance(), sequential.population_variance()));
+        assert!(close(
+            a.population_variance(),
+            sequential.population_variance()
+        ));
         assert_eq!(a.min(), sequential.min());
         assert_eq!(a.max(), sequential.max());
     }

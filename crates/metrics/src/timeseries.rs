@@ -85,10 +85,10 @@ impl TimeSeries {
     /// semantics: the value of the latest sample with `time <= t`.
     /// Returns `None` before the first sample.
     pub fn value_at(&self, t: f64) -> Option<f64> {
-        self
-            .times
+        self.times
             .partition_point(|&x| x <= t)
-            .checked_sub(1).map(|i| self.values[i])
+            .checked_sub(1)
+            .map(|i| self.values[i])
     }
 
     /// Resamples onto a regular grid `[start, end]` with the given step,
@@ -279,7 +279,13 @@ mod tests {
         let collected: Vec<_> = r.iter().collect();
         assert_eq!(
             collected,
-            vec![(0.0, 0.0), (5.0, 0.0), (10.0, 10.0), (15.0, 10.0), (20.0, 10.0)]
+            vec![
+                (0.0, 0.0),
+                (5.0, 0.0),
+                (10.0, 10.0),
+                (15.0, 10.0),
+                (20.0, 10.0)
+            ]
         );
     }
 

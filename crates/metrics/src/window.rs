@@ -41,7 +41,10 @@ impl WindowedAverage {
     ///
     /// Panics if `width` is not strictly positive and finite.
     pub fn new(name: impl Into<String>, width: f64) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "window width must be positive");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "window width must be positive"
+        );
         WindowedAverage {
             name: name.into(),
             width,

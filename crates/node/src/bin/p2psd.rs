@@ -99,8 +99,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 node.id(),
                 node.class()
             );
-            let outcome =
-                node.request_stream_with_retry(m, retries, Duration::from_millis(500))?;
+            let outcome = node.request_stream_with_retry(m, retries, Duration::from_millis(500))?;
             println!(
                 "admitted: {} supplier(s) of classes {:?}",
                 outcome.supplier_count,

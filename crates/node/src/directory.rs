@@ -277,11 +277,7 @@ pub fn register_supplier(
 ///
 /// Propagates socket errors; a malformed response surfaces as
 /// [`std::io::ErrorKind::InvalidData`].
-pub fn query_candidates(
-    dir: SocketAddr,
-    item: &str,
-    m: usize,
-) -> io::Result<Vec<CandidateRecord>> {
+pub fn query_candidates(dir: SocketAddr, item: &str, m: usize) -> io::Result<Vec<CandidateRecord>> {
     let mut stream = TcpStream::connect(dir)?;
     write_message(
         &mut stream,
@@ -311,8 +307,14 @@ mod tests {
     fn register_then_query() {
         let dir = DirectoryServer::start().unwrap();
         for i in 0..10u64 {
-            register_supplier(dir.addr(), "video", PeerId::new(i), class(1 + (i % 4) as u8), 9000 + i as u16)
-                .unwrap();
+            register_supplier(
+                dir.addr(),
+                "video",
+                PeerId::new(i),
+                class(1 + (i % 4) as u8),
+                9000 + i as u16,
+            )
+            .unwrap();
         }
         // Registration is async relative to the query connection; retry
         // briefly until all writes are applied.
@@ -384,7 +386,9 @@ mod tests {
         for c in &got {
             assert_eq!(c.port, 7000 + c.id.get() as u16, "ports survive the ring");
         }
-        assert!(query_candidates(dir.addr(), "other-item", 4).unwrap().is_empty());
+        assert!(query_candidates(dir.addr(), "other-item", 4)
+            .unwrap()
+            .is_empty());
         dir.shutdown();
     }
 

@@ -114,19 +114,12 @@ impl PeerNode {
         Ok(node)
     }
 
-    fn spawn_inner(
-        config: NodeConfig,
-        clock: Clock,
-        file: Option<MediaFile>,
-    ) -> io::Result<Self> {
+    fn spawn_inner(config: NodeConfig, clock: Clock, file: Option<MediaFile>) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let port = listener.local_addr()?.port();
-        let supplier_config = SupplierConfig::new(
-            config.num_classes,
-            config.idle_timeout_ms,
-            config.protocol,
-        )
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let supplier_config =
+            SupplierConfig::new(config.num_classes, config.idle_timeout_ms, config.protocol)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let state = SupplierState::new(config.class, supplier_config, clock.now_ms())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
 
@@ -226,13 +219,18 @@ impl PeerNode {
     pub fn request_stream(&self, m: usize) -> Result<StreamOutcome, NodeError> {
         let candidates = query_candidates(self.config.directory, self.config.info.name(), m)?;
         let session: u64 = self.session_rng.lock().gen();
-        let (outcome, store) =
-            crate::requester::attempt_and_stream(candidates, self.config.class, session, &self.config.info)?;
-        let file = MediaFile::from_store(self.config.info.clone(), &store)
-            .ok_or(NodeError::IncompleteStream {
+        let (outcome, store) = crate::requester::attempt_and_stream(
+            candidates,
+            self.config.class,
+            session,
+            &self.config.info,
+        )?;
+        let file = MediaFile::from_store(self.config.info.clone(), &store).ok_or(
+            NodeError::IncompleteStream {
                 received: store.len() as u64,
                 expected: self.config.info.segment_count(),
-            })?;
+            },
+        )?;
         *self.shared.file.lock() = Some(file);
         self.register()?;
         Ok(outcome)

@@ -94,11 +94,10 @@ fn handle_stream_request(
             let favored = guard.state.vector_at(now).favors(requester_class);
             RequestDecision::Busy { favored }
         } else {
-            let mut rng_ptr = std::mem::replace(
-                &mut guard.rng,
-                SmallRng::seed_from_u64(0),
-            );
-            let d = guard.state.handle_request(now, requester_class, &mut rng_ptr);
+            let mut rng_ptr = std::mem::replace(&mut guard.rng, SmallRng::seed_from_u64(0));
+            let d = guard
+                .state
+                .handle_request(now, requester_class, &mut rng_ptr);
             guard.rng = rng_ptr;
             if d.is_granted() {
                 guard.reserved_at = Some(now);
@@ -159,7 +158,11 @@ fn await_confirmation(
                 guard.state.begin_session(shared.clock.now_ms());
             }
             let result = stream_session(shared, &mut stream, session, &plan);
-            shared.admission.lock().state.end_session(shared.clock.now_ms());
+            shared
+                .admission
+                .lock()
+                .state
+                .end_session(shared.clock.now_ms());
             result
         }
         _ => {

@@ -70,7 +70,11 @@ impl Swarm {
         seed_count: usize,
         index_nodes: u64,
     ) -> Result<Self, NodeError> {
-        Self::start_inner(info, seed_count, DirectoryServer::start_with_chord(index_nodes)?)
+        Self::start_inner(
+            info,
+            seed_count,
+            DirectoryServer::start_with_chord(index_nodes)?,
+        )
     }
 
     fn start_inner(

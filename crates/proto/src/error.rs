@@ -54,8 +54,12 @@ mod tests {
         assert!(DecodeError::UnknownTag(0xff).to_string().contains("0xff"));
         assert!(DecodeError::InvalidClass(0).to_string().contains("class"));
         assert!(DecodeError::InvalidUtf8.to_string().contains("utf-8"));
-        assert!(DecodeError::FrameTooLarge(1).to_string().contains("exceeds"));
-        assert!(DecodeError::TrailingBytes(3).to_string().contains("trailing"));
+        assert!(DecodeError::FrameTooLarge(1)
+            .to_string()
+            .contains("exceeds"));
+        assert!(DecodeError::TrailingBytes(3)
+            .to_string()
+            .contains("trailing"));
     }
 
     #[test]

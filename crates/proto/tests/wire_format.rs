@@ -153,15 +153,16 @@ fn start_session_layout() {
     assert_eq!(
         hex(&bytes),
         concat!(
-            "28000000", // len = 40
-            "20",       // tag
+            "28000000",         // len = 40
+            "20",               // tag
             "0100000000000000", // session
-            "010076",   // item "v"
-            "02000000", // 2 segments
-            "00000000", "07000000",
-            "08000000", // period
+            "010076",           // item "v"
+            "02000000",         // 2 segments
+            "00000000",
+            "07000000",
+            "08000000",         // period
             "1000000000000000", // total = 16
-            "e8030000"  // dt_ms = 1000
+            "e8030000"          // dt_ms = 1000
         )
     );
 }

@@ -53,7 +53,10 @@ impl PiecewiseRate {
             prev_end = e;
         }
         let rate = PiecewiseRate { pieces };
-        assert!(rate.total_mass() > 0.0, "total arrival mass must be positive");
+        assert!(
+            rate.total_mass() > 0.0,
+            "total arrival mass must be positive"
+        );
         rate
     }
 
@@ -124,7 +127,11 @@ impl ArrivalPattern {
                     let s = i as f64 / steps as f64;
                     let e = (i + 1) as f64 / steps as f64;
                     let mid = (s + e) / 2.0;
-                    let w = if mid < 0.5 { mid * 4.0 } else { (1.0 - mid) * 4.0 };
+                    let w = if mid < 0.5 {
+                        mid * 4.0
+                    } else {
+                        (1.0 - mid) * 4.0
+                    };
                     pieces.push((s, e, w));
                 }
                 PiecewiseRate::new(pieces)
@@ -157,12 +164,7 @@ impl ArrivalPattern {
 
     /// Generates `n` arrival times (seconds) within `[0, window_secs)`,
     /// sorted ascending.
-    pub fn generate<R: Rng + ?Sized>(
-        &self,
-        n: usize,
-        window_secs: u64,
-        rng: &mut R,
-    ) -> Vec<u64> {
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, window_secs: u64, rng: &mut R) -> Vec<u64> {
         let density = self.density();
         let mut times: Vec<u64> = (0..n)
             .map(|_| {
@@ -229,7 +231,10 @@ mod tests {
         let early = third(0, window / 3);
         let middle = third(window / 3, 2 * window / 3);
         let late = third(2 * window / 3, window);
-        assert!(middle > early + early / 2, "middle {middle} vs early {early}");
+        assert!(
+            middle > early + early / 2,
+            "middle {middle} vs early {early}"
+        );
         assert!(middle > late + late / 2, "middle {middle} vs late {late}");
     }
 
@@ -253,8 +258,14 @@ mod tests {
             let start = p * window / 6;
             let burst_end = start + window / 36;
             let period_end = (p + 1) * window / 6;
-            let burst = times.iter().filter(|&&t| t >= start && t < burst_end).count();
-            let whole = times.iter().filter(|&&t| t >= start && t < period_end).count();
+            let burst = times
+                .iter()
+                .filter(|&&t| t >= start && t < burst_end)
+                .count();
+            let whole = times
+                .iter()
+                .filter(|&&t| t >= start && t < period_end)
+                .count();
             let frac = burst as f64 / whole as f64;
             assert!(
                 (0.6..0.8).contains(&frac),

@@ -28,7 +28,9 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::BadClassMix => write!(f, "class mix must have one positive-sum weight per class"),
+            ConfigError::BadClassMix => {
+                write!(f, "class mix must have one positive-sum weight per class")
+            }
             ConfigError::BadClassCount(k) => write!(f, "invalid class count {k}"),
             ConfigError::WindowExceedsDuration => {
                 write!(f, "arrival window exceeds simulation duration")
@@ -94,7 +96,9 @@ impl SimConfig {
 
     /// The exact §5.1 configuration (50,100 peers, 144 h).
     pub fn paper_defaults() -> Self {
-        SimConfig::builder().build().expect("paper defaults are valid")
+        SimConfig::builder()
+            .build()
+            .expect("paper defaults are valid")
     }
 
     /// Number of seed supplying peers present at `t = 0`.
@@ -230,11 +234,12 @@ impl SimConfig {
     /// configuration's bandwidth scale.
     pub fn expected_max_capacity(&self) -> f64 {
         let mix_total: f64 = self.class_mix.iter().sum();
-        let mut cap = self.seed_suppliers as f64
-            * self.offer_of(self.seed_class).fraction_of_rate();
+        let mut cap =
+            self.seed_suppliers as f64 * self.offer_of(self.seed_class).fraction_of_rate();
         for (i, w) in self.class_mix.iter().enumerate() {
             let class = PeerClass::new(i as u8 + 1).expect("validated");
-            cap += self.requesting_peers as f64 * (w / mix_total)
+            cap += self.requesting_peers as f64
+                * (w / mix_total)
                 * self.offer_of(class).fraction_of_rate();
         }
         cap
@@ -407,7 +412,9 @@ impl SimConfigBuilder {
             return Err(ConfigError::BadClassCount(c.num_classes));
         }
         if c.class_mix.len() != c.num_classes as usize
-            || c.class_mix.iter().any(|&w| w.is_nan() || w < 0.0 || !w.is_finite())
+            || c.class_mix
+                .iter()
+                .any(|&w| w.is_nan() || w < 0.0 || !w.is_finite())
             || c.class_mix.iter().sum::<f64>() <= 0.0
         {
             return Err(ConfigError::BadClassMix);

@@ -76,9 +76,12 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(30, EventKind::Retry(PeerId::new(1)));
         q.schedule(10, EventKind::FirstRequest(PeerId::new(2)));
-        q.schedule(20, EventKind::SessionEnd {
-            requester: PeerId::new(3),
-        });
+        q.schedule(
+            20,
+            EventKind::SessionEnd {
+                requester: PeerId::new(3),
+            },
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(10));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();

@@ -40,7 +40,10 @@ impl ClassSeries {
 
     /// Iterates over `(class_number, series)`.
     pub fn iter(&self) -> impl Iterator<Item = (u8, &TimeSeries)> + '_ {
-        self.series.iter().enumerate().map(|(i, s)| (i as u8 + 1, s))
+        self.series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u8 + 1, s))
     }
 
     pub(crate) fn push(&mut self, k: u8, t: f64, v: f64) {
@@ -124,12 +127,12 @@ impl Collector {
     }
 
     pub(crate) fn record_capacity_gain(&mut self, t_secs: u64, sessions_delta: f64) {
-        self.capacity.add(t_secs as f64 / HOUR as f64, sessions_delta);
+        self.capacity
+            .add(t_secs as f64 / HOUR as f64, sessions_delta);
     }
 
     pub(crate) fn record_favored(&mut self, t_secs: u64, supplier_class_idx: usize, lowest: u8) {
-        self.favored[supplier_class_idx]
-            .record(t_secs as f64 / HOUR as f64, lowest as f64);
+        self.favored[supplier_class_idx].record(t_secs as f64 / HOUR as f64, lowest as f64);
     }
 
     /// Takes the cumulative-metric snapshots at `t_secs`.
@@ -169,7 +172,10 @@ mod tests {
         assert_eq!(cs.class(2).last(), Some((1.0, 5.0)));
         assert!(cs.class(1).is_empty());
         let names: Vec<&str> = cs.iter().map(|(_, s)| s.name()).collect();
-        assert_eq!(names, vec!["x-class-1", "x-class-2", "x-class-3", "x-class-4"]);
+        assert_eq!(
+            names,
+            vec!["x-class-1", "x-class-2", "x-class-3", "x-class-4"]
+        );
     }
 
     #[test]

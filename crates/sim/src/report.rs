@@ -35,9 +35,8 @@ impl SimReport {
         let duration_h = config.duration_secs() as f64 / HOUR as f64;
         let snap_h = config.snapshot_secs() as f64 / HOUR as f64;
         let capacity = collector.capacity.sample_grid(0.0, duration_h, snap_h);
-        let lowest_favored = ClassSeries::from_series(
-            collector.favored.iter().map(|w| w.to_series()).collect(),
-        );
+        let lowest_favored =
+            ClassSeries::from_series(collector.favored.iter().map(|w| w.to_series()).collect());
         SimReport {
             final_capacity: collector.capacity.current(),
             capacity,

@@ -109,14 +109,11 @@ impl Simulation {
     /// derived from `seed`.
     pub fn new(config: SimConfig, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let supplier_config = SupplierConfig::new(
-            config.num_classes(),
-            config.t_out_secs(),
-            config.protocol(),
-        )
-        .expect("SimConfig validated the class count")
-        .reminders(config.reminders_enabled())
-        .session_relax(config.session_relax_enabled());
+        let supplier_config =
+            SupplierConfig::new(config.num_classes(), config.t_out_secs(), config.protocol())
+                .expect("SimConfig validated the class count")
+                .reminders(config.reminders_enabled())
+                .session_relax(config.session_relax_enabled());
         let backoff = BackoffPolicy::new(config.t_bkf_secs(), config.e_bkf());
 
         let mut peers = Vec::with_capacity(
@@ -277,8 +274,7 @@ impl Simulation {
 
         match &outcome {
             ProbeOutcome::Admitted { granted } => {
-                let supplier_ids: Vec<PeerId> =
-                    granted.iter().map(|&i| candidates[i].id).collect();
+                let supplier_ids: Vec<PeerId> = granted.iter().map(|&i| candidates[i].id).collect();
                 for &i in granted {
                     candidates[i].state.begin_session(t);
                 }
@@ -286,12 +282,8 @@ impl Simulation {
                 let class_idx = (rec.class.get() - 1) as usize;
                 let rejections = rec.requester.rejections();
                 let waiting = rec.requester.waiting_time(t);
-                self.metrics.record_admission(
-                    class_idx,
-                    rejections,
-                    supplier_ids.len(),
-                    waiting,
-                );
+                self.metrics
+                    .record_admission(class_idx, rejections, supplier_ids.len(), waiting);
                 rec.phase = Phase::Streaming {
                     suppliers: supplier_ids,
                 };
@@ -337,8 +329,7 @@ impl Simulation {
         }
         self.suppliers.insert(
             requester.get(),
-            SupplierState::new(class, self.supplier_config, t)
-                .expect("requester class validated"),
+            SupplierState::new(class, self.supplier_config, t).expect("requester class validated"),
         );
         self.pool_index.insert(requester.get(), self.pool.len());
         self.pool.push(requester);
@@ -539,8 +530,7 @@ mod tests {
             .session_minutes(30)
             .pattern(ArrivalPattern::Constant);
         let healthy = Simulation::new(builder.build().unwrap(), 2).run();
-        let flaky =
-            Simulation::new(builder.down_probability(0.8).build().unwrap(), 2).run();
+        let flaky = Simulation::new(builder.down_probability(0.8).build().unwrap(), 2).run();
         assert!(
             flaky.final_overall_admission_rate() < healthy.final_overall_admission_rate(),
             "80% down candidates should hurt admission"

@@ -59,10 +59,7 @@ fn fig8a_shape_m4_collapses_capacity_growth() {
     let c4 = m4.capacity().value_at(end).unwrap();
     let c8 = m8.capacity().value_at(end).unwrap();
     let c16 = m16.capacity().value_at(end).unwrap();
-    assert!(
-        c4 < 0.8 * c8,
-        "M=4 ({c4}) should trail M=8 ({c8}) badly"
-    );
+    assert!(c4 < 0.8 * c8, "M=4 ({c4}) should trail M=8 ({c8}) badly");
     assert!(
         (c16 - c8).abs() / c8 < 0.25,
         "M=16 ({c16}) should add little over M=8 ({c8})"
@@ -127,5 +124,8 @@ fn table1_shape_rejections_ordered_and_dac_dominates() {
     let n: Vec<f64> = (1..=4).map(|k| ndac.avg_rejections(k).unwrap()).collect();
     let total_d: f64 = (1..=4).map(|k| dac.avg_rejections(k).unwrap()).sum();
     let total_n: f64 = n.iter().sum();
-    assert!(total_d < total_n, "DAC total {total_d:.2} vs NDAC {total_n:.2}");
+    assert!(
+        total_d < total_n,
+        "DAC total {total_d:.2} vs NDAC {total_n:.2}"
+    );
 }

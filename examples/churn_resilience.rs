@@ -58,16 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.1}", report.final_overall_admission_rate()),
             ]);
             if protocol == Protocol::Dac {
-                curves.push(renamed(report.capacity(), &format!("DAC, lifetime {label}")));
+                curves.push(renamed(
+                    report.capacity(),
+                    &format!("DAC, lifetime {label}"),
+                ));
             }
         }
     }
 
-    let mut plot = AsciiPlot::new(
-        "DACp2p capacity under bounded supplier lifetimes",
-        72,
-        18,
-    );
+    let mut plot = AsciiPlot::new("DACp2p capacity under bounded supplier lifetimes", 72, 18);
     for c in &curves {
         plot = plot.series(c);
     }

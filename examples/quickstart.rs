@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         optimal.buffering_delay_slots(),
         optimal.buffering_delay(dt)
     );
-    println!("\nOTSp2p per-supplier segment lists (one period of {}):", optimal.period());
+    println!(
+        "\nOTSp2p per-supplier segment lists (one period of {}):",
+        optimal.period()
+    );
     for (slot, class, segments) in optimal.iter() {
         println!("  slot {slot} ({class}): {segments:?}");
     }
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut supplier = SupplierState::new(PeerClass::new(2)?, config, 0)?;
     let mut rng = SmallRng::seed_from_u64(7);
 
-    println!("\nA class-2 supplier starts with vector {}", supplier.vector_at(0));
+    println!(
+        "\nA class-2 supplier starts with vector {}",
+        supplier.vector_at(0)
+    );
     println!(
         "  class-2 request at t=0: {:?}",
         supplier.handle_request(0, PeerClass::new(2)?, &mut rng)

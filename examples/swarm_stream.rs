@@ -16,9 +16,9 @@ use p2ps::node::Swarm;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let info = MediaInfo::new(
         "icdcs-demo",
-        120,                                // 120 segments …
-        SegmentDuration::from_millis(25),   // … of 25 ms each = a 3 s show
-        2_048,                              // 2 KiB per segment
+        120,                              // 120 segments …
+        SegmentDuration::from_millis(25), // … of 25 ms each = a 3 s show
+        2_048,                            // 2 KiB per segment
     );
     println!(
         "media item {:?}: {} segments × {} ms ({} KiB total)\n",
@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut swarm = Swarm::start(info, 2)?;
-    println!("started directory + {} class-1 seeds", swarm.supplier_count());
+    println!(
+        "started directory + {} class-1 seeds",
+        swarm.supplier_count()
+    );
 
     // Two waves of requesting peers with the paper's class mix feel:
     // higher classes first benefit, then the low classes ride the grown

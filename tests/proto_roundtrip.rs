@@ -70,13 +70,16 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                     },
                 }
             }),
-        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..4096)).prop_map(
-            |(session, index, payload)| Message::SegmentData {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..4096)
+        )
+            .prop_map(|(session, index, payload)| Message::SegmentData {
                 session,
                 index,
                 payload: Bytes::from(payload),
-            }
-        ),
+            }),
         any::<u64>().prop_map(|session| Message::EndSession { session }),
     ]
 }

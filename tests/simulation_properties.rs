@@ -96,7 +96,10 @@ fn capacity_accounting_is_exact() {
     // sessions *completed* within the horizon.
     let cfg = mid_config(Protocol::Dac, ArrivalPattern::Constant);
     let report = Simulation::new(cfg.clone(), 7).run();
-    let initial = cfg.seed_suppliers() as f64 * cfg.offer_of(p2ps::core::PeerClass::HIGHEST).fraction_of_rate();
+    let initial = cfg.seed_suppliers() as f64
+        * cfg
+            .offer_of(p2ps::core::PeerClass::HIGHEST)
+            .fraction_of_rate();
     assert!(report.final_capacity() >= initial);
     assert!(report.final_capacity() <= cfg.expected_max_capacity() * 1.05);
     assert!(report.sessions_completed() <= report.admitted().iter().sum::<u64>());

@@ -1,0 +1,457 @@
+//! Offline vendored subset of the `bytes` 1.x API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the byte-buffer surface the workspace codec uses:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`] traits with the
+//! little-endian accessors. Buffers are plain `Vec<u8>`s with a read
+//! cursor — correctness-first, zero-copy-second.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Discards the next `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// A view of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+// Equality and hashing cover the *unread* contents only, matching
+// upstream `bytes` (a derive over (data, pos) would make two buffers
+// with identical remaining bytes compare unequal after `advance`).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer over static data (copied here — this vendored subset
+    /// keeps one ownership model instead of upstream's zero-copy view).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` unread bytes.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Bytes { data: head, pos: 0 }
+    }
+
+    /// Copies the unread bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.pos += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(src: &[u8; N]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(src: &str) -> Self {
+        Bytes::from(src.as_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:?}", self.as_slice())
+    }
+}
+
+/// A mutable, growable byte buffer with a read cursor.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl std::hash::Hash for BytesMut {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes of pre-allocated space.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all contents.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `n` unread bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.start..self.start + n].to_vec();
+        Buf::advance(self, n);
+        BytesMut {
+            data: head,
+            start: 0,
+        }
+    }
+
+    /// Drops the consumed prefix once it dominates the allocation, so a
+    /// long-lived read accumulator (append, decode, repeat) stays
+    /// bounded by its unread contents instead of every byte ever read.
+    fn maybe_compact(&mut self) {
+        if self.start >= 4096 && self.start * 2 >= self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Freezes the unread contents into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: if self.start == 0 {
+                self.data
+            } else {
+                self.data[self.start..].to_vec()
+            },
+            pos: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data[self.start..]
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+        self.maybe_compact();
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data, start: 0 }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:?}", self.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_little_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xab);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(0x0123_4567_89ab_cdef);
+        buf.put_slice(b"hi");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 0xab);
+        assert_eq!(b.get_u16_le(), 0x1234);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(b.to_vec(), b"hi");
+    }
+
+    #[test]
+    fn split_advance_and_index() {
+        let mut buf = BytesMut::from(&b"0123456789"[..]);
+        buf.advance(2);
+        assert_eq!(&buf[..], b"23456789");
+        buf[0] ^= 1; // '2' ^ 1 == '3'
+        assert_eq!(buf[0], b'3');
+        let head = buf.split_to(3);
+        assert_eq!(&head[..], b"334");
+        assert_eq!(&buf[..], b"56789");
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(&b"xy"[..]);
+        a.advance(1);
+        assert_eq!(a, Bytes::from(&b"y"[..]));
+        let mut m = BytesMut::from(&b"xy"[..]);
+        m.advance(1);
+        assert_eq!(m, BytesMut::from(&b"y"[..]));
+    }
+
+    #[test]
+    fn long_lived_accumulator_stays_bounded() {
+        // Append-decode-repeat on one buffer must not retain every byte
+        // ever read (maybe_compact drops the consumed prefix).
+        let mut buf = BytesMut::new();
+        let chunk = vec![0u8; 8 * 1024];
+        for _ in 0..100 {
+            buf.extend_from_slice(&chunk);
+            buf.advance(chunk.len());
+        }
+        assert!(buf.is_empty());
+        assert!(
+            buf.data.len() < 64 * 1024,
+            "{} bytes retained after consuming 800 KiB",
+            buf.data.len()
+        );
+    }
+
+    #[test]
+    fn bytes_split_to_consumes_front() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4]);
+        assert_eq!(b.remaining(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline vendored subset of the `crossbeam` API.
+//!
+//! Only `crossbeam::channel::unbounded` is used by this workspace; the
+//! standard-library mpsc channel provides the same semantics for that
+//! single-consumer use (cloneable sender, `recv` until all senders drop).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (std-mpsc-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn fan_in_then_drain() {
+            let (tx, rx) = super::unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(1).unwrap());
+            tx.send(2).unwrap();
+            drop(tx);
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+}

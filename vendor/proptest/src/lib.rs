@@ -1,0 +1,657 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the property-testing surface the workspace uses:
+//! the [`Strategy`] trait with `prop_map` and `boxed`, range / tuple /
+//! regex-string strategies, `prop::collection::{vec, hash_set}`,
+//! `prop::sample::Index`, `prop::option::of`, [`any`], [`ProptestConfig`]
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` / `prop_oneof!` macros.
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` random cases
+//! from a generator seeded deterministically from the test name, so
+//! failures always reproduce. There is no shrinking — the failing
+//! assertion message carries the offending values instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+
+/// The generator driving every strategy.
+pub type TestRng = SmallRng;
+
+/// Seeds the per-test generator from the test's name (FNV-1a), keeping
+/// runs deterministic and independent across tests.
+#[doc(hidden)]
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+/// Per-block configuration, settable via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A uniform choice between boxed alternatives (see `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Union<T> {
+    /// Builds a union over `alternatives` (must be non-empty).
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        Union(alternatives)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11);
+}
+
+mod regex;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate_matching(self, rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an unconstrained random value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+impl Arbitrary for prop::sample::Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        prop::sample::Index::from_raw(rng.next_u64() as usize)
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Combinator namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use std::collections::HashSet;
+        use std::hash::Hash;
+        use std::ops::{Range, RangeInclusive};
+
+        use super::super::{Debug, Rng, Strategy, TestRng};
+
+        /// Number-of-elements specification for collection strategies.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl SizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.lo..=self.hi_inclusive)
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                let (lo, hi) = r.into_inner();
+                assert!(lo <= hi, "empty size range");
+                SizeRange {
+                    lo,
+                    hi_inclusive: hi,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    lo: n,
+                    hi_inclusive: n,
+                }
+            }
+        }
+
+        /// A strategy producing `Vec`s of `element` values.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors with lengths drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A strategy producing `HashSet`s of `element` values.
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates hash sets with sizes drawn from `size`. The element
+        /// domain must be large enough to reach the requested size.
+        pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let n = self.size.pick(rng);
+                let mut set = HashSet::with_capacity(n);
+                // Collisions retry; bail out after a generous budget so a
+                // too-small element domain degrades instead of hanging.
+                let mut budget = 100 * (n + 1);
+                while set.len() < n && budget > 0 {
+                    set.insert(self.element.generate(rng));
+                    budget -= 1;
+                }
+                set
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        /// An opaque index into a collection of yet-unknown length.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub struct Index(usize);
+
+        impl Index {
+            pub(crate) fn from_raw(raw: usize) -> Self {
+                Index(raw)
+            }
+
+            /// Resolves the index against a collection of length `len`
+            /// (which must be non-zero).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Rng, Strategy, TestRng};
+
+        /// A strategy producing `Option<S::Value>`.
+        pub struct OptionStrategy<S>(S);
+
+        /// Generates `Some(value)` roughly three times out of four.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen_range(0u32..4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// The usual imports for writing property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice between strategy arms of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!(
+                "property assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    panic!(
+                        "property assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    panic!(
+                        "property assertion failed: `left == right`: {}\n  left: {l:?}\n right: {r:?}",
+                        format!($($fmt)*)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    panic!(
+                        "property assertion failed: `left != right`\n  left: {l:?}\n right: {r:?}"
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// `proptest!` runs each case body inside an immediately-invoked
+/// closure, so this expands to a `return` from that closure — which
+/// rejects the whole case even from inside a loop the test body wrote
+/// itself (a bare `continue` would silently target that inner loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over freshly
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@block ($cfg) $($rest)*);
+    };
+    (@block ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategy = ($($strat,)+);
+                let mut __rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    // One closure per case: `prop_assume!` rejects a case
+                    // by returning from it (see that macro's docs).
+                    let __case_body = || $body;
+                    __case_body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@block ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 1u8..=4, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(xs in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assert!((2..5).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn hash_sets_hit_requested_size(s in prop::collection::hash_set(0u64..1_000, 3..6)) {
+            prop_assert!((3..6).contains(&s.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            shape in prop_oneof![
+                Just(Shape::Dot),
+                (1u8..5).prop_map(Shape::Line),
+            ],
+        ) {
+            match shape {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((1..5).contains(&n)),
+            }
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_skips_invalid_cases(a in 0u8..10, b in 0u8..10) {
+            prop_assume!(a <= b);
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn assume_rejects_the_whole_case_from_inner_loops(a in 0u8..10) {
+            for _ in 0..1 {
+                prop_assume!(a < 5);
+            }
+            // Only reachable when the assumption held: a `continue`-based
+            // prop_assume would fall through here with a >= 5.
+            prop_assert!(a < 5);
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+
+        #[test]
+        fn option_of_produces_both(opts in prop::collection::vec(prop::option::of(0u8..5), 40..60)) {
+            // With ~75% Some over 40+ draws, both variants appear with
+            // overwhelming probability under the deterministic seed.
+            prop_assert!(opts.iter().any(Option::is_some));
+            prop_assert!(opts.iter().any(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::rng_for_test("x::y");
+        let mut b = crate::rng_for_test("x::y");
+        let s = 0u64..1_000;
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

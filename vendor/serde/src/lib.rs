@@ -1,0 +1,16 @@
+//! Offline vendored `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` names the workspace imports:
+//! the derive macros (no-ops, see `serde_derive`) and marker traits of the
+//! same names, mirroring how the real crate pairs them. No serde data
+//! format is in the tree, so nothing ever calls through these traits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
