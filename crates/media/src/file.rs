@@ -90,19 +90,29 @@ impl MediaInfo {
 /// any peer can validate that what it received is exactly what the origin
 /// would have produced — the integration tests use this to prove
 /// end-to-end integrity of the streaming path.
+///
+/// The whole file lives in **one contiguous [`Bytes`] allocation**;
+/// [`segment`](MediaFile::segment) hands out O(1) shared sub-views of it.
+/// Cloning a `MediaFile` is therefore O(1) too — a supplier can snapshot
+/// the file per session without duplicating payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MediaFile {
     info: MediaInfo,
-    segments: Vec<Bytes>,
+    /// Segment `i` occupies `i*segment_bytes .. (i+1)*segment_bytes`.
+    data: Bytes,
 }
 
 impl MediaFile {
     /// Synthesizes the file contents for `info`.
     pub fn synthesize(info: MediaInfo) -> Self {
-        let segments = (0..info.segment_count)
-            .map(|i| Bytes::from(synthesize_payload(&info, i)))
-            .collect();
-        MediaFile { info, segments }
+        let mut data = Vec::with_capacity(info.total_bytes() as usize);
+        for i in 0..info.segment_count {
+            synthesize_payload_into(&info, i, &mut data);
+        }
+        MediaFile {
+            info,
+            data: Bytes::from(data),
+        }
     }
 
     /// Reassembles a file from received segments (the path a requesting
@@ -115,15 +125,21 @@ impl MediaFile {
         if store.expected() != info.segment_count || !store.is_complete() {
             return None;
         }
-        let mut segments = Vec::with_capacity(info.segment_count as usize);
+        // Compact the received segments into one contiguous allocation
+        // (one copy at reassembly) so that re-serving the file later hands
+        // out O(1) views like a synthesized original.
+        let mut data = Vec::with_capacity(info.total_bytes() as usize);
         for i in 0..info.segment_count {
             let payload = store.get(i)?;
             if payload.len() != info.segment_bytes as usize {
                 return None;
             }
-            segments.push(payload.clone());
+            data.extend_from_slice(payload);
         }
-        Some(MediaFile { info, segments })
+        Some(MediaFile {
+            info,
+            data: Bytes::from(data),
+        })
     }
 
     /// The file's metadata.
@@ -131,14 +147,40 @@ impl MediaFile {
         &self.info
     }
 
-    /// Segment `index` as an owned [`Segment`] (cheap: payloads are
-    /// reference-counted).
+    /// Segment `index` as an owned [`Segment`] whose payload is an O(1)
+    /// shared view into the file's single allocation — no payload bytes
+    /// are copied, however large the segment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2ps_media::{MediaFile, MediaInfo};
+    /// use p2ps_core::assignment::SegmentDuration;
+    ///
+    /// let info = MediaInfo::new("demo", 4, SegmentDuration::from_millis(250), 1_024);
+    /// let file = MediaFile::synthesize(info);
+    /// let a = file.segment(2);
+    /// let b = file.segment(2);
+    /// // Both segments view the same bytes of the same allocation.
+    /// assert_eq!(a.payload().as_ptr(), b.payload().as_ptr());
+    /// assert_eq!(a.payload().len(), 1_024);
+    /// ```
     ///
     /// # Panics
     ///
     /// Panics if `index >= segment_count`.
     pub fn segment(&self, index: u64) -> Segment {
-        Segment::new(index, self.segments[index as usize].clone())
+        Segment::new(index, self.data.slice(self.payload_range(index)))
+    }
+
+    fn payload_range(&self, index: u64) -> std::ops::Range<usize> {
+        assert!(
+            index < self.info.segment_count,
+            "segment index out of range"
+        );
+        let sz = self.info.segment_bytes as usize;
+        let start = index as usize * sz;
+        start..start + sz
     }
 
     /// Iterates over all segments in order.
@@ -150,13 +192,13 @@ impl MediaFile {
     /// produce for its index.
     pub fn verify(&self, segment: &Segment) -> bool {
         segment.index() < self.info.segment_count
-            && self.segments[segment.index() as usize] == *segment.payload()
+            && self.data[self.payload_range(segment.index())] == segment.payload()[..]
     }
 }
 
-/// Deterministic per-segment payload: a keyed xorshift stream seeded from
-/// the file name and segment index.
-fn synthesize_payload(info: &MediaInfo, index: u64) -> Vec<u8> {
+/// Deterministic per-segment payload appended to `out`: a keyed xorshift
+/// stream seeded from the file name and segment index.
+fn synthesize_payload_into(info: &MediaInfo, index: u64, out: &mut Vec<u8>) {
     let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
     for b in info.name.as_bytes() {
         seed = (seed ^ *b as u64).wrapping_mul(0x1000_0000_01b3);
@@ -165,16 +207,15 @@ fn synthesize_payload(info: &MediaInfo, index: u64) -> Vec<u8> {
     if seed == 0 {
         seed = 1;
     }
-    let mut out = Vec::with_capacity(info.segment_bytes as usize);
+    let target = out.len() + info.segment_bytes as usize;
     let mut x = seed;
-    while out.len() < info.segment_bytes as usize {
+    while out.len() < target {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
-        let need = info.segment_bytes as usize - out.len();
+        let need = target - out.len();
         out.extend_from_slice(&x.to_le_bytes()[..need.min(8)]);
     }
-    out
 }
 
 #[cfg(test)]
@@ -276,6 +317,26 @@ mod tests {
         // wrong expected count
         let empty = SegmentStore::new(9);
         assert!(MediaFile::from_store(info(), &empty).is_none());
+    }
+
+    #[test]
+    fn segments_are_views_not_copies() {
+        // The zero-copy contract: every segment (and every clone of the
+        // file) points into the file's single allocation.
+        let f = MediaFile::synthesize(info());
+        let base = f.data.as_ptr();
+        for i in 0..8 {
+            let s = f.segment(i);
+            assert_eq!(
+                s.payload().as_ptr(),
+                base.wrapping_add(i as usize * 256),
+                "segment {i} must be a view into the file allocation"
+            );
+            let copy = s.clone();
+            assert_eq!(copy.payload().as_ptr(), s.payload().as_ptr());
+        }
+        let snapshot = f.clone();
+        assert_eq!(snapshot.data.as_ptr(), base, "cloning the file is O(1)");
     }
 
     #[test]

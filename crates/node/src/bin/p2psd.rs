@@ -9,10 +9,16 @@
 //!               [--m M] [--retries N] [--serve-secs S]
 //! ```
 //!
-//! `directory` runs until killed; `seed` serves until killed; `stream`
-//! performs the paper's §4.2 admission + streaming, prints the measured
-//! buffering delay, then (optionally) stays around serving as a supplier
-//! for `--serve-secs`.
+//! `directory` runs until killed (binding the loopback port given by
+//! `--port`, or an ephemeral one when 0/omitted); `seed` serves until
+//! killed; `stream` performs the paper's §4.2 admission + streaming,
+//! prints the measured buffering delay, then (optionally) stays around
+//! serving as a supplier for `--serve-secs`.
+//!
+//! Exit codes are script-friendly: `0` on success, `1` on any runtime
+//! error (unknown flag, bind failure, connection refused, admission
+//! rejection after retries, broken stream), `2` on bad usage (missing or
+//! unknown subcommand).
 
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -66,7 +72,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(raw, MEDIA_FLAGS)?;
     match args.positional(0) {
         Some("directory") => {
-            let server = DirectoryServer::start()?;
+            let port: u16 = args.get_or("port", 0)?;
+            let server = DirectoryServer::start_on(port)?;
             println!("directory listening on {}", server.addr());
             println!("press Ctrl-C to stop");
             loop {

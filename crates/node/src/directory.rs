@@ -132,7 +132,20 @@ impl DirectoryServer {
     ///
     /// Propagates socket errors from binding the listener.
     pub fn start() -> io::Result<Self> {
-        Self::start_with_backend(Box::new(Registry::default()))
+        Self::start_on(0)
+    }
+
+    /// Like [`start`](Self::start), but binds the loopback port `port`
+    /// (`0` picks an ephemeral port). Scripts that must hand the
+    /// directory address to other processes use this to get a
+    /// predictable address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener — in
+    /// particular `AddrInUse` when `port` is already taken.
+    pub fn start_on(port: u16) -> io::Result<Self> {
+        Self::start_with_backend(Box::new(Registry::default()), port)
     }
 
     /// Like [`start`](Self::start), but the index is a Chord ring of
@@ -144,11 +157,11 @@ impl DirectoryServer {
     ///
     /// Propagates socket errors from binding the listener.
     pub fn start_with_chord(index_nodes: u64) -> io::Result<Self> {
-        Self::start_with_backend(Box::new(ChordBackend::new(index_nodes)))
+        Self::start_with_backend(Box::new(ChordBackend::new(index_nodes)), 0)
     }
 
-    fn start_with_backend(backend: Box<dyn LookupBackend>) -> io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    fn start_with_backend(backend: Box<dyn LookupBackend>, port: u16) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Mutex::new(backend));
@@ -331,6 +344,36 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 8, "candidates are distinct");
+        dir.shutdown();
+    }
+
+    #[test]
+    fn start_on_binds_the_requested_port() {
+        // Grab a free port, release it, then ask the directory for it.
+        // Another thread/process can steal the port in the gap, so retry
+        // with a fresh probe instead of flaking.
+        let (dir, port) = (0..16)
+            .find_map(|_| {
+                let probe = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+                let port = probe.local_addr().unwrap().port();
+                drop(probe);
+                DirectoryServer::start_on(port).ok().map(|d| (d, port))
+            })
+            .expect("a freshly released loopback port should be bindable");
+        assert_eq!(dir.port(), port);
+        register_supplier(dir.addr(), "v", PeerId::new(1), class(2), 4242).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got = query_candidates(dir.addr(), "v", 4).unwrap();
+            if !got.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(got.len(), 1, "directory on the requested port serves");
+        // A second bind on the same port must fail loudly, not silently
+        // fall back to an ephemeral port.
+        assert!(DirectoryServer::start_on(port).is_err());
         dir.shutdown();
     }
 

@@ -195,6 +195,11 @@ fn stream_session(
     session: u64,
     plan: &SessionPlan,
 ) -> io::Result<()> {
+    // O(1) snapshot: MediaFile is a shared view of one allocation, so
+    // taking a per-session copy out of the mutex duplicates no payload
+    // bytes, and the serving loop below never copies them either —
+    // `segment` returns a view and `write_message` splices it onto the
+    // socket behind a fixed-size header.
     let file = shared
         .file
         .lock()

@@ -97,7 +97,29 @@ pub fn encode_frame(msg: &Message, buf: &mut BytesMut) {
 /// Attempts to decode one frame from the front of `buf`.
 ///
 /// Returns `Ok(None)` when `buf` does not yet hold a complete frame (read
-/// more bytes and retry); on success the frame's bytes are consumed.
+/// more bytes and retry); on success the frame's bytes are consumed. A
+/// decoded segment payload is an O(1) shared view of the frame, not a
+/// copy.
+///
+/// # Examples
+///
+/// Round-trip through the codec:
+///
+/// ```
+/// use bytes::{Bytes, BytesMut};
+/// use p2ps_proto::{decode_frame, encode_frame, Message};
+///
+/// let msg = Message::SegmentData {
+///     session: 7,
+///     index: 3,
+///     payload: Bytes::from(&b"segment payload"[..]),
+/// };
+/// let mut buf = BytesMut::new();
+/// encode_frame(&msg, &mut buf);
+/// assert_eq!(decode_frame(&mut buf)?, Some(msg));
+/// assert!(buf.is_empty());
+/// # Ok::<(), p2ps_proto::DecodeError>(())
+/// ```
 ///
 /// # Errors
 ///
@@ -115,7 +137,10 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, DecodeError> 
         return Ok(None);
     }
     buf.advance(4);
-    let mut body = buf.split_to(len).freeze();
+    // One copy of the frame out of the mutable accumulator into a shared
+    // allocation; every field decoded from it — in particular a segment
+    // payload — is then an O(1) view of that allocation.
+    let mut body = buf.copy_to_bytes(len);
     let msg = decode_body(&mut body)?;
     if !body.is_empty() {
         return Err(DecodeError::TrailingBytes(body.len()));
@@ -201,6 +226,8 @@ fn decode_body(b: &mut Bytes) -> Result<Message, DecodeError> {
             if b.remaining() < n {
                 return Err(DecodeError::UnexpectedEof);
             }
+            // O(1): the payload is a shared view of the frame allocation,
+            // not a copy.
             let payload = b.split_to(n);
             Message::SegmentData {
                 session,
@@ -219,14 +246,66 @@ fn decode_body(b: &mut Bytes) -> Result<Message, DecodeError> {
 /// Writes one frame to a blocking [`Write`] sink (the TCP path). A `&mut`
 /// reference also works as the writer.
 ///
+/// [`Message::SegmentData`] — the hot path of a supplier's serving loop —
+/// is written as a small fixed header followed by the payload view
+/// itself, gathered into one vectored write: the payload bytes are never
+/// copied into an intermediate frame buffer, and a `TCP_NODELAY` socket
+/// still sees a single writev instead of a 25-byte packet followed by the
+/// payload. Other (small) messages go through [`encode_frame`].
+///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_message<W: Write>(mut w: W, msg: &Message) -> std::io::Result<()> {
+    if let Message::SegmentData {
+        session,
+        index,
+        payload,
+    } = msg
+    {
+        // Layout must match encode_frame exactly (pinned by the
+        // `segment_data_write_matches_encode_frame` test and the golden
+        // wire-format tests): len | tag | session | index | payload_len |
+        // payload.
+        let body_len = (1 + 8 + 8 + 4 + payload.len()) as u32;
+        let mut head = [0u8; 25];
+        head[0..4].copy_from_slice(&body_len.to_le_bytes());
+        head[4] = msg.tag();
+        head[5..13].copy_from_slice(&session.to_le_bytes());
+        head[13..21].copy_from_slice(&index.to_le_bytes());
+        head[21..25].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        write_all_vectored(&mut w, &head, payload)?;
+        return w.flush();
+    }
     let mut buf = BytesMut::new();
     encode_frame(msg, &mut buf);
     w.write_all(&buf)?;
     w.flush()
+}
+
+/// Writes `head` then `tail` through `write_vectored`, looping over short
+/// writes (writers are free to accept any prefix of the gathered slices).
+fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], tail: &[u8]) -> std::io::Result<()> {
+    let mut bufs = [std::io::IoSlice::new(head), std::io::IoSlice::new(tail)];
+    let mut slices = &mut bufs[..];
+    // Skip any leading empty slice (an empty payload is legal).
+    while !slices.is_empty() && slices[0].is_empty() {
+        slices = &mut slices[1..];
+    }
+    while !slices.is_empty() {
+        let n = w.write_vectored(slices)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write the whole frame",
+            ));
+        }
+        std::io::IoSlice::advance_slices(&mut slices, n);
+        while !slices.is_empty() && slices[0].is_empty() {
+            slices = &mut slices[1..];
+        }
+    }
+    Ok(())
 }
 
 /// Reads one complete frame from a blocking [`Read`] source (the TCP
@@ -473,6 +552,50 @@ mod tests {
         buf.put_slice(&[0xff, 0xfe]);
         buf.put_u16_le(8);
         assert_eq!(decode_frame(&mut buf), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn segment_data_write_matches_encode_frame() {
+        // The zero-copy write path hand-builds the frame header; it must
+        // stay byte-identical to the generic encoder.
+        for size in [0usize, 1, 1_024, 64 * 1024] {
+            let msg = Message::SegmentData {
+                session: 0x0102_0304_0506_0708,
+                index: 0x1122_3344_5566_7788,
+                payload: Bytes::from(vec![0x5a; size]),
+            };
+            let mut framed = BytesMut::new();
+            encode_frame(&msg, &mut framed);
+            let mut written = Vec::new();
+            write_message(&mut written, &msg).unwrap();
+            assert_eq!(&written[..], &framed[..], "payload size {size}");
+        }
+    }
+
+    #[test]
+    fn decoded_payload_round_trips_and_clones_shared() {
+        // The payload-as-view property itself (split_to aliasing the
+        // frame allocation) is pinned at the Bytes layer by
+        // vendor/bytes' `copy_to_bytes_is_a_view_for_bytes` /
+        // `clone_and_views_share_the_allocation`; decode_body reaches it
+        // through `Bytes::split_to`. Here we pin what is observable
+        // through the public codec API: contents survive the trip and the
+        // handed-out payload clones by pointer.
+        let payload = Bytes::from(vec![0xcd; 4 * 1024]);
+        let msg = Message::SegmentData {
+            session: 1,
+            index: 2,
+            payload: payload.clone(),
+        };
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        let Some(Message::SegmentData { payload: got, .. }) = decode_frame(&mut buf).unwrap()
+        else {
+            panic!("expected segment data");
+        };
+        assert_eq!(got, payload);
+        let cloned = got.clone();
+        assert_eq!(cloned.as_ptr(), got.as_ptr(), "clone is O(1)");
     }
 
     #[test]

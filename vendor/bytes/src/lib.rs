@@ -3,13 +3,49 @@
 //! The build environment has no access to crates.io, so this crate
 //! re-implements the byte-buffer surface the workspace codec uses:
 //! [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`] traits with the
-//! little-endian accessors. Buffers are plain `Vec<u8>`s with a read
-//! cursor — correctness-first, zero-copy-second.
+//! little-endian accessors.
+//!
+//! Like upstream, [`Bytes`] is a cheaply cloneable, sliceable view into a
+//! shared immutable allocation: a reference-counted buffer plus a
+//! `start..end` range (no unsafe code). `clone`, `slice`, `split_to`,
+//! `split_off` and `advance` are all O(1) — they adjust the range and
+//! bump the reference count without touching payload bytes. A supplier
+//! serving the same media segment to a thousand sessions hands out a
+//! thousand views of one allocation.
+//!
+//! The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>`: both give
+//! O(1) views, but only the former makes `Bytes::from(Vec<u8>)` — the
+//! constructor on every frame-receive and file-build path — an O(1) move
+//! instead of a full copy (`Arc<[u8]>::from(Vec)` must reallocate).
+//!
+//! [`BytesMut`] stays a growable `Vec<u8>` with a read cursor;
+//! [`BytesMut::freeze`] moves the buffer into the shared allocation for
+//! free when nothing has been consumed (and copies only the unread
+//! suffix otherwise), after which every derived view is O(1).
+//!
+//! # Examples
+//!
+//! Views share the underlying allocation — cloning and slicing never copy
+//! payload bytes:
+//!
+//! ```
+//! use bytes::Bytes;
+//!
+//! let whole = Bytes::from(vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+//! let view = whole.clone();
+//! assert_eq!(whole.as_ptr(), view.as_ptr()); // same allocation, no copy
+//!
+//! let tail = whole.slice(4..);
+//! assert_eq!(&tail[..], &[5, 6, 7, 8]);
+//! assert_eq!(tail.as_ptr(), whole[4..].as_ptr()); // a view, not a copy
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt;
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
 
 /// Read access to a contiguous byte buffer.
 pub trait Buf {
@@ -21,6 +57,16 @@ pub trait Buf {
 
     /// A view of the unread bytes.
     fn chunk(&self) -> &[u8];
+
+    /// Consumes the next `len` bytes as an owned [`Bytes`].
+    ///
+    /// The default implementation copies; [`Bytes`] overrides it with an
+    /// O(1) shared view.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::from(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
 
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
@@ -80,16 +126,44 @@ pub trait BufMut {
     }
 }
 
-/// An immutable byte buffer with a read cursor.
-#[derive(Clone, Default)]
+/// An immutable, reference-counted view into a shared byte allocation.
+///
+/// `clone`, [`slice`](Bytes::slice), [`split_to`](Bytes::split_to),
+/// [`split_off`](Bytes::split_off) and [`advance`](Buf::advance) are O(1):
+/// they produce new views of the same `Arc<[u8]>` without copying payload
+/// bytes. The allocation is freed when the last view referencing it drops.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+///
+/// let mut b = Bytes::from(vec![0u8, 1, 2, 3, 4]);
+/// let head = b.split_to(2); // O(1): both halves share one allocation
+/// assert_eq!(&head[..], &[0, 1]);
+/// assert_eq!(&b[..], &[2, 3, 4]);
+/// assert_eq!(b.slice(1..3), Bytes::from(&[3u8, 4][..]));
+/// ```
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
-    pos: usize,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
-// Equality and hashing cover the *unread* contents only, matching
-// upstream `bytes` (a derive over (data, pos) would make two buffers
-// with identical remaining bytes compare unequal after `advance`).
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
+// Equality and hashing cover the *viewed* contents only, matching
+// upstream `bytes` (two views compare equal iff their remaining bytes
+// are equal, regardless of which allocation backs them).
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
         self.as_slice() == other.as_slice()
@@ -110,40 +184,92 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// A buffer over static data (copied here — this vendored subset
-    /// keeps one ownership model instead of upstream's zero-copy view).
+    /// A buffer over static data.
+    ///
+    /// Copied into the shared allocation once at construction (upstream
+    /// borrows the `'static` slice directly; doing so here would need a
+    /// second representation arm, and every view derived afterwards is
+    /// O(1) either way).
     pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data)
+    }
+
+    /// Length of the viewed bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Splits off and returns the first `n` bytes as an O(1) shared view;
+    /// `self` keeps the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// Splits off and returns the bytes from `n` onward as an O(1) shared
+    /// view; `self` keeps the first `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_off(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + n,
+            end: self.end,
+        };
+        self.end = self.start + n;
+        tail
+    }
+
+    /// An O(1) shared sub-view of `range` (relative to this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is decreasing or out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi, "slice range is decreasing");
+        assert!(hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: data.to_vec(),
-            pos: 0,
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
         }
     }
 
-    /// Unread length.
-    pub fn len(&self) -> usize {
-        self.data.len() - self.pos
-    }
-
-    /// True when fully consumed.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Splits off and returns the first `n` unread bytes.
-    pub fn split_to(&mut self, n: usize) -> Bytes {
-        assert!(n <= self.len(), "split_to out of bounds");
-        let head = self.data[self.pos..self.pos + n].to_vec();
-        self.pos += n;
-        Bytes { data: head, pos: 0 }
-    }
-
-    /// Copies the unread bytes into a fresh `Vec`.
+    /// Copies the viewed bytes into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.start..self.end]
     }
 }
 
@@ -154,11 +280,15 @@ impl Buf for Bytes {
 
     fn advance(&mut self, n: usize) {
         assert!(n <= self.len(), "advance out of bounds");
-        self.pos += n;
+        self.start += n;
     }
 
     fn chunk(&self) -> &[u8] {
         self.as_slice()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.split_to(len) // O(1) view, overriding the copying default
     }
 }
 
@@ -177,26 +307,26 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// O(1): moves the `Vec` into the shared allocation without copying.
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data, pos: 0 }
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(src: &[u8]) -> Self {
-        Bytes {
-            data: src.to_vec(),
-            pos: 0,
-        }
+        Bytes::from(src.to_vec())
     }
 }
 
 impl<const N: usize> From<&[u8; N]> for Bytes {
     fn from(src: &[u8; N]) -> Self {
-        Bytes {
-            data: src.to_vec(),
-            pos: 0,
-        }
+        Bytes::from(&src[..])
     }
 }
 
@@ -274,6 +404,12 @@ impl BytesMut {
     }
 
     /// Splits off and returns the first `n` unread bytes.
+    ///
+    /// Both halves stay independently mutable, so this copies the head out
+    /// (sharing a mutable allocation is upstream's unsafe trick). To carve
+    /// an immutable view off the front cheaply, use
+    /// [`Buf::copy_to_bytes`], which copies once into an `Arc` that every
+    /// downstream view then shares.
     pub fn split_to(&mut self, n: usize) -> BytesMut {
         assert!(n <= self.len(), "split_to out of bounds");
         let head = self.data[self.start..self.start + n].to_vec();
@@ -295,14 +431,15 @@ impl BytesMut {
     }
 
     /// Freezes the unread contents into an immutable [`Bytes`].
+    ///
+    /// O(1) when nothing has been consumed (the buffer moves into the
+    /// shared allocation); otherwise copies the unread suffix once. Every
+    /// view derived from the result is O(1).
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: if self.start == 0 {
-                self.data
-            } else {
-                self.data[self.start..].to_vec()
-            },
-            pos: 0,
+        if self.start == 0 {
+            Bytes::from(self.data)
+        } else {
+            Bytes::from(&self.data[self.start..])
         }
     }
 
@@ -453,5 +590,91 @@ mod tests {
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&b[..], &[3, 4]);
         assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn clone_and_views_share_the_allocation() {
+        let a = Bytes::from(vec![9u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr(), "clone must not copy");
+
+        let mut c = a.clone();
+        let head = c.split_to(100);
+        assert_eq!(head.as_ptr(), a.as_ptr());
+        assert_eq!(c.as_ptr(), a[100..].as_ptr());
+
+        let mid = a.slice(200..300);
+        assert_eq!(mid.as_ptr(), a[200..].as_ptr());
+        assert_eq!(mid.len(), 100);
+    }
+
+    #[test]
+    fn split_off_keeps_head_and_returns_tail() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        assert_eq!(tail.as_ptr(), b.as_ptr().wrapping_add(2));
+    }
+
+    #[test]
+    fn slice_bounds_variants() {
+        let b = Bytes::from(&b"abcdef"[..]);
+        assert_eq!(&b.slice(..)[..], b"abcdef");
+        assert_eq!(&b.slice(2..)[..], b"cdef");
+        assert_eq!(&b.slice(..4)[..], b"abcd");
+        assert_eq!(&b.slice(1..=3)[..], b"bcd");
+        assert!(b.slice(3..3).is_empty());
+        // Slicing a view is relative to the view, not the allocation.
+        let tail = b.slice(2..);
+        assert_eq!(&tail.slice(1..3)[..], b"de");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_end_panics() {
+        let b = Bytes::from(&b"ab"[..]);
+        let _ = b.slice(..3);
+    }
+
+    #[test]
+    fn copy_to_bytes_is_a_view_for_bytes() {
+        let mut b = Bytes::from(vec![7u8; 64]);
+        let base = b.as_ptr();
+        let head = b.copy_to_bytes(16);
+        assert_eq!(head.as_ptr(), base, "Bytes::copy_to_bytes must be O(1)");
+        assert_eq!(b.as_ptr(), base.wrapping_add(16));
+    }
+
+    #[test]
+    fn copy_to_bytes_from_bytes_mut() {
+        let mut m = BytesMut::from(&b"0123456789"[..]);
+        let head = m.copy_to_bytes(4);
+        assert_eq!(&head[..], b"0123");
+        assert_eq!(&m[..], b"456789");
+    }
+
+    #[test]
+    fn from_vec_and_unconsumed_freeze_are_moves() {
+        // The receive/file-build constructors must not copy: the Vec's
+        // allocation is moved into the shared store as-is.
+        let v = vec![1u8, 2, 3];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), p, "From<Vec> must move, not copy");
+
+        let mut m = BytesMut::new();
+        m.put_slice(b"xyz");
+        let p = m.as_ptr();
+        let f = m.freeze();
+        assert_eq!(f.as_ptr(), p, "freeze of an unconsumed buffer is free");
+    }
+
+    #[test]
+    fn dropping_views_does_not_invalidate_others() {
+        let whole = Bytes::from(vec![5u8; 32]);
+        let part = whole.slice(8..24);
+        drop(whole);
+        assert_eq!(&part[..], &[5u8; 16]); // Arc keeps the allocation alive
     }
 }
