@@ -1,0 +1,118 @@
+//! Concurrent-session serve throughput on one reactor thread.
+//!
+//! N supplier nodes share one `NodeReactor`; N blocking requesters run
+//! the full §4.2 handshake and receive the whole file with `δt = 0`
+//! (pacing deadlines all due immediately), so the measurement is pure
+//! serve-path throughput: admission, framing, zero-copy segment writes
+//! and the reactor's flush/backpressure machinery — no sleeps.
+//!
+//! Reported MiB/s is aggregate payload across all concurrent sessions
+//! per iteration. Scaling N from 1 to 64 shows what one event-loop
+//! thread sustains as sessions pile on (the paper's thousands-of-
+//! sessions scaling story at bench scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaInfo;
+use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeReactor, PeerNode};
+use p2ps_proto::{read_message, write_message, Message, SessionPlan};
+
+const SEGMENTS: u64 = 64;
+const PAYLOAD: usize = 4 * 1024;
+
+/// One complete blocking session against `port`: handshake, drain the
+/// stream, count payload bytes.
+fn run_session(session: u64, port: u16, info: &MediaInfo) -> u64 {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write_message(
+        &mut stream,
+        &Message::StreamRequest {
+            session,
+            class: PeerClass::HIGHEST,
+        },
+    )
+    .unwrap();
+    match read_message(&mut stream).unwrap() {
+        Message::Grant { .. } => {}
+        other => panic!("expected grant, got {}", other.name()),
+    }
+    write_message(
+        &mut stream,
+        &Message::StartSession {
+            session,
+            plan: SessionPlan {
+                item: info.name().to_owned(),
+                segments: vec![0],
+                period: 1,
+                total_segments: info.segment_count(),
+                dt_ms: 0, // throughput mode: every deadline already due
+            },
+        },
+    )
+    .unwrap();
+    let mut bytes = 0u64;
+    loop {
+        match read_message(&mut stream).unwrap() {
+            Message::SegmentData { payload, .. } => bytes += payload.len() as u64,
+            Message::EndSession { .. } => return bytes,
+            other => panic!("unexpected {}", other.name()),
+        }
+    }
+}
+
+fn bench_concurrent_serve(c: &mut Criterion) {
+    let info = MediaInfo::new(
+        "serve-bench",
+        SEGMENTS,
+        SegmentDuration::from_millis(10),
+        PAYLOAD as u32,
+    );
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::new().unwrap();
+    let nodes: Vec<PeerNode> = (0..64u64)
+        .map(|i| {
+            let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+            PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor).unwrap()
+        })
+        .collect();
+    let ports: Vec<u16> = nodes.iter().map(PeerNode::port).collect();
+
+    let mut group = c.benchmark_group("concurrent_serve");
+    group.sample_size(10);
+    for n in [1usize, 16, 64] {
+        group.throughput(Throughput::Bytes(n as u64 * SEGMENTS * PAYLOAD as u64));
+        group.bench_with_input(BenchmarkId::new("sessions", n), &ports[..n], |b, ports| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = ports
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &port)| {
+                            let info = &info;
+                            scope.spawn(move || run_session(i as u64, port, info))
+                        })
+                        .collect();
+                    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                    assert_eq!(total, ports.len() as u64 * SEGMENTS * PAYLOAD as u64);
+                })
+            });
+        });
+    }
+    group.finish();
+
+    drop(nodes);
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+criterion_group!(benches, bench_concurrent_serve);
+criterion_main!(benches);

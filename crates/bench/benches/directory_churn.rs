@@ -1,0 +1,225 @@
+//! Directory churn: registration/query throughput under contention.
+//!
+//! Two axes, matching the PR that introduced them:
+//!
+//! * **striped-vs-single-lock** — the in-memory registry under
+//!   multi-threaded churn (every completed session registers a new
+//!   supplier, §2's self-growing property). `ShardedRegistry::new(16)`
+//!   vs `::new(1)` with four worker threads hammering distinct items:
+//!   striping removes the lock convoy. (Needs real cores to show a win;
+//!   on a single-CPU container the two are within noise, by
+//!   construction.)
+//! * **serial-vs-reactor** — the wire-level directory service when a
+//!   fresh *idle* client connects before each query. The old serial
+//!   accept loop parked inside the idle connection's read timeout before
+//!   answering anyone else (reproduced here by an in-bench baseline with
+//!   a 50 ms timeout — the real server used 5 s); the reactor charges an
+//!   idle connection a decoder and a timer, nothing more.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_node::{query_candidates, DirectoryServer, ShardedRegistry};
+use p2ps_proto::{read_message, write_message, CandidateRecord, Message};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 4_096;
+
+/// One churn round: every thread interleaves registrations and samples
+/// over its own item universe (distinct items ⇒ distinct shards, the case
+/// striping is built for). Item names are precomputed so the measured
+/// work is registry ops and lock traffic, not string formatting.
+fn churn_round(reg: &ShardedRegistry, items: &[Vec<String>]) {
+    std::thread::scope(|scope| {
+        for (t, my_items) in items.iter().enumerate() {
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64);
+                for i in 0..OPS_PER_THREAD {
+                    let item = &my_items[i % my_items.len()];
+                    reg.register(
+                        item,
+                        CandidateRecord {
+                            id: PeerId::new((t * OPS_PER_THREAD + i % 32) as u64),
+                            class: PeerClass::new(1 + (i % 4) as u8).unwrap(),
+                            port: 9000,
+                        },
+                    );
+                    black_box(reg.sample(item, 8, &mut rng));
+                }
+            });
+        }
+    });
+}
+
+fn bench_registry_striping(c: &mut Criterion) {
+    let items: Vec<Vec<String>> = (0..THREADS)
+        .map(|t| (0..32).map(|k| format!("item-{t}-{k}")).collect())
+        .collect();
+    let mut group = c.benchmark_group("directory_churn/registry");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((THREADS * OPS_PER_THREAD * 2) as u64));
+    for shards in [1usize, 16] {
+        let reg = ShardedRegistry::new(shards);
+        let label = if shards == 1 {
+            "single-lock"
+        } else {
+            "striped-16"
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &reg, |b, reg| {
+            b.iter(|| churn_round(reg, &items));
+        });
+    }
+    group.finish();
+}
+
+/// The old directory's architecture, reproduced as a baseline: a serial
+/// accept loop that fully serves one connection (until error or read
+/// timeout) before accepting the next. Timeout shortened from the real
+/// 5 s to 50 ms so the pathology is measurable instead of unbearable.
+fn spawn_serial_baseline(read_timeout: Duration) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let registry = Arc::new(ShardedRegistry::new(1));
+    std::thread::spawn(move || {
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let _ = stream.set_read_timeout(Some(read_timeout));
+            // Reads fail on close or idle timeout; either ends the conn.
+            while let Ok(msg) = read_message(&mut stream) {
+                match msg {
+                    Message::Register {
+                        item,
+                        peer,
+                        class,
+                        port,
+                    } => registry.register(
+                        &item,
+                        CandidateRecord {
+                            id: peer,
+                            class,
+                            port,
+                        },
+                    ),
+                    Message::QueryCandidates { item, m } => {
+                        let list = registry.sample(&item, m as usize, &mut rng);
+                        if write_message(&mut stream, &Message::Candidates { list }).is_err() {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// One measured exchange: a fresh idle client connects (and stays
+/// silent), then a real client queries. The serial loop must burn the
+/// idle connection's whole read timeout first; the reactor answers at
+/// once.
+fn query_behind_an_idle_client(addr: SocketAddr) {
+    let idle = TcpStream::connect(addr).unwrap();
+    // Give the server a beat to accept the idler first, as a flash crowd
+    // would.
+    std::thread::sleep(Duration::from_millis(1));
+    black_box(query_candidates(addr, "video", 8).unwrap());
+    drop(idle);
+}
+
+fn bench_wire_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory_churn/wire");
+    group.sample_size(10);
+
+    let reactor_dir = DirectoryServer::start().unwrap();
+    let serial_addr = spawn_serial_baseline(Duration::from_millis(50));
+    for (label, addr) in [
+        ("reactor", reactor_dir.addr()),
+        ("serial-baseline", serial_addr),
+    ] {
+        // Seed some records so queries do real sampling work.
+        for i in 0..32u64 {
+            p2ps_node::register_supplier(
+                addr,
+                "video",
+                PeerId::new(i),
+                PeerClass::new(1 + (i % 4) as u8).unwrap(),
+                9000 + i as u16,
+            )
+            .unwrap();
+        }
+        group.bench_function(BenchmarkId::new("query-behind-idle-client", label), |b| {
+            b.iter(|| query_behind_an_idle_client(addr));
+        });
+    }
+    group.finish();
+    reactor_dir.shutdown();
+    // The serial baseline thread is detached; it dies with the process.
+}
+
+/// Sanity floor: a clean query round-trip on the reactor with 32 other
+/// connections parked open — the slowloris-shaped load the serial design
+/// cannot survive at any timeout. A keepalive thread trickles one
+/// Register per connection every 2 s so the directory's 5 s idle reaper
+/// never thins the herd mid-measurement, regardless of how long the
+/// harness runs.
+fn bench_reactor_under_idle_load(c: &mut Criterion) {
+    let dir = DirectoryServer::start().unwrap();
+    for i in 0..32u64 {
+        p2ps_node::register_supplier(
+            dir.addr(),
+            "video",
+            PeerId::new(i),
+            PeerClass::new(1 + (i % 4) as u8).unwrap(),
+            9000 + i as u16,
+        )
+        .unwrap();
+    }
+    let mut idlers: Vec<TcpStream> = (0..32)
+        .map(|_| TcpStream::connect(dir.addr()).unwrap())
+        .collect();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let keeper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for (i, conn) in idlers.iter_mut().enumerate() {
+                    let _ = write_message(
+                        &mut *conn,
+                        &Message::Register {
+                            item: format!("keepalive-{i}"),
+                            peer: PeerId::new(1_000 + i as u64),
+                            class: PeerClass::HIGHEST,
+                            port: 1,
+                        },
+                    );
+                }
+                std::thread::sleep(Duration::from_secs(2));
+            }
+        })
+    };
+    let mut group = c.benchmark_group("directory_churn/reactor-32-parked-conns");
+    group.sample_size(10);
+    group.bench_function("query", |b| {
+        b.iter(|| black_box(query_candidates(dir.addr(), "video", 8).unwrap()));
+    });
+    group.finish();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    keeper.join().unwrap();
+    dir.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_registry_striping,
+    bench_wire_service,
+    bench_reactor_under_idle_load
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! A minimal Linux epoll reactor for nonblocking `std::net` sockets.
+//!
+//! The paper's capacity-amplification argument (§3–§4) only pays off when
+//! one supplier process can hold many concurrent streaming sessions and
+//! the lookup service can absorb flash-crowd query storms. Thread-per-
+//! connection cannot get there; this crate provides the event-driven
+//! substrate that can:
+//!
+//! * [`sys`] — the epoll syscalls behind a safe wrapper. The build
+//!   environment has no crates.io (no `mio`, no `libc`), so the three
+//!   entry points are declared `extern "C"` directly. **This is the only
+//!   module in the workspace containing `unsafe`**, it is small, and it
+//!   is unit-tested directly.
+//! * [`TimerWheel`] — coarse hashed-wheel deadlines for read timeouts and
+//!   §3 paced segment transmissions, thousands of timers at O(1) insert.
+//! * [`Reactor`] / [`Handler`] / [`Ctx`] — the event loop: level-
+//!   triggered readiness, per-connection buffered writes of zero-copy
+//!   [`bytes::Bytes`] chunks, timer dispatch, and a cloneable [`Handle`]
+//!   for cross-thread listener registration, typed commands and shutdown.
+//!
+//! The reactor is deliberately *sans protocol*: it moves raw bytes and
+//! deadlines. Framing lives in `p2ps_proto`'s `FrameDecoder` /
+//! `FrameEncoder`, and the directory / supplier state machines live in
+//! `p2ps_node` — each layer testable without the others.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod reactor;
+#[allow(unsafe_code)]
+pub mod sys;
+mod timer;
+
+pub use reactor::{ConnId, Ctx, Handle, Handler, Reactor, ReactorConfig};
+pub use timer::TimerWheel;

@@ -1,0 +1,781 @@
+//! The event loop: nonblocking sockets, buffered writes, timers.
+//!
+//! One [`Reactor`] thread multiplexes any number of listeners and
+//! connections through level-triggered epoll. The reactor owns the
+//! *transport* half of every connection — accept, nonblocking reads,
+//! a per-connection outbound queue of [`Bytes`] chunks flushed with
+//! vectored writes, interest management, and a coarse [`TimerWheel`] —
+//! while a [`Handler`] owns the *protocol* half (typically a
+//! `p2ps_proto::FrameDecoder` per connection). Bytes go up via
+//! [`Handler::on_data`]; frames come back down as zero-copy chunks via
+//! [`Ctx::send`]; deadlines (read timeouts, paced segment transmissions)
+//! are [`Ctx::set_timer`] round trips.
+//!
+//! Other threads talk to a running reactor through its cloneable
+//! [`Handle`]: registering listeners, delivering typed commands to the
+//! handler, and shutdown — all woken through a self-pipe so the epoll
+//! wait never has to poll.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use crate::sys::{Epoll, Event, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::TimerWheel;
+
+/// Tuning knobs for a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Timer wheel granularity in milliseconds.
+    pub tick_ms: u64,
+    /// Timer wheel size (one rotation spans `tick_ms · wheel_slots` ms).
+    pub wheel_slots: usize,
+    /// A connection whose outbound queue exceeds this many bytes is
+    /// treated as a dead-slow consumer and closed.
+    pub max_write_buffer: usize,
+    /// Longest epoll sleep when no timer is due sooner (bounds shutdown
+    /// latency even if a wake-up is somehow lost).
+    pub idle_wait_ms: u64,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            tick_ms: 2,
+            wheel_slots: 512,
+            max_write_buffer: 64 * 1024 * 1024,
+            idle_wait_ms: 100,
+        }
+    }
+}
+
+/// Identifies one live connection. Slot indices are reused, so the id
+/// carries a generation: operations on a stale id are silently ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId {
+    idx: u32,
+    gen: u32,
+}
+
+/// The protocol side of a reactor: invoked for every transport event.
+///
+/// Callbacks run on the reactor thread. They may call any [`Ctx`] method,
+/// including closing the very connection being dispatched (remaining
+/// events for it are dropped).
+pub trait Handler {
+    /// Typed commands other threads deliver through [`Handle::send`].
+    type Cmd: Send + 'static;
+
+    /// A command arrived from a [`Handle`].
+    fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: Self::Cmd);
+
+    /// A listener registered with `tag` accepted `conn`.
+    fn on_accept(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, listener_tag: u64);
+
+    /// Bytes arrived on `conn`. Fragmentation is arbitrary; feed them to
+    /// an incremental decoder.
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]);
+
+    /// A timer armed with [`Ctx::set_timer`] for `kind` fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, kind: u32);
+
+    /// `conn` is gone: the peer closed it, an I/O error occurred, or its
+    /// outbound queue overran [`ReactorConfig::max_write_buffer`]. Not
+    /// called for closes the handler itself requested via [`Ctx::close`]
+    /// or [`Ctx::close_after_flush`]. The connection is already removed;
+    /// `Ctx` calls on it are no-ops.
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId);
+}
+
+enum Control<C> {
+    AddListener(TcpListener, u64),
+    RemoveListener(u64),
+    User(C),
+}
+
+/// A cloneable remote control for a running [`Reactor`].
+pub struct Handle<C> {
+    tx: Sender<Control<C>>,
+    waker: Arc<UnixStream>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<C> Clone for Handle<C> {
+    fn clone(&self) -> Self {
+        Handle {
+            tx: self.tx.clone(),
+            waker: Arc::clone(&self.waker),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+}
+
+impl<C> std::fmt::Debug for Handle<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<C> Handle<C> {
+    /// Hands a bound listener to the reactor; accepted connections reach
+    /// the handler's `on_accept` with `tag`. The listener is switched to
+    /// nonblocking here, before it crosses threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` error; delivery itself cannot
+    /// fail while the reactor lives (and is silently dropped after
+    /// shutdown, like every other control).
+    pub fn add_listener(&self, listener: TcpListener, tag: u64) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        self.push(Control::AddListener(listener, tag));
+        Ok(())
+    }
+
+    /// Removes (and drops) the listener registered with `tag`. Already
+    /// accepted connections are unaffected.
+    pub fn remove_listener(&self, tag: u64) {
+        self.push(Control::RemoveListener(tag));
+    }
+
+    /// Delivers a typed command to the handler.
+    pub fn send(&self, cmd: C) {
+        self.push(Control::User(cmd));
+    }
+
+    /// Asks the reactor to exit its run loop. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.wake();
+    }
+
+    fn push(&self, ctl: Control<C>) {
+        if self.tx.send(ctl).is_ok() {
+            self.wake();
+        }
+    }
+
+    fn wake(&self) {
+        // One byte on the self-pipe; WouldBlock means a wake-up is
+        // already pending, which is just as good.
+        let _ = (&*self.waker).write(&[1u8]);
+    }
+}
+
+const BASE_INTEREST: u32 = EPOLLIN | EPOLLRDHUP;
+
+struct Conn {
+    stream: TcpStream,
+    wq: VecDeque<Bytes>,
+    wq_bytes: usize,
+    interest: u32,
+    /// kind → sequence number of the one live timer of that kind.
+    timers: HashMap<u32, u64>,
+    close_after_flush: bool,
+    closing: bool,
+    /// Deliver `on_close` at sweep time (peer/error closes only).
+    notify: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerKey {
+    idx: u32,
+    gen: u32,
+    kind: u32,
+    seq: u64,
+}
+
+struct Inner {
+    epoll: Epoll,
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    listeners: Vec<Option<(TcpListener, u64)>>,
+    wheel: TimerWheel<TimerKey>,
+    closing: Vec<u32>,
+    next_seq: u64,
+    start: Instant,
+    cfg: ReactorConfig,
+}
+
+const TAG_LISTENER: u64 = 1 << 62;
+const TAG_CONN: u64 = 2 << 62;
+const TOK_WAKER: u64 = u64::MAX;
+const GEN_MASK: u64 = (1 << 30) - 1;
+
+fn tok_listener(idx: u32) -> u64 {
+    TAG_LISTENER | u64::from(idx)
+}
+
+fn tok_conn(idx: u32, gen: u32) -> u64 {
+    TAG_CONN | ((u64::from(gen) & GEN_MASK) << 32) | u64::from(idx)
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn valid(&self, id: ConnId) -> bool {
+        let idx = id.idx as usize;
+        idx < self.conns.len()
+            && self.gens[idx] == id.gen
+            && self.conns[idx].as_ref().is_some_and(|c| !c.closing)
+    }
+
+    fn conn_mut(&mut self, id: ConnId) -> Option<&mut Conn> {
+        if !self.valid(id) {
+            return None;
+        }
+        self.conns[id.idx as usize].as_mut()
+    }
+
+    fn alloc(&mut self, stream: TcpStream) -> io::Result<ConnId> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                (self.conns.len() - 1) as u32
+            }
+        };
+        let gen = self.gens[idx as usize];
+        self.epoll
+            .add(stream.as_raw_fd(), tok_conn(idx, gen), BASE_INTEREST)?;
+        self.conns[idx as usize] = Some(Conn {
+            stream,
+            wq: VecDeque::new(),
+            wq_bytes: 0,
+            interest: BASE_INTEREST,
+            timers: HashMap::new(),
+            close_after_flush: false,
+            closing: false,
+            notify: false,
+        });
+        Ok(ConnId { idx, gen })
+    }
+
+    fn mark_closing(&mut self, id: ConnId, notify: bool) {
+        if let Some(conn) = self.conn_mut(id) {
+            conn.closing = true;
+            conn.notify = notify;
+            self.closing.push(id.idx);
+        }
+    }
+
+    /// Flushes as much of the outbound queue as the socket accepts.
+    /// Returns false when the connection errored (already marked).
+    fn flush(&mut self, id: ConnId) -> bool {
+        loop {
+            let Some(conn) = self.conn_mut(id) else {
+                return true;
+            };
+            if conn.wq_bytes == 0 {
+                conn.wq.clear(); // zero-length chunks carry no bytes
+                let close = conn.close_after_flush;
+                self.set_writable_interest(id, false);
+                if close {
+                    self.mark_closing(id, false);
+                }
+                return true;
+            }
+            let mut slices: [IoSlice<'_>; 16] = [IoSlice::new(&[]); 16];
+            let mut count = 0;
+            for chunk in conn.wq.iter().filter(|c| !c.is_empty()).take(16) {
+                slices[count] = IoSlice::new(&chunk[..]);
+                count += 1;
+            }
+            match (&conn.stream).write_vectored(&slices[..count]) {
+                Ok(0) => {
+                    self.mark_closing(id, true);
+                    return false;
+                }
+                Ok(mut n) => {
+                    let conn = self.conns[id.idx as usize].as_mut().expect("validated");
+                    conn.wq_bytes -= n;
+                    while n > 0 || conn.wq.front().is_some_and(|c| c.is_empty()) {
+                        let front = conn.wq.front_mut().expect("accounted bytes");
+                        if front.len() <= n {
+                            n -= front.len();
+                            conn.wq.pop_front();
+                        } else {
+                            let _ = front.split_to(n);
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_writable_interest(id, true);
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.mark_closing(id, true);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn set_writable_interest(&mut self, id: ConnId, on: bool) {
+        let Some(conn) = self.conn_mut(id) else {
+            return;
+        };
+        let want = if on {
+            BASE_INTEREST | EPOLLOUT
+        } else {
+            BASE_INTEREST
+        };
+        if conn.interest != want {
+            conn.interest = want;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.epoll.modify(fd, tok_conn(id.idx, id.gen), want);
+        }
+    }
+}
+
+/// Reactor-side context handed to every [`Handler`] callback.
+pub struct Ctx<'a> {
+    inner: &'a mut Inner,
+}
+
+impl Ctx<'_> {
+    /// Queues one chunk on `conn`'s outbound queue and flushes
+    /// opportunistically. Chunks are written in order with vectored
+    /// writes; a `Bytes` view (e.g. a `FrameEncoder` payload chunk) is
+    /// never copied, only sliced as the socket drains it.
+    ///
+    /// Silently ignored on a stale or closing connection. A queue that
+    /// overruns [`ReactorConfig::max_write_buffer`] closes the connection
+    /// (the handler sees `on_close`).
+    pub fn send(&mut self, conn: ConnId, chunk: Bytes) {
+        if self.enqueue(conn, chunk) {
+            self.inner.flush(conn);
+        }
+    }
+
+    /// Like [`send`](Self::send) for a multi-chunk frame: every chunk is
+    /// queued before the one opportunistic flush, so a frame header and
+    /// its payload leave in a single `writev` (one syscall, one packet on
+    /// a `TCP_NODELAY` socket) instead of one flush per chunk.
+    pub fn send_all<I: IntoIterator<Item = Bytes>>(&mut self, conn: ConnId, chunks: I) {
+        let mut queued = false;
+        for chunk in chunks {
+            if !self.enqueue(conn, chunk) {
+                return; // stale, closing, or overran the write buffer
+            }
+            queued = true;
+        }
+        if queued {
+            self.inner.flush(conn);
+        }
+    }
+
+    /// Appends one chunk; true when the connection is live and under its
+    /// write-buffer limit afterwards.
+    fn enqueue(&mut self, conn: ConnId, chunk: Bytes) -> bool {
+        let limit = self.inner.cfg.max_write_buffer;
+        let Some(c) = self.inner.conn_mut(conn) else {
+            return false;
+        };
+        c.wq_bytes += chunk.len();
+        c.wq.push_back(chunk);
+        if c.wq_bytes > limit {
+            self.inner.mark_closing(conn, true);
+            return false;
+        }
+        true
+    }
+
+    /// Closes `conn` now, discarding any unsent bytes. The handler gets
+    /// no `on_close` for a close it asked for.
+    pub fn close(&mut self, conn: ConnId) {
+        if let Some(c) = self.inner.conn_mut(conn) {
+            c.wq.clear();
+            c.wq_bytes = 0;
+        }
+        self.inner.mark_closing(conn, false);
+    }
+
+    /// Closes `conn` once its outbound queue has fully drained (for
+    /// "reply then hang up" exchanges). No `on_close` is delivered.
+    pub fn close_after_flush(&mut self, conn: ConnId) {
+        let Some(c) = self.inner.conn_mut(conn) else {
+            return;
+        };
+        if c.wq_bytes == 0 {
+            self.inner.mark_closing(conn, false);
+        } else {
+            c.close_after_flush = true;
+        }
+    }
+
+    /// Arms (or re-arms, replacing the previous deadline) the `kind`
+    /// timer of `conn` to fire in `delay_ms` milliseconds. Granularity is
+    /// the wheel tick: the timer fires at or after the deadline, never
+    /// before.
+    pub fn set_timer(&mut self, conn: ConnId, kind: u32, delay_ms: u64) {
+        let deadline = self.inner.now_ms() + delay_ms;
+        let seq = self.inner.next_seq;
+        self.inner.next_seq += 1;
+        let Some(c) = self.inner.conn_mut(conn) else {
+            return;
+        };
+        c.timers.insert(kind, seq);
+        self.inner.wheel.insert(
+            deadline,
+            TimerKey {
+                idx: conn.idx,
+                gen: conn.gen,
+                kind,
+                seq,
+            },
+        );
+    }
+
+    /// Disarms the `kind` timer of `conn`, if armed.
+    pub fn cancel_timer(&mut self, conn: ConnId, kind: u32) {
+        if let Some(c) = self.inner.conn_mut(conn) {
+            c.timers.remove(&kind);
+        }
+    }
+
+    /// Milliseconds since the reactor started (the timescale of
+    /// [`set_timer`](Self::set_timer) deadlines).
+    pub fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+
+    /// Bytes queued but not yet accepted by `conn`'s socket — the
+    /// backpressure signal for pacing decisions.
+    pub fn pending_write_bytes(&self, conn: ConnId) -> usize {
+        if !self.inner.valid(conn) {
+            return 0;
+        }
+        self.inner.conns[conn.idx as usize]
+            .as_ref()
+            .map_or(0, |c| c.wq_bytes)
+    }
+
+    /// Number of live connections.
+    pub fn conn_count(&self) -> usize {
+        self.inner
+            .conns
+            .iter()
+            .flatten()
+            .filter(|c| !c.closing)
+            .count()
+    }
+}
+
+/// A single-threaded epoll event loop generic over the handler's command
+/// type. See the [crate docs](crate) for the division of labor.
+///
+/// # Examples
+///
+/// An echo server on one reactor thread:
+///
+/// ```
+/// use p2ps_net::{Ctx, ConnId, Handler, Reactor, ReactorConfig};
+/// use std::io::{Read, Write};
+///
+/// struct Echo;
+/// impl Handler for Echo {
+///     type Cmd = ();
+///     fn on_command(&mut self, _: &mut Ctx<'_>, _: ()) {}
+///     fn on_accept(&mut self, _: &mut Ctx<'_>, _: ConnId, _: u64) {}
+///     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+///         ctx.send(conn, bytes::Bytes::from(data.to_vec()));
+///     }
+///     fn on_timer(&mut self, _: &mut Ctx<'_>, _: ConnId, _: u32) {}
+///     fn on_close(&mut self, _: &mut Ctx<'_>, _: ConnId) {}
+/// }
+///
+/// let (reactor, handle) = Reactor::new(ReactorConfig::default())?;
+/// let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+/// let addr = listener.local_addr()?;
+/// handle.add_listener(listener, 0)?;
+/// let thread = std::thread::spawn(move || reactor.run(&mut Echo));
+///
+/// let mut client = std::net::TcpStream::connect(addr)?;
+/// client.write_all(b"ping")?;
+/// let mut buf = [0u8; 4];
+/// client.read_exact(&mut buf)?;
+/// assert_eq!(&buf, b"ping");
+///
+/// handle.shutdown();
+/// thread.join().unwrap()?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct Reactor<C> {
+    inner: Inner,
+    rx: Receiver<Control<C>>,
+    waker_rx: UnixStream,
+    stop: Arc<AtomicBool>,
+}
+
+impl<C> std::fmt::Debug for Reactor<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("conns", &self.inner.conns.iter().flatten().count())
+            .finish()
+    }
+}
+
+impl<C: Send + 'static> Reactor<C> {
+    /// Creates a reactor and its [`Handle`]. Nothing runs until
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll / self-pipe creation errors.
+    pub fn new(cfg: ReactorConfig) -> io::Result<(Self, Handle<C>)> {
+        let epoll = Epoll::new()?;
+        let (waker_tx, waker_rx) = UnixStream::pair()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
+        epoll.add(waker_rx.as_raw_fd(), TOK_WAKER, EPOLLIN)?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reactor = Reactor {
+            inner: Inner {
+                epoll,
+                conns: Vec::new(),
+                gens: Vec::new(),
+                free: Vec::new(),
+                listeners: Vec::new(),
+                wheel: TimerWheel::new(cfg.tick_ms, cfg.wheel_slots),
+                closing: Vec::new(),
+                next_seq: 0,
+                start: Instant::now(),
+                cfg,
+            },
+            rx,
+            waker_rx,
+            stop: Arc::clone(&stop),
+        };
+        let handle = Handle {
+            tx,
+            waker: Arc::new(waker_tx),
+            stop,
+        };
+        Ok((reactor, handle))
+    }
+
+    /// Runs the event loop until [`Handle::shutdown`]. Every connection
+    /// and listener is dropped (closed) on exit.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal `epoll_wait` failures; per-connection errors surface as
+    /// [`Handler::on_close`] instead.
+    pub fn run<H: Handler<Cmd = C>>(mut self, handler: &mut H) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut fired: Vec<TimerKey> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        while !self.stop.load(Ordering::Relaxed) {
+            let now = self.inner.now_ms();
+            let timeout = self
+                .inner
+                .wheel
+                .next_timeout_ms(now, self.inner.cfg.idle_wait_ms)
+                .min(i32::MAX as u64) as i32;
+            self.inner.epoll.wait(&mut events, timeout)?;
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            for ev in events.drain(..) {
+                if ev.token == TOK_WAKER {
+                    self.drain_waker();
+                    self.process_controls(handler);
+                } else if ev.token & TAG_CONN != 0 {
+                    let idx = (ev.token & 0xffff_ffff) as u32;
+                    let gen = ((ev.token >> 32) & GEN_MASK) as u32;
+                    let id = ConnId { idx, gen };
+                    if ev.is_readable() {
+                        self.read_ready(id, handler, &mut scratch);
+                    }
+                    if ev.is_writable() {
+                        self.inner.flush(id);
+                    }
+                } else if ev.token & TAG_LISTENER != 0 {
+                    let idx = (ev.token & 0xffff_ffff) as usize;
+                    self.accept_ready(idx, handler);
+                }
+            }
+            let now = self.inner.now_ms();
+            self.inner.wheel.advance(now, &mut fired);
+            for key in fired.drain(..) {
+                self.fire_timer(key, handler);
+            }
+            self.sweep_closed(handler);
+        }
+        Ok(())
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!((&self.waker_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn process_controls<H: Handler<Cmd = C>>(&mut self, handler: &mut H) {
+        while let Ok(ctl) = self.rx.try_recv() {
+            match ctl {
+                Control::AddListener(listener, tag) => {
+                    let idx = self
+                        .inner
+                        .listeners
+                        .iter()
+                        .position(Option::is_none)
+                        .unwrap_or_else(|| {
+                            self.inner.listeners.push(None);
+                            self.inner.listeners.len() - 1
+                        });
+                    match self.inner.epoll.add(
+                        listener.as_raw_fd(),
+                        tok_listener(idx as u32),
+                        EPOLLIN,
+                    ) {
+                        Ok(()) => self.inner.listeners[idx] = Some((listener, tag)),
+                        Err(e) => {
+                            // The caller's add_listener already returned:
+                            // this must not vanish silently — dropping the
+                            // listener closes a port someone was handed.
+                            eprintln!(
+                                "p2ps-net: failed to register listener (tag {tag}) with epoll: {e}; \
+                                 the listener is closed and its port will refuse connections"
+                            );
+                        }
+                    }
+                }
+                Control::RemoveListener(tag) => {
+                    for slot in &mut self.inner.listeners {
+                        if slot.as_ref().is_some_and(|(_, t)| *t == tag) {
+                            if let Some((listener, _)) = slot.take() {
+                                let _ = self.inner.epoll.delete(listener.as_raw_fd());
+                            }
+                        }
+                    }
+                }
+                Control::User(cmd) => {
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                    };
+                    handler.on_command(&mut ctx, cmd);
+                }
+            }
+        }
+    }
+
+    fn accept_ready<H: Handler<Cmd = C>>(&mut self, lidx: usize, handler: &mut H) {
+        loop {
+            let accepted = match self.inner.listeners.get(lidx).and_then(Option::as_ref) {
+                Some((listener, tag)) => (listener.accept(), *tag),
+                None => return,
+            };
+            match accepted {
+                (Ok((stream, _peer)), tag) => {
+                    let Ok(id) = self.inner.alloc(stream) else {
+                        continue;
+                    };
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                    };
+                    handler.on_accept(&mut ctx, id, tag);
+                }
+                (Err(e), _) if e.kind() == io::ErrorKind::WouldBlock => return,
+                (Err(e), _) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient per-connection accept failures (ECONNABORTED
+                // etc.): skip this one, keep the listener.
+                (Err(_), _) => return,
+            }
+        }
+    }
+
+    fn read_ready<H: Handler<Cmd = C>>(&mut self, id: ConnId, handler: &mut H, scratch: &mut [u8]) {
+        // Level-triggered epoll re-reports unread data, so a bounded
+        // number of reads per event keeps one firehose connection from
+        // starving the rest.
+        for _ in 0..8 {
+            if !self.inner.valid(id) {
+                return;
+            }
+            let res = {
+                let conn = self.inner.conns[id.idx as usize].as_ref().expect("valid");
+                (&conn.stream).read(scratch)
+            };
+            match res {
+                Ok(0) => {
+                    self.inner.mark_closing(id, true);
+                    return;
+                }
+                Ok(n) => {
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                    };
+                    handler.on_data(&mut ctx, id, &scratch[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.inner.mark_closing(id, true);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn fire_timer<H: Handler<Cmd = C>>(&mut self, key: TimerKey, handler: &mut H) {
+        let id = ConnId {
+            idx: key.idx,
+            gen: key.gen,
+        };
+        let Some(conn) = self.inner.conn_mut(id) else {
+            return; // connection gone or recycled: stale timer
+        };
+        // Only the latest arming of this kind is live; older ones were
+        // cancelled or replaced.
+        if conn.timers.get(&key.kind) != Some(&key.seq) {
+            return;
+        }
+        conn.timers.remove(&key.kind);
+        let mut ctx = Ctx {
+            inner: &mut self.inner,
+        };
+        handler.on_timer(&mut ctx, id, key.kind);
+    }
+
+    fn sweep_closed<H: Handler<Cmd = C>>(&mut self, handler: &mut H) {
+        // A connection marked twice appears twice in the list; the second
+        // pop finds its slot already empty and moves on.
+        while let Some(idx) = self.inner.closing.pop() {
+            let Some(conn) = self.inner.conns[idx as usize].take() else {
+                continue;
+            };
+            let gen = self.inner.gens[idx as usize];
+            let notify = conn.notify;
+            let _ = self.inner.epoll.delete(conn.stream.as_raw_fd());
+            self.inner.gens[idx as usize] = (gen + 1) & (GEN_MASK as u32);
+            self.inner.free.push(idx);
+            drop(conn); // closes the socket
+            if notify {
+                let mut ctx = Ctx {
+                    inner: &mut self.inner,
+                };
+                handler.on_close(&mut ctx, ConnId { idx, gen });
+            }
+        }
+    }
+}

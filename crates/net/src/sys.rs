@@ -1,0 +1,335 @@
+//! The epoll syscall surface — the **only** module in the workspace that
+//! contains `unsafe` code.
+//!
+//! The build environment has no crates.io access, so there is no `libc` or
+//! `mio` to lean on: the three epoll entry points (plus `close`) are
+//! declared `extern "C"` directly against the C library the binary links
+//! anyway. Everything unsafe is confined to this module and wrapped in the
+//! safe [`Epoll`] type; the reactor above it is `#![deny(unsafe_code)]`
+//! like the rest of the workspace. The module is unit-tested directly
+//! (readiness on socket pairs, interest modification, deregistration,
+//! error propagation).
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+
+/// The file is readable (or a peer hang-up / error makes `read` return
+/// without blocking — those are folded into "readable" by [`Event`]).
+pub const EPOLLIN: u32 = 0x001;
+/// The file is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// An error condition happened on the file.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up happened on the file.
+pub const EPOLLHUP: u32 = 0x010;
+/// The peer closed its writing half of the connection.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// `struct epoll_event` from `<sys/epoll.h>`. Packed on x86-64 only,
+/// exactly as the kernel ABI (and libc) define it.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct RawEpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEpollEvent) -> c_int;
+    fn epoll_wait(
+        epfd: c_int,
+        events: *mut RawEpollEvent,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file was registered with.
+    pub token: u64,
+    /// The raw `EPOLL*` readiness bits.
+    pub events: u32,
+}
+
+impl Event {
+    /// Reading will not block: data, EOF, peer shutdown or a pending
+    /// error (which `read` also surfaces without blocking).
+    pub fn is_readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0
+    }
+
+    /// Writing will not block (or will surface the pending error).
+    pub fn is_writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// A safe wrapper around one epoll instance.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_net::sys::{Epoll, EPOLLIN};
+/// use std::io::Write;
+/// use std::os::fd::AsRawFd;
+/// use std::os::unix::net::UnixStream;
+///
+/// let mut ep = Epoll::new()?;
+/// let (mut a, b) = UnixStream::pair()?;
+/// ep.add(b.as_raw_fd(), 7, EPOLLIN)?;
+/// a.write_all(b"x")?;
+/// let mut events = Vec::new();
+/// ep.wait(&mut events, 1_000)?;
+/// assert_eq!(events[0].token, 7);
+/// assert!(events[0].is_readable());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+    /// Kernel-filled scratch; sized once, reused every wait.
+    buf: Vec<RawEpollEvent>,
+}
+
+// Vec<RawEpollEvent> has no Debug; keep the derive working.
+impl std::fmt::Debug for RawEpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (events, data) = (self.events, self.data);
+        write!(f, "RawEpollEvent {{ events: {events:#x}, data: {data} }}")
+    }
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` errno as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes a flags integer and returns a new
+        // fd or -1; no pointers are involved.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll {
+            fd,
+            buf: vec![RawEpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    /// Registers `fd` with the given readiness interest and token.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno — in particular `EEXIST` for a doubly added
+    /// fd and `EBADF` for a closed one.
+    pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    /// Changes the interest set and token of a registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno — `ENOENT` if the fd was never added.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno — `ENOENT` if the fd was never added.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = RawEpollEvent {
+            events,
+            data: token,
+        };
+        // A null event pointer is the portable form for EPOLL_CTL_DEL
+        // (pre-2.6.9 kernels faulted on non-null).
+        let ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut RawEpollEvent
+        };
+        // SAFETY: `ptr` is either null (DEL) or points at a live,
+        // properly laid out RawEpollEvent for the duration of the call;
+        // the kernel only reads it.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, ptr) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits up to `timeout_ms` milliseconds (0 polls, negative blocks
+    /// indefinitely) and fills `out` with the ready events. Retries
+    /// transparently on `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` errno (other than `EINTR`).
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        out.clear();
+        let n = loop {
+            // SAFETY: `buf` is a live allocation of `buf.len()` correctly
+            // laid out events; the kernel writes at most that many.
+            let rc = unsafe {
+                epoll_wait(
+                    self.fd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for raw in &self.buf[..n] {
+            let raw = *raw; // copy out of the (possibly packed) slot
+            out.push(Event {
+                token: raw.data,
+                events: raw.events,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is owned by this instance and closed exactly once.
+        let _ = unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_after_write_with_the_registered_token() {
+        let mut ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), 0xfeed, EPOLLIN).unwrap();
+
+        let mut events = Vec::new();
+        ep.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no data yet, no events");
+
+        a.write_all(b"ping").unwrap();
+        ep.wait(&mut events, 1_000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 0xfeed);
+        assert!(events[0].is_readable());
+        assert!(!events[0].is_writable(), "EPOLLOUT was not requested");
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writable() {
+        let mut ep = Epoll::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), 1, EPOLLIN).unwrap();
+        ep.modify(b.as_raw_fd(), 2, EPOLLOUT).unwrap();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 1_000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 2, "modify replaces the token too");
+        assert!(events[0].is_writable(), "an idle socket is writable");
+    }
+
+    #[test]
+    fn delete_stops_notifications() {
+        let mut ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), 3, EPOLLIN).unwrap();
+        a.write_all(b"x").unwrap();
+        ep.delete(b.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "deregistered fd must not report");
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        // EOF must wake a reader: the reactor relies on this to reap
+        // connections whose peer went away.
+        let mut ep = Epoll::new().unwrap();
+        let (a, mut b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), 4, EPOLLIN | EPOLLRDHUP).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        ep.wait(&mut events, 1_000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_readable());
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "and the read sees EOF");
+    }
+
+    #[test]
+    fn level_triggered_rereports_until_drained() {
+        let mut ep = Epoll::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), 5, EPOLLIN).unwrap();
+        a.write_all(b"abc").unwrap();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 1_000).unwrap();
+        assert_eq!(events.len(), 1, "first report");
+        ep.wait(&mut events, 1_000).unwrap();
+        assert_eq!(events.len(), 1, "still readable, reported again");
+        let mut buf = [0u8; 8];
+        let _ = b.read(&mut buf).unwrap();
+        ep.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "drained, no further report");
+    }
+
+    #[test]
+    fn errors_propagate_as_io_errors() {
+        let ep = Epoll::new().unwrap();
+        let bogus_fd = {
+            let (s, _t) = UnixStream::pair().unwrap();
+            s.as_raw_fd()
+        }; // both ends dropped: the fd is closed by here
+        assert!(ep.add(bogus_fd, 0, EPOLLIN).is_err(), "EBADF surfaces");
+        let (_a, b) = UnixStream::pair().unwrap();
+        assert!(
+            ep.modify(b.as_raw_fd(), 0, EPOLLIN).is_err(),
+            "ENOENT surfaces for a never-added fd"
+        );
+        assert!(ep.delete(b.as_raw_fd()).is_err());
+    }
+
+    #[test]
+    fn zero_timeout_does_not_block() {
+        let mut ep = Epoll::new().unwrap();
+        let start = std::time::Instant::now();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 0).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_millis(100));
+    }
+}

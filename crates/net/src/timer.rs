@@ -1,0 +1,192 @@
+//! A coarse single-level timer wheel.
+//!
+//! The reactor needs two kinds of deadlines — per-connection read
+//! timeouts and paced segment transmissions (§3's `(p+1)·spp·δt` arrival
+//! schedule) — at thousands-of-timers scale. A hashed wheel gives O(1)
+//! insert and O(slots) sweep per rotation: each timer lands in the slot
+//! of its deadline tick modulo the wheel size; far-future timers simply
+//! stay in their slot across rotations until their deadline tick comes
+//! around.
+//!
+//! Cancellation is the caller's job (the reactor stamps every key with a
+//! sequence number and drops stale fires), which keeps the wheel itself
+//! trivially simple.
+
+/// A coarse timer wheel over millisecond deadlines.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_net::TimerWheel;
+///
+/// let mut wheel: TimerWheel<&'static str> = TimerWheel::new(2, 256);
+/// wheel.insert(10, "read-timeout");
+/// wheel.insert(4, "pace");
+/// let mut fired = Vec::new();
+/// wheel.advance(5, &mut fired);
+/// assert_eq!(fired, vec!["pace"]);
+/// wheel.advance(10, &mut fired);
+/// assert_eq!(fired, vec!["pace", "read-timeout"]);
+/// ```
+#[derive(Debug)]
+pub struct TimerWheel<K> {
+    slots: Vec<Vec<(u64, K)>>,
+    tick_ms: u64,
+    /// Next tick to sweep; every deadline below `cursor * tick_ms` has
+    /// already fired.
+    cursor: u64,
+    len: usize,
+}
+
+impl<K> TimerWheel<K> {
+    /// A wheel with `slots` buckets of `tick_ms` granularity (one
+    /// rotation spans `slots · tick_ms` milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_ms` or `slots` is zero.
+    pub fn new(tick_ms: u64, slots: usize) -> Self {
+        assert!(tick_ms > 0, "tick must be positive");
+        assert!(slots > 0, "wheel needs at least one slot");
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick_ms,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timer is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `key` to fire once `advance` reaches `deadline_ms`.
+    /// A deadline already in the past fires on the next `advance`.
+    pub fn insert(&mut self, deadline_ms: u64, key: K) {
+        // Round the deadline *up* to a tick so a timer never fires early,
+        // and never behind the cursor so it cannot be missed.
+        let tick = deadline_ms.div_ceil(self.tick_ms).max(self.cursor);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        self.slots[idx].push((deadline_ms, key));
+        self.len += 1;
+    }
+
+    /// Fires every timer with `deadline_ms <= now_ms` into `out`
+    /// (appending; the caller owns draining it). Timers in a swept slot
+    /// that belong to a later rotation stay put.
+    pub fn advance(&mut self, now_ms: u64, out: &mut Vec<K>) {
+        let now_tick = now_ms / self.tick_ms;
+        if now_tick < self.cursor {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        // A jump past a full rotation visits each slot exactly once.
+        let sweeps = (now_tick - self.cursor + 1).min(n);
+        for step in 0..sweeps {
+            let idx = ((self.cursor + step) % n) as usize;
+            let slot = &mut self.slots[idx];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].0 <= now_ms {
+                    let (_, key) = slot.swap_remove(i);
+                    out.push(key);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// A coarse upper bound on how long the caller may sleep from
+    /// `now_ms` without missing a deadline, capped at `cap_ms`. May be
+    /// conservative (waking early is harmless; the next `advance` simply
+    /// fires nothing).
+    pub fn next_timeout_ms(&self, now_ms: u64, cap_ms: u64) -> u64 {
+        if self.len == 0 {
+            return cap_ms;
+        }
+        let n = self.slots.len() as u64;
+        for off in 0..n {
+            let tick = self.cursor + off;
+            if !self.slots[(tick % n) as usize].is_empty() {
+                return (tick * self.tick_ms).saturating_sub(now_ms).min(cap_ms);
+            }
+        }
+        cap_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_windows_not_before() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(2, 8);
+        w.insert(10, 1);
+        let mut out = Vec::new();
+        w.advance(9, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        w.advance(10, &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_timers_survive_rotations() {
+        // 8 slots × 2 ms = 16 ms rotation; a 100 ms timer shares a slot
+        // with near ones but must only fire at 100.
+        let mut w: TimerWheel<&str> = TimerWheel::new(2, 8);
+        w.insert(100, "far");
+        w.insert(4, "near");
+        let mut out = Vec::new();
+        w.advance(50, &mut out);
+        assert_eq!(out, vec!["near"]);
+        out.clear();
+        w.advance(99, &mut out);
+        assert!(out.is_empty());
+        w.advance(120, &mut out);
+        assert_eq!(out, vec!["far"]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately_even_after_a_jump() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(2, 8);
+        let mut out = Vec::new();
+        w.advance(1_000, &mut out); // move the cursor far ahead
+        w.insert(5, 7); // already in the past
+        w.advance(1_002, &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn huge_jump_sweeps_every_slot_once() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(1, 4);
+        for t in 0..100 {
+            w.insert(t, t as u32);
+        }
+        let mut out = Vec::new();
+        w.advance(1_000_000, &mut out);
+        assert_eq!(out.len(), 100, "all timers fire on a giant jump");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn timeout_hint_is_never_late() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(2, 16);
+        assert_eq!(w.next_timeout_ms(0, 100), 100, "empty wheel sleeps the cap");
+        w.insert(20, 1);
+        let hint = w.next_timeout_ms(0, 100);
+        assert!(hint <= 20, "sleeping {hint} ms must not pass the deadline");
+        assert!(hint > 0, "nothing is due yet");
+        assert_eq!(w.next_timeout_ms(25, 100), 0, "overdue timer: do not sleep");
+    }
+}

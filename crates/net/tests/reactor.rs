@@ -1,0 +1,232 @@
+//! Integration tests driving a live reactor thread over loopback TCP.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use p2ps_net::{ConnId, Ctx, Handler, Reactor, ReactorConfig};
+
+/// Replies to every received chunk, closes idle connections after a read
+/// timeout, and emits a one-byte "tick" on a pacing timer.
+struct TestHandler {
+    read_timeout_ms: u64,
+    ticks: Option<(u64, u32)>, // (interval_ms, count)
+    closed: Arc<AtomicUsize>,
+}
+
+const K_READ: u32 = 0;
+const K_TICK: u32 = 1;
+
+impl Handler for TestHandler {
+    type Cmd = ();
+
+    fn on_command(&mut self, _ctx: &mut Ctx<'_>, _cmd: ()) {}
+
+    fn on_accept(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _tag: u64) {
+        ctx.set_timer(conn, K_READ, self.read_timeout_ms);
+        if let Some((interval, _)) = self.ticks {
+            ctx.set_timer(conn, K_TICK, interval);
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        ctx.set_timer(conn, K_READ, self.read_timeout_ms); // reset
+        if data == b"bye" {
+            ctx.send(conn, Bytes::from(&b"!"[..]));
+            ctx.close_after_flush(conn);
+            return;
+        }
+        ctx.send(conn, Bytes::from(data.to_vec()));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, kind: u32) {
+        match kind {
+            K_READ => ctx.close(conn),
+            K_TICK => {
+                ctx.send(conn, Bytes::from(&b"t"[..]));
+                if let Some((interval, ref mut left)) = self.ticks {
+                    *left -= 1;
+                    if *left > 0 {
+                        ctx.set_timer(conn, K_TICK, interval);
+                    } else {
+                        ctx.close_after_flush(conn);
+                    }
+                }
+            }
+            _ => unreachable!("unknown timer kind"),
+        }
+    }
+
+    fn on_close(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn start(
+    handler_cfg: (u64, Option<(u64, u32)>),
+) -> (
+    std::net::SocketAddr,
+    p2ps_net::Handle<()>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    Arc<AtomicUsize>,
+) {
+    let (reactor, handle) = Reactor::new(ReactorConfig::default()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    handle.add_listener(listener, 7).unwrap();
+    let closed = Arc::new(AtomicUsize::new(0));
+    let closed2 = Arc::clone(&closed);
+    let (read_timeout_ms, ticks) = handler_cfg;
+    let thread = std::thread::spawn(move || {
+        reactor.run(&mut TestHandler {
+            read_timeout_ms,
+            ticks,
+            closed: closed2,
+        })
+    });
+    (addr, handle, thread, closed)
+}
+
+#[test]
+fn many_echo_clients_on_one_thread() {
+    let (addr, handle, thread, _) = start((60_000, None));
+    let mut clients: Vec<TcpStream> = (0..100)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    // Interleave writes across every client before reading any reply:
+    // a serial server would deadlock or stall here.
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.write_all(format!("hello-{i}").as_bytes()).unwrap();
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        let expected = format!("hello-{i}");
+        let mut buf = vec![0u8; expected.len()];
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, expected.as_bytes());
+    }
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn read_timeout_closes_idle_connections_without_blocking_others() {
+    let (addr, handle, thread, closed) = start((100, None));
+    let mut idle = TcpStream::connect(addr).unwrap();
+    let mut active = TcpStream::connect(addr).unwrap();
+    let start_t = Instant::now();
+    // The active client keeps chatting while the idle one times out.
+    for _ in 0..5 {
+        active.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        active
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        active.read_exact(&mut buf).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    assert!(start_t.elapsed() >= Duration::from_millis(150));
+    // By now the idle connection must have been closed by its timer.
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(idle.read(&mut buf).unwrap(), 0, "idle conn saw EOF");
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+    assert_eq!(
+        closed.load(Ordering::Relaxed),
+        0,
+        "timer closes are handler-initiated: no on_close"
+    );
+}
+
+#[test]
+fn pacing_timers_deliver_on_schedule_then_flush_close() {
+    let (addr, handle, thread, _) = start((60_000, Some((20, 5))));
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let start_t = Instant::now();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 16];
+    loop {
+        match c.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    let elapsed = start_t.elapsed();
+    assert_eq!(got, b"ttttt", "five paced ticks then EOF");
+    assert!(
+        elapsed >= Duration::from_millis(95),
+        "5 ticks at 20 ms spacing cannot finish in {elapsed:?}"
+    );
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn peer_close_notifies_handler() {
+    let (addr, handle, thread, closed) = start((60_000, None));
+    let c = TcpStream::connect(addr).unwrap();
+    // Make sure the conn is registered before we drop it.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(c);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while closed.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(closed.load(Ordering::Relaxed), 1, "handler saw the close");
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn close_after_flush_delivers_the_goodbye_byte() {
+    let (addr, handle, thread, _) = start((60_000, None));
+    for _ in 0..10 {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"bye").unwrap();
+        let mut all = Vec::new();
+        c.read_to_end(&mut all).unwrap();
+        assert_eq!(all, b"!", "reply arrives before the close");
+    }
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn listeners_can_come_and_go_at_runtime() {
+    let (addr1, handle, thread, _) = start((60_000, None));
+    let extra = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr2 = extra.local_addr().unwrap();
+    handle.add_listener(extra, 8).unwrap();
+    for addr in [addr1, addr2] {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        c.read_exact(&mut buf).unwrap();
+    }
+    handle.remove_listener(8);
+    // Removal is asynchronous; poll until connects start failing or the
+    // accepted conn is never served. After removal the OS refuses new
+    // connections to addr2 once the listener socket is closed.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut refused = false;
+    while Instant::now() < deadline {
+        match TcpStream::connect_timeout(&addr2, Duration::from_millis(200)) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(refused, "removed listener keeps accepting");
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}

@@ -1,10 +1,17 @@
 //! The TCP directory server and its client helpers.
+//!
+//! Since the sans-io refactor the server is a [`p2ps_net::Reactor`]
+//! handler: every client connection gets its own
+//! [`FrameDecoder`](p2ps_proto::FrameDecoder) and a per-connection read
+//! timer on the reactor's wheel, so one idle (or malicious) client can
+//! never stall other peers' registrations and queries — the flash-crowd
+//! property the paper's lookup service needs (§4.2 footnote 4).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
@@ -12,24 +19,24 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use p2ps_core::{PeerClass, PeerId};
-use p2ps_proto::{read_message, write_message, CandidateRecord, Message};
+use p2ps_net::{ConnId, Ctx, Handler, Reactor, ReactorConfig};
+use p2ps_proto::{read_message, write_message, CandidateRecord, FrameDecoder, Message};
 
-/// How the lookup service indexes its supplier records.
-///
-/// The paper names two options (§4.2 footnote 4): a Napster-style central
-/// table and a Chord ring. Both are served through the same TCP front-end.
-trait LookupBackend: Send {
-    fn register(&mut self, item: &str, rec: CandidateRecord);
-    fn sample(&mut self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord>;
-}
+/// How long a directory connection may sit idle before it is dropped.
+/// Enforced per connection by the reactor's timer wheel — an idle client
+/// holds no thread and blocks nobody.
+const DIR_IDLE_TIMEOUT_MS: u64 = 5_000;
 
-/// In-memory registry behind the directory server: item → suppliers.
+/// The read-timeout timer kind on directory connections.
+const K_READ: u32 = 0;
+
+/// In-memory registry shard: item → suppliers.
 #[derive(Debug, Default)]
 struct Registry {
     items: HashMap<String, Vec<CandidateRecord>>,
 }
 
-impl LookupBackend for Registry {
+impl Registry {
     fn register(&mut self, item: &str, rec: CandidateRecord) {
         let list = self.items.entry(item.to_owned()).or_default();
         match list.iter_mut().find(|c| c.id == rec.id) {
@@ -38,7 +45,7 @@ impl LookupBackend for Registry {
         }
     }
 
-    fn sample(&mut self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
+    fn sample(&self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
         let Some(list) = self.items.get(item) else {
             return Vec::new();
         };
@@ -52,6 +59,72 @@ impl LookupBackend for Registry {
             out.push(list[pool[i]]);
         }
         out
+    }
+}
+
+/// The Napster-style supplier index, striped into shards keyed by item
+/// hash so registrations and queries touching *different* items never
+/// contend on one lock (the write-heavy churn case: every completed
+/// session triggers a registration, §2's self-growing property).
+///
+/// All methods take `&self`; each shard serializes internally. The
+/// directory server owns one of these, and the `directory_churn` bench
+/// drives it from many threads directly.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_node::ShardedRegistry;
+/// use p2ps_proto::CandidateRecord;
+/// use p2ps_core::{PeerClass, PeerId};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let reg = ShardedRegistry::new(8);
+/// reg.register("video", CandidateRecord {
+///     id: PeerId::new(1),
+///     class: PeerClass::new(2)?,
+///     port: 9000,
+/// });
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// assert_eq!(reg.sample("video", 4, &mut rng).len(), 1);
+/// assert!(reg.sample("other", 4, &mut rng).is_empty());
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Box<[Mutex<Registry>]>,
+}
+
+impl ShardedRegistry {
+    /// A registry striped over `shards` locks (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedRegistry {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Registry::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, item: &str) -> &Mutex<Registry> {
+        let mut h = DefaultHasher::new();
+        item.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Registers (or refreshes) `rec` as a supplier of `item`.
+    pub fn register(&self, item: &str, rec: CandidateRecord) {
+        self.shard(item).lock().register(item, rec);
+    }
+
+    /// Samples up to `m` distinct candidates for `item`.
+    pub fn sample(&self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
+        self.shard(item).lock().sample(item, m, rng)
     }
 }
 
@@ -75,9 +148,7 @@ impl ChordBackend {
             ports: HashMap::new(),
         }
     }
-}
 
-impl LookupBackend for ChordBackend {
     fn register(&mut self, item: &str, rec: CandidateRecord) {
         use p2ps_lookup::Rendezvous;
         self.ring.register(item, rec.id, rec.class);
@@ -100,8 +171,150 @@ impl LookupBackend for ChordBackend {
     }
 }
 
-/// A Napster-style directory server listening on a loopback TCP port
-/// (paper §4.2 footnote 4).
+/// How the lookup service indexes its supplier records: the paper names
+/// both a Napster-style central table and a Chord ring (§4.2 footnote 4);
+/// both are served through the same reactor front-end.
+enum Backend {
+    Napster(ShardedRegistry),
+    Chord(ChordBackend),
+}
+
+impl Backend {
+    fn register(&mut self, item: &str, rec: CandidateRecord) {
+        match self {
+            Backend::Napster(reg) => reg.register(item, rec),
+            Backend::Chord(ring) => ring.register(item, rec),
+        }
+    }
+
+    fn sample(&mut self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
+        match self {
+            Backend::Napster(reg) => reg.sample(item, m, rng),
+            Backend::Chord(ring) => ring.sample(item, m, rng),
+        }
+    }
+}
+
+/// Per-connection directory state: the frame accumulator plus the last
+/// time the client sent anything (for lazy idle-timeout accounting: the
+/// timer fires once per timeout window and re-arms from this timestamp,
+/// instead of pushing a fresh wheel entry on every received chunk).
+struct DirConn {
+    dec: FrameDecoder,
+    last_data_ms: u64,
+}
+
+/// The reactor handler serving the directory protocol: one frame decoder
+/// and one idle timer per connection, any number of concurrent clients.
+struct DirectoryHandler {
+    backend: Backend,
+    rng: SmallRng,
+    conns: HashMap<ConnId, DirConn>,
+}
+
+impl DirectoryHandler {
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Message) -> bool {
+        match msg {
+            Message::Register {
+                item,
+                peer,
+                class,
+                port,
+            } => {
+                self.backend.register(
+                    &item,
+                    CandidateRecord {
+                        id: peer,
+                        class,
+                        port,
+                    },
+                );
+                true
+            }
+            Message::QueryCandidates { item, m } => {
+                let list = self.backend.sample(&item, m as usize, &mut self.rng);
+                crate::serve::send(ctx, conn, &Message::Candidates { list });
+                true
+            }
+            // Anything else is a protocol violation: hang up.
+            _ => false,
+        }
+    }
+}
+
+impl Handler for DirectoryHandler {
+    type Cmd = ();
+
+    fn on_command(&mut self, _ctx: &mut Ctx<'_>, _cmd: ()) {}
+
+    fn on_accept(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _tag: u64) {
+        self.conns.insert(
+            conn,
+            DirConn {
+                dec: FrameDecoder::new(),
+                last_data_ms: ctx.now_ms(),
+            },
+        );
+        ctx.set_timer(conn, K_READ, DIR_IDLE_TIMEOUT_MS);
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let Some(st) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        // Progress: record it; the (single, lazily re-armed) idle timer
+        // checks this timestamp when it fires.
+        st.last_data_ms = ctx.now_ms();
+        st.dec.feed(data);
+        loop {
+            // Re-borrow the decoder each round: handle_message needs all
+            // of `self` in between.
+            let polled = self
+                .conns
+                .get_mut(&conn)
+                .expect("conn present while dispatching")
+                .dec
+                .poll();
+            match polled {
+                Ok(Some(msg)) => {
+                    if !self.handle_message(ctx, conn, msg) {
+                        ctx.close(conn);
+                        self.conns.remove(&conn);
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    ctx.close(conn);
+                    self.conns.remove(&conn);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _kind: u32) {
+        // Lazy idle check: one wheel entry per timeout window per
+        // connection, however chatty the client is.
+        let Some(st) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let idle = ctx.now_ms().saturating_sub(st.last_data_ms);
+        if idle >= DIR_IDLE_TIMEOUT_MS {
+            ctx.close(conn);
+            self.conns.remove(&conn);
+        } else {
+            ctx.set_timer(conn, K_READ, DIR_IDLE_TIMEOUT_MS - idle);
+        }
+    }
+
+    fn on_close(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.conns.remove(&conn);
+    }
+}
+
+/// A directory server listening on a loopback TCP port (paper §4.2
+/// footnote 4), serving all clients concurrently from one reactor thread.
 ///
 /// Peers send [`Message::Register`] to announce themselves as suppliers
 /// and [`Message::QueryCandidates`] to obtain `M` random candidates with
@@ -120,8 +333,8 @@ impl LookupBackend for ChordBackend {
 #[derive(Debug)]
 pub struct DirectoryServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    handle: p2ps_net::Handle<()>,
+    thread: Option<JoinHandle<io::Result<()>>>,
 }
 
 impl DirectoryServer {
@@ -145,7 +358,7 @@ impl DirectoryServer {
     /// Propagates socket errors from binding the listener — in
     /// particular `AddrInUse` when `port` is already taken.
     pub fn start_on(port: u16) -> io::Result<Self> {
-        Self::start_with_backend(Box::new(Registry::default()), port)
+        Self::start_with_backend(Backend::Napster(ShardedRegistry::new(16)), port)
     }
 
     /// Like [`start`](Self::start), but the index is a Chord ring of
@@ -157,74 +370,40 @@ impl DirectoryServer {
     ///
     /// Propagates socket errors from binding the listener.
     pub fn start_with_chord(index_nodes: u64) -> io::Result<Self> {
-        Self::start_with_backend(Box::new(ChordBackend::new(index_nodes)), 0)
+        Self::start_with_chord_on(index_nodes, 0)
     }
 
-    fn start_with_backend(backend: Box<dyn LookupBackend>, port: u16) -> io::Result<Self> {
+    /// [`start_with_chord`](Self::start_with_chord) on a chosen loopback
+    /// `port` (`0` picks an ephemeral port): backend choice and port
+    /// compose through the one shared construction path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener — in
+    /// particular `AddrInUse` when `port` is already taken.
+    pub fn start_with_chord_on(index_nodes: u64, port: u16) -> io::Result<Self> {
+        Self::start_with_backend(Backend::Chord(ChordBackend::new(index_nodes)), port)
+    }
+
+    fn start_with_backend(backend: Backend, port: u16) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(Mutex::new(backend));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
+        let (reactor, handle) = Reactor::new(ReactorConfig::default())?;
+        handle.add_listener(listener, 0)?;
+        let mut handler = DirectoryHandler {
+            backend,
+            rng: SmallRng::seed_from_u64(0x5eed),
+            conns: HashMap::new(),
+        };
+        let thread = std::thread::Builder::new()
             .name("p2ps-directory".into())
-            .spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(0x5eed);
-                for conn in listener.incoming() {
-                    if stop2.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let _ = Self::serve_connection(stream, &registry, &mut rng);
-                }
-            })
+            .spawn(move || reactor.run(&mut handler))
             .expect("spawning the directory thread cannot fail");
         Ok(DirectoryServer {
             addr,
-            stop,
-            handle: Some(handle),
+            handle,
+            thread: Some(thread),
         })
-    }
-
-    fn serve_connection(
-        mut stream: TcpStream,
-        registry: &Mutex<Box<dyn LookupBackend>>,
-        rng: &mut SmallRng,
-    ) -> io::Result<()> {
-        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
-        loop {
-            let msg = match read_message(&mut stream) {
-                Ok(m) => m,
-                Err(_) => return Ok(()), // peer closed or timed out
-            };
-            match msg {
-                Message::Register {
-                    item,
-                    peer,
-                    class,
-                    port,
-                } => {
-                    registry.lock().register(
-                        &item,
-                        CandidateRecord {
-                            id: peer,
-                            class,
-                            port,
-                        },
-                    );
-                }
-                Message::QueryCandidates { item, m } => {
-                    let list = registry.lock().sample(&item, m as usize, rng);
-                    write_message(&mut stream, &Message::Candidates { list })?;
-                }
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("directory got unexpected {}", other.name()),
-                    ));
-                }
-            }
-        }
     }
 
     /// The address the server listens on.
@@ -237,16 +416,14 @@ impl DirectoryServer {
         self.addr.port()
     }
 
-    /// Stops the server and joins its thread.
+    /// Stops the server and joins its reactor thread.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with one dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.handle.take() {
+        self.handle.shutdown();
+        if let Some(h) = self.thread.take() {
             let _ = h.join();
         }
     }
@@ -254,13 +431,24 @@ impl DirectoryServer {
 
 impl Drop for DirectoryServer {
     fn drop(&mut self) {
-        if self.handle.is_some() {
+        if self.thread.is_some() {
             self.stop_inner();
         }
     }
 }
 
 /// Registers `peer` as a supplier of `item` with the directory at `dir`.
+///
+/// Registration is fire-and-forget on the wire (`Register` has no
+/// acknowledgment) and therefore **eventually visible**: a query sent on
+/// a *different* connection immediately afterwards may not see the new
+/// record yet. This was always the protocol's contract — the paper's
+/// requesters tolerate stale candidate lists by retrying admission — but
+/// the pre-reactor serial accept loop happened to serialize
+/// register-then-query sequences as a side effect of its one-client-at-
+/// a-time design. Callers that need read-your-write should retry the
+/// query briefly (see the tests) or multiplex both operations on one
+/// connection, where ordering is guaranteed.
 ///
 /// # Errors
 ///
@@ -378,6 +566,35 @@ mod tests {
     }
 
     #[test]
+    fn chord_on_a_requested_port_composes() {
+        // The satellite fix: backend choice and port choice go through
+        // one construction path instead of being mutually exclusive.
+        let (dir, port) = (0..16)
+            .find_map(|_| {
+                let probe = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+                let port = probe.local_addr().unwrap().port();
+                drop(probe);
+                DirectoryServer::start_with_chord_on(8, port)
+                    .ok()
+                    .map(|d| (d, port))
+            })
+            .expect("a freshly released loopback port should be bindable");
+        assert_eq!(dir.port(), port);
+        register_supplier(dir.addr(), "c", PeerId::new(9), class(1), 1234).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got = query_candidates(dir.addr(), "c", 4).unwrap();
+            if !got.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(got.len(), 1, "chord index serves on the requested port");
+        assert_eq!(got[0].port, 1234);
+        dir.shutdown();
+    }
+
+    #[test]
     fn unknown_item_yields_empty() {
         let dir = DirectoryServer::start().unwrap();
         let got = query_candidates(dir.addr(), "nope", 8).unwrap();
@@ -432,6 +649,66 @@ mod tests {
         assert!(query_candidates(dir.addr(), "other-item", 4)
             .unwrap()
             .is_empty());
+        dir.shutdown();
+    }
+
+    #[test]
+    fn sharded_registry_stripes_by_item() {
+        let reg = ShardedRegistry::new(4);
+        assert_eq!(reg.shard_count(), 4);
+        for i in 0..64u64 {
+            reg.register(
+                &format!("item-{i}"),
+                CandidateRecord {
+                    id: PeerId::new(i),
+                    class: class(1),
+                    port: 1000 + i as u16,
+                },
+            );
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        for i in 0..64u64 {
+            let got = reg.sample(&format!("item-{i}"), 8, &mut rng);
+            assert_eq!(got.len(), 1, "item-{i} lands in exactly one shard");
+            assert_eq!(got[0].id.get(), i);
+        }
+        assert!(ShardedRegistry::new(0).shard_count() >= 1, "clamped");
+    }
+
+    #[test]
+    fn one_connection_can_register_and_query_repeatedly() {
+        // The reactor keeps per-connection decode state across frames.
+        let dir = DirectoryServer::start().unwrap();
+        let mut stream = TcpStream::connect(dir.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        for i in 0..5u64 {
+            write_message(
+                &mut stream,
+                &Message::Register {
+                    item: "multi".into(),
+                    peer: PeerId::new(i),
+                    class: class(1),
+                    port: 4000 + i as u16,
+                },
+            )
+            .unwrap();
+            write_message(
+                &mut stream,
+                &Message::QueryCandidates {
+                    item: "multi".into(),
+                    m: 16,
+                },
+            )
+            .unwrap();
+            match read_message(&mut stream).unwrap() {
+                Message::Candidates { list } => {
+                    assert_eq!(list.len(), (i + 1) as usize, "same-conn writes are ordered")
+                }
+                other => panic!("expected candidates, got {}", other.name()),
+            }
+        }
         dir.shutdown();
     }
 

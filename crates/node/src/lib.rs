@@ -20,6 +20,14 @@
 //! The admission state machines are shared verbatim with the simulator
 //! (`p2ps-core::admission`); only the transport differs.
 //!
+//! Serving is event-driven: the directory and every node's supplier side
+//! (admission handshake, reminder collection, §3 paced streaming) run as
+//! sans-io state machines on a `p2ps-net` epoll reactor, with pacing and
+//! read timeouts on its timer wheel — one [`NodeReactor`] thread carries
+//! thousands of concurrent sessions, and many nodes can share one
+//! reactor ([`PeerNode::spawn_on`]). The requester side stays blocking
+//! and talks the identical wire format.
+//!
 //! One deliberate addition over the paper: a supplier that issues a grant
 //! holds a short *reservation* until the requester either confirms
 //! (`StartSession`) or releases it. Without this, two concurrent
@@ -51,12 +59,14 @@ mod directory;
 mod error;
 mod node;
 mod requester;
+mod serve;
 mod supplier;
 mod swarm;
 
 pub use args::{Args, ArgsError};
 pub use clock::Clock;
-pub use directory::{query_candidates, register_supplier, DirectoryServer};
+pub use directory::{query_candidates, register_supplier, DirectoryServer, ShardedRegistry};
 pub use error::NodeError;
 pub use node::{NodeConfig, PeerNode, StreamOutcome};
+pub use serve::NodeReactor;
 pub use swarm::Swarm;

@@ -1,10 +1,9 @@
 //! The peer node: listener, roles and the public handle.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -15,8 +14,14 @@ use p2ps_core::{PeerClass, PeerId};
 use p2ps_media::{MediaFile, MediaInfo};
 
 use crate::directory::{query_candidates, register_supplier};
-use crate::supplier::{handle_connection, AdmissionGuard, SupplierShared};
+use crate::serve::{NodeCmd, NodeReactor};
+use crate::supplier::{AdmissionGuard, SupplierShared};
 use crate::{Clock, NodeError};
+
+/// Tags tie a listener registered with a reactor back to its node's
+/// shared state; a process-global counter keeps them unique even across
+/// swarms that reuse peer ids.
+static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
 
 /// Static configuration of one peer node.
 #[derive(Debug, Clone)]
@@ -68,14 +73,32 @@ pub struct StreamOutcome {
     pub duration_ms: u64,
 }
 
-/// A runnable peer: a TCP listener plus the paper's requester/supplier
-/// behaviors. See the crate docs for the full lifecycle.
+/// Which serving reactor hosts a node's listener and sessions.
+enum ReactorRef {
+    /// A private reactor, owned (and joined at shutdown) by this node.
+    Owned(NodeReactor),
+    /// A shared [`NodeReactor`] hosting many nodes on one thread.
+    Shared(p2ps_net::Handle<NodeCmd>),
+}
+
+impl ReactorRef {
+    fn handle(&self) -> &p2ps_net::Handle<NodeCmd> {
+        match self {
+            ReactorRef::Owned(r) => r.handle(),
+            ReactorRef::Shared(h) => h,
+        }
+    }
+}
+
+/// A runnable peer: a TCP listener hosted on a serving reactor plus the
+/// paper's requester/supplier behaviors. See the crate docs for the full
+/// lifecycle.
 pub struct PeerNode {
     config: NodeConfig,
     shared: Arc<SupplierShared>,
     port: u16,
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    tag: u64,
+    reactor: Option<ReactorRef>,
     session_rng: Mutex<SmallRng>,
 }
 
@@ -91,30 +114,78 @@ impl std::fmt::Debug for PeerNode {
 }
 
 impl PeerNode {
-    /// Starts a node with no media content (a future requesting peer).
+    /// Starts a node with no media content (a future requesting peer) on
+    /// a private serving reactor.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding the listener.
     pub fn spawn(config: NodeConfig, clock: Clock) -> io::Result<Self> {
-        Self::spawn_inner(config, clock, None)
+        let reactor = ReactorRef::Owned(NodeReactor::new()?);
+        Self::spawn_inner(config, clock, None, reactor)
     }
 
     /// Starts a node that already owns the complete media file and
-    /// registers it with the directory (a "seed" supplying peer).
+    /// registers it with the directory (a "seed" supplying peer) on a
+    /// private serving reactor.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding or from the directory
     /// registration.
     pub fn spawn_seed(config: NodeConfig, clock: Clock) -> io::Result<Self> {
+        let reactor = ReactorRef::Owned(NodeReactor::new()?);
         let file = MediaFile::synthesize(config.info.clone());
-        let node = Self::spawn_inner(config, clock, Some(file))?;
+        let node = Self::spawn_inner(config, clock, Some(file), reactor)?;
         node.register()?;
         Ok(node)
     }
 
-    fn spawn_inner(config: NodeConfig, clock: Clock, file: Option<MediaFile>) -> io::Result<Self> {
+    /// Like [`spawn`](Self::spawn), but hosted on a shared
+    /// [`NodeReactor`]: many nodes' admission handshakes and paced
+    /// sessions multiplex onto that reactor's single thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn_on(config: NodeConfig, clock: Clock, reactor: &NodeReactor) -> io::Result<Self> {
+        Self::spawn_inner(
+            config,
+            clock,
+            None,
+            ReactorRef::Shared(reactor.handle().clone()),
+        )
+    }
+
+    /// Like [`spawn_seed`](Self::spawn_seed), but hosted on a shared
+    /// [`NodeReactor`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding or from the directory
+    /// registration.
+    pub fn spawn_seed_on(
+        config: NodeConfig,
+        clock: Clock,
+        reactor: &NodeReactor,
+    ) -> io::Result<Self> {
+        let file = MediaFile::synthesize(config.info.clone());
+        let node = Self::spawn_inner(
+            config,
+            clock,
+            Some(file),
+            ReactorRef::Shared(reactor.handle().clone()),
+        )?;
+        node.register()?;
+        Ok(node)
+    }
+
+    fn spawn_inner(
+        config: NodeConfig,
+        clock: Clock,
+        file: Option<MediaFile>,
+        reactor: ReactorRef,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let port = listener.local_addr()?.port();
         let supplier_config =
@@ -133,33 +204,31 @@ impl PeerNode {
                 reserved_at: None,
             }),
             file: Mutex::new(file),
-            stop: AtomicBool::new(false),
+            stop: std::sync::atomic::AtomicBool::new(false),
         });
 
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_shared = Arc::clone(&shared);
-        let accept_stop = Arc::clone(&stop);
-        let accept_handle = std::thread::Builder::new()
-            .name(format!("p2ps-node-{}", config.id))
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let per_conn = Arc::clone(&accept_shared);
-                    std::thread::spawn(move || handle_connection(&per_conn, stream));
-                }
-            })
-            .expect("spawning the accept thread cannot fail");
+        // Attach before the listener goes live: commands are processed in
+        // order, so no accepted connection can miss its node state.
+        let tag = NEXT_TAG.fetch_add(1, Ordering::Relaxed);
+        reactor.handle().send(NodeCmd::Attach {
+            tag,
+            shared: Arc::clone(&shared),
+        });
+        if let Err(e) = reactor.handle().add_listener(listener, tag) {
+            // Roll the attach back: without this a failed spawn on a
+            // shared reactor would pin the node's state in the handler's
+            // map for the reactor's whole lifetime.
+            reactor.handle().send(NodeCmd::Detach { tag });
+            return Err(e);
+        }
 
         Ok(PeerNode {
             session_rng: Mutex::new(SmallRng::seed_from_u64(config.id.get() ^ 0x5e55)),
             config,
             shared,
             port,
-            stop,
-            accept_handle: Some(accept_handle),
+            tag,
+            reactor: Some(reactor),
         })
     }
 
@@ -265,25 +334,30 @@ impl PeerNode {
         Err(last)
     }
 
-    /// Stops the listener and joins the accept thread. Connection handler
-    /// threads for in-flight sessions run to completion on their own.
+    /// Stops serving: detaches from the reactor (closing this node's
+    /// listener and connections; in-flight sessions abort like a supplier
+    /// crash). A node-owned reactor is shut down and joined; a shared one
+    /// keeps running for its other nodes.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
         self.shared.stop.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(("127.0.0.1", self.port));
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        let Some(reactor) = self.reactor.take() else {
+            return;
+        };
+        reactor.handle().remove_listener(self.tag);
+        reactor.handle().send(NodeCmd::Detach { tag: self.tag });
+        if let ReactorRef::Owned(owned) = reactor {
+            owned.shutdown(); // joins the reactor thread
         }
     }
 }
 
 impl Drop for PeerNode {
     fn drop(&mut self) {
-        if self.accept_handle.is_some() {
+        if self.reactor.is_some() {
             self.stop_inner();
         }
     }

@@ -1,0 +1,544 @@
+//! The reactor-backed supplier serving path.
+//!
+//! One [`NodeReactor`] thread carries the server side of any number of
+//! peer nodes: the `DACp2p` admission handshake, reminder collection, and
+//! §3 paced segment streaming are all event-driven per-connection state
+//! machines. Pacing uses timer-wheel deadlines instead of
+//! `thread::sleep`, so a session occupies a connection slot and a timer —
+//! not a thread — and one reactor thread sustains thousands of concurrent
+//! sessions. The requester side stays blocking ([`crate::requester`]) and
+//! interoperates over the unchanged wire format.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use p2ps_core::admission::RequestDecision;
+use p2ps_core::PeerClass;
+use p2ps_media::MediaFile;
+use p2ps_net::{ConnId, Ctx, Handler, Reactor, ReactorConfig};
+use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan};
+
+use crate::supplier::{SupplierShared, GRANT_TTL_MS};
+
+/// Read-progress timer: fires when the peer goes quiet in a phase that
+/// expects it to speak.
+const K_READ: u32 = 0;
+/// Pacing timer: fires at the next segment's §3 arrival deadline.
+const K_PACE: u32 = 1;
+
+/// Soft backpressure bound: while more than this many bytes sit unsent
+/// in the socket queue, pacing yields and retries shortly instead of
+/// piling on (only reachable when deadlines are far behind, e.g. dt=0
+/// throughput runs).
+const PACE_BACKPRESSURE_BYTES: usize = 1 << 20;
+
+/// Commands other threads send a running node reactor.
+pub(crate) enum NodeCmd {
+    /// A peer node starts serving: its listener connections (tagged
+    /// `tag`) are handled against this shared supplier state.
+    Attach {
+        /// The listener tag (one per peer node).
+        tag: u64,
+        /// The node's admission + media state.
+        shared: Arc<SupplierShared>,
+    },
+    /// The peer node is shutting down: drop its state and connections.
+    Detach {
+        /// The tag passed at attach time.
+        tag: u64,
+    },
+}
+
+/// Per-connection protocol phase (the supplier half of §4.2).
+enum Phase {
+    /// Fresh connection: the first frame must be a `StreamRequest`.
+    AwaitRequest,
+    /// Grant sent; a `StartSession` must confirm within the grant TTL.
+    AwaitStart {
+        session: u64,
+    },
+    /// Busy denial sent; absorbing `Reminder`s until the peer hangs up.
+    Reminders,
+    Streaming(StreamState),
+}
+
+/// An in-flight paced streaming session.
+struct StreamState {
+    session: u64,
+    /// O(1) snapshot: a shared view of the node's media allocation.
+    file: MediaFile,
+    segments: Vec<u32>,
+    period: u64,
+    /// Slots per period for this supplier: pacing stride `spp · δt`.
+    spp: u64,
+    dt_ms: u64,
+    total: u64,
+    /// Next transmission ordinal `p` (0-based, §3 numbering).
+    p: u64,
+    /// Reactor time at `StartSession`.
+    start_ms: u64,
+}
+
+struct ConnState {
+    tag: u64,
+    shared: Arc<SupplierShared>,
+    dec: FrameDecoder,
+    phase: Phase,
+}
+
+/// What to do with a connection after handling one message.
+enum Flow {
+    /// Keep decoding.
+    Keep,
+    /// Protocol violation or finished without pending bytes: close now.
+    CloseNow,
+    /// Goodbye frames queued; close once they flush.
+    CloseAfterFlush,
+}
+
+/// The reactor handler multiplexing every attached node's supplier side.
+#[derive(Default)]
+pub(crate) struct NodeServeHandler {
+    nodes: HashMap<u64, Arc<SupplierShared>>,
+    conns: HashMap<ConnId, ConnState>,
+}
+
+/// Queues every chunk of `msg`'s frame on `conn` — the one place that
+/// knows a frame may be two chunks (header + zero-copy payload), so no
+/// call site can truncate a payload-bearing message.
+pub(crate) fn send(ctx: &mut Ctx<'_>, conn: ConnId, msg: &Message) {
+    let (head, payload) = FrameEncoder::frame(msg);
+    // Both chunks queue before the one flush: header + payload leave in
+    // a single writev, the same syscall shape as the blocking path.
+    ctx.send_all(conn, std::iter::once(head).chain(payload));
+}
+
+impl NodeServeHandler {
+    /// Runs the admission decision for a fresh `StreamRequest` — the same
+    /// logic the blocking path used, shared state and all.
+    fn decide(shared: &SupplierShared, requester_class: PeerClass) -> RequestDecision {
+        let now = shared.clock.now_ms();
+        let has_file = shared.file.lock().is_some();
+        let mut guard = shared.admission.lock();
+        if !has_file {
+            // Not yet a supplier: refuse outright (never advertised in the
+            // directory, but a stale candidate record could still point
+            // here).
+            RequestDecision::Refused
+        } else if guard.reservation_active(now) {
+            // Reserved by a concurrent requester: behave as busy. The
+            // favored flag still reflects the current vector so the
+            // requester's reminder logic stays sound.
+            let favored = guard.state.vector_at(now).favors(requester_class);
+            RequestDecision::Busy { favored }
+        } else {
+            let mut rng = std::mem::replace(&mut guard.rng, SmallRng::seed_from_u64(0));
+            let d = guard.state.handle_request(now, requester_class, &mut rng);
+            guard.rng = rng;
+            if d.is_granted() {
+                guard.reserved_at = Some(now);
+            }
+            d
+        }
+    }
+
+    fn on_message(ctx: &mut Ctx<'_>, conn: ConnId, st: &mut ConnState, msg: Message) -> Flow {
+        match (&mut st.phase, msg) {
+            (Phase::AwaitRequest, Message::StreamRequest { session, class }) => {
+                match Self::decide(&st.shared, class) {
+                    RequestDecision::Granted => {
+                        send(
+                            ctx,
+                            conn,
+                            &Message::Grant {
+                                session,
+                                class: st.shared.class,
+                            },
+                        );
+                        st.phase = Phase::AwaitStart { session };
+                        ctx.set_timer(conn, K_READ, GRANT_TTL_MS);
+                        Flow::Keep
+                    }
+                    RequestDecision::Refused => {
+                        send(
+                            ctx,
+                            conn,
+                            &Message::Deny {
+                                session,
+                                busy: false,
+                                favored: false,
+                            },
+                        );
+                        Flow::CloseAfterFlush
+                    }
+                    RequestDecision::Busy { favored } => {
+                        send(
+                            ctx,
+                            conn,
+                            &Message::Deny {
+                                session,
+                                busy: true,
+                                favored,
+                            },
+                        );
+                        st.phase = Phase::Reminders;
+                        ctx.set_timer(conn, K_READ, GRANT_TTL_MS);
+                        Flow::Keep
+                    }
+                }
+            }
+            (
+                Phase::AwaitStart { session },
+                Message::StartSession {
+                    session: confirmed,
+                    plan,
+                },
+            ) if confirmed == *session => {
+                let session = *session;
+                match Self::start_streaming(ctx, conn, st, session, plan) {
+                    Ok(()) => Flow::Keep,
+                    Err(_) => {
+                        st.shared.admission.lock().reserved_at = None;
+                        Flow::CloseNow
+                    }
+                }
+            }
+            (Phase::AwaitStart { .. }, _) => {
+                // Release, junk, or a mismatched session id: drop the
+                // reservation and hang up.
+                st.shared.admission.lock().reserved_at = None;
+                Flow::CloseNow
+            }
+            (Phase::Reminders, Message::Reminder { class, .. }) => {
+                st.shared.admission.lock().state.leave_reminder(class);
+                ctx.set_timer(conn, K_READ, GRANT_TTL_MS);
+                Flow::Keep
+            }
+            (Phase::Reminders, _) => Flow::CloseNow,
+            // The requester does not speak during streaming; tolerate
+            // noise (e.g. an early EndSession) without dropping pacing.
+            (Phase::Streaming(_), _) => Flow::Keep,
+            (Phase::AwaitRequest, _) => Flow::CloseNow,
+        }
+    }
+
+    /// Confirms the grant and arms the first pacing deadline.
+    fn start_streaming(
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        st: &mut ConnState,
+        session: u64,
+        plan: SessionPlan,
+    ) -> io::Result<()> {
+        let file = st
+            .shared
+            .file
+            .lock()
+            .clone()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "media file vanished"))?;
+        let per_period = plan.segments.len() as u64;
+        if per_period == 0 || plan.period == 0 || !(plan.period as u64).is_multiple_of(per_period) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed session plan",
+            ));
+        }
+        {
+            let mut guard = st.shared.admission.lock();
+            guard.reserved_at = None;
+            guard.state.begin_session(st.shared.clock.now_ms());
+        }
+        let stream = StreamState {
+            session,
+            file,
+            spp: plan.period as u64 / per_period,
+            segments: plan.segments,
+            period: plan.period as u64,
+            dt_ms: plan.dt_ms as u64,
+            total: plan.total_segments,
+            p: 0,
+            start_ms: ctx.now_ms(),
+        };
+        ctx.cancel_timer(conn, K_READ);
+        st.phase = Phase::Streaming(stream);
+        // First deadline may be 0 ms out (dt=0 plans): fire promptly.
+        ctx.set_timer(conn, K_PACE, 0);
+        Ok(())
+    }
+
+    /// Sends every segment whose §3 deadline `(p+1)·spp·δt` has passed,
+    /// then re-arms the pacing timer for the next one. Returns the flow
+    /// for the connection.
+    fn pace(ctx: &mut Ctx<'_>, conn: ConnId, st: &mut ConnState) -> Flow {
+        let Phase::Streaming(ref mut s) = st.phase else {
+            return Flow::Keep; // stale pace timer from a replaced phase
+        };
+        if st.shared.stop.load(Ordering::Relaxed) {
+            // Supplier shutting down mid-session (modelling a crash): the
+            // requester sees the connection drop, not an EndSession.
+            return Flow::CloseNow;
+        }
+        let per_period = s.segments.len() as u64;
+        loop {
+            let seg =
+                (s.p / per_period) * s.period + u64::from(s.segments[(s.p % per_period) as usize]);
+            if seg >= s.total || seg >= s.file.info().segment_count() {
+                let session = s.session;
+                send(ctx, conn, &Message::EndSession { session });
+                return Flow::CloseAfterFlush;
+            }
+            let deadline = s.start_ms + (s.p + 1) * s.spp * s.dt_ms;
+            let now = ctx.now_ms();
+            if deadline > now {
+                ctx.set_timer(conn, K_PACE, deadline - now);
+                return Flow::Keep;
+            }
+            if ctx.pending_write_bytes(conn) > PACE_BACKPRESSURE_BYTES {
+                // Far behind schedule and the socket can't drain: yield
+                // briefly instead of ballooning the outbound queue.
+                ctx.set_timer(conn, K_PACE, 1);
+                return Flow::Keep;
+            }
+            let segment = s.file.segment(seg);
+            send(
+                ctx,
+                conn,
+                &Message::SegmentData {
+                    session: s.session,
+                    index: seg,
+                    payload: segment.into_payload(),
+                },
+            );
+            s.p += 1;
+        }
+    }
+
+    /// Rolls back shared admission state for a connection that is going
+    /// away in whatever phase it reached.
+    fn settle(st: &ConnState) {
+        match st.phase {
+            Phase::AwaitStart { .. } => {
+                st.shared.admission.lock().reserved_at = None;
+            }
+            Phase::Streaming(_) => {
+                st.shared
+                    .admission
+                    .lock()
+                    .state
+                    .end_session(st.shared.clock.now_ms());
+            }
+            Phase::AwaitRequest | Phase::Reminders => {}
+        }
+    }
+
+    /// Applies a [`Flow`] verdict, re-inserting live state.
+    fn apply(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, st: ConnState, flow: Flow) -> bool {
+        match flow {
+            Flow::Keep => {
+                self.conns.insert(conn, st);
+                true
+            }
+            Flow::CloseNow => {
+                Self::settle(&st);
+                ctx.close(conn);
+                false
+            }
+            Flow::CloseAfterFlush => {
+                Self::settle_finished(&st);
+                ctx.close_after_flush(conn);
+                false
+            }
+        }
+    }
+
+    /// Like [`settle`](Self::settle) but for a cleanly finished exchange:
+    /// a completed stream ends its session; other phases have nothing
+    /// reserved.
+    fn settle_finished(st: &ConnState) {
+        if let Phase::Streaming(_) = st.phase {
+            st.shared
+                .admission
+                .lock()
+                .state
+                .end_session(st.shared.clock.now_ms());
+        }
+    }
+}
+
+impl Handler for NodeServeHandler {
+    type Cmd = NodeCmd;
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: NodeCmd) {
+        match cmd {
+            NodeCmd::Attach { tag, shared } => {
+                self.nodes.insert(tag, shared);
+            }
+            NodeCmd::Detach { tag } => {
+                self.nodes.remove(&tag);
+                let doomed: Vec<ConnId> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, st)| st.tag == tag)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in doomed {
+                    if let Some(st) = self.conns.remove(&id) {
+                        Self::settle(&st);
+                        ctx.close(id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_accept(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, listener_tag: u64) {
+        let Some(shared) = self.nodes.get(&listener_tag) else {
+            ctx.close(conn);
+            return;
+        };
+        self.conns.insert(
+            conn,
+            ConnState {
+                tag: listener_tag,
+                shared: Arc::clone(shared),
+                dec: FrameDecoder::new(),
+                phase: Phase::AwaitRequest,
+            },
+        );
+        ctx.set_timer(conn, K_READ, GRANT_TTL_MS * 2);
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let Some(mut st) = self.conns.remove(&conn) else {
+            return;
+        };
+        st.dec.feed(data);
+        loop {
+            match st.dec.poll() {
+                Ok(Some(msg)) => {
+                    let flow = Self::on_message(ctx, conn, &mut st, msg);
+                    if !matches!(flow, Flow::Keep) {
+                        self.apply(ctx, conn, st, flow);
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.apply(ctx, conn, st, Flow::CloseNow);
+                    return;
+                }
+            }
+        }
+        self.conns.insert(conn, st);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, kind: u32) {
+        let Some(mut st) = self.conns.remove(&conn) else {
+            return;
+        };
+        match kind {
+            K_PACE => {
+                let flow = Self::pace(ctx, conn, &mut st);
+                self.apply(ctx, conn, st, flow);
+            }
+            // K_READ (and anything unknown): the peer went quiet in a
+            // phase that expected progress.
+            _ => {
+                self.apply(ctx, conn, st, Flow::CloseNow);
+            }
+        }
+    }
+
+    fn on_close(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId) {
+        if let Some(st) = self.conns.remove(&conn) {
+            Self::settle(&st);
+        }
+    }
+}
+
+/// A serving reactor shared by any number of [`PeerNode`](crate::PeerNode)s.
+///
+/// Each node registers its listener here
+/// ([`PeerNode::spawn_on`](crate::PeerNode::spawn_on)); all of their
+/// admission handshakes and
+/// paced streaming sessions then run on this single thread. A node
+/// spawned without an explicit reactor owns a private one.
+///
+/// # Examples
+///
+/// ```no_run
+/// use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeReactor, PeerNode};
+/// use p2ps_core::{PeerClass, PeerId};
+/// use p2ps_core::assignment::SegmentDuration;
+/// use p2ps_media::MediaInfo;
+///
+/// let dir = DirectoryServer::start()?;
+/// let reactor = NodeReactor::new()?;
+/// let clock = Clock::new();
+/// let info = MediaInfo::new("demo", 16, SegmentDuration::from_millis(10), 512);
+/// // 8 supplier nodes, one serving thread.
+/// let nodes: Vec<PeerNode> = (0..8u64)
+///     .map(|i| {
+///         let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+///         PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor)
+///     })
+///     .collect::<std::io::Result<_>>()?;
+/// # drop(nodes);
+/// reactor.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct NodeReactor {
+    handle: p2ps_net::Handle<NodeCmd>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl NodeReactor {
+    /// Starts the reactor thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll / self-pipe creation errors.
+    pub fn new() -> io::Result<Self> {
+        let (reactor, handle) = Reactor::new(ReactorConfig::default())?;
+        let thread = std::thread::Builder::new()
+            .name("p2ps-node-reactor".into())
+            .spawn(move || reactor.run(&mut NodeServeHandler::default()))
+            .expect("spawning the node reactor thread cannot fail");
+        Ok(NodeReactor {
+            handle,
+            thread: Some(thread),
+        })
+    }
+
+    pub(crate) fn handle(&self) -> &p2ps_net::Handle<NodeCmd> {
+        &self.handle
+    }
+
+    /// Stops the reactor and joins its thread; all hosted connections
+    /// drop (in-flight sessions abort like a supplier crash).
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.handle.shutdown();
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NodeReactor {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_inner();
+        }
+    }
+}

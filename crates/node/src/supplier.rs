@@ -1,18 +1,15 @@
-//! Supplier-side connection handling and paced streaming.
-
-use std::io;
-use std::net::TcpStream;
-use std::sync::Arc;
-use std::time::Duration;
+//! Shared supplier-side state: admission guard, media file, clock.
+//!
+//! The connection handling itself is event-driven and lives in
+//! [`crate::serve`]; this module owns the state a node's public handle
+//! and its reactor-hosted connections share.
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-use p2ps_core::admission::{RequestDecision, SupplierState};
+use p2ps_core::admission::SupplierState;
 use p2ps_core::{PeerClass, PeerId};
 use p2ps_media::MediaFile;
-use p2ps_proto::{read_message, write_message, Message, SessionPlan};
 
 use crate::Clock;
 
@@ -20,7 +17,8 @@ use crate::Clock;
 /// its supplier set (see the crate docs on the grant/confirm race).
 pub(crate) const GRANT_TTL_MS: u64 = 3_000;
 
-/// State shared between a node's listener threads and its public handle.
+/// State shared between a node's reactor-hosted connections and its
+/// public handle.
 pub(crate) struct SupplierShared {
     /// Kept for diagnostics/log context even though the protocol itself
     /// never needs the supplier's own id after registration.
@@ -45,7 +43,7 @@ pub(crate) struct AdmissionGuard {
 }
 
 impl AdmissionGuard {
-    fn reservation_active(&mut self, now: u64) -> bool {
+    pub(crate) fn reservation_active(&mut self, now: u64) -> bool {
         match self.reserved_at {
             Some(at) if now.saturating_sub(at) <= GRANT_TTL_MS => true,
             Some(_) => {
@@ -55,194 +53,6 @@ impl AdmissionGuard {
             None => false,
         }
     }
-}
-
-/// Handles one inbound connection for the node.
-pub(crate) fn handle_connection(shared: &Arc<SupplierShared>, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(GRANT_TTL_MS * 2)));
-    let Ok(first) = read_message(&mut stream) else {
-        return;
-    };
-    // Anything other than a stream request on a fresh connection is a
-    // protocol violation; drop the connection.
-    if let Message::StreamRequest { session, class } = first {
-        let _ = handle_stream_request(shared, stream, session, class);
-    }
-}
-
-fn handle_stream_request(
-    shared: &Arc<SupplierShared>,
-    mut stream: TcpStream,
-    session: u64,
-    requester_class: PeerClass,
-) -> io::Result<()> {
-    let now = shared.clock.now_ms();
-    let has_file = shared.file.lock().is_some();
-
-    let decision = {
-        let mut guard = shared.admission.lock();
-        if !has_file {
-            // Not yet a supplier: refuse outright (never advertised in the
-            // directory, but a stale candidate record could still point
-            // here).
-            RequestDecision::Refused
-        } else if guard.reservation_active(now) {
-            // Reserved by a concurrent requester: behave as busy. The
-            // favored flag still reflects the current vector so the
-            // requester's reminder logic stays sound.
-            let favored = guard.state.vector_at(now).favors(requester_class);
-            RequestDecision::Busy { favored }
-        } else {
-            let mut rng_ptr = std::mem::replace(&mut guard.rng, SmallRng::seed_from_u64(0));
-            let d = guard
-                .state
-                .handle_request(now, requester_class, &mut rng_ptr);
-            guard.rng = rng_ptr;
-            if d.is_granted() {
-                guard.reserved_at = Some(now);
-            }
-            d
-        }
-    };
-
-    match decision {
-        RequestDecision::Granted => {
-            write_message(
-                &mut stream,
-                &Message::Grant {
-                    session,
-                    class: shared.class,
-                },
-            )?;
-            await_confirmation(shared, stream, session)
-        }
-        RequestDecision::Refused => write_message(
-            &mut stream,
-            &Message::Deny {
-                session,
-                busy: false,
-                favored: false,
-            },
-        ),
-        RequestDecision::Busy { favored } => {
-            write_message(
-                &mut stream,
-                &Message::Deny {
-                    session,
-                    busy: true,
-                    favored,
-                },
-            )?;
-            collect_reminders(shared, stream)
-        }
-    }
-}
-
-/// After a grant: wait for `StartSession`, `Release`, or silence.
-fn await_confirmation(
-    shared: &Arc<SupplierShared>,
-    mut stream: TcpStream,
-    session: u64,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(GRANT_TTL_MS)))?;
-    let msg = read_message(&mut stream);
-    match msg {
-        Ok(Message::StartSession {
-            session: confirmed,
-            plan,
-        }) if confirmed == session => {
-            {
-                let mut guard = shared.admission.lock();
-                guard.reserved_at = None;
-                guard.state.begin_session(shared.clock.now_ms());
-            }
-            let result = stream_session(shared, &mut stream, session, &plan);
-            shared
-                .admission
-                .lock()
-                .state
-                .end_session(shared.clock.now_ms());
-            result
-        }
-        _ => {
-            // Release, timeout, disconnect or junk: drop the reservation.
-            shared.admission.lock().reserved_at = None;
-            Ok(())
-        }
-    }
-}
-
-/// After a busy denial: absorb reminders until the requester hangs up.
-fn collect_reminders(shared: &Arc<SupplierShared>, mut stream: TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(GRANT_TTL_MS)))?;
-    while let Ok(msg) = read_message(&mut stream) {
-        if let Message::Reminder { class, .. } = msg {
-            shared.admission.lock().state.leave_reminder(class);
-        } else {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Streams this supplier's share of the assignment, paced so that segment
-/// `p` (the supplier's `p`-th transmission, 0-based) finishes arriving at
-/// `(p+1) · spp · δt` after session start — the §3 transmission model.
-fn stream_session(
-    shared: &Arc<SupplierShared>,
-    stream: &mut TcpStream,
-    session: u64,
-    plan: &SessionPlan,
-) -> io::Result<()> {
-    // O(1) snapshot: MediaFile is a shared view of one allocation, so
-    // taking a per-session copy out of the mutex duplicates no payload
-    // bytes, and the serving loop below never copies them either —
-    // `segment` returns a view and `write_message` splices it onto the
-    // socket behind a fixed-size header.
-    let file = shared
-        .file
-        .lock()
-        .clone()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "media file vanished"))?;
-
-    let per_period = plan.segments.len() as u64;
-    if per_period == 0 || plan.period == 0 || !(plan.period as u64).is_multiple_of(per_period) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "malformed session plan",
-        ));
-    }
-    let spp = plan.period as u64 / per_period;
-    let start = std::time::Instant::now();
-
-    for p in 0u64.. {
-        if shared.stop.load(std::sync::atomic::Ordering::Relaxed) {
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionAborted,
-                "supplier shutting down mid-session",
-            ));
-        }
-        let seg =
-            (p / per_period) * plan.period as u64 + plan.segments[(p % per_period) as usize] as u64;
-        if seg >= plan.total_segments || seg >= file.info().segment_count() {
-            break;
-        }
-        let arrival = Duration::from_millis((p + 1) * spp * plan.dt_ms as u64);
-        if let Some(wait) = arrival.checked_sub(start.elapsed()) {
-            std::thread::sleep(wait);
-        }
-        let segment = file.segment(seg);
-        write_message(
-            &mut *stream,
-            &Message::SegmentData {
-                session,
-                index: seg,
-                payload: segment.into_payload(),
-            },
-        )?;
-    }
-    write_message(&mut *stream, &Message::EndSession { session })
 }
 
 #[cfg(test)]

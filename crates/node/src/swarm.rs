@@ -5,14 +5,16 @@ use std::time::Duration;
 use p2ps_core::{PeerClass, PeerId};
 use p2ps_media::MediaInfo;
 
-use crate::{Clock, DirectoryServer, NodeConfig, NodeError, PeerNode, StreamOutcome};
+use crate::{Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode, StreamOutcome};
 
 /// A complete local deployment: one directory server plus a growing set
 /// of peer nodes, all in this process, talking real TCP on loopback.
 ///
 /// Mirrors the paper's system at laptop scale: seeds own the file,
 /// requesters stream it and become suppliers, so the swarm's capacity
-/// grows with every completed session.
+/// grows with every completed session. All nodes' supplier sides share
+/// one [`NodeReactor`] thread, so the swarm's serving footprint is one
+/// event loop no matter how many peers join.
 ///
 /// # Examples
 ///
@@ -32,6 +34,7 @@ use crate::{Clock, DirectoryServer, NodeConfig, NodeError, PeerNode, StreamOutco
 /// ```
 pub struct Swarm {
     directory: DirectoryServer,
+    reactor: NodeReactor,
     clock: Clock,
     info: MediaInfo,
     nodes: Vec<PeerNode>,
@@ -85,6 +88,7 @@ impl Swarm {
         let clock = Clock::new();
         let mut swarm = Swarm {
             directory,
+            reactor: NodeReactor::new().map_err(NodeError::Io)?,
             clock,
             info,
             nodes: Vec::new(),
@@ -105,7 +109,7 @@ impl Swarm {
         let id = PeerId::new(self.next_id);
         self.next_id += 1;
         let config = NodeConfig::new(id, class, self.info.clone(), self.directory.addr());
-        let node = PeerNode::spawn_seed(config, self.clock.clone())?;
+        let node = PeerNode::spawn_seed_on(config, self.clock.clone(), &self.reactor)?;
         self.nodes.push(node);
         Ok(id)
     }
@@ -121,7 +125,7 @@ impl Swarm {
         let id = PeerId::new(self.next_id);
         self.next_id += 1;
         let config = NodeConfig::new(id, class, self.info.clone(), self.directory.addr());
-        let node = PeerNode::spawn(config, self.clock.clone())?;
+        let node = PeerNode::spawn_on(config, self.clock.clone(), &self.reactor)?;
         let outcome = node.request_stream_with_retry(m, 10, Duration::from_millis(50))?;
         self.nodes.push(node);
         Ok(outcome)
@@ -152,11 +156,13 @@ impl Swarm {
         self.nodes.iter().filter(|n| n.is_supplier()).count()
     }
 
-    /// Shuts every node and the directory down.
+    /// Shuts every node, the shared serving reactor and the directory
+    /// down.
     pub fn shutdown(self) {
         for node in self.nodes {
             node.shutdown();
         }
+        self.reactor.shutdown();
         self.directory.shutdown();
     }
 }

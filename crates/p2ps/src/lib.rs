@@ -19,8 +19,9 @@
 //! | [`core`] | `p2ps-core` | model types, `OTSp2p`, `DACp2p`, baselines |
 //! | [`media`] | `p2ps-media` | CBR segmentation, stores, playback buffer |
 //! | [`lookup`] | `p2ps-lookup` | centralized directory and Chord ring |
-//! | [`proto`] | `p2ps-proto` | wire messages and binary codec |
-//! | [`node`] | `p2ps-node` | runnable TCP peer node, directory server, swarm harness |
+//! | [`proto`] | `p2ps-proto` | wire messages, binary codec, sans-io frame decoder/encoder |
+//! | [`net`] | `p2ps-net` | Linux epoll reactor: nonblocking sockets, buffered writes, timer wheel |
+//! | [`node`] | `p2ps-node` | runnable TCP peer node, reactor-hosted directory server and supplier path, swarm harness |
 //! | [`sim`] | `p2ps-sim` | the paper's 50,100-peer evaluation as a deterministic simulator |
 //! | [`metrics`] | `p2ps-metrics` | series, tables, plots for the experiment harness |
 //!
@@ -67,6 +68,7 @@ pub use p2ps_core as core;
 pub use p2ps_lookup as lookup;
 pub use p2ps_media as media;
 pub use p2ps_metrics as metrics;
+pub use p2ps_net as net;
 pub use p2ps_node as node;
 pub use p2ps_proto as proto;
 pub use p2ps_sim as sim;
@@ -89,6 +91,6 @@ pub mod prelude {
     pub use p2ps_core::assignment::{edf, otsp2p, Assignment, SegmentDuration};
     pub use p2ps_core::{Bandwidth, CapacityTracker, PeerClass, PeerId};
     pub use p2ps_media::{MediaFile, MediaInfo, PlaybackBuffer};
-    pub use p2ps_node::{DirectoryServer, NodeConfig, PeerNode, Swarm};
+    pub use p2ps_node::{DirectoryServer, NodeConfig, NodeReactor, PeerNode, Swarm};
     pub use p2ps_sim::{ArrivalPattern, SimConfig, SimReport, Simulation};
 }

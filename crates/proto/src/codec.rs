@@ -136,11 +136,26 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, DecodeError> 
     if buf.len() < 4 + len {
         return Ok(None);
     }
-    buf.advance(4);
-    // One copy of the frame out of the mutable accumulator into a shared
-    // allocation; every field decoded from it — in particular a segment
-    // payload — is then an O(1) view of that allocation.
-    let mut body = buf.copy_to_bytes(len);
+    // Fast path: the accumulator holds exactly this frame AND fits it
+    // tightly — move the allocation into the shared store instead of
+    // copying the frame out. The tight-capacity guard matters twice: a
+    // long-lived reactor accumulator (growth-doubled capacity) must keep
+    // its buffer rather than reallocate on every message, and a payload
+    // view must not pin a much larger allocation than the frame. The
+    // blocking read_message path (FrameDecoder::fill_from sizes the
+    // buffer to the frame) qualifies for every large frame, restoring
+    // the single-copy receive of segment payloads.
+    let mut body = if buf.len() == 4 + len && buf.capacity() == buf.len() {
+        let mut whole = std::mem::take(buf).freeze();
+        whole.advance(4);
+        whole
+    } else {
+        buf.advance(4);
+        // One copy of the frame out of the mutable accumulator into a
+        // shared allocation; every field decoded from it — in particular
+        // a segment payload — is then an O(1) view of that allocation.
+        buf.copy_to_bytes(len)
+    };
     let msg = decode_body(&mut body)?;
     if !body.is_empty() {
         return Err(DecodeError::TrailingBytes(body.len()));
@@ -246,70 +261,33 @@ fn decode_body(b: &mut Bytes) -> Result<Message, DecodeError> {
 /// Writes one frame to a blocking [`Write`] sink (the TCP path). A `&mut`
 /// reference also works as the writer.
 ///
+/// A transport shim over [`FrameEncoder`](crate::FrameEncoder):
 /// [`Message::SegmentData`] — the hot path of a supplier's serving loop —
-/// is written as a small fixed header followed by the payload view
-/// itself, gathered into one vectored write: the payload bytes are never
-/// copied into an intermediate frame buffer, and a `TCP_NODELAY` socket
-/// still sees a single writev instead of a 25-byte packet followed by the
-/// payload. Other (small) messages go through [`encode_frame`].
+/// leaves as a small fixed header chunk plus the payload view itself,
+/// gathered into one vectored write. The payload bytes are never copied
+/// into an intermediate frame buffer, and a `TCP_NODELAY` socket still
+/// sees a single writev instead of a 25-byte packet followed by the
+/// payload.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_message<W: Write>(mut w: W, msg: &Message) -> std::io::Result<()> {
-    if let Message::SegmentData {
-        session,
-        index,
-        payload,
-    } = msg
-    {
-        // Layout must match encode_frame exactly (pinned by the
-        // `segment_data_write_matches_encode_frame` test and the golden
-        // wire-format tests): len | tag | session | index | payload_len |
-        // payload.
-        let body_len = (1 + 8 + 8 + 4 + payload.len()) as u32;
-        let mut head = [0u8; 25];
-        head[0..4].copy_from_slice(&body_len.to_le_bytes());
-        head[4] = msg.tag();
-        head[5..13].copy_from_slice(&session.to_le_bytes());
-        head[13..21].copy_from_slice(&index.to_le_bytes());
-        head[21..25].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        write_all_vectored(&mut w, &head, payload)?;
-        return w.flush();
-    }
-    let mut buf = BytesMut::new();
-    encode_frame(msg, &mut buf);
-    w.write_all(&buf)?;
+    let mut enc = crate::FrameEncoder::new();
+    enc.push(msg);
+    enc.write_to(&mut w)?;
     w.flush()
-}
-
-/// Writes `head` then `tail` through `write_vectored`, looping over short
-/// writes (writers are free to accept any prefix of the gathered slices).
-fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], tail: &[u8]) -> std::io::Result<()> {
-    let mut bufs = [std::io::IoSlice::new(head), std::io::IoSlice::new(tail)];
-    let mut slices = &mut bufs[..];
-    // Skip any leading empty slice (an empty payload is legal).
-    while !slices.is_empty() && slices[0].is_empty() {
-        slices = &mut slices[1..];
-    }
-    while !slices.is_empty() {
-        let n = w.write_vectored(slices)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::WriteZero,
-                "failed to write the whole frame",
-            ));
-        }
-        std::io::IoSlice::advance_slices(&mut slices, n);
-        while !slices.is_empty() && slices[0].is_empty() {
-            slices = &mut slices[1..];
-        }
-    }
-    Ok(())
 }
 
 /// Reads one complete frame from a blocking [`Read`] source (the TCP
 /// path). A `&mut` reference also works as the reader.
+///
+/// A transport shim over [`FrameDecoder`](crate::FrameDecoder): it reads
+/// exactly the decoder's [`bytes_needed`](crate::FrameDecoder::bytes_needed)
+/// hint at every step (the 4-byte prefix, then the whole body — two
+/// reads per frame, deposited straight into the decoder's accumulator),
+/// so it never consumes bytes belonging to a later read from the same
+/// stream and never copies through an intermediate scratch buffer.
 ///
 /// # Errors
 ///
@@ -317,20 +295,14 @@ fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], tail: &[u8]) -> std::io:
 /// [`std::io::ErrorKind::InvalidData`]. A clean EOF before the length
 /// prefix yields [`std::io::ErrorKind::UnexpectedEof`].
 pub fn read_message<R: Read>(mut r: R) -> std::io::Result<Message> {
-    let mut len_buf = [0u8; 4];
-    r.read_exact(&mut len_buf)?;
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(DecodeError::FrameTooLarge(len).into());
+    let mut dec = crate::FrameDecoder::new();
+    loop {
+        if let Some(msg) = dec.poll()? {
+            return Ok(msg);
+        }
+        let want = dec.bytes_needed();
+        dec.fill_from(&mut r, want)?;
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    let mut body = Bytes::from(body);
-    let msg = decode_body(&mut body)?;
-    if !body.is_empty() {
-        return Err(DecodeError::TrailingBytes(body.len()).into());
-    }
-    Ok(msg)
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {

@@ -9,6 +9,12 @@
 //! body   := tag:u8     fields…       (layout per message, see `Message`)
 //! ```
 //!
+//! Framing is **sans-io**: [`FrameDecoder`] and [`FrameEncoder`] hold the
+//! protocol half of a connection (accumulation, frame boundaries,
+//! zero-copy payload views) for any transport — the blocking
+//! [`read_message`]/[`write_message`] helpers and the `p2ps-net` reactor
+//! handlers are both thin shims over them.
+//!
 //! The message set covers the three planes of the paper's protocol:
 //!
 //! * **Lookup** — register with / query the directory (`Register`,
@@ -39,7 +45,9 @@
 mod codec;
 mod error;
 mod message;
+mod sansio;
 
 pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
 pub use error::DecodeError;
 pub use message::{CandidateRecord, Message, SessionPlan};
+pub use sansio::{FrameDecoder, FrameEncoder};

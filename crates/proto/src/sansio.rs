@@ -1,0 +1,455 @@
+//! Sans-io framing: incremental decode and queued encode, no transport.
+//!
+//! [`FrameDecoder`] and [`FrameEncoder`] hold the *protocol* half of a
+//! connection — byte accumulation, frame boundaries, zero-copy payload
+//! views — while the caller owns the *transport* half (blocking sockets,
+//! a nonblocking reactor, an in-memory test harness). The blocking
+//! [`read_message`](crate::read_message) / [`write_message`](crate::write_message)
+//! helpers are thin transport shims over these same types, so every I/O
+//! style speaks byte-identical wire format.
+//!
+//! ```text
+//!   bytes in ──▶ FrameDecoder::feed ──▶ poll ──▶ Message
+//!   Message ──▶ FrameEncoder::push ──▶ pop_chunk ──▶ bytes out
+//! ```
+//!
+//! # Examples
+//!
+//! Drive a decoder with arbitrarily fragmented input:
+//!
+//! ```
+//! use p2ps_proto::{FrameDecoder, FrameEncoder, Message};
+//!
+//! let msg = Message::Release { session: 7 };
+//! let mut enc = FrameEncoder::new();
+//! enc.push(&msg);
+//! let mut dec = FrameDecoder::new();
+//! while let Some(chunk) = enc.pop_chunk() {
+//!     for byte in chunk.iter() {
+//!         dec.feed(&[*byte]); // one byte at a time
+//!     }
+//! }
+//! assert_eq!(dec.poll()?, Some(msg));
+//! # Ok::<(), p2ps_proto::DecodeError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::codec::{decode_frame, encode_frame};
+use crate::{DecodeError, Message, MAX_FRAME_LEN};
+
+/// Incremental frame decoder: feed bytes in any fragmentation, poll
+/// complete [`Message`]s out.
+///
+/// The decoder owns the connection's read accumulator. Decoded
+/// `SegmentData` payloads are O(1) shared views of one per-frame
+/// allocation, never copies of the payload bytes (the PR 2 zero-copy
+/// property, preserved through the sans-io split).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the transport to the accumulator.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Attempts to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed ([`feed`](Self::feed)
+    /// and retry; [`bytes_needed`](Self::bytes_needed) says how many).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`]; the stream is corrupt and the connection
+    /// should be dropped.
+    pub fn poll(&mut self) -> Result<Option<Message>, DecodeError> {
+        decode_frame(&mut self.buf)
+    }
+
+    /// Minimum number of additional bytes that must be fed before
+    /// [`poll`](Self::poll) can possibly return a frame.
+    ///
+    /// Meaningful after `poll` returned `Ok(None)`: a blocking caller can
+    /// `read_exact` exactly this many bytes and never consume bytes
+    /// belonging to a later read from the same stream.
+    pub fn bytes_needed(&self) -> usize {
+        if self.buf.len() < 4 {
+            return 4 - self.buf.len();
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        // An oversized prefix is an error poll() reports without further
+        // input; claim one byte so callers that read first never block
+        // forever waiting for nothing.
+        (4 + len.min(MAX_FRAME_LEN))
+            .saturating_sub(self.buf.len())
+            .max(1)
+    }
+
+    /// Reads exactly `n` bytes from `r` straight into the accumulator —
+    /// no intermediate scratch buffer, one `read_exact` worth of
+    /// syscalls. Combined with [`bytes_needed`](Self::bytes_needed), a
+    /// blocking caller receives a whole frame (however large) in two
+    /// reads and one kernel-to-accumulator copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the accumulator is rolled back to its
+    /// previous length, leaving the decoder state unchanged.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R, n: usize) -> std::io::Result<()> {
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + n, 0);
+        if let Err(e) = r.read_exact(&mut self.buf[old_len..]) {
+            self.buf.resize(old_len, 0);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Queued frame encoder: push [`Message`]s, drain ready [`Bytes`] chunks.
+///
+/// Small messages become one owned chunk. `SegmentData` — the serving hot
+/// path — becomes a fixed 25-byte header chunk followed by the payload
+/// *view itself*: the payload bytes are never copied into a frame buffer,
+/// so a supplier serving the same segment to a thousand sessions queues a
+/// thousand views of one allocation.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    chunks: VecDeque<Bytes>,
+    queued: usize,
+}
+
+impl FrameEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        FrameEncoder::default()
+    }
+
+    /// Encodes `msg` into its wire chunks without queueing them: the
+    /// header-or-whole-frame chunk, plus the zero-copy payload view for
+    /// `SegmentData`.
+    ///
+    /// The concatenation of the returned chunks is byte-identical to
+    /// [`encode_frame`](crate::encode_frame) (pinned by tests).
+    pub fn frame(msg: &Message) -> (Bytes, Option<Bytes>) {
+        if let Message::SegmentData {
+            session,
+            index,
+            payload,
+        } = msg
+        {
+            // Layout must match encode_frame exactly:
+            // len | tag | session | index | payload_len | payload.
+            let body_len = (1 + 8 + 8 + 4 + payload.len()) as u32;
+            let mut head = Vec::with_capacity(25);
+            head.extend_from_slice(&body_len.to_le_bytes());
+            head.push(msg.tag());
+            head.extend_from_slice(&session.to_le_bytes());
+            head.extend_from_slice(&index.to_le_bytes());
+            head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            (Bytes::from(head), Some(payload.clone()))
+        } else {
+            let mut buf = BytesMut::new();
+            encode_frame(msg, &mut buf);
+            (buf.freeze(), None)
+        }
+    }
+
+    /// Queues one message's frame chunks for draining.
+    pub fn push(&mut self, msg: &Message) {
+        let (head, payload) = Self::frame(msg);
+        self.queued += head.len();
+        self.chunks.push_back(head);
+        if let Some(p) = payload {
+            self.queued += p.len();
+            self.chunks.push_back(p);
+        }
+    }
+
+    /// Removes and returns the next ready chunk, front first.
+    pub fn pop_chunk(&mut self) -> Option<Bytes> {
+        let chunk = self.chunks.pop_front()?;
+        self.queued -= chunk.len();
+        Some(chunk)
+    }
+
+    /// Total bytes queued across all pending chunks.
+    pub fn pending_bytes(&self) -> usize {
+        self.queued
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Marks `n` queued bytes as written, consuming chunks front first.
+    /// A reactor that gathered the front chunks into a partial
+    /// `write_vectored` calls this with the short count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`pending_bytes`](Self::pending_bytes).
+    pub fn advance(&mut self, mut n: usize) {
+        assert!(n <= self.queued, "advance past the queued bytes");
+        self.queued -= n;
+        while n > 0 || self.chunks.front().is_some_and(|c| c.is_empty()) {
+            let front = self.chunks.front_mut().expect("accounted chunks");
+            if front.len() <= n {
+                n -= front.len();
+                self.chunks.pop_front();
+            } else {
+                let _ = front.split_to(n);
+                n = 0;
+            }
+        }
+    }
+
+    /// Drains every queued chunk into a blocking writer with vectored
+    /// writes (a `SegmentData` header and its payload leave in one
+    /// `writev`, never re-buffered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; only bytes the writer actually accepted are
+    /// consumed, so the unwritten tail stays queued.
+    pub fn write_to<W: Write>(&mut self, mut w: W) -> std::io::Result<()> {
+        // A frame is at most two chunks; 16 gathers several queued
+        // messages per writev, on the stack — no allocation per write.
+        const MAX_SLICES: usize = 16;
+        while self.queued > 0 {
+            let mut slices = [IoSlice::new(&[]); MAX_SLICES];
+            let mut count = 0;
+            for chunk in self
+                .chunks
+                .iter()
+                .filter(|c| !c.is_empty())
+                .take(MAX_SLICES)
+            {
+                slices[count] = IoSlice::new(&chunk[..]);
+                count += 1;
+            }
+            let n = w.write_vectored(&slices[..count])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write the whole frame",
+                ));
+            }
+            self.advance(n);
+        }
+        self.chunks.clear(); // zero-length payload chunks carry no bytes
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CandidateRecord;
+    use p2ps_core::{PeerClass, PeerId};
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Register {
+                item: "video".into(),
+                peer: PeerId::new(7),
+                class: PeerClass::new(2).unwrap(),
+                port: 9000,
+            },
+            Message::Candidates {
+                list: vec![CandidateRecord {
+                    id: PeerId::new(1),
+                    class: PeerClass::new(1).unwrap(),
+                    port: 9001,
+                }],
+            },
+            Message::SegmentData {
+                session: 99,
+                index: 42,
+                payload: Bytes::from(vec![0xab; 2_048]),
+            },
+            Message::SegmentData {
+                session: 1,
+                index: 2,
+                payload: Bytes::new(), // empty payload is legal
+            },
+            Message::EndSession { session: 99 },
+        ]
+    }
+
+    #[test]
+    fn encoder_chunks_match_encode_frame() {
+        for msg in sample_messages() {
+            let mut enc = FrameEncoder::new();
+            enc.push(&msg);
+            let mut wire = Vec::new();
+            while let Some(c) = enc.pop_chunk() {
+                wire.extend_from_slice(&c);
+            }
+            let mut framed = BytesMut::new();
+            encode_frame(&msg, &mut framed);
+            assert_eq!(&wire[..], &framed[..], "chunks differ for {}", msg.name());
+        }
+    }
+
+    #[test]
+    fn segment_payload_chunk_is_a_view_not_a_copy() {
+        let payload = Bytes::from(vec![0x5a; 4 * 1024]);
+        let msg = Message::SegmentData {
+            session: 1,
+            index: 2,
+            payload: payload.clone(),
+        };
+        let (_, tail) = FrameEncoder::frame(&msg);
+        let tail = tail.expect("segment data has a payload chunk");
+        assert_eq!(
+            tail.as_ptr(),
+            payload.as_ptr(),
+            "payload must not be copied"
+        );
+    }
+
+    #[test]
+    fn decoder_handles_any_fragmentation() {
+        let msgs = sample_messages();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            let mut enc = FrameEncoder::new();
+            enc.push(m);
+            while let Some(c) = enc.pop_chunk() {
+                wire.extend_from_slice(&c);
+            }
+        }
+        for step in [1usize, 3, 7, wire.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in wire.chunks(step) {
+                dec.feed(chunk);
+                while let Some(m) = dec.poll().unwrap() {
+                    got.push(m);
+                }
+            }
+            assert_eq!(got, msgs, "fragmentation step {step}");
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn bytes_needed_is_an_exact_blocking_read_hint() {
+        // Reading exactly bytes_needed() at every step must produce one
+        // frame without ever over-reading (read_message's contract).
+        let msg = Message::SegmentData {
+            session: 3,
+            index: 4,
+            payload: Bytes::from(vec![9u8; 333]),
+        };
+        let mut enc = FrameEncoder::new();
+        enc.push(&msg);
+        let mut wire = Vec::new();
+        while let Some(c) = enc.pop_chunk() {
+            wire.extend_from_slice(&c);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut offset = 0;
+        loop {
+            if let Some(got) = dec.poll().unwrap() {
+                assert_eq!(got, msg);
+                break;
+            }
+            let need = dec.bytes_needed();
+            assert!(need > 0);
+            dec.feed(&wire[offset..offset + need]);
+            offset += need;
+        }
+        assert_eq!(offset, wire.len(), "consumed exactly one frame");
+    }
+
+    #[test]
+    fn fill_from_deposits_directly_and_rolls_back_on_error() {
+        let msg = Message::SegmentData {
+            session: 1,
+            index: 2,
+            payload: Bytes::from(vec![0x42; 1_000]),
+        };
+        let mut enc = FrameEncoder::new();
+        enc.push(&msg);
+        let mut wire = Vec::new();
+        enc.write_to(&mut wire).unwrap();
+
+        // Whole frame in exactly two reads: prefix, then body.
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        let mut dec = FrameDecoder::new();
+        assert!(dec.poll().unwrap().is_none());
+        dec.fill_from(&mut cursor, dec.bytes_needed()).unwrap(); // 4-byte prefix
+        assert!(dec.poll().unwrap().is_none());
+        dec.fill_from(&mut cursor, dec.bytes_needed()).unwrap(); // whole body
+        assert_eq!(dec.poll().unwrap(), Some(msg));
+        assert_eq!(cursor.position() as usize, wire.len());
+
+        // A short source fails without corrupting the accumulator.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..10]);
+        let before = dec.buffered();
+        let mut short = std::io::Cursor::new(&wire[10..20]);
+        assert!(dec.fill_from(&mut short, 100).is_err());
+        assert_eq!(dec.buffered(), before, "rolled back after EOF");
+    }
+
+    #[test]
+    fn oversized_prefix_still_claims_a_byte() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(dec.bytes_needed() >= 1);
+        assert!(matches!(dec.poll(), Err(DecodeError::FrameTooLarge(_))));
+    }
+
+    #[test]
+    fn write_to_drains_through_a_short_writer() {
+        // A writer that accepts one byte per call exercises the partial
+        // chunk bookkeeping.
+        struct OneByte(Vec<u8>);
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let msg = Message::SegmentData {
+            session: 8,
+            index: 9,
+            payload: Bytes::from(vec![7u8; 100]),
+        };
+        let mut enc = FrameEncoder::new();
+        enc.push(&msg);
+        let mut sink = OneByte(Vec::new());
+        enc.write_to(&mut sink).unwrap();
+        assert!(enc.is_empty());
+        assert_eq!(enc.pending_bytes(), 0);
+        let mut framed = BytesMut::new();
+        encode_frame(&msg, &mut framed);
+        assert_eq!(&sink.0[..], &framed[..]);
+    }
+}

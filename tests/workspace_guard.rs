@@ -1,0 +1,99 @@
+//! Guards the workspace manifest invariant that tier-1 coverage depends
+//! on: `default-members` must mirror `members` (plus the root package
+//! `"."`).
+//!
+//! The root `Cargo.toml` hosts a `[package]`, so bare `cargo build` /
+//! `cargo test` — the tier-1 verify commands and every CI gate — operate
+//! on `default-members`. A crate added only to `members` would silently
+//! drop out of all of them: its tests would never run while CI stayed
+//! green. That exact footgun nearly shipped with `crates/net`; this test
+//! turns it into a loud failure.
+
+use std::collections::BTreeSet;
+
+/// Extracts the string entries of a top-level TOML array field, e.g.
+/// `members = [ "a", "b" ]`, tolerating comments and multi-line layout.
+fn toml_array(manifest: &str, key: &str) -> Vec<String> {
+    let start = manifest
+        .lines()
+        .scan(0usize, |offset, line| {
+            let this = *offset;
+            *offset += line.len() + 1;
+            Some((this, line))
+        })
+        .find(|(_, line)| {
+            let trimmed = line.trim_start();
+            trimmed.starts_with(key) && trimmed[key.len()..].trim_start().starts_with('=')
+        })
+        .map(|(offset, _)| offset)
+        .unwrap_or_else(|| panic!("`{key}` not found in Cargo.toml"));
+    let tail = &manifest[start..];
+    let open = tail.find('[').expect("array opens");
+    let close = tail[open..].find(']').expect("array closes") + open;
+    tail[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        // Strip per-entry trailing comments, then the quotes.
+        .map(|entry| entry.split('#').next().unwrap().trim())
+        .filter(|entry| !entry.is_empty())
+        .map(|entry| {
+            entry
+                .strip_prefix('"')
+                .and_then(|e| e.strip_suffix('"'))
+                .unwrap_or_else(|| panic!("unquoted entry {entry:?} in `{key}`"))
+                .to_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn default_members_mirrors_members() {
+    let manifest = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml"))
+        .expect("workspace manifest readable");
+    let members: BTreeSet<String> = toml_array(&manifest, "members").into_iter().collect();
+    let mut default_members: BTreeSet<String> = toml_array(&manifest, "default-members")
+        .into_iter()
+        .collect();
+
+    assert!(
+        default_members.remove("."),
+        "default-members must include \".\" so the root package's own \
+         tests (like this one) stay in tier-1"
+    );
+    let missing: Vec<&String> = members.difference(&default_members).collect();
+    let extra: Vec<&String> = default_members.difference(&members).collect();
+    assert!(
+        missing.is_empty() && extra.is_empty(),
+        "Cargo.toml default-members must mirror members: every crate in \
+         one list and not the other escapes `cargo build` / `cargo test` \
+         and every CI gate.\n  in members but not default-members: \
+         {missing:?}\n  in default-members but not members: {extra:?}"
+    );
+}
+
+#[test]
+fn every_crates_dir_is_a_member() {
+    // Belt and braces: a crate directory that exists on disk but is in
+    // neither list is invisible to the workspace entirely.
+    let manifest = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml"))
+        .expect("workspace manifest readable");
+    let members: BTreeSet<String> = toml_array(&manifest, "members").into_iter().collect();
+    let crates_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/crates");
+    for entry in std::fs::read_dir(crates_dir).expect("crates/ listable") {
+        let entry = entry.unwrap();
+        if !entry.file_type().unwrap().is_dir() {
+            continue;
+        }
+        let rel = format!("crates/{}", entry.file_name().to_string_lossy());
+        if !std::path::Path::new(&entry.path())
+            .join("Cargo.toml")
+            .exists()
+        {
+            continue;
+        }
+        assert!(
+            members.contains(&rel),
+            "{rel} has a Cargo.toml but is not in workspace members"
+        );
+    }
+}

@@ -398,9 +398,22 @@ impl BytesMut {
         self.data.reserve(additional);
     }
 
+    /// Bytes the unread region can grow to without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.start
+    }
+
     /// Appends raw bytes.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+
+    /// Resizes the unread contents to `new_len` bytes, filling any new
+    /// tail with `value` (upstream-compatible). Growing then overwriting
+    /// the tail lets a reader deposit bytes directly into the buffer
+    /// without an intermediate copy.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(self.start + new_len, value);
     }
 
     /// Splits off and returns the first `n` unread bytes.
@@ -553,6 +566,27 @@ mod tests {
         assert_eq!(&buf[..], b"56789");
         let frozen = buf.freeze();
         assert_eq!(frozen.len(), 5);
+    }
+
+    #[test]
+    fn capacity_tracks_the_unread_region() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_slice(b"abcd");
+        assert!(m.capacity() >= 16);
+        m.advance(2);
+        assert_eq!(m.capacity(), m.data.capacity() - 2);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_the_unread_tail() {
+        let mut m = BytesMut::from(&b"abc"[..]);
+        m.advance(1); // unread: "bc"
+        m.resize(4, 0);
+        assert_eq!(&m[..], b"bc\0\0");
+        m[2..4].copy_from_slice(b"de"); // reader deposits into the tail
+        assert_eq!(&m[..], b"bcde");
+        m.resize(1, 0);
+        assert_eq!(&m[..], b"b");
     }
 
     #[test]
