@@ -1,0 +1,63 @@
+//! Criterion benches for the policy layer and the scenario matrix.
+//!
+//! `plan/<policy>` times one planning decision over an 8-supplier,
+//! 256-segment session — the per-admission cost the live requester and
+//! the admission simulator pay. `matrix/standard` times a full 4-policy
+//! × 5-scenario run at smoke scale — the cost of one tier-1 matrix
+//! sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use p2ps_core::PeerClass;
+use p2ps_policy::{
+    Otsp2p, RandomBaseline, RarestFirst, SelectionPolicy, SequentialWindow, SessionContext,
+};
+use p2ps_sim::{ScenarioConfig, ScenarioMatrix};
+
+fn plan_benches(c: &mut Criterion) {
+    let classes: Vec<PeerClass> = [2u8, 3, 4, 5, 5, 4, 4, 4]
+        .into_iter()
+        .map(|k| PeerClass::new(k).unwrap())
+        .collect();
+    // Eight suppliers spanning two R0 sessions' worth keeps the fallback
+    // (non-rate-matched) paths honest too.
+    let rate_matched: Vec<PeerClass> = [2u8, 3, 4, 5, 5]
+        .into_iter()
+        .map(|k| PeerClass::new(k).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("plan");
+    for (name, policy) in [
+        ("otsp2p", &Otsp2p as &dyn SelectionPolicy),
+        ("sequential-window", &SequentialWindow::default()),
+        ("rarest-first", &RarestFirst),
+        ("random", &RandomBaseline),
+    ] {
+        let ctx = SessionContext::full(&rate_matched, 256).with_seed(7);
+        group.bench_function(name, |b| b.iter(|| policy.plan(black_box(&ctx)).unwrap()));
+    }
+    let ctx = SessionContext::full(&classes, 256).with_seed(7);
+    group.bench_function("otsp2p-fallback", |b| {
+        b.iter(|| Otsp2p.plan(black_box(&ctx)).unwrap())
+    });
+    group.finish();
+}
+
+fn matrix_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    group.bench_function("standard", |b| {
+        b.iter(|| {
+            let mut m = ScenarioMatrix::standard(42);
+            m.config(ScenarioConfig {
+                sessions: 16,
+                total_segments: 48,
+                startup_window: 8,
+            });
+            m.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, plan_benches, matrix_benches);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the policy × VoD-scenario comparison matrix. See
+//! `p2ps_bench::experiments::policy_matrix`.
+
+fn main() {
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::policy_matrix::run(&mut harness);
+}

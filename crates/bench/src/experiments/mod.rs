@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod policy_matrix;
 pub mod table1;
 
 /// Runs every experiment in paper order.
@@ -26,4 +27,5 @@ pub fn run_all(harness: &mut crate::Harness) {
     fig9::run(harness);
     ablation::run(harness);
     churn::run(harness);
+    policy_matrix::run(harness);
 }

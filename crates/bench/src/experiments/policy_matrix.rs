@@ -1,0 +1,59 @@
+//! Policy × VoD-scenario matrix — the comparison the two PAPERS.md
+//! peer-selection papers run against `OTSp2p`.
+//!
+//! Rows are selection policies (the paper's §3 optimal assignment plus
+//! BitTorrent-style baselines), columns are VoD scenarios (steady state,
+//! mid-stream seek, early supplier departure, partial-file suppliers,
+//! flash crowd). The headline cell metric is the in-time startup ratio:
+//! the fraction of sessions whose startup window arrives within the
+//! Theorem-1 budget `n·δt` (stretched by the flash-crowd load).
+
+use p2ps_sim::{CellMetric, ScenarioConfig, ScenarioMatrix};
+
+use crate::{Harness, Scale};
+
+/// Regenerates the policy comparison matrix.
+pub fn run(harness: &mut Harness) {
+    println!("=== Policy × scenario matrix: OTSp2p vs BitTorrent-style baselines ===");
+    let config = match harness.scale() {
+        Scale::Paper => ScenarioConfig {
+            sessions: 256,
+            total_segments: 128,
+            startup_window: 8,
+        },
+        Scale::Quick => ScenarioConfig::default(),
+    };
+    let mut matrix = ScenarioMatrix::standard(crate::harness::BASE_SEED);
+    matrix.config(config);
+    let started = std::time::Instant::now();
+    let report = matrix.run();
+    eprintln!("  [policy_matrix] simulated in {:.2?}", started.elapsed());
+
+    let metrics = [
+        CellMetric::InTimeStartupRatio,
+        CellMetric::MeanStartupSlots,
+        CellMetric::OnTimeRatio,
+        CellMetric::CompletionRatio,
+    ];
+    let mut text = String::new();
+    for metric in metrics {
+        let table = report.table(metric);
+        println!("\n{table}");
+        text.push_str(&table.render());
+        text.push('\n');
+        harness.write_table_csv(&format!("policy_matrix_{}", metric.name()), &table);
+    }
+    harness.write_text("policy_matrix", &text);
+
+    let opt = report
+        .cell("otsp2p", "steady")
+        .expect("matrix always has the otsp2p × steady cell");
+    let rnd = report
+        .cell("random", "steady")
+        .expect("matrix always has the random × steady cell");
+    println!(
+        "steady-state in-time startups: otsp2p {:.3} vs random {:.3}",
+        opt.in_time_startup_ratio(),
+        rnd.in_time_startup_ratio()
+    );
+}

@@ -115,6 +115,13 @@ impl Harness {
         println!("wrote {}", path.display());
     }
 
+    /// Writes a rendered [`p2ps_metrics::Table`] to `<name>.csv`.
+    pub fn write_table_csv(&self, name: &str, table: &p2ps_metrics::Table) {
+        let path = self.out_dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("writing experiment table csv");
+        println!("wrote {}", path.display());
+    }
+
     /// Writes arbitrary text (tables, notes) to `<name>.txt`.
     pub fn write_text(&self, name: &str, content: &str) {
         let path = self.out_dir.join(format!("{name}.txt"));

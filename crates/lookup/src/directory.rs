@@ -128,8 +128,19 @@ impl Rendezvous for Directory {
     }
 }
 
-/// A clonable, thread-safe handle to a [`Directory`], used by the runnable
-/// node where many peer threads talk to one directory server.
+/// A clonable, thread-safe handle to a striped [`Directory`], used by
+/// the runnable node where many peer threads talk to one directory
+/// server.
+///
+/// Like the node-level `ShardedRegistry`, the directory is striped by
+/// item hash (16 ways by default): registrations and queries touching
+/// *different* items never contend on one lock — the write-heavy churn
+/// case, where every completed session triggers a registration (§2's
+/// self-growing property).
+///
+/// Item-scoped access goes through [`Rendezvous`] or
+/// [`with_item`](Self::with_item)/[`with_item_mut`](Self::with_item_mut),
+/// which lock only the item's stripe.
 ///
 /// # Examples
 ///
@@ -138,47 +149,92 @@ impl Rendezvous for Directory {
 /// use p2ps_core::{PeerClass, PeerId};
 ///
 /// let dir = SharedDirectory::new();
-/// let clone = dir.clone();
-/// clone.with_mut(|d| d.register("v", PeerId::new(1), PeerClass::new(1).unwrap()));
-/// assert_eq!(dir.with(|d| d.supplier_count("v")), 1);
+/// let mut clone = dir.clone();
+/// clone.register("v", PeerId::new(1), PeerClass::new(1).unwrap());
+/// assert_eq!(dir.supplier_count("v"), 1);
+/// assert_eq!(dir.with_item("v", |d| d.supplier_count("v")), 1);
+/// assert_eq!(dir.items(), vec!["v".to_owned()]);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct SharedDirectory {
-    inner: Arc<RwLock<Directory>>,
+    stripes: Arc<[RwLock<Directory>]>,
+}
+
+impl Default for SharedDirectory {
+    fn default() -> Self {
+        SharedDirectory::new()
+    }
 }
 
 impl SharedDirectory {
-    /// Creates an empty shared directory.
+    /// Default stripe count, matching the node's `ShardedRegistry`.
+    const DEFAULT_STRIPES: usize = 16;
+
+    /// Creates an empty shared directory with the default striping.
     pub fn new() -> Self {
-        SharedDirectory::default()
+        SharedDirectory::with_stripes(Self::DEFAULT_STRIPES)
     }
 
-    /// Runs `f` with read access to the directory.
-    pub fn with<T>(&self, f: impl FnOnce(&Directory) -> T) -> T {
-        f(&self.inner.read())
+    /// Creates an empty shared directory striped over `stripes` locks
+    /// (at least one).
+    pub fn with_stripes(stripes: usize) -> Self {
+        SharedDirectory {
+            stripes: (0..stripes.max(1))
+                .map(|_| RwLock::new(Directory::new()))
+                .collect(),
+        }
     }
 
-    /// Runs `f` with write access to the directory.
-    pub fn with_mut<T>(&self, f: impl FnOnce(&mut Directory) -> T) -> T {
-        f(&mut self.inner.write())
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, item: &str) -> &RwLock<Directory> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        item.hash(&mut h);
+        &self.stripes[(h.finish() % self.stripes.len() as u64) as usize]
+    }
+
+    /// Runs `f` with read access to `item`'s stripe.
+    pub fn with_item<T>(&self, item: &str, f: impl FnOnce(&Directory) -> T) -> T {
+        f(&self.stripe(item).read())
+    }
+
+    /// Runs `f` with write access to `item`'s stripe.
+    pub fn with_item_mut<T>(&self, item: &str, f: impl FnOnce(&mut Directory) -> T) -> T {
+        f(&mut self.stripe(item).write())
+    }
+
+    /// Names of all items with at least one supplier, across every
+    /// stripe (sorted, since stripe order is hash order).
+    pub fn items(&self) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.read().items().map(str::to_owned).collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        all
     }
 }
 
 impl Rendezvous for SharedDirectory {
     fn register(&mut self, item: &str, peer: PeerId, class: PeerClass) {
-        self.inner.write().register(item, peer, class);
+        self.stripe(item).write().register(item, peer, class);
     }
 
     fn unregister(&mut self, item: &str, peer: PeerId) {
-        self.inner.write().unregister(item, peer);
+        self.stripe(item).write().unregister(item, peer);
     }
 
     fn sample(&self, item: &str, m: usize, rng: &mut dyn RngCore) -> Vec<CandidateInfo> {
-        self.inner.read().sample(item, m, rng)
+        self.stripe(item).read().sample(item, m, rng)
     }
 
     fn supplier_count(&self, item: &str) -> usize {
-        self.inner.read().supplier_count(item)
+        self.stripe(item).read().supplier_count(item)
     }
 }
 
@@ -310,5 +366,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(dir.supplier_count("v"), 400);
+    }
+
+    #[test]
+    fn shared_directory_stripes_by_item() {
+        let mut dir = SharedDirectory::with_stripes(4);
+        assert_eq!(dir.stripe_count(), 4);
+        assert!(SharedDirectory::with_stripes(0).stripe_count() >= 1);
+        for i in 0..64u64 {
+            dir.register(&format!("item-{i}"), PeerId::new(i), class(1));
+        }
+        // Every item is findable through its own stripe, and the
+        // aggregate view sees all of them.
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in 0..64u64 {
+            let name = format!("item-{i}");
+            assert_eq!(dir.supplier_count(&name), 1);
+            assert_eq!(dir.sample(&name, 8, &mut rng).len(), 1);
+            assert_eq!(dir.with_item(&name, |d| d.supplier_count(&name)), 1);
+        }
+        assert_eq!(dir.items().len(), 64);
+        // Items actually spread across stripes (hash, not one bucket).
+        let occupancy = dir
+            .stripes
+            .iter()
+            .filter(|s| s.read().items().next().is_some())
+            .count();
+        assert!(occupancy >= 2, "64 items all hashed into one stripe?");
+    }
+
+    #[test]
+    fn shared_directory_concurrent_items_across_stripes() {
+        let dir = SharedDirectory::new();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let mut d = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    d.register(&format!("item-{t}"), PeerId::new(t * 100 + i), class(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u64 {
+            assert_eq!(dir.supplier_count(&format!("item-{t}")), 50);
+        }
+        assert_eq!(dir.items().len(), 8);
+    }
+
+    #[test]
+    fn shared_directory_item_scoped_mutation() {
+        let dir = SharedDirectory::new();
+        dir.with_item_mut("x", |d| d.register("x", PeerId::new(7), class(2)));
+        assert_eq!(dir.supplier_count("x"), 1);
+        dir.with_item_mut("x", |d| d.unregister("x", PeerId::new(7)));
+        assert_eq!(dir.supplier_count("x"), 0);
+        assert!(dir.items().is_empty());
     }
 }

@@ -16,7 +16,7 @@
 //! handler, and shutdown — all woken through a self-pipe so the epoll
 //! wait never has to poll.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use p2ps_proto::{ChunkQueue, MAX_GATHER_SLICES};
 
 use crate::sys::{Epoll, Event, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::TimerWheel;
@@ -176,8 +177,10 @@ const BASE_INTEREST: u32 = EPOLLIN | EPOLLRDHUP;
 
 struct Conn {
     stream: TcpStream,
-    wq: VecDeque<Bytes>,
-    wq_bytes: usize,
+    /// Outbound queue: the gather/partial-advance bookkeeping is the
+    /// shared `p2ps_proto::ChunkQueue`, the same type the blocking
+    /// `FrameEncoder` drains through.
+    wq: ChunkQueue,
     interest: u32,
     /// kind → sequence number of the one live timer of that kind.
     timers: HashMap<u32, u64>,
@@ -256,8 +259,7 @@ impl Inner {
             .add(stream.as_raw_fd(), tok_conn(idx, gen), BASE_INTEREST)?;
         self.conns[idx as usize] = Some(Conn {
             stream,
-            wq: VecDeque::new(),
-            wq_bytes: 0,
+            wq: ChunkQueue::new(),
             interest: BASE_INTEREST,
             timers: HashMap::new(),
             close_after_flush: false,
@@ -282,7 +284,7 @@ impl Inner {
             let Some(conn) = self.conn_mut(id) else {
                 return true;
             };
-            if conn.wq_bytes == 0 {
+            if conn.wq.pending_bytes() == 0 {
                 conn.wq.clear(); // zero-length chunks carry no bytes
                 let close = conn.close_after_flush;
                 self.set_writable_interest(id, false);
@@ -291,31 +293,18 @@ impl Inner {
                 }
                 return true;
             }
-            let mut slices: [IoSlice<'_>; 16] = [IoSlice::new(&[]); 16];
-            let mut count = 0;
-            for chunk in conn.wq.iter().filter(|c| !c.is_empty()).take(16) {
-                slices[count] = IoSlice::new(&chunk[..]);
-                count += 1;
-            }
-            match (&conn.stream).write_vectored(&slices[..count]) {
+            let res = {
+                let mut slices: [IoSlice<'_>; MAX_GATHER_SLICES] =
+                    [IoSlice::new(&[]); MAX_GATHER_SLICES];
+                let count = conn.wq.gather(&mut slices);
+                (&conn.stream).write_vectored(&slices[..count])
+            };
+            match res {
                 Ok(0) => {
                     self.mark_closing(id, true);
                     return false;
                 }
-                Ok(mut n) => {
-                    let conn = self.conns[id.idx as usize].as_mut().expect("validated");
-                    conn.wq_bytes -= n;
-                    while n > 0 || conn.wq.front().is_some_and(|c| c.is_empty()) {
-                        let front = conn.wq.front_mut().expect("accounted bytes");
-                        if front.len() <= n {
-                            n -= front.len();
-                            conn.wq.pop_front();
-                        } else {
-                            let _ = front.split_to(n);
-                            n = 0;
-                        }
-                    }
-                }
+                Ok(n) => conn.wq.advance(n),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.set_writable_interest(id, true);
                     return true;
@@ -390,9 +379,8 @@ impl Ctx<'_> {
         let Some(c) = self.inner.conn_mut(conn) else {
             return false;
         };
-        c.wq_bytes += chunk.len();
-        c.wq.push_back(chunk);
-        if c.wq_bytes > limit {
+        c.wq.push(chunk);
+        if c.wq.pending_bytes() > limit {
             self.inner.mark_closing(conn, true);
             return false;
         }
@@ -404,7 +392,6 @@ impl Ctx<'_> {
     pub fn close(&mut self, conn: ConnId) {
         if let Some(c) = self.inner.conn_mut(conn) {
             c.wq.clear();
-            c.wq_bytes = 0;
         }
         self.inner.mark_closing(conn, false);
     }
@@ -415,7 +402,7 @@ impl Ctx<'_> {
         let Some(c) = self.inner.conn_mut(conn) else {
             return;
         };
-        if c.wq_bytes == 0 {
+        if c.wq.pending_bytes() == 0 {
             self.inner.mark_closing(conn, false);
         } else {
             c.close_after_flush = true;
@@ -466,7 +453,7 @@ impl Ctx<'_> {
         }
         self.inner.conns[conn.idx as usize]
             .as_ref()
-            .map_or(0, |c| c.wq_bytes)
+            .map_or(0, |c| c.wq.pending_bytes())
     }
 
     /// Number of live connections.

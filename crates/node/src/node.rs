@@ -40,6 +40,9 @@ pub struct NodeConfig {
     pub idle_timeout_ms: u64,
     /// Admission protocol (default `DACp2p`).
     pub protocol: Protocol,
+    /// How the requester assigns media segments to its granted suppliers
+    /// (default: the paper's `OTSp2p` optimal assignment).
+    pub policy: p2ps_policy::SharedPolicy,
 }
 
 impl NodeConfig {
@@ -53,6 +56,7 @@ impl NodeConfig {
             num_classes: 4,
             idle_timeout_ms: 60_000,
             protocol: Protocol::Dac,
+            policy: p2ps_policy::SharedPolicy::default(),
         }
     }
 }
@@ -293,6 +297,7 @@ impl PeerNode {
             self.config.class,
             session,
             &self.config.info,
+            &*self.config.policy,
         )?;
         let file = MediaFile::from_store(self.config.info.clone(), &store).ok_or(
             NodeError::IncompleteStream {

@@ -7,9 +7,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 
 use p2ps_core::admission::{attempt_admission, Candidate, ProbeOutcome, RequestDecision};
-use p2ps_core::assignment::otsp2p;
 use p2ps_core::PeerClass;
 use p2ps_media::{MediaInfo, PlaybackBuffer, Segment, SegmentStore};
+use p2ps_policy::{SelectionPolicy, SessionContext};
 use p2ps_proto::{read_message, write_message, CandidateRecord, Message, SessionPlan};
 
 use crate::{NodeError, StreamOutcome};
@@ -129,6 +129,7 @@ pub(crate) fn attempt_and_stream(
     class: PeerClass,
     session: u64,
     info: &MediaInfo,
+    policy: &dyn SelectionPolicy,
 ) -> Result<(StreamOutcome, SegmentStore), NodeError> {
     let mut net: Vec<NetCandidate> = candidates
         .into_iter()
@@ -145,7 +146,7 @@ pub(crate) fn attempt_and_stream(
                     .ok_or_else(|| NodeError::Protocol("granted candidate lost stream".into()))?;
                 suppliers.push((net[i].class(), stream));
             }
-            receive_stream(suppliers, session, info)
+            receive_stream(suppliers, session, info, policy)
         }
         ProbeOutcome::Rejected { reminders, .. } => Err(NodeError::Rejected {
             reminders_left: reminders.len(),
@@ -153,38 +154,76 @@ pub(crate) fn attempt_and_stream(
     }
 }
 
-/// Computes the `OTSp2p` assignment over the granted suppliers, starts the
-/// session on every connection and receives until all suppliers finish.
+/// Plans the segment → supplier assignment over the granted suppliers
+/// through the configured [`SelectionPolicy`], starts the session on
+/// every assigned connection and receives until all suppliers finish.
+///
+/// With the default `Otsp2p` policy the emitted `SessionPlan`s are
+/// byte-identical to the pre-policy code path (the plan *is* the §3
+/// assignment, back-mapped to the granted order); other policies ship
+/// explicit one-shot plans over the same wire format.
 fn receive_stream(
     mut suppliers: Vec<(PeerClass, TcpStream)>,
     session: u64,
     info: &MediaInfo,
+    policy: &dyn SelectionPolicy,
 ) -> Result<(StreamOutcome, SegmentStore), NodeError> {
     let classes: Vec<PeerClass> = suppliers.iter().map(|(c, _)| *c).collect();
-    let assignment = otsp2p(&classes)?;
+    let ctx = SessionContext::full(&classes, info.segment_count()).with_seed(session);
+    let plan = policy
+        .plan(&ctx)
+        .map_err(|e| NodeError::Protocol(format!("policy '{}' failed: {e}", policy.name())))?;
+    if plan.slot_count() != suppliers.len() {
+        return Err(NodeError::Protocol(format!(
+            "policy '{}' planned {} slots for {} suppliers",
+            policy.name(),
+            plan.slot_count(),
+            suppliers.len()
+        )));
+    }
+    let theoretical_slots = plan.min_delay_slots(&ctx);
     let dt_ms = info.segment_duration().as_millis();
     let started = Instant::now();
 
-    // Kick off every supplier with its share of the assignment. Slot i of
-    // the assignment maps back to our supplier list via input_index.
-    for slot in 0..assignment.supplier_count() {
-        let input = assignment.input_index(slot);
-        let plan = SessionPlan {
+    // Kick off every assigned supplier with its share of the plan; a
+    // supplier the policy left empty-handed is released (its grant held
+    // bandwidth the plan does not use) and plays no further part.
+    let mut active: Vec<(PeerClass, TcpStream)> = Vec::with_capacity(suppliers.len());
+    for (slot, (class, mut stream)) in suppliers.drain(..).enumerate() {
+        let segments = plan.slot(slot);
+        if segments.is_empty() {
+            let _ = write_message(&mut stream, &Message::Release { session });
+            continue;
+        }
+        let wire_plan = SessionPlan {
             item: info.name().to_owned(),
-            segments: assignment.segments_of(slot).to_vec(),
-            period: assignment.period(),
+            segments: segments.to_vec(),
+            period: plan.period(),
             total_segments: info.segment_count(),
             dt_ms: dt_ms as u32,
         };
-        let (_, stream) = &mut suppliers[input];
-        write_message(&mut *stream, &Message::StartSession { session, plan })
-            .map_err(NodeError::Io)?;
+        write_message(
+            &mut stream,
+            &Message::StartSession {
+                session,
+                plan: wire_plan,
+            },
+        )
+        .map_err(NodeError::Io)?;
+        active.push((class, stream));
     }
+    if active.is_empty() {
+        return Err(NodeError::Protocol(format!(
+            "policy '{}' assigned no segments to any supplier",
+            policy.name()
+        )));
+    }
+    let classes: Vec<PeerClass> = active.iter().map(|(c, _)| *c).collect();
 
     // One reader thread per supplier feeding a common channel.
     let (tx, rx) = channel::unbounded::<(u64, bytes::Bytes, u64)>();
     let mut readers = Vec::new();
-    for (_, stream) in suppliers {
+    for (_, stream) in active {
         let tx = tx.clone();
         readers.push(std::thread::spawn(move || -> io::Result<()> {
             let mut stream = stream;
@@ -234,12 +273,11 @@ fn receive_stream(
     let measured = buffer
         .min_feasible_delay_ms()
         .expect("store is complete, so is the buffer");
-    let theoretical = assignment.buffering_delay(info.segment_duration());
     let outcome = StreamOutcome {
         supplier_count: classes.len(),
         supplier_classes: classes,
         measured_delay_ms: measured,
-        theoretical_delay_ms: theoretical.as_millis() as u64,
+        theoretical_delay_ms: theoretical_slots * dt_ms,
         duration_ms: started.elapsed().as_millis() as u64,
     };
     Ok((outcome, store))

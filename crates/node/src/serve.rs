@@ -243,12 +243,28 @@ impl NodeServeHandler {
             .clone()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "media file vanished"))?;
         let per_period = plan.segments.len() as u64;
-        if per_period == 0 || plan.period == 0 || !(plan.period as u64).is_multiple_of(per_period) {
+        if per_period == 0 || plan.period == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "malformed session plan",
             ));
         }
+        // Pacing stride: a periodic (§3) plan tiles its period exactly, so
+        // the stride is the per-period share. An explicit one-shot plan
+        // (period spans the whole file, arbitrary list length — the
+        // non-periodic selection policies) paces at this supplier's own
+        // class rate instead; for rate-matched periodic plans the two
+        // formulas agree.
+        let spp = if plan.period as u64 == plan.total_segments.max(1) {
+            u64::from(st.shared.class.slots_per_segment())
+        } else if (plan.period as u64).is_multiple_of(per_period) {
+            plan.period as u64 / per_period
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "periodic session plan does not tile its period",
+            ));
+        };
         {
             let mut guard = st.shared.admission.lock();
             guard.reserved_at = None;
@@ -257,7 +273,7 @@ impl NodeServeHandler {
         let stream = StreamState {
             session,
             file,
-            spp: plan.period as u64 / per_period,
+            spp,
             segments: plan.segments,
             period: plan.period as u64,
             dt_ms: plan.dt_ms as u64,

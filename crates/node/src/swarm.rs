@@ -39,6 +39,7 @@ pub struct Swarm {
     info: MediaInfo,
     nodes: Vec<PeerNode>,
     next_id: u64,
+    policy: p2ps_policy::SharedPolicy,
 }
 
 impl std::fmt::Debug for Swarm {
@@ -93,6 +94,7 @@ impl Swarm {
             info,
             nodes: Vec::new(),
             next_id: 0,
+            policy: p2ps_policy::SharedPolicy::default(),
         };
         for _ in 0..seed_count {
             swarm.add_seed(PeerClass::HIGHEST)?;
@@ -124,11 +126,20 @@ impl Swarm {
     pub fn stream_one(&mut self, class: PeerClass, m: usize) -> Result<StreamOutcome, NodeError> {
         let id = PeerId::new(self.next_id);
         self.next_id += 1;
-        let config = NodeConfig::new(id, class, self.info.clone(), self.directory.addr());
+        let mut config = NodeConfig::new(id, class, self.info.clone(), self.directory.addr());
+        config.policy = self.policy.clone();
         let node = PeerNode::spawn_on(config, self.clock.clone(), &self.reactor)?;
         let outcome = node.request_stream_with_retry(m, 10, Duration::from_millis(50))?;
         self.nodes.push(node);
         Ok(outcome)
+    }
+
+    /// Sets the selection policy future requesters stream with (the
+    /// paper's `OTSp2p` by default). Nodes already in the swarm keep the
+    /// policy they streamed with.
+    pub fn set_policy(&mut self, policy: p2ps_policy::SharedPolicy) -> &mut Self {
+        self.policy = policy;
+        self
     }
 
     /// Address of the swarm's directory server.

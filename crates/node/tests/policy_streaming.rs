@@ -1,0 +1,88 @@
+//! The live requester streams through the `SelectionPolicy` trait.
+//!
+//! The default `Otsp2p` policy must behave exactly like the pre-policy
+//! inline code path (Theorem-1 delay, complete byte-identical file), and
+//! every BitTorrent-style baseline must stream a complete file over the
+//! same wire format — explicit one-shot plans included.
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::PeerClass;
+use p2ps_media::MediaInfo;
+use p2ps_node::Swarm;
+use p2ps_policy::{RandomBaseline, RarestFirst, SequentialWindow, SharedPolicy};
+
+fn tiny_info(name: &str) -> MediaInfo {
+    MediaInfo::new(name, 16, SegmentDuration::from_millis(5), 256)
+}
+
+fn class(k: u8) -> PeerClass {
+    PeerClass::new(k).unwrap()
+}
+
+/// A swarm whose admission always grants *two* class-2 seeds, so every
+/// policy has a real multi-supplier assignment to make.
+fn two_seed_swarm(name: &str) -> Swarm {
+    let mut swarm = Swarm::start(tiny_info(name), 0).unwrap();
+    swarm.add_seed(class(2)).unwrap();
+    swarm.add_seed(class(2)).unwrap();
+    swarm
+}
+
+#[test]
+fn default_policy_matches_theorem1_exactly() {
+    let mut swarm = two_seed_swarm("policy-default");
+    let outcome = swarm.stream_one(class(3), 8).unwrap();
+    assert_eq!(outcome.supplier_count, 2);
+    // Theorem 1 through the trait: n·δt with n = 2, δt = 5 ms.
+    assert_eq!(outcome.theoretical_delay_ms, 10);
+    // The streamed node re-registered as a supplier, which requires the
+    // complete, segment-for-segment reassembled file.
+    assert_eq!(swarm.supplier_count(), 3);
+    swarm.shutdown();
+}
+
+#[test]
+fn every_baseline_policy_streams_a_complete_file() {
+    for (name, policy) in [
+        ("seq", SharedPolicy::new(SequentialWindow::default())),
+        ("rarest", SharedPolicy::new(RarestFirst)),
+        ("random", SharedPolicy::new(RandomBaseline)),
+    ] {
+        let mut swarm = two_seed_swarm(&format!("policy-{name}"));
+        swarm.set_policy(policy.clone());
+        let outcome = swarm
+            .stream_one(class(3), 8)
+            .unwrap_or_else(|e| panic!("policy {}: {e}", policy.name()));
+        assert!(
+            outcome.supplier_count >= 1,
+            "policy {}: no suppliers",
+            policy.name()
+        );
+        // Optimality is exclusive to OTSp2p; the baselines may only be
+        // worse than the n-supplier floor, never better.
+        assert!(
+            outcome.theoretical_delay_ms >= outcome.supplier_count as u64 * 5,
+            "policy {}: delay {} under the floor",
+            policy.name(),
+            outcome.theoretical_delay_ms
+        );
+        assert_eq!(
+            swarm.supplier_count(),
+            3,
+            "policy {}: incomplete file, requester did not become a supplier",
+            policy.name()
+        );
+        swarm.shutdown();
+    }
+}
+
+#[test]
+fn policies_can_change_between_sessions_of_one_swarm() {
+    let mut swarm = two_seed_swarm("policy-mixed");
+    let a = swarm.stream_one(class(2), 8).unwrap();
+    swarm.set_policy(SharedPolicy::new(RandomBaseline));
+    let b = swarm.stream_one(class(2), 8).unwrap();
+    assert!(a.supplier_count >= 1 && b.supplier_count >= 1);
+    assert_eq!(swarm.supplier_count(), 4);
+    swarm.shutdown();
+}

@@ -17,12 +17,13 @@
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
 //! | [`core`] | `p2ps-core` | model types, `OTSp2p`, `DACp2p`, baselines |
+//! | [`policy`] | `p2ps-policy` | pluggable `SelectionPolicy` trait: `OTSp2p` + BitTorrent-style baselines |
 //! | [`media`] | `p2ps-media` | CBR segmentation, stores, playback buffer |
 //! | [`lookup`] | `p2ps-lookup` | centralized directory and Chord ring |
 //! | [`proto`] | `p2ps-proto` | wire messages, binary codec, sans-io frame decoder/encoder |
 //! | [`net`] | `p2ps-net` | Linux epoll reactor: nonblocking sockets, buffered writes, timer wheel |
 //! | [`node`] | `p2ps-node` | runnable TCP peer node, reactor-hosted directory server and supplier path, swarm harness |
-//! | [`sim`] | `p2ps-sim` | the paper's 50,100-peer evaluation as a deterministic simulator |
+//! | [`sim`] | `p2ps-sim` | the paper's 50,100-peer evaluation as a deterministic simulator, plus the policy × VoD-scenario matrix |
 //! | [`metrics`] | `p2ps-metrics` | series, tables, plots for the experiment harness |
 //!
 //! # Quickstart
@@ -70,6 +71,7 @@ pub use p2ps_media as media;
 pub use p2ps_metrics as metrics;
 pub use p2ps_net as net;
 pub use p2ps_node as node;
+pub use p2ps_policy as policy;
 pub use p2ps_proto as proto;
 pub use p2ps_sim as sim;
 
@@ -92,5 +94,11 @@ pub mod prelude {
     pub use p2ps_core::{Bandwidth, CapacityTracker, PeerClass, PeerId};
     pub use p2ps_media::{MediaFile, MediaInfo, PlaybackBuffer};
     pub use p2ps_node::{DirectoryServer, NodeConfig, NodeReactor, PeerNode, Swarm};
-    pub use p2ps_sim::{ArrivalPattern, SimConfig, SimReport, Simulation};
+    pub use p2ps_policy::{
+        Otsp2p, RandomBaseline, RarestFirst, SelectionPolicy, SequentialWindow, SessionContext,
+        SharedPolicy,
+    };
+    pub use p2ps_sim::{
+        ArrivalPattern, CellMetric, ScenarioMatrix, SimConfig, SimReport, Simulation, VodScenario,
+    };
 }

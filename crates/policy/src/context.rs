@@ -1,0 +1,246 @@
+//! The policy's view of one streaming session.
+
+use p2ps_core::{Bandwidth, PeerClass};
+
+/// Which media segments a candidate supplier currently holds.
+///
+/// The paper's model assumes every supplier owns the complete file; VoD
+/// systems also see *partial* suppliers — peers still streaming
+/// themselves, or peers that departed before finishing — which hold a
+/// prefix of the file (segments arrive roughly in playback order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    /// The supplier holds every segment of the file.
+    Full,
+    /// The supplier holds segments `0 .. n` only.
+    Prefix(u64),
+}
+
+impl Availability {
+    /// Whether segment `seg` is held.
+    pub fn has(self, seg: u64) -> bool {
+        match self {
+            Availability::Full => true,
+            Availability::Prefix(n) => seg < n,
+        }
+    }
+}
+
+/// One candidate supplier as a policy sees it: its bandwidth class and
+/// the segments it can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupplierView {
+    /// Bandwidth class (class `k` offers `R0 / 2^(k-1)`, i.e. needs
+    /// `2^(k-1)` slots of `δt` per segment).
+    pub class: PeerClass,
+    /// The segments this supplier holds.
+    pub availability: Availability,
+}
+
+impl SupplierView {
+    /// A full-file supplier of the given class.
+    pub fn full(class: PeerClass) -> Self {
+        SupplierView {
+            class,
+            availability: Availability::Full,
+        }
+    }
+
+    /// A supplier holding only the first `n` segments.
+    pub fn prefix(class: PeerClass, n: u64) -> Self {
+        SupplierView {
+            class,
+            availability: Availability::Prefix(n),
+        }
+    }
+
+    /// Transmission cost of one segment in slots of `δt`.
+    pub fn slots_per_segment(&self) -> u64 {
+        u64::from(self.class.slots_per_segment())
+    }
+}
+
+/// Everything a [`SelectionPolicy`](crate::SelectionPolicy) gets to see
+/// when planning one session: the candidate suppliers with their
+/// per-supplier state, the media extent, the playhead, and a determinism
+/// seed.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_policy::{SessionContext, SupplierView};
+/// use p2ps_core::PeerClass;
+///
+/// let ctx = SessionContext::new(
+///     vec![
+///         SupplierView::full(PeerClass::new(2)?),
+///         SupplierView::prefix(PeerClass::new(2)?, 10),
+///     ],
+///     20,
+/// );
+/// assert_eq!(ctx.needed().count(), 20);
+/// assert!(ctx.rate_matched()); // two class-2 offers sum to R0
+/// assert!(!ctx.all_full());
+/// # Ok::<(), p2ps_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionContext {
+    suppliers: Vec<SupplierView>,
+    total_segments: u64,
+    playhead: u64,
+    seed: u64,
+}
+
+impl SessionContext {
+    /// A context over `suppliers` for a file of `total_segments`
+    /// segments, playhead at the start, seed 0.
+    pub fn new(suppliers: Vec<SupplierView>, total_segments: u64) -> Self {
+        SessionContext {
+            suppliers,
+            total_segments,
+            playhead: 0,
+            seed: 0,
+        }
+    }
+
+    /// Shorthand: full-file suppliers of the given classes.
+    pub fn full(classes: &[PeerClass], total_segments: u64) -> Self {
+        SessionContext::new(
+            classes.iter().copied().map(SupplierView::full).collect(),
+            total_segments,
+        )
+    }
+
+    /// Sets the playhead: the first segment the requester still needs.
+    #[must_use]
+    pub fn with_playhead(mut self, playhead: u64) -> Self {
+        self.playhead = playhead;
+        self
+    }
+
+    /// Sets the determinism seed (e.g. the session id); randomized
+    /// policies derive their generator from it.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The candidate suppliers.
+    pub fn suppliers(&self) -> &[SupplierView] {
+        &self.suppliers
+    }
+
+    /// Number of candidate suppliers.
+    pub fn supplier_count(&self) -> usize {
+        self.suppliers.len()
+    }
+
+    /// Total number of segments in the media file.
+    pub fn total_segments(&self) -> u64 {
+        self.total_segments
+    }
+
+    /// The first segment the requester still needs.
+    pub fn playhead(&self) -> u64 {
+        self.playhead
+    }
+
+    /// The determinism seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The segments the session still needs, in playback order.
+    pub fn needed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.playhead..self.total_segments
+    }
+
+    /// The supplier classes in context order.
+    pub fn classes(&self) -> Vec<PeerClass> {
+        self.suppliers.iter().map(|s| s.class).collect()
+    }
+
+    /// Whether every supplier holds the complete file.
+    pub fn all_full(&self) -> bool {
+        self.suppliers
+            .iter()
+            .all(|s| s.availability == Availability::Full)
+    }
+
+    /// Whether the aggregate supplier bandwidth equals the playback rate
+    /// `R0` exactly — the §3 precondition of the periodic assignments.
+    pub fn rate_matched(&self) -> bool {
+        let mut total = Bandwidth::ZERO;
+        for s in &self.suppliers {
+            match total.checked_add(s.class.bandwidth()) {
+                Some(t) => total = t,
+                None => return false,
+            }
+        }
+        total.is_full_rate()
+    }
+
+    /// The suppliers (by index) holding segment `seg`.
+    pub fn holders(&self, seg: u64) -> impl Iterator<Item = usize> + '_ {
+        self.suppliers
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.availability.has(seg))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(k: u8) -> PeerClass {
+        PeerClass::new(k).unwrap()
+    }
+
+    #[test]
+    fn availability_membership() {
+        assert!(Availability::Full.has(1_000_000));
+        assert!(Availability::Prefix(3).has(2));
+        assert!(!Availability::Prefix(3).has(3));
+    }
+
+    #[test]
+    fn context_accessors() {
+        let ctx = SessionContext::full(&[class(2), class(3), class(3)], 12)
+            .with_playhead(4)
+            .with_seed(9);
+        assert_eq!(ctx.supplier_count(), 3);
+        assert_eq!(ctx.total_segments(), 12);
+        assert_eq!(ctx.playhead(), 4);
+        assert_eq!(ctx.seed(), 9);
+        assert_eq!(
+            ctx.needed().collect::<Vec<_>>(),
+            (4..12).collect::<Vec<_>>()
+        );
+        assert!(ctx.rate_matched());
+        assert!(ctx.all_full());
+        assert_eq!(ctx.classes(), vec![class(2), class(3), class(3)]);
+    }
+
+    #[test]
+    fn rate_matching_detects_deficit_and_overflow() {
+        assert!(!SessionContext::full(&[class(2)], 4).rate_matched());
+        assert!(!SessionContext::full(&[class(1), class(2)], 4).rate_matched());
+        assert!(SessionContext::full(&[class(1)], 4).rate_matched());
+    }
+
+    #[test]
+    fn holders_respect_prefixes() {
+        let ctx = SessionContext::new(
+            vec![
+                SupplierView::full(class(2)),
+                SupplierView::prefix(class(2), 2),
+            ],
+            4,
+        );
+        assert_eq!(ctx.holders(1).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(ctx.holders(3).collect::<Vec<_>>(), vec![0]);
+    }
+}

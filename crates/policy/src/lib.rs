@@ -1,0 +1,227 @@
+//! Pluggable peer-selection policies for multi-supplier streaming.
+//!
+//! The paper's §3 contribution — the `OTSp2p` media data assignment — is
+//! one *policy* for deciding which supplying peer transmits which media
+//! segments. The literature on P2P on-demand streaming (see PAPERS.md:
+//! *Analyzing Peer Selection Policies for BitTorrent Multimedia On-Demand
+//! Streaming Systems* and *A Review on P2P Video Streaming*) evaluates
+//! that decision against BitTorrent-style alternatives — rarest-first,
+//! sequential windows, random assignment — under VoD workloads with
+//! seeks, departures and partially available files.
+//!
+//! This crate turns the decision into an extension point:
+//!
+//! * [`SelectionPolicy`] — candidate suppliers and their per-supplier
+//!   state go in ([`SessionContext`]), a segment → supplier assignment
+//!   comes out ([`PolicyPlan`]), with a mid-stream re-decision hook
+//!   ([`SelectionPolicy::replan`]) for supplier departure and seeks.
+//! * [`Otsp2p`] — the paper's optimal assignment behind the trait
+//!   (delegates to [`p2ps_core::assignment::otsp2p`] whenever its
+//!   preconditions hold, byte-identical plans).
+//! * [`RarestFirst`], [`SequentialWindow`] — the BitTorrent-style
+//!   baselines from the two peer-selection papers.
+//! * [`RandomBaseline`] — the uniform-random floor.
+//!
+//! The simulator's `ScenarioMatrix` (`p2ps-sim`) crosses every policy
+//! with every VoD scenario; the live node (`p2ps-node`) streams through
+//! whichever policy its `NodeConfig` carries.
+//!
+//! # Examples
+//!
+//! ```
+//! use p2ps_policy::{Otsp2p, RandomBaseline, SelectionPolicy, SessionContext};
+//! use p2ps_core::PeerClass;
+//!
+//! let classes = [2u8, 3, 4, 4]
+//!     .into_iter()
+//!     .map(PeerClass::new)
+//!     .collect::<Result<Vec<_>, _>>()?;
+//! let ctx = SessionContext::full(&classes, 32);
+//! let optimal = Otsp2p.plan(&ctx)?;
+//! let random = RandomBaseline.plan(&ctx)?;
+//! // Theorem 1: OTSp2p attains the n·δt floor; a random assignment
+//! // generally does not.
+//! assert_eq!(optimal.min_delay_slots(&ctx), 4);
+//! assert!(random.min_delay_slots(&ctx) >= 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod plan;
+mod policies;
+
+pub use context::{Availability, SessionContext, SupplierView};
+pub use plan::PolicyPlan;
+pub use policies::{Otsp2p, RandomBaseline, RarestFirst, SequentialWindow};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced by a [`SelectionPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// The session has no candidate suppliers.
+    NoSuppliers,
+    /// The media file is too large for an explicit (non-periodic) plan.
+    TooManySegments(u64),
+    /// An error from the core assignment model.
+    Core(p2ps_core::Error),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::NoSuppliers => write!(f, "no candidate suppliers"),
+            PolicyError::TooManySegments(n) => {
+                write!(f, "{n} segments exceed the explicit-plan limit")
+            }
+            PolicyError::Core(e) => write!(f, "assignment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<p2ps_core::Error> for PolicyError {
+    fn from(e: p2ps_core::Error) -> Self {
+        PolicyError::Core(e)
+    }
+}
+
+/// A peer-selection policy: decides which supplier transmits which media
+/// segments, and re-decides mid-stream when the supplier set changes.
+///
+/// Implementations must be **deterministic** given the
+/// [`SessionContext`] (including its `seed`): the simulator replays the
+/// same context across policies for fair comparisons, and the live node
+/// retries sessions expecting stable plans.
+pub trait SelectionPolicy: Send + Sync {
+    /// A short, stable identifier for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Plans the segment → supplier assignment for the segments
+    /// `ctx.playhead() .. ctx.total_segments()`.
+    ///
+    /// Segments no candidate can supply are simply absent from the plan
+    /// (the caller decides whether that is fatal); every assigned segment
+    /// must be held by its supplier per the context's availability.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::NoSuppliers`] when the context has no candidates;
+    /// other variants at each implementation's discretion.
+    fn plan(&self, ctx: &SessionContext) -> Result<PolicyPlan, PolicyError>;
+
+    /// Mid-stream re-decision hook: `missing` segments lost their
+    /// supplier (departure) or the playhead moved (seek) and the listed
+    /// segments must be re-assigned across the context's (surviving)
+    /// suppliers.
+    ///
+    /// The default spreads `missing` (in the given order) greedily onto
+    /// the supplier that can deliver each segment earliest — a sensible
+    /// recovery for any policy; implementations override to keep their
+    /// own ordering discipline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`plan`](Self::plan).
+    fn replan(&self, ctx: &SessionContext, missing: &[u64]) -> Result<PolicyPlan, PolicyError> {
+        plan::earliest_arrival_plan(ctx, missing)
+    }
+}
+
+/// A cheaply clonable, type-erased [`SelectionPolicy`] handle, used to
+/// carry a policy through configuration structs (`NodeConfig`,
+/// `ScenarioMatrix`).
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_policy::{RarestFirst, SharedPolicy};
+///
+/// let policy = SharedPolicy::new(RarestFirst);
+/// assert_eq!(policy.name(), "rarest-first");
+/// let clone = policy.clone(); // shares the same policy object
+/// assert_eq!(clone.name(), "rarest-first");
+/// ```
+#[derive(Clone)]
+pub struct SharedPolicy(Arc<dyn SelectionPolicy>);
+
+impl SharedPolicy {
+    /// Wraps a policy for shared ownership.
+    pub fn new(policy: impl SelectionPolicy + 'static) -> Self {
+        SharedPolicy(Arc::new(policy))
+    }
+}
+
+impl std::ops::Deref for SharedPolicy {
+    type Target = dyn SelectionPolicy;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for SharedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SharedPolicy").field(&self.name()).finish()
+    }
+}
+
+impl Default for SharedPolicy {
+    /// The paper's own policy, [`Otsp2p`].
+    fn default() -> Self {
+        SharedPolicy::new(Otsp2p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2ps_core::PeerClass;
+
+    fn classes(raw: &[u8]) -> Vec<PeerClass> {
+        raw.iter().map(|&k| PeerClass::new(k).unwrap()).collect()
+    }
+
+    #[test]
+    fn shared_policy_debug_and_default() {
+        let p = SharedPolicy::default();
+        assert_eq!(p.name(), "otsp2p");
+        assert_eq!(format!("{p:?}"), "SharedPolicy(\"otsp2p\")");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error as _;
+        assert!(!PolicyError::NoSuppliers.to_string().is_empty());
+        assert!(!PolicyError::TooManySegments(9).to_string().is_empty());
+        let core = PolicyError::from(p2ps_core::Error::NoSuppliers);
+        assert!(core.to_string().contains("assignment"));
+        assert!(core.source().is_some());
+        assert!(PolicyError::NoSuppliers.source().is_none());
+    }
+
+    #[test]
+    fn default_replan_spreads_over_survivors() {
+        let ctx = SessionContext::full(&classes(&[2, 2]), 8);
+        let plan = Otsp2p.replan(&ctx, &[4, 5, 6, 7]).unwrap();
+        let queues = plan.queues(0, 8);
+        let assigned: usize = queues.iter().map(Vec::len).sum();
+        assert_eq!(assigned, 4);
+        // Both class-2 suppliers carry an equal share.
+        assert_eq!(queues[0].len(), 2);
+        assert_eq!(queues[1].len(), 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! The output of a policy: a (possibly periodic) segment → supplier plan.
+
+use p2ps_core::assignment::Assignment;
+
+use crate::{PolicyError, SessionContext};
+
+/// A segment → supplier assignment for one streaming session.
+///
+/// The plan stores, per supplier slot (indexed like
+/// [`SessionContext::suppliers`]), the segments of one *period* in
+/// transmission order; the whole schedule repeats every
+/// [`period`](Self::period) segments (the §3 periodic structure). A
+/// non-periodic plan is simply one whose period spans the entire file
+/// ([`PolicyPlan::explicit`]) — both forms expand to concrete
+/// per-supplier transmission queues via [`queues`](Self::queues), and
+/// both are expressible on the node's wire format (`SessionPlan`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyPlan {
+    period: u32,
+    per_slot: Vec<Vec<u32>>,
+}
+
+impl PolicyPlan {
+    /// A periodic plan: `per_slot[i]` lists supplier `i`'s segments of
+    /// one period, in transmission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or any listed segment is outside
+    /// `0..period` — malformed plans are programming errors.
+    pub fn periodic(period: u32, per_slot: Vec<Vec<u32>>) -> Self {
+        assert!(period > 0, "period must be positive");
+        for (i, list) in per_slot.iter().enumerate() {
+            for &s in list {
+                assert!(s < period, "slot {i}: segment {s} outside period {period}");
+            }
+        }
+        PolicyPlan { period, per_slot }
+    }
+
+    /// An explicit (one-shot) plan over a file of `total_segments`
+    /// segments: each list is transmitted once, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::TooManySegments`] if `total_segments` exceeds
+    /// `u32::MAX` (the periodic wire encoding's range).
+    pub fn explicit(total_segments: u64, per_slot: Vec<Vec<u64>>) -> Result<Self, PolicyError> {
+        let period = u32::try_from(total_segments.max(1))
+            .map_err(|_| PolicyError::TooManySegments(total_segments))?;
+        let per_slot = per_slot
+            .into_iter()
+            .map(|list| {
+                list.into_iter()
+                    .map(|s| {
+                        debug_assert!(s < u64::from(period));
+                        s as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(PolicyPlan { period, per_slot })
+    }
+
+    /// Wraps a core [`Assignment`], mapping its internally sorted slots
+    /// back to the caller's supplier order (so plan slot `i` is the
+    /// context's supplier `i`).
+    pub fn from_assignment(a: &Assignment) -> Self {
+        let mut per_slot = vec![Vec::new(); a.supplier_count()];
+        for (slot, _, segments) in a.iter() {
+            per_slot[a.input_index(slot)] = segments.to_vec();
+        }
+        PolicyPlan {
+            period: a.period(),
+            per_slot,
+        }
+    }
+
+    /// The plan's period in segments.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Number of supplier slots.
+    pub fn slot_count(&self) -> usize {
+        self.per_slot.len()
+    }
+
+    /// Supplier `i`'s per-period segments in transmission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= slot_count()`.
+    pub fn slot(&self, i: usize) -> &[u32] {
+        &self.per_slot[i]
+    }
+
+    /// Expands the plan into per-supplier transmission queues over a
+    /// file of `total_segments`, mirroring the node's wire expansion
+    /// *exactly*: transmission ordinal `p` of slot `i` carries segment
+    /// `(p / len) · period + list[p % len]`, and the supplier ends its
+    /// session at the first out-of-range segment (so a plan whose
+    /// per-period list runs out of order across the end of the file
+    /// loses its tail on the wire — and loses it here too). Only
+    /// segments in `playhead .. total_segments` are kept.
+    pub fn queues(&self, playhead: u64, total_segments: u64) -> Vec<Vec<u64>> {
+        self.per_slot
+            .iter()
+            .map(|list| {
+                let len = list.len() as u64;
+                if len == 0 {
+                    return Vec::new();
+                }
+                let mut queue = Vec::new();
+                for p in 0u64.. {
+                    let seg =
+                        (p / len) * u64::from(self.period) + u64::from(list[(p % len) as usize]);
+                    if seg >= total_segments {
+                        break;
+                    }
+                    if seg >= playhead {
+                        queue.push(seg);
+                    }
+                }
+                queue
+            })
+            .collect()
+    }
+
+    /// Total segments assigned across all slots when expanded over
+    /// `playhead .. total_segments`.
+    pub fn assigned_count(&self, playhead: u64, total_segments: u64) -> u64 {
+        self.queues(playhead, total_segments)
+            .iter()
+            .map(|q| q.len() as u64)
+            .sum()
+    }
+
+    /// The minimum feasible buffering delay of this plan in slots of
+    /// `δt`, evaluated over the context's file extent.
+    ///
+    /// Supplier `i` transmits its queue back to back at its class rate
+    /// (`2^(k-1)` slots per segment); playback of segment `s` happens at
+    /// slot `D + (s - playhead)`. The returned `D` is the smallest delay
+    /// under which no *assigned* segment misses its deadline (unassigned
+    /// segments are the caller's concern), floored at one slot.
+    pub fn min_delay_slots(&self, ctx: &SessionContext) -> u64 {
+        let queues = self.queues(ctx.playhead(), ctx.total_segments());
+        let mut delay = 1u64;
+        for (i, queue) in queues.iter().enumerate() {
+            let cost = ctx.suppliers()[i].slots_per_segment();
+            for (j, &seg) in queue.iter().enumerate() {
+                let arrival = (j as u64 + 1) * cost;
+                let deadline_offset = seg - ctx.playhead();
+                delay = delay.max(arrival.saturating_sub(deadline_offset));
+            }
+        }
+        delay
+    }
+}
+
+/// Greedy earliest-arrival assignment: walks `segments` in the given
+/// order and hands each to the holder that can deliver it soonest
+/// (ties: faster class, then lower index). Segments nobody holds are
+/// skipped. This is the shared fallback for availability-constrained or
+/// rate-mismatched supplier sets, and the default
+/// [`replan`](crate::SelectionPolicy::replan).
+pub(crate) fn earliest_arrival_plan(
+    ctx: &SessionContext,
+    segments: &[u64],
+) -> Result<PolicyPlan, PolicyError> {
+    if ctx.supplier_count() == 0 {
+        return Err(PolicyError::NoSuppliers);
+    }
+    let costs: Vec<u64> = ctx.suppliers().iter().map(SupplierViewExt::cost).collect();
+    let mut busy = vec![0u64; ctx.supplier_count()];
+    let mut lists: Vec<Vec<u64>> = vec![Vec::new(); ctx.supplier_count()];
+    for &seg in segments {
+        let best = ctx
+            .holders(seg)
+            .map(|i| (busy[i] + costs[i], costs[i], i))
+            .min();
+        if let Some((_, _, i)) = best {
+            busy[i] += costs[i];
+            lists[i].push(seg);
+        }
+    }
+    PolicyPlan::explicit(ctx.total_segments(), lists)
+}
+
+/// Local helper trait so the cost lookup reads naturally above.
+trait SupplierViewExt {
+    fn cost(&self) -> u64;
+}
+
+impl SupplierViewExt for crate::SupplierView {
+    fn cost(&self) -> u64 {
+        self.slots_per_segment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SupplierView;
+    use p2ps_core::assignment::otsp2p;
+    use p2ps_core::PeerClass;
+
+    fn classes(raw: &[u8]) -> Vec<PeerClass> {
+        raw.iter().map(|&k| PeerClass::new(k).unwrap()).collect()
+    }
+
+    #[test]
+    fn from_assignment_back_maps_input_order() {
+        // Input order [4, 2, 4, 3]: the assignment sorts internally; the
+        // plan must hand slot i the segments of *input* supplier i.
+        let cs = classes(&[4, 2, 4, 3]);
+        let a = otsp2p(&cs).unwrap();
+        let plan = PolicyPlan::from_assignment(&a);
+        assert_eq!(plan.period(), 8);
+        assert_eq!(plan.slot(1), &[0, 1, 3, 7]); // the class-2 supplier
+        assert_eq!(plan.slot(3), &[2, 6]); // the class-3 supplier
+        for slot in 0..a.supplier_count() {
+            assert_eq!(plan.slot(a.input_index(slot)), a.segments_of(slot));
+        }
+    }
+
+    #[test]
+    fn periodic_queue_expansion_matches_wire_semantics() {
+        let a = otsp2p(&classes(&[2, 2])).unwrap();
+        let plan = PolicyPlan::from_assignment(&a);
+        let queues = plan.queues(0, 5);
+        // period 2: slot 0 owns segment 1 (+2k), slot 1 owns 0 (+2k).
+        assert_eq!(queues[0], vec![1, 3]);
+        assert_eq!(queues[1], vec![0, 2, 4]);
+        assert_eq!(plan.assigned_count(0, 5), 5);
+        // playhead filters delivered segments out of the queues
+        assert_eq!(plan.queues(2, 5)[1], vec![2, 4]);
+    }
+
+    #[test]
+    fn min_delay_matches_assignment_delay() {
+        for raw in [&[2u8, 3, 4, 4][..], &[2, 2], &[1], &[2, 3, 4, 5, 5]] {
+            let cs = classes(raw);
+            let a = otsp2p(&cs).unwrap();
+            let plan = PolicyPlan::from_assignment(&a);
+            let ctx = crate::SessionContext::full(&cs, u64::from(a.period()) * 4);
+            assert_eq!(
+                plan.min_delay_slots(&ctx),
+                u64::from(a.buffering_delay_slots()),
+                "classes {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_plans_span_the_file_once() {
+        let plan = PolicyPlan::explicit(6, vec![vec![0, 2, 4], vec![1, 3, 5]]).unwrap();
+        assert_eq!(plan.period(), 6);
+        let queues = plan.queues(0, 6);
+        assert_eq!(queues[0], vec![0, 2, 4]);
+        assert_eq!(queues[1], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn out_of_order_period_lists_truncate_like_the_wire() {
+        // Transmission order 3,0 within a 4-segment period: the node's
+        // supplier ends the session at the first out-of-range segment
+        // (second period's 4+3=7), so the in-range 4+0=4 behind it is
+        // never transmitted — the expansion must agree with the wire,
+        // not flatter the plan.
+        let plan = PolicyPlan::periodic(4, vec![vec![3, 0], vec![1, 2]]);
+        let queues = plan.queues(0, 6);
+        assert_eq!(queues[0], vec![3, 0]); // 7 ends the session; 4 is lost
+        assert_eq!(queues[1], vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn earliest_arrival_respects_availability() {
+        let ctx = crate::SessionContext::new(
+            vec![
+                SupplierView::prefix(PeerClass::new(2).unwrap(), 2),
+                SupplierView::full(PeerClass::new(3).unwrap()),
+            ],
+            4,
+        );
+        let plan = earliest_arrival_plan(&ctx, &[0, 1, 2, 3]).unwrap();
+        let queues = plan.queues(0, 4);
+        // Segments 2 and 3 can only come from the full supplier.
+        assert!(queues[1].contains(&2));
+        assert!(queues[1].contains(&3));
+        assert!(queues[0].iter().all(|&s| s < 2));
+        assert_eq!(plan.assigned_count(0, 4), 4);
+    }
+
+    #[test]
+    fn unassignable_segments_are_skipped() {
+        let ctx = crate::SessionContext::new(
+            vec![SupplierView::prefix(PeerClass::new(1).unwrap(), 2)],
+            4,
+        );
+        let plan = earliest_arrival_plan(&ctx, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(plan.assigned_count(0, 4), 2);
+    }
+
+    #[test]
+    fn empty_supplier_set_is_an_error() {
+        let ctx = crate::SessionContext::new(Vec::new(), 4);
+        assert!(matches!(
+            earliest_arrival_plan(&ctx, &[0]),
+            Err(PolicyError::NoSuppliers)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside period")]
+    fn periodic_validates_range() {
+        let _ = PolicyPlan::periodic(2, vec![vec![2]]);
+    }
+}

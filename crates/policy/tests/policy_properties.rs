@@ -1,0 +1,136 @@
+//! Property tests for the policy layer.
+//!
+//! The load-bearing guarantee of the refactor: `Otsp2p` *through the
+//! trait* produces exactly the assignment the pre-refactor inline code
+//! path (`p2ps_core::assignment::otsp2p` + `input_index` back-mapping)
+//! produced, for every valid supplier set — so the live requester's
+//! wire messages are byte-identical. Plus structural invariants every
+//! policy must uphold on arbitrary sessions.
+
+use proptest::prelude::*;
+
+use p2ps_core::assignment::otsp2p;
+use p2ps_core::PeerClass;
+use p2ps_policy::{
+    Otsp2p, PolicyPlan, RandomBaseline, RarestFirst, SelectionPolicy, SequentialWindow,
+    SessionContext, SupplierView,
+};
+
+/// A random supplier multiset whose offers sum to exactly `R0`: start
+/// from one class-1 supplier (full rate) and repeatedly split one
+/// supplier of class `k` into two of class `k+1`.
+fn rate_matched_classes() -> impl Strategy<Value = Vec<PeerClass>> {
+    (prop::collection::vec(any::<u32>(), 0..12), 0u8..6).prop_map(|(picks, _)| {
+        let mut classes: Vec<u8> = vec![1];
+        for pick in picks {
+            let i = (pick as usize) % classes.len();
+            // Class 5 is the deepest the paper's evaluation world goes.
+            if classes[i] < 5 {
+                let k = classes[i];
+                classes[i] = k + 1;
+                classes.push(k + 1);
+            }
+        }
+        classes
+            .into_iter()
+            .map(|k| PeerClass::new(k).unwrap())
+            .collect()
+    })
+}
+
+proptest! {
+    /// The refactor equivalence: trait plan == inline-algorithm plan.
+    #[test]
+    fn otsp2p_through_the_trait_is_the_pre_refactor_assignment(
+        classes in rate_matched_classes(),
+        periods in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let a = otsp2p(&classes).unwrap();
+        let total = u64::from(a.period()) * periods;
+        let ctx = SessionContext::full(&classes, total).with_seed(seed);
+        let plan = Otsp2p.plan(&ctx).unwrap();
+
+        // Identical plan object (period + per-slot lists in input order) —
+        // this is exactly what the requester serializes into SessionPlan
+        // frames, so the wire bytes are identical too.
+        prop_assert_eq!(&plan, &PolicyPlan::from_assignment(&a));
+        for slot in 0..a.supplier_count() {
+            prop_assert_eq!(plan.slot(a.input_index(slot)), a.segments_of(slot));
+        }
+        // And the advertised delay is the Theorem-1 optimum the old path
+        // reported via Assignment::buffering_delay.
+        prop_assert_eq!(plan.min_delay_slots(&ctx), u64::from(a.buffering_delay_slots()));
+    }
+
+    /// Every policy partitions the needed segments among holders: no
+    /// duplicates, nothing out of range, nothing a supplier lacks.
+    #[test]
+    fn plans_are_valid_partitions(
+        classes in rate_matched_classes(),
+        total in 1u64..96,
+        seed in any::<u64>(),
+        prefix_fracs in prop::collection::vec(0.25f64..1.0, 12),
+    ) {
+        let suppliers: Vec<SupplierView> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if i == 0 {
+                    SupplierView::full(c) // a seed guarantees coverage
+                } else {
+                    SupplierView::prefix(c, ((total as f64) * prefix_fracs[i % prefix_fracs.len()]).ceil() as u64)
+                }
+            })
+            .collect();
+        let ctx = SessionContext::new(suppliers.clone(), total).with_seed(seed);
+        for policy in [
+            &Otsp2p as &dyn SelectionPolicy,
+            &SequentialWindow::default(),
+            &RarestFirst,
+            &RandomBaseline,
+        ] {
+            let plan = policy.plan(&ctx).unwrap();
+            prop_assert_eq!(plan.slot_count(), suppliers.len());
+            let queues = plan.queues(0, total);
+            let mut seen = vec![false; total as usize];
+            for (i, queue) in queues.iter().enumerate() {
+                for &seg in queue {
+                    prop_assert!(seg < total, "{}: segment {seg} out of range", policy.name());
+                    prop_assert!(
+                        suppliers[i].availability.has(seg),
+                        "{}: supplier {i} lacks segment {seg}",
+                        policy.name()
+                    );
+                    prop_assert!(!seen[seg as usize], "{}: segment {seg} duplicated", policy.name());
+                    seen[seg as usize] = true;
+                }
+            }
+            // A full-file seed exists, so everything must be assigned.
+            prop_assert!(seen.iter().all(|&b| b), "{}: unassigned segments", policy.name());
+        }
+    }
+
+    /// Replans cover exactly the missing set over the surviving suppliers.
+    #[test]
+    fn replans_cover_the_missing_segments(
+        classes in rate_matched_classes(),
+        total in 8u64..64,
+        seed in any::<u64>(),
+        take in 1u64..8,
+    ) {
+        let ctx = SessionContext::full(&classes, total).with_seed(seed);
+        let missing: Vec<u64> = (0..total).step_by(take as usize).collect();
+        for policy in [
+            &Otsp2p as &dyn SelectionPolicy,
+            &SequentialWindow::default(),
+            &RarestFirst,
+            &RandomBaseline,
+        ] {
+            let plan = policy.replan(&ctx, &missing).unwrap();
+            let mut assigned: Vec<u64> = plan.queues(0, total).into_iter().flatten().collect();
+            assigned.sort_unstable();
+            prop_assert_eq!(&assigned, &missing, "{}", policy.name());
+        }
+    }
+}

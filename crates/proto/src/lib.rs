@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunks;
 mod codec;
 mod error;
 mod message;
 mod sansio;
 
+pub use chunks::{ChunkQueue, MAX_GATHER_SLICES};
 pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
 pub use error::DecodeError;
 pub use message::{CandidateRecord, Message, SessionPlan};

@@ -33,13 +33,12 @@
 //! # Ok::<(), p2ps_proto::DecodeError>(())
 //! ```
 
-use std::collections::VecDeque;
-use std::io::{IoSlice, Read, Write};
+use std::io::{Read, Write};
 
 use bytes::{Bytes, BytesMut};
 
 use crate::codec::{decode_frame, encode_frame};
-use crate::{DecodeError, Message, MAX_FRAME_LEN};
+use crate::{ChunkQueue, DecodeError, Message, MAX_FRAME_LEN};
 
 /// Incremental frame decoder: feed bytes in any fragmentation, poll
 /// complete [`Message`]s out.
@@ -131,8 +130,7 @@ impl FrameDecoder {
 /// thousand views of one allocation.
 #[derive(Debug, Default)]
 pub struct FrameEncoder {
-    chunks: VecDeque<Bytes>,
-    queued: usize,
+    queue: ChunkQueue,
 }
 
 impl FrameEncoder {
@@ -174,88 +172,49 @@ impl FrameEncoder {
     /// Queues one message's frame chunks for draining.
     pub fn push(&mut self, msg: &Message) {
         let (head, payload) = Self::frame(msg);
-        self.queued += head.len();
-        self.chunks.push_back(head);
+        self.queue.push(head);
         if let Some(p) = payload {
-            self.queued += p.len();
-            self.chunks.push_back(p);
+            self.queue.push(p);
         }
     }
 
     /// Removes and returns the next ready chunk, front first.
     pub fn pop_chunk(&mut self) -> Option<Bytes> {
-        let chunk = self.chunks.pop_front()?;
-        self.queued -= chunk.len();
-        Some(chunk)
+        self.queue.pop()
     }
 
     /// Total bytes queued across all pending chunks.
     pub fn pending_bytes(&self) -> usize {
-        self.queued
+        self.queue.pending_bytes()
     }
 
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.chunks.is_empty()
+        self.queue.is_empty()
     }
 
     /// Marks `n` queued bytes as written, consuming chunks front first.
     /// A reactor that gathered the front chunks into a partial
-    /// `write_vectored` calls this with the short count.
+    /// `write_vectored` calls this with the short count (see
+    /// [`ChunkQueue::advance`], which owns the bookkeeping).
     ///
     /// # Panics
     ///
     /// Panics if `n` exceeds [`pending_bytes`](Self::pending_bytes).
-    pub fn advance(&mut self, mut n: usize) {
-        assert!(n <= self.queued, "advance past the queued bytes");
-        self.queued -= n;
-        while n > 0 || self.chunks.front().is_some_and(|c| c.is_empty()) {
-            let front = self.chunks.front_mut().expect("accounted chunks");
-            if front.len() <= n {
-                n -= front.len();
-                self.chunks.pop_front();
-            } else {
-                let _ = front.split_to(n);
-                n = 0;
-            }
-        }
+    pub fn advance(&mut self, n: usize) {
+        self.queue.advance(n);
     }
 
     /// Drains every queued chunk into a blocking writer with vectored
     /// writes (a `SegmentData` header and its payload leave in one
-    /// `writev`, never re-buffered).
+    /// `writev`, never re-buffered) — [`ChunkQueue::write_to`].
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; only bytes the writer actually accepted are
     /// consumed, so the unwritten tail stays queued.
-    pub fn write_to<W: Write>(&mut self, mut w: W) -> std::io::Result<()> {
-        // A frame is at most two chunks; 16 gathers several queued
-        // messages per writev, on the stack — no allocation per write.
-        const MAX_SLICES: usize = 16;
-        while self.queued > 0 {
-            let mut slices = [IoSlice::new(&[]); MAX_SLICES];
-            let mut count = 0;
-            for chunk in self
-                .chunks
-                .iter()
-                .filter(|c| !c.is_empty())
-                .take(MAX_SLICES)
-            {
-                slices[count] = IoSlice::new(&chunk[..]);
-                count += 1;
-            }
-            let n = w.write_vectored(&slices[..count])?;
-            if n == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::WriteZero,
-                    "failed to write the whole frame",
-                ));
-            }
-            self.advance(n);
-        }
-        self.chunks.clear(); // zero-length payload chunks carry no bytes
-        Ok(())
+    pub fn write_to<W: Write>(&mut self, w: W) -> std::io::Result<()> {
+        self.queue.write_to(w)
     }
 }
 

@@ -201,12 +201,19 @@ impl SimConfig {
         self.bandwidth_shift
     }
 
+    /// The *offered-bandwidth* class of a protocol-class-`class` peer
+    /// under this configuration's
+    /// [`bandwidth_shift`](Self::bandwidth_shift): `class + shift`. The
+    /// selection policies plan sessions over these classes.
+    pub fn offered_class(&self, class: PeerClass) -> PeerClass {
+        PeerClass::new(class.get() + self.bandwidth_shift)
+            .expect("validated: class + shift within range")
+    }
+
     /// The out-bound bandwidth a peer of protocol class `class` offers
     /// under this configuration's [`bandwidth_shift`](Self::bandwidth_shift).
     pub fn offer_of(&self, class: PeerClass) -> p2ps_core::Bandwidth {
-        PeerClass::new(class.get() + self.bandwidth_shift)
-            .expect("validated: class + shift within range")
-            .bandwidth()
+        self.offered_class(class).bandwidth()
     }
 
     /// Whether the reminder mechanism is active (ablation switch,

@@ -16,6 +16,13 @@
 //! class per supplier class (Fig. 7), and the parameter sweeps behind
 //! Figs. 8 and 9.
 //!
+//! Beyond the paper's own workload, the [`ScenarioMatrix`] crosses every
+//! [`p2ps_policy::SelectionPolicy`] (the §3 `OTSp2p` assignment plus the
+//! BitTorrent-style baselines) with the VoD scenarios of the wider
+//! streaming literature — mid-stream seeks, early supplier departure,
+//! partially available files, flash crowds — and emits per-cell
+//! comparison tables; see [`ScenarioMatrix::standard`].
+//!
 //! # Examples
 //!
 //! A scaled-down run (500 peers, 24 simulated hours) finishing in
@@ -44,14 +51,18 @@
 mod arrivals;
 mod config;
 mod event;
+mod matrix;
 mod metrics;
 mod report;
+mod scenario;
 mod system;
 
 pub use arrivals::{ArrivalPattern, PiecewiseRate};
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
+pub use matrix::{CellMetric, CellReport, MatrixReport, ScenarioMatrix};
 pub use metrics::ClassSeries;
 pub use report::SimReport;
+pub use scenario::{ScenarioConfig, SessionOutcome, VodScenario};
 pub use system::Simulation;
 
 /// Seconds per simulated minute.

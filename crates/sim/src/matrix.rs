@@ -1,0 +1,363 @@
+//! The policy × scenario comparison matrix.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use p2ps_metrics::Table;
+use p2ps_policy::{Otsp2p, RandomBaseline, RarestFirst, SequentialWindow, SharedPolicy};
+
+use crate::scenario::{run_session, ScenarioConfig, SessionWorld, VodScenario};
+
+/// Which aggregate a [`MatrixReport::table`] renders per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CellMetric {
+    /// Fraction of sessions whose startup window arrived within the
+    /// session budget — the headline comparison.
+    InTimeStartupRatio,
+    /// Mean achieved startup delay in slots of `δt` (sessions whose
+    /// window never arrived are excluded).
+    MeanStartupSlots,
+    /// Fraction of needed segments delivered by their playback deadline.
+    OnTimeRatio,
+    /// Fraction of needed segments delivered at all.
+    CompletionRatio,
+}
+
+impl CellMetric {
+    /// Stable metric name for table captions and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellMetric::InTimeStartupRatio => "in-time-startup-ratio",
+            CellMetric::MeanStartupSlots => "mean-startup-slots",
+            CellMetric::OnTimeRatio => "on-time-ratio",
+            CellMetric::CompletionRatio => "completion-ratio",
+        }
+    }
+}
+
+/// Aggregated outcome of one policy under one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    policy: String,
+    scenario: &'static str,
+    sessions: usize,
+    in_time_startups: usize,
+    startup_sum_slots: u64,
+    startup_samples: usize,
+    needed: u64,
+    delivered: u64,
+    on_time: u64,
+    seek_latency_sum: u64,
+    seek_samples: usize,
+}
+
+impl CellReport {
+    /// The policy's name.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// The scenario's name.
+    pub fn scenario(&self) -> &str {
+        self.scenario
+    }
+
+    /// Sessions simulated in this cell.
+    pub fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    /// Fraction of sessions starting within their budget.
+    pub fn in_time_startup_ratio(&self) -> f64 {
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        self.in_time_startups as f64 / self.sessions as f64
+    }
+
+    /// Mean achieved startup delay in slots, over sessions whose startup
+    /// window fully arrived.
+    pub fn mean_startup_slots(&self) -> Option<f64> {
+        (self.startup_samples > 0)
+            .then(|| self.startup_sum_slots as f64 / self.startup_samples as f64)
+    }
+
+    /// Fraction of needed segments arriving by their deadline.
+    pub fn on_time_ratio(&self) -> f64 {
+        if self.needed == 0 {
+            return 1.0;
+        }
+        self.on_time as f64 / self.needed as f64
+    }
+
+    /// Fraction of needed segments arriving at all.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.needed == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.needed as f64
+    }
+
+    /// Mean slots from seek to playback resumption (seek scenario only).
+    pub fn mean_seek_latency_slots(&self) -> Option<f64> {
+        (self.seek_samples > 0).then(|| self.seek_latency_sum as f64 / self.seek_samples as f64)
+    }
+
+    fn metric(&self, metric: CellMetric) -> Option<f64> {
+        match metric {
+            CellMetric::InTimeStartupRatio => Some(self.in_time_startup_ratio()),
+            CellMetric::MeanStartupSlots => self.mean_startup_slots(),
+            CellMetric::OnTimeRatio => Some(self.on_time_ratio()),
+            CellMetric::CompletionRatio => Some(self.completion_ratio()),
+        }
+    }
+}
+
+/// Every cell of one [`ScenarioMatrix::run`], with table renderers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    policies: Vec<String>,
+    scenarios: Vec<&'static str>,
+    cells: Vec<CellReport>,
+}
+
+impl MatrixReport {
+    /// Policy names in row order.
+    pub fn policies(&self) -> &[String] {
+        &self.policies
+    }
+
+    /// Scenario names in column order.
+    pub fn scenarios(&self) -> &[&'static str] {
+        &self.scenarios
+    }
+
+    /// All cells (row-major: policies × scenarios).
+    pub fn cells(&self) -> &[CellReport] {
+        &self.cells
+    }
+
+    /// The cell for `policy` × `scenario`, if both ran. With duplicate
+    /// policy names (e.g. two `SequentialWindow` variants) this returns
+    /// the *first* matching row; use [`cells`](Self::cells) (row-major)
+    /// to address rows positionally.
+    pub fn cell(&self, policy: &str, scenario: &str) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.scenario == scenario)
+    }
+
+    /// Renders one metric as a policies × scenarios comparison table.
+    /// Rows are addressed positionally, so duplicate policy names still
+    /// render their own results.
+    pub fn table(&self, metric: CellMetric) -> Table {
+        let mut header = vec![format!("policy ({})", metric.name())];
+        header.extend(self.scenarios.iter().map(|s| (*s).to_owned()));
+        let mut table = Table::new(header);
+        for (policy, row_cells) in self
+            .policies
+            .iter()
+            .zip(self.cells.chunks(self.scenarios.len()))
+        {
+            let mut row = vec![policy.clone()];
+            for cell in row_cells {
+                row.push(match cell.metric(metric) {
+                    Some(v) => format!("{v:.3}"),
+                    None => "-".to_owned(),
+                });
+            }
+            table.row(row);
+        }
+        table
+    }
+}
+
+/// Runs every configured [`SelectionPolicy`](p2ps_policy::SelectionPolicy)
+/// against every [`VodScenario`], on *identical* per-scenario session
+/// worlds derived from one seed, and aggregates a [`CellReport`] per
+/// combination.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_sim::{CellMetric, ScenarioMatrix};
+///
+/// let report = ScenarioMatrix::standard(42).run();
+/// let table = report.table(CellMetric::InTimeStartupRatio);
+/// assert!(table.render().contains("otsp2p"));
+/// let opt = report.cell("otsp2p", "steady").unwrap();
+/// let rnd = report.cell("random", "steady").unwrap();
+/// assert!(opt.in_time_startup_ratio() >= rnd.in_time_startup_ratio());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    policies: Vec<SharedPolicy>,
+    scenarios: Vec<VodScenario>,
+    config: ScenarioConfig,
+    seed: u64,
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix over every scenario; add policies before running.
+    pub fn new(seed: u64) -> Self {
+        ScenarioMatrix {
+            policies: Vec::new(),
+            scenarios: VodScenario::ALL.to_vec(),
+            config: ScenarioConfig::default(),
+            seed,
+        }
+    }
+
+    /// The full comparison the paper's reproduction cares about: the
+    /// four built-in policies × every scenario.
+    pub fn standard(seed: u64) -> Self {
+        let mut m = ScenarioMatrix::new(seed);
+        m.add_policy(SharedPolicy::new(Otsp2p))
+            .add_policy(SharedPolicy::new(SequentialWindow::default()))
+            .add_policy(SharedPolicy::new(RarestFirst))
+            .add_policy(SharedPolicy::new(RandomBaseline));
+        m
+    }
+
+    /// Adds a policy row.
+    pub fn add_policy(&mut self, policy: SharedPolicy) -> &mut Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Restricts the scenario columns.
+    pub fn scenarios(&mut self, scenarios: Vec<VodScenario>) -> &mut Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Overrides the per-cell tuning.
+    pub fn config(&mut self, config: ScenarioConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the whole matrix. Deterministic: the same seed yields the
+    /// same report, and every policy sees identical session worlds.
+    pub fn run(&self) -> MatrixReport {
+        let policies: Vec<String> = self.policies.iter().map(|p| p.name().to_owned()).collect();
+        let scenarios: Vec<&'static str> = self.scenarios.iter().map(|s| s.name()).collect();
+        let mut cells = Vec::with_capacity(policies.len() * scenarios.len());
+        // Worlds are generated per scenario (not per policy) so every
+        // policy row faces the same sessions.
+        let mut worlds_by_scenario: Vec<Vec<SessionWorld>> = Vec::with_capacity(scenarios.len());
+        for (si, &scenario) in self.scenarios.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(
+                self.seed ^ (si as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            worlds_by_scenario.push(
+                (0..self.config.sessions)
+                    .map(|_| SessionWorld::generate(scenario, &self.config, &mut rng))
+                    .collect(),
+            );
+        }
+        for policy in &self.policies {
+            for (si, &scenario) in self.scenarios.iter().enumerate() {
+                let mut cell = CellReport {
+                    policy: policy.name().to_owned(),
+                    scenario: scenario.name(),
+                    sessions: 0,
+                    in_time_startups: 0,
+                    startup_sum_slots: 0,
+                    startup_samples: 0,
+                    needed: 0,
+                    delivered: 0,
+                    on_time: 0,
+                    seek_latency_sum: 0,
+                    seek_samples: 0,
+                };
+                for world in &worlds_by_scenario[si] {
+                    let out = run_session(&**policy, world);
+                    cell.sessions += 1;
+                    cell.in_time_startups += usize::from(out.in_time_startup);
+                    if let Some(d) = out.startup_delay_slots {
+                        cell.startup_sum_slots += d;
+                        cell.startup_samples += 1;
+                    }
+                    cell.needed += out.needed;
+                    cell.delivered += out.delivered;
+                    cell.on_time += out.on_time;
+                    if let Some(l) = out.seek_latency_slots {
+                        cell.seek_latency_sum += l;
+                        cell.seek_samples += 1;
+                    }
+                    debug_assert_eq!(out.budget_slots, world.budget_slots());
+                }
+                cells.push(cell);
+            }
+        }
+        MatrixReport {
+            policies,
+            scenarios,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ScenarioMatrix {
+        let mut m = ScenarioMatrix::standard(1);
+        m.config(ScenarioConfig {
+            sessions: 8,
+            total_segments: 32,
+            startup_window: 8,
+        });
+        m
+    }
+
+    #[test]
+    fn matrix_covers_every_cell() {
+        let report = quick().run();
+        assert_eq!(report.policies().len(), 4);
+        assert_eq!(report.scenarios().len(), 5);
+        assert_eq!(report.cells().len(), 20);
+        for p in report.policies() {
+            for s in report.scenarios() {
+                let cell = report.cell(p, s).unwrap();
+                assert_eq!(cell.sessions(), 8);
+                assert!(cell.completion_ratio() > 0.0);
+            }
+        }
+        assert!(report.cell("nope", "steady").is_none());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        assert_eq!(quick().run(), quick().run());
+    }
+
+    #[test]
+    fn tables_render_every_metric() {
+        let report = quick().run();
+        for metric in [
+            CellMetric::InTimeStartupRatio,
+            CellMetric::MeanStartupSlots,
+            CellMetric::OnTimeRatio,
+            CellMetric::CompletionRatio,
+        ] {
+            let table = report.table(metric);
+            assert_eq!(table.row_count(), 4);
+            let text = table.render();
+            assert!(text.contains(metric.name()), "{text}");
+            assert!(text.contains("rarest-first"));
+        }
+    }
+
+    #[test]
+    fn seek_latency_only_in_seek_scenario() {
+        let report = quick().run();
+        let seek_cell = report.cell("otsp2p", "seek").unwrap();
+        assert!(seek_cell.mean_seek_latency_slots().is_some());
+        let steady_cell = report.cell("otsp2p", "steady").unwrap();
+        assert!(steady_cell.mean_seek_latency_slots().is_none());
+    }
+}

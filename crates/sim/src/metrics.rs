@@ -116,12 +116,12 @@ impl Collector {
         &mut self,
         class_idx: usize,
         rejections: u32,
-        supplier_count: usize,
+        delay_slots: u64,
         waiting_secs: u64,
     ) {
         self.admitted[class_idx] += 1;
         self.rejections_of_admitted[class_idx] += rejections as u64;
-        self.delay_slots_sum[class_idx] += supplier_count as u64;
+        self.delay_slots_sum[class_idx] += delay_slots;
         self.waiting_secs_sum[class_idx] += waiting_secs;
         self.waiting[class_idx].record(waiting_secs as f64);
     }

@@ -1,0 +1,499 @@
+//! VoD scenarios: per-session segment-level simulation of one policy.
+//!
+//! The paper's §5 evaluation treats a streaming session as a black box;
+//! the VoD literature (PAPERS.md: *A Review on P2P Video Streaming*,
+//! *Analyzing Peer Selection Policies for BitTorrent Multimedia
+//! On-Demand Streaming Systems*) opens that box: mid-stream seeks,
+//! suppliers departing early, suppliers holding only part of the file,
+//! and flash crowds oversubscribing the supplier pool. This module
+//! simulates one session at segment granularity under a
+//! [`SelectionPolicy`], deterministic down to the slot.
+//!
+//! Time is measured in slots of `δt` (one segment of playback). A
+//! class-`k` supplier transmits one segment per `2^(k-1)` slots; a
+//! flash-crowd *load* factor multiplies that cost (its uplink is shared
+//! by `load` concurrent sessions). Playback starts after the session's
+//! startup budget and consumes one segment per slot; a session "starts
+//! in time" when its startup window arrives within the budget — the
+//! matrix's headline in-time startup ratio.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use p2ps_policy::{SelectionPolicy, SessionContext, SupplierView};
+
+/// The VoD workload shapes the matrix crosses with every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VodScenario {
+    /// The paper's own workload: full-file suppliers, nobody leaves.
+    SteadyState,
+    /// The viewer seeks forward mid-stream; undelivered segments behind
+    /// the new playhead are abandoned and the rest replanned.
+    MidStreamSeek,
+    /// One supplier departs mid-session; its undelivered segments are
+    /// replanned across the survivors (the trait's re-decision hook).
+    EarlyDeparture,
+    /// Suppliers hold only a prefix of the file (peers still streaming
+    /// themselves); the policy must respect availability.
+    PartialFile,
+    /// A flash crowd oversubscribes every supplier: transmissions slow
+    /// by a shared load factor, stretching all deadlines.
+    FlashCrowd,
+}
+
+impl VodScenario {
+    /// Every scenario, in matrix row order.
+    pub const ALL: [VodScenario; 5] = [
+        VodScenario::SteadyState,
+        VodScenario::MidStreamSeek,
+        VodScenario::EarlyDeparture,
+        VodScenario::PartialFile,
+        VodScenario::FlashCrowd,
+    ];
+
+    /// A short, stable identifier for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            VodScenario::SteadyState => "steady",
+            VodScenario::MidStreamSeek => "seek",
+            VodScenario::EarlyDeparture => "departure",
+            VodScenario::PartialFile => "partial-file",
+            VodScenario::FlashCrowd => "flash-crowd",
+        }
+    }
+}
+
+/// Tuning of one scenario-matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Sessions simulated per cell.
+    pub sessions: usize,
+    /// Media length in segments (clamped to at least 8 so every
+    /// scenario's event windows are non-empty).
+    pub total_segments: u64,
+    /// Segments that must arrive within the startup budget for the
+    /// session to count as an in-time startup.
+    pub startup_window: u64,
+}
+
+impl Default for ScenarioConfig {
+    /// 32 sessions over a 64-segment file, 8-segment startup window —
+    /// the whole default matrix runs in well under a second.
+    fn default() -> Self {
+        ScenarioConfig {
+            sessions: 32,
+            total_segments: 64,
+            startup_window: 8,
+        }
+    }
+}
+
+/// Supplier class mixes drawn for sessions: every mix sums to exactly
+/// `R0` so the §3 periodic assignments apply in the steady state.
+const MIXES: &[&[u8]] = &[
+    &[2, 2],
+    &[2, 3, 3],
+    &[2, 3, 4, 4],
+    &[3, 3, 3, 3],
+    &[2, 4, 4, 4, 4],
+    &[3, 3, 4, 4, 4, 4],
+    &[2, 3, 4, 5, 5],
+    &[4, 4, 4, 4, 4, 4, 4, 4],
+];
+
+/// One concrete session world: suppliers, perturbations and the startup
+/// budget. Identical across policies so comparisons are fair.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionWorld {
+    suppliers: Vec<SupplierView>,
+    total_segments: u64,
+    startup_window: u64,
+    /// Uniform oversubscription factor (1 = dedicated uplinks).
+    load: u64,
+    /// In-time startup target in slots (the theoretical optimum for the
+    /// session's supplier count under its load).
+    budget_slots: u64,
+    seek: Option<(u64, u64)>,
+    departure: Option<(usize, u64)>,
+    seed: u64,
+}
+
+impl SessionWorld {
+    /// Draws one world for `scenario` from `rng`.
+    pub(crate) fn generate(
+        scenario: VodScenario,
+        cfg: &ScenarioConfig,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let total = cfg.total_segments.max(8);
+        let mix = MIXES[rng.gen_range(0..MIXES.len())];
+        let mut suppliers: Vec<SupplierView> = mix
+            .iter()
+            .map(|&k| SupplierView::full(p2ps_core::PeerClass::new(k).expect("valid mix class")))
+            .collect();
+        let n = suppliers.len() as u64;
+        let window = cfg.startup_window.clamp(1, total);
+        let load = if scenario == VodScenario::FlashCrowd {
+            rng.gen_range(2..=4u64)
+        } else {
+            1
+        };
+        // The tightest budget the optimal assignment can always meet:
+        // n·δt (Theorem 1) stretched by the shared load, plus the load's
+        // skew across the startup window.
+        let budget = load * n + (load - 1) * (window - 1);
+
+        let seek = (scenario == VodScenario::MidStreamSeek).then(|| {
+            let at = rng.gen_range(budget + total / 8..budget + total / 2);
+            let target = rng.gen_range(total / 2..total * 3 / 4);
+            (at, target)
+        });
+        let departure = (scenario == VodScenario::EarlyDeparture).then(|| {
+            let who = rng.gen_range(0..suppliers.len());
+            let at = rng.gen_range(budget..budget + total / 2);
+            (who, at)
+        });
+        if scenario == VodScenario::PartialFile {
+            // The first supplier is a seed with the whole file; the rest
+            // are still mid-download and hold a prefix past the window.
+            for s in suppliers.iter_mut().skip(1) {
+                let have = rng.gen_range(total / 4..total);
+                *s = SupplierView::prefix(s.class, have);
+            }
+        }
+        SessionWorld {
+            suppliers,
+            total_segments: total,
+            startup_window: window,
+            load,
+            budget_slots: budget,
+            seek,
+            departure,
+            seed: rng.gen(),
+        }
+    }
+
+    pub(crate) fn budget_slots(&self) -> u64 {
+        self.budget_slots
+    }
+}
+
+/// What one simulated session measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// Minimum feasible startup delay in slots, or `None` when the
+    /// startup window never fully arrived.
+    pub startup_delay_slots: Option<u64>,
+    /// Whether the startup window arrived within the session budget.
+    pub in_time_startup: bool,
+    /// The session's in-time startup target in slots.
+    pub budget_slots: u64,
+    /// Segments the viewer needed (seeks skip abandoned segments).
+    pub needed: u64,
+    /// Needed segments that arrived at all.
+    pub delivered: u64,
+    /// Needed segments that arrived by their playback deadline.
+    pub on_time: u64,
+    /// Slots between the seek and playback resuming, if the scenario
+    /// seeked.
+    pub seek_latency_slots: Option<u64>,
+}
+
+impl SessionOutcome {
+    /// Fraction of needed segments delivered by their deadline.
+    pub fn on_time_ratio(&self) -> f64 {
+        if self.needed == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.needed as f64
+        }
+    }
+
+    /// Fraction of needed segments delivered at all.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.needed == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.needed as f64
+        }
+    }
+}
+
+/// Per-supplier transmission state during the replay.
+struct Lane {
+    queue: std::collections::VecDeque<u64>,
+    /// Slot at which the supplier finishes its current work.
+    next_free: u64,
+    cost: u64,
+    active: bool,
+}
+
+impl Lane {
+    /// Delivers queued segments finishing by `until` (all of them when
+    /// `None`), recording first arrivals.
+    fn drain(&mut self, until: Option<u64>, arrivals: &mut [Option<u64>]) {
+        if !self.active {
+            return;
+        }
+        while let Some(&seg) = self.queue.front() {
+            let done = self.next_free + self.cost;
+            if until.is_some_and(|t| done > t) {
+                return;
+            }
+            self.queue.pop_front();
+            self.next_free = done;
+            let slot = &mut arrivals[seg as usize];
+            if slot.is_none() {
+                *slot = Some(done);
+            }
+        }
+    }
+}
+
+/// Replays one session world under `policy`, slot by slot.
+pub(crate) fn run_session(policy: &dyn SelectionPolicy, world: &SessionWorld) -> SessionOutcome {
+    let total = world.total_segments;
+    let ctx = SessionContext::new(world.suppliers.clone(), total).with_seed(world.seed);
+    let mut arrivals: Vec<Option<u64>> = vec![None; total as usize];
+    let mut lanes: Vec<Lane> = world
+        .suppliers
+        .iter()
+        .map(|s| Lane {
+            queue: std::collections::VecDeque::new(),
+            next_free: 0,
+            cost: s.slots_per_segment() * world.load,
+            active: true,
+        })
+        .collect();
+    if let Ok(plan) = policy.plan(&ctx) {
+        for (lane, queue) in lanes.iter_mut().zip(plan.queues(0, total)) {
+            lane.queue = queue.into();
+        }
+    }
+
+    let mut skipped: Vec<bool> = vec![false; total as usize];
+    let mut seek_state: Option<(u64, u64)> = None; // (slot, target)
+
+    // At most one seek and one departure; replay in slot order.
+    let mut events: Vec<(u64, bool)> = Vec::new(); // (slot, is_seek)
+    if let Some((at, _)) = world.seek {
+        events.push((at, true));
+    }
+    if let Some((_, at)) = world.departure {
+        events.push((at, false));
+    }
+    events.sort_unstable();
+
+    for (at, is_seek) in events {
+        for lane in &mut lanes {
+            lane.drain(Some(at), &mut arrivals);
+        }
+        if is_seek {
+            let (_, target) = world.seek.expect("seek event implies seek world");
+            // Undelivered segments behind the new playhead are abandoned.
+            for seg in 0..target {
+                if arrivals[seg as usize].is_none() {
+                    skipped[seg as usize] = true;
+                }
+            }
+            let remaining: Vec<u64> = (target..total)
+                .filter(|&s| arrivals[s as usize].is_none())
+                .collect();
+            let survivors: Vec<usize> = (0..lanes.len()).filter(|&i| lanes[i].active).collect();
+            for lane in &mut lanes {
+                lane.queue.clear();
+                lane.next_free = lane.next_free.max(at);
+            }
+            let sub = SessionContext::new(
+                survivors.iter().map(|&i| world.suppliers[i]).collect(),
+                total,
+            )
+            .with_playhead(target)
+            .with_seed(world.seed);
+            if let Ok(plan) = policy.replan(&sub, &remaining) {
+                for (j, queue) in plan.queues(target, total).into_iter().enumerate() {
+                    lanes[survivors[j]].queue = queue.into();
+                }
+            }
+            seek_state = Some((at, target));
+        } else {
+            let (who, _) = world
+                .departure
+                .expect("departure event implies departure world");
+            if !lanes[who].active {
+                continue;
+            }
+            lanes[who].active = false;
+            let missing: Vec<u64> = lanes[who]
+                .queue
+                .drain(..)
+                .filter(|&s| arrivals[s as usize].is_none())
+                .collect();
+            let survivors: Vec<usize> = (0..lanes.len()).filter(|&i| lanes[i].active).collect();
+            if survivors.is_empty() || missing.is_empty() {
+                continue;
+            }
+            let playhead = missing.iter().copied().min().unwrap_or(0);
+            let sub = SessionContext::new(
+                survivors.iter().map(|&i| world.suppliers[i]).collect(),
+                total,
+            )
+            .with_playhead(playhead)
+            .with_seed(world.seed);
+            if let Ok(plan) = policy.replan(&sub, &missing) {
+                for (j, queue) in plan.queues(playhead, total).into_iter().enumerate() {
+                    // Survivors finish their own schedule first, then
+                    // take over the departed supplier's share.
+                    lanes[survivors[j]].queue.extend(queue);
+                }
+            }
+        }
+    }
+    for lane in &mut lanes {
+        lane.drain(None, &mut arrivals);
+    }
+
+    // Startup: the first `window` segments of the file, judged against
+    // the session budget.
+    let window = world.startup_window.min(total);
+    let startup_delay = (0..window)
+        .map(|s| arrivals[s as usize].map(|a| a.saturating_sub(s).max(1)))
+        .try_fold(1u64, |acc, d| d.map(|d| acc.max(d)));
+    let in_time = startup_delay.is_some_and(|d| d <= world.budget_slots);
+
+    // Deadlines: budget + s before the seek point; after a seek,
+    // playback resumes once the target is available and consumes one
+    // segment per slot from there.
+    let resume = seek_state.map(|(at, target)| {
+        let target_arrival = arrivals[target as usize].unwrap_or(u64::MAX);
+        (target, target_arrival.max(at))
+    });
+    let mut needed = 0u64;
+    let mut delivered = 0u64;
+    let mut on_time = 0u64;
+    for seg in 0..total {
+        if skipped[seg as usize] {
+            continue;
+        }
+        needed += 1;
+        let Some(arrival) = arrivals[seg as usize] else {
+            continue;
+        };
+        delivered += 1;
+        let deadline = match resume {
+            Some((target, resume_at)) if seg >= target => resume_at.saturating_add(seg - target),
+            _ => world.budget_slots + seg,
+        };
+        if arrival <= deadline {
+            on_time += 1;
+        }
+    }
+
+    SessionOutcome {
+        startup_delay_slots: startup_delay,
+        in_time_startup: in_time,
+        budget_slots: world.budget_slots,
+        needed,
+        delivered,
+        on_time,
+        seek_latency_slots: resume.map(|(_, r)| r - seek_state.expect("resume implies seek").0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2ps_policy::{Otsp2p, RandomBaseline};
+    use rand::SeedableRng;
+
+    fn world(scenario: VodScenario, seed: u64) -> SessionWorld {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        SessionWorld::generate(scenario, &ScenarioConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn steady_state_otsp2p_meets_theorem1_budget() {
+        for seed in 0..20 {
+            let w = world(VodScenario::SteadyState, seed);
+            let out = run_session(&Otsp2p, &w);
+            assert!(out.in_time_startup, "seed {seed}: {out:?}");
+            assert_eq!(out.delivered, out.needed, "seed {seed}");
+            assert_eq!(out.on_time, out.needed, "seed {seed}: fully on time");
+            assert_eq!(
+                out.startup_delay_slots,
+                Some(w.suppliers.len() as u64),
+                "seed {seed}: Theorem 1 startup n·δt"
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_budget_scales_with_load() {
+        for seed in 0..20 {
+            let w = world(VodScenario::FlashCrowd, seed);
+            assert!(w.load >= 2);
+            let out = run_session(&Otsp2p, &w);
+            assert!(out.in_time_startup, "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn departure_sessions_still_complete() {
+        for seed in 0..20 {
+            let w = world(VodScenario::EarlyDeparture, seed);
+            let out = run_session(&Otsp2p, &w);
+            // One supplier is gone but the survivors replan its share —
+            // everything still arrives (possibly late).
+            assert_eq!(out.delivered, out.needed, "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn seek_reports_latency_and_skips_abandoned_segments() {
+        let mut saw_skip = false;
+        for seed in 0..20 {
+            let w = world(VodScenario::MidStreamSeek, seed);
+            let out = run_session(&Otsp2p, &w);
+            assert!(out.seek_latency_slots.is_some(), "seed {seed}");
+            assert_eq!(out.delivered, out.needed, "seed {seed}");
+            saw_skip |= out.needed < w.total_segments;
+        }
+        assert!(saw_skip, "some seeks must abandon undelivered segments");
+    }
+
+    #[test]
+    fn partial_files_are_never_assigned_out_of_range() {
+        for seed in 0..20 {
+            let w = world(VodScenario::PartialFile, seed);
+            let out = run_session(&Otsp2p, &w);
+            // The seed supplier covers the whole file, so completion
+            // must not suffer.
+            assert_eq!(out.delivered, out.needed, "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let w = world(VodScenario::MidStreamSeek, 7);
+        assert_eq!(
+            run_session(&RandomBaseline, &w),
+            run_session(&RandomBaseline, &w)
+        );
+    }
+
+    #[test]
+    fn outcome_ratios() {
+        let out = SessionOutcome {
+            startup_delay_slots: Some(4),
+            in_time_startup: true,
+            budget_slots: 4,
+            needed: 10,
+            delivered: 8,
+            on_time: 6,
+            seek_latency_slots: None,
+        };
+        assert!((out.on_time_ratio() - 0.6).abs() < 1e-12);
+        assert!((out.completion_ratio() - 0.8).abs() < 1e-12);
+    }
+}

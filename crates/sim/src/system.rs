@@ -12,6 +12,7 @@ use p2ps_core::admission::{
     SupplierConfig, SupplierState,
 };
 use p2ps_core::{PeerClass, PeerId};
+use p2ps_policy::{SessionContext, SharedPolicy};
 
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::Collector;
@@ -102,12 +103,25 @@ pub struct Simulation {
     pending_departures: std::collections::HashSet<u64>,
     metrics: Collector,
     supplier_config: SupplierConfig,
+    /// Computes each admitted session's buffering delay from the granted
+    /// suppliers' offered bandwidths. The default, `Otsp2p`, reproduces
+    /// the paper's Theorem-1 `n·δt` figure exactly.
+    policy: SharedPolicy,
 }
 
 impl Simulation {
     /// Builds the initial system state for `config`, deterministically
-    /// derived from `seed`.
+    /// derived from `seed`, streaming with the paper's `OTSp2p`
+    /// assignment policy.
     pub fn new(config: SimConfig, seed: u64) -> Self {
+        Self::with_policy(config, seed, SharedPolicy::default())
+    }
+
+    /// Like [`new`](Self::new) but sessions compute their buffering
+    /// delay through the given [`SelectionPolicy`](p2ps_policy::SelectionPolicy) —
+    /// the Fig.-6 delay series then measures that policy instead of the
+    /// hard-wired §3 optimum.
+    pub fn with_policy(config: SimConfig, seed: u64, policy: SharedPolicy) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let supplier_config =
             SupplierConfig::new(config.num_classes(), config.t_out_secs(), config.protocol())
@@ -192,6 +206,7 @@ impl Simulation {
             pending_departures: std::collections::HashSet::new(),
             metrics,
             supplier_config,
+            policy,
         }
     }
 
@@ -278,12 +293,33 @@ impl Simulation {
                 for &i in granted {
                     candidates[i].state.begin_session(t);
                 }
+                // The session's buffering delay under the configured
+                // selection policy: the granted suppliers' *offered*
+                // bandwidth classes (protocol class + shift) feed the
+                // segment→supplier plan, whose minimum feasible delay is
+                // the Fig.-6 sample. OTSp2p yields Theorem 1's n·δt.
+                let offered: Vec<PeerClass> = granted
+                    .iter()
+                    .map(|&i| self.config.offered_class(candidates[i].state.class()))
+                    .collect();
+                let horizon = offered
+                    .iter()
+                    .map(|c| u64::from(c.slots_per_segment()))
+                    .max()
+                    .unwrap_or(1)
+                    * 4;
+                let ctx = SessionContext::full(&offered, horizon).with_seed(peer.get());
+                let delay_slots = self
+                    .policy
+                    .plan(&ctx)
+                    .map(|p| p.min_delay_slots(&ctx))
+                    .unwrap_or(offered.len() as u64);
                 let rec = &mut self.peers[peer.get() as usize];
                 let class_idx = (rec.class.get() - 1) as usize;
                 let rejections = rec.requester.rejections();
                 let waiting = rec.requester.waiting_time(t);
                 self.metrics
-                    .record_admission(class_idx, rejections, supplier_ids.len(), waiting);
+                    .record_admission(class_idx, rejections, delay_slots, waiting);
                 rec.phase = Phase::Streaming {
                     suppliers: supplier_ids,
                 };

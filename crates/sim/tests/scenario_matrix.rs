@@ -1,0 +1,95 @@
+//! Tier-1 smoke run of the policy × scenario matrix.
+//!
+//! Fast (sub-second), fully deterministic from one seed, and pinned on
+//! the PR's acceptance criterion: the §3 `OTSp2p` assignment dominates
+//! the `RandomBaseline` on in-time startup ratio in *every* VoD
+//! scenario, and the wiring of all four policies across all five
+//! scenarios cannot silently rot.
+
+use p2ps_sim::{CellMetric, ScenarioConfig, ScenarioMatrix};
+
+const SEED: u64 = 0xbeef;
+
+fn matrix() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::standard(SEED);
+    m.config(ScenarioConfig {
+        sessions: 24,
+        total_segments: 48,
+        startup_window: 8,
+    });
+    m
+}
+
+#[test]
+fn matrix_is_deterministic_from_one_seed() {
+    let a = matrix().run();
+    let b = matrix().run();
+    assert_eq!(a, b, "same seed must reproduce the same matrix");
+}
+
+#[test]
+fn every_policy_runs_every_scenario() {
+    let report = matrix().run();
+    assert_eq!(report.policies().len(), 4, "≥4 policies");
+    assert_eq!(report.scenarios().len(), 5, "≥4 scenarios");
+    for policy in report.policies() {
+        for scenario in report.scenarios() {
+            let cell = report
+                .cell(policy, scenario)
+                .unwrap_or_else(|| panic!("missing cell {policy} × {scenario}"));
+            assert_eq!(cell.sessions(), 24);
+            assert!(
+                cell.completion_ratio() > 0.9,
+                "{policy} × {scenario}: completion {}",
+                cell.completion_ratio()
+            );
+        }
+    }
+}
+
+#[test]
+fn comparison_table_renders() {
+    let report = matrix().run();
+    let table = report.table(CellMetric::InTimeStartupRatio);
+    let text = table.render();
+    for name in ["otsp2p", "sequential-window", "rarest-first", "random"] {
+        assert!(text.contains(name), "table misses {name}:\n{text}");
+    }
+    for scenario in ["steady", "seek", "departure", "partial-file", "flash-crowd"] {
+        assert!(text.contains(scenario), "table misses {scenario}:\n{text}");
+    }
+}
+
+#[test]
+fn otsp2p_dominates_random_on_in_time_startup() {
+    let report = matrix().run();
+    let mut strictly_better = 0;
+    for scenario in report.scenarios() {
+        let opt = report.cell("otsp2p", scenario).unwrap();
+        let rnd = report.cell("random", scenario).unwrap();
+        assert!(
+            opt.in_time_startup_ratio() >= rnd.in_time_startup_ratio(),
+            "{scenario}: otsp2p {} < random {}",
+            opt.in_time_startup_ratio(),
+            rnd.in_time_startup_ratio()
+        );
+        if opt.in_time_startup_ratio() > rnd.in_time_startup_ratio() {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better >= 3,
+        "otsp2p should be strictly better in most scenarios, was in {strictly_better}/5"
+    );
+}
+
+#[test]
+fn otsp2p_attains_the_theorem1_startup_floor_in_steady_state() {
+    let report = matrix().run();
+    let cell = report.cell("otsp2p", "steady").unwrap();
+    assert_eq!(cell.in_time_startup_ratio(), 1.0);
+    // Mean startup is the per-session n·δt optimum, so it must sit
+    // within the drawn supplier-count range [2, 8].
+    let mean = cell.mean_startup_slots().unwrap();
+    assert!((2.0..=8.0).contains(&mean), "mean startup {mean}");
+}

@@ -1,0 +1,81 @@
+//! Peer-selection policy shoot-out: `OTSp2p` vs the BitTorrent-style
+//! baselines, in the simulator *and* over real sockets.
+//!
+//! ```text
+//! cargo run --example policy_comparison
+//! ```
+//!
+//! Part 1 runs the deterministic `ScenarioMatrix`: 4 policies × 5 VoD
+//! scenarios (steady state, mid-stream seek, early departure,
+//! partial-file suppliers, flash crowd) on identical session worlds, and
+//! prints the in-time startup ratio table — the §3 optimal assignment
+//! must dominate the random baseline in every scenario.
+//!
+//! Part 2 streams a real file through a loopback swarm once per policy:
+//! the same `SelectionPolicy` object drives the live requester's wire
+//! plans, and the Theorem-1 delay shows up (only) under `OTSp2p`.
+
+use p2ps::core::assignment::SegmentDuration;
+use p2ps::core::PeerClass;
+use p2ps::media::MediaInfo;
+use p2ps::node::Swarm;
+use p2ps::policy::{Otsp2p, RandomBaseline, RarestFirst, SequentialWindow, SharedPolicy};
+use p2ps::sim::{CellMetric, ScenarioConfig, ScenarioMatrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Part 1: the scenario matrix --------------------------------
+    let mut matrix = ScenarioMatrix::standard(42);
+    matrix.config(ScenarioConfig {
+        sessions: 64,
+        total_segments: 64,
+        startup_window: 8,
+    });
+    let report = matrix.run();
+    println!("{}", report.table(CellMetric::InTimeStartupRatio));
+    println!("{}", report.table(CellMetric::MeanStartupSlots));
+
+    for scenario in report.scenarios() {
+        let opt = report.cell("otsp2p", scenario).expect("cell exists");
+        let rnd = report.cell("random", scenario).expect("cell exists");
+        assert!(
+            opt.in_time_startup_ratio() >= rnd.in_time_startup_ratio(),
+            "{scenario}: OTSp2p must dominate the random baseline"
+        );
+    }
+    println!("OTSp2p dominates the random baseline on in-time startup in every scenario.\n");
+
+    // ---- Part 2: the same policies over real TCP --------------------
+    let policies = [
+        SharedPolicy::new(Otsp2p),
+        SharedPolicy::new(SequentialWindow::default()),
+        SharedPolicy::new(RarestFirst),
+        SharedPolicy::new(RandomBaseline),
+    ];
+    for policy in policies {
+        // Two class-2 seeds so every session is a genuine two-supplier
+        // assignment; 16 segments of 5 ms.
+        let info = MediaInfo::new("policy-demo", 16, SegmentDuration::from_millis(5), 512);
+        let mut swarm = Swarm::start(info, 0)?;
+        swarm.add_seed(PeerClass::new(2)?)?;
+        swarm.add_seed(PeerClass::new(2)?)?;
+        swarm.set_policy(policy.clone());
+        let outcome = swarm.stream_one(PeerClass::new(3)?, 8)?;
+        println!(
+            "{:<18} {} suppliers, theoretical delay {:>3} ms, measured {:>3} ms",
+            policy.name(),
+            outcome.supplier_count,
+            outcome.theoretical_delay_ms,
+            outcome.measured_delay_ms
+        );
+        if policy.name() == "otsp2p" {
+            assert_eq!(
+                outcome.theoretical_delay_ms,
+                outcome.supplier_count as u64 * 5,
+                "the live OTSp2p session must hit the Theorem-1 floor n·δt"
+            );
+        }
+        swarm.shutdown();
+    }
+    println!("\nEvery policy streamed a complete, byte-identical file over the same wire format.");
+    Ok(())
+}

@@ -115,8 +115,13 @@ fn lookup_module_is_complete() {
     );
 
     let shared = SharedDirectory::new();
-    shared.with_mut(|d| d.register("facade", PeerId::new(2), class(2)));
-    assert_eq!(shared.with(|d| d.supplier_count("facade")), 1);
+    assert_eq!(shared.stripe_count(), 16);
+    shared.with_item_mut("facade", |d| d.register("facade", PeerId::new(2), class(2)));
+    assert_eq!(
+        shared.with_item("facade", |d| d.supplier_count("facade")),
+        1
+    );
+    assert_eq!(shared.items(), vec!["facade".to_owned()]);
 
     let mut ring = ChordRing::new();
     for i in 0..8 {
