@@ -1,0 +1,145 @@
+//! Requester-session throughput: sessions × reactor threads (1/2/4).
+//!
+//! Every iteration completes 256 full receiving sessions — admission
+//! handshake, reactor hand-off, paced reception, reassembly — against
+//! 256 class-1 seeds on the *same* pool, so each reactor thread carries
+//! both halves of every connection it owns (full duplex). Pacing is one
+//! segment per millisecond with 16 KiB segments: at 256 concurrent
+//! sessions the aggregate demand (≈4 GiB/s of segment traffic) is far
+//! beyond one event loop, so the measurement is the pool's session-
+//! hosting throughput, and scaling the pool from 1 to 4 reactor threads
+//! shows sessions/second increasing with cores — the multi-reactor
+//! sharding story at bench scale.
+//!
+//! Candidate lists are pinned (session *i* streams from seed *i*), so no
+//! admission collisions pollute the numbers; 16 worker threads fan the
+//! blocking admission probes out so the critical path is the sessions
+//! themselves, not the probe loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaInfo;
+use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode};
+use p2ps_proto::CandidateRecord;
+
+const SESSIONS: usize = 256;
+const WORKERS: usize = 16;
+const SEGMENTS: u64 = 16;
+const PAYLOAD: u32 = 16 * 1024;
+
+/// One worker's slice: spawn the requester node, run the session end to
+/// end, return nothing (panics propagate through the scope join).
+fn run_slice(
+    ids: std::ops::Range<usize>,
+    iter_base: u64,
+    info: &MediaInfo,
+    dir: &DirectoryServer,
+    clock: &Clock,
+    reactor: &NodeReactor,
+    candidates: &[CandidateRecord],
+) {
+    let mut nodes = Vec::with_capacity(ids.len());
+    let mut pendings = Vec::with_capacity(ids.len());
+    for i in ids {
+        let cfg = NodeConfig::new(
+            PeerId::new(iter_base + i as u64),
+            PeerClass::HIGHEST,
+            info.clone(),
+            dir.addr(),
+        );
+        let node = PeerNode::spawn_on(cfg, clock.clone(), reactor).unwrap();
+        // Session i streams from seed i; the retry only absorbs the tail
+        // of the previous iteration's session releasing that seed.
+        let pending = loop {
+            match node.begin_stream_from(vec![candidates[i]]) {
+                Ok(p) => break p,
+                Err(NodeError::Rejected { .. }) => std::thread::sleep(Duration::from_micros(200)),
+                Err(e) => panic!("session {i}: {e}"),
+            }
+        };
+        nodes.push(node);
+        pendings.push(pending);
+    }
+    for p in pendings {
+        let outcome = p.wait().unwrap();
+        assert_eq!(outcome.supplier_count, 1);
+    }
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+fn bench_requester_scale(c: &mut Criterion) {
+    let info = MediaInfo::new(
+        "requester-scale-bench",
+        SEGMENTS,
+        SegmentDuration::from_millis(1), // minimal pacing: throughput-bound
+        PAYLOAD,
+    );
+
+    let mut group = c.benchmark_group("requester_scale");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let dir = DirectoryServer::start().unwrap();
+        let clock = Clock::new();
+        let reactor = NodeReactor::with_threads(threads).unwrap();
+        let seeds: Vec<PeerNode> = (0..SESSIONS as u64)
+            .map(|i| {
+                let cfg =
+                    NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+                PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor).unwrap()
+            })
+            .collect();
+        let candidates: Vec<CandidateRecord> = seeds
+            .iter()
+            .map(|s| CandidateRecord {
+                id: s.id(),
+                class: s.class(),
+                port: s.port(),
+            })
+            .collect();
+
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        let mut iteration = 0u64;
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                iteration += 1;
+                let iter_base = 1_000_000 * iteration;
+                let per = SESSIONS / WORKERS;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..WORKERS)
+                        .map(|w| {
+                            let (info, dir, clock, reactor, candidates) =
+                                (&info, &dir, &clock, &reactor, &candidates[..]);
+                            scope.spawn(move || {
+                                run_slice(
+                                    w * per..(w + 1) * per,
+                                    iter_base,
+                                    info,
+                                    dir,
+                                    clock,
+                                    reactor,
+                                    candidates,
+                                )
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            });
+        });
+
+        drop(seeds);
+        reactor.shutdown();
+        dir.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_requester_scale);
+criterion_main!(benches);

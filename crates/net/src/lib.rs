@@ -15,8 +15,13 @@
 //!   §3 paced segment transmissions, thousands of timers at O(1) insert.
 //! * [`Reactor`] / [`Handler`] / [`Ctx`] — the event loop: level-
 //!   triggered readiness, per-connection buffered writes of zero-copy
-//!   [`bytes::Bytes`] chunks, timer dispatch, and a cloneable [`Handle`]
-//!   for cross-thread listener registration, typed commands and shutdown.
+//!   [`bytes::Bytes`] chunks, timer dispatch, adoption of outbound
+//!   connections ([`Ctx::adopt`]), and a cloneable [`Handle`] for
+//!   cross-thread listener registration, typed commands and shutdown.
+//! * [`ReactorPool`] / [`PoolHandle`] — multi-reactor sharding for >1
+//!   core: N reactors, each with its own handler instance, with
+//!   listeners, commands and the connections they create hash-routed to
+//!   one shard by key.
 //!
 //! The reactor is deliberately *sans protocol*: it moves raw bytes and
 //! deadlines. Framing lives in `p2ps_proto`'s `FrameDecoder` /
@@ -26,10 +31,12 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
 mod reactor;
 #[allow(unsafe_code)]
 pub mod sys;
 mod timer;
 
+pub use pool::{PoolHandle, ReactorPool};
 pub use reactor::{ConnId, Ctx, Handle, Handler, Reactor, ReactorConfig};
 pub use timer::TimerWheel;

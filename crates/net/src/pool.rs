@@ -1,0 +1,245 @@
+//! Multi-reactor sharding: one event loop per core, hash-routed.
+//!
+//! A single [`Reactor`](crate::Reactor) thread already multiplexes
+//! thousands of connections, but it is one core's worth of epoll wakeups,
+//! decode work and `writev` flushes. A [`ReactorPool`] runs N identical
+//! reactors — each with its **own** handler instance and its own timer
+//! wheel — and shards work across them by key: a connection (or listener,
+//! or whole protocol session) is pinned to the reactor its key hashes to,
+//! so all of its events stay on one thread and handlers never need locks
+//! between shards.
+//!
+//! The cross-thread face is [`PoolHandle`]: cloneable, cheap, and
+//! source-compatible with single-reactor code — it is a vector of the
+//! per-shard [`Handle`]s plus the hash routing. Callers that used one
+//! `Handle` now ask the pool for [`PoolHandle::shard`] of their key and
+//! use the returned `Handle` exactly as before.
+
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{Handle, Handler, Reactor, ReactorConfig};
+
+/// Multiplies the routing key by a 64-bit odd constant (SplitMix64's
+/// golden-gamma) and takes the top bits, so sequential keys — tags and
+/// session ids are counters in practice — still spread evenly.
+fn shard_of(key: u64, shards: usize) -> usize {
+    let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (mixed >> 32) as usize % shards
+}
+
+/// A cloneable remote control for a whole [`ReactorPool`]: per-shard
+/// [`Handle`]s behind hash routing.
+pub struct PoolHandle<C> {
+    handles: Arc<[Handle<C>]>,
+}
+
+impl<C> Clone for PoolHandle<C> {
+    fn clone(&self) -> Self {
+        PoolHandle {
+            handles: Arc::clone(&self.handles),
+        }
+    }
+}
+
+impl<C> std::fmt::Debug for PoolHandle<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolHandle")
+            .field("shards", &self.handles.len())
+            .finish()
+    }
+}
+
+impl<C> PoolHandle<C> {
+    /// Number of reactor shards behind this handle.
+    pub fn shard_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The [`Handle`] of the shard `key` routes to. All operations for
+    /// one key — listeners, commands, the connections they create — land
+    /// on the same reactor thread, so per-key handler state needs no
+    /// cross-shard synchronization.
+    pub fn shard(&self, key: u64) -> &Handle<C> {
+        &self.handles[shard_of(key, self.handles.len())]
+    }
+
+    /// Every shard's [`Handle`], in shard order (for broadcasts).
+    pub fn shards(&self) -> &[Handle<C>] {
+        &self.handles
+    }
+
+    /// Asks every shard to exit its run loop. Idempotent.
+    pub fn shutdown_all(&self) {
+        for h in self.handles.iter() {
+            h.shutdown();
+        }
+    }
+}
+
+/// N reactor threads, each running its own handler instance, sharded by
+/// key hash. See the module docs above for the routing contract.
+///
+/// # Examples
+///
+/// Echo servers on two reactor threads, one listener each:
+///
+/// ```
+/// use p2ps_net::{Ctx, ConnId, Handler, ReactorConfig, ReactorPool};
+/// use std::io::{Read, Write};
+///
+/// struct Echo;
+/// impl Handler for Echo {
+///     type Cmd = ();
+///     fn on_command(&mut self, _: &mut Ctx<'_>, _: ()) {}
+///     fn on_accept(&mut self, _: &mut Ctx<'_>, _: ConnId, _: u64) {}
+///     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+///         ctx.send(conn, bytes::Bytes::from(data.to_vec()));
+///     }
+///     fn on_timer(&mut self, _: &mut Ctx<'_>, _: ConnId, _: u32) {}
+///     fn on_close(&mut self, _: &mut Ctx<'_>, _: ConnId) {}
+/// }
+///
+/// let pool = ReactorPool::spawn(2, ReactorConfig::default(), |_shard| Echo)?;
+/// let handle = pool.handle();
+/// let mut addrs = Vec::new();
+/// for tag in 0..2u64 {
+///     let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+///     addrs.push(listener.local_addr()?);
+///     handle.shard(tag).add_listener(listener, tag)?;
+/// }
+/// for addr in addrs {
+///     let mut client = std::net::TcpStream::connect(addr)?;
+///     client.write_all(b"ping")?;
+///     let mut buf = [0u8; 4];
+///     client.read_exact(&mut buf)?;
+///     assert_eq!(&buf, b"ping");
+/// }
+/// pool.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct ReactorPool<C> {
+    handle: PoolHandle<C>,
+    threads: Vec<JoinHandle<io::Result<()>>>,
+}
+
+impl<C> std::fmt::Debug for ReactorPool<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorPool")
+            .field("shards", &self.threads.len())
+            .finish()
+    }
+}
+
+impl<C: Send + 'static> ReactorPool<C> {
+    /// Starts `threads` reactor threads (clamped to at least 1), calling
+    /// `make_handler(shard_index)` once per shard for that thread's
+    /// handler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll / self-pipe creation errors; already-started
+    /// shards are shut down and joined before the error returns.
+    pub fn spawn<H, F>(threads: usize, cfg: ReactorConfig, mut make_handler: F) -> io::Result<Self>
+    where
+        H: Handler<Cmd = C> + Send + 'static,
+        F: FnMut(usize) -> H,
+    {
+        let shards = threads.max(1);
+        let mut handles: Vec<Handle<C>> = Vec::with_capacity(shards);
+        let mut joins: Vec<JoinHandle<io::Result<()>>> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (reactor, handle) = match Reactor::new(cfg.clone()) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    for h in &handles {
+                        h.shutdown();
+                    }
+                    for j in joins {
+                        let _ = j.join();
+                    }
+                    return Err(e);
+                }
+            };
+            let mut handler = make_handler(i);
+            let join = std::thread::Builder::new()
+                .name(format!("p2ps-reactor-{i}"))
+                .spawn(move || reactor.run(&mut handler))
+                .expect("spawning a reactor thread cannot fail");
+            handles.push(handle);
+            joins.push(join);
+        }
+        Ok(ReactorPool {
+            handle: PoolHandle {
+                handles: handles.into(),
+            },
+            threads: joins,
+        })
+    }
+
+    /// A cloneable cross-thread handle to every shard.
+    pub fn handle(&self) -> PoolHandle<C> {
+        self.handle.clone()
+    }
+
+    /// Number of reactor threads.
+    pub fn shard_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Stops every shard and joins its thread; all hosted connections and
+    /// listeners drop.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.handle.shutdown_all();
+        for join in self.threads.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+impl<C> Drop for ReactorPool<C> {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.handle.shutdown_all();
+            for join in self.threads.drain(..) {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 16] {
+            for key in 0..256u64 {
+                let a = shard_of(key, shards);
+                assert!(a < shards);
+                assert_eq!(a, shard_of(key, shards), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_shards() {
+        let shards = 4;
+        let mut hits = vec![0usize; shards];
+        for key in 0..1_000u64 {
+            hits[shard_of(key, shards)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                h > 1_000 / shards / 2,
+                "shard {i} starved: {hits:?} (sequential keys must spread)"
+            );
+        }
+    }
+}

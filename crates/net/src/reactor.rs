@@ -387,6 +387,26 @@ impl Ctx<'_> {
         true
     }
 
+    /// Adopts an already-connected outbound stream into the reactor: the
+    /// stream is switched to nonblocking, registered with epoll and
+    /// handled exactly like an accepted connection (reads surface via
+    /// [`Handler::on_data`], writes queue through [`send`](Self::send)).
+    ///
+    /// This is how client-side sessions (e.g. a requesting peer's
+    /// supplier connections) become reactor-hosted: some other thread
+    /// performs the blocking connect/handshake, then ships the stream to
+    /// the reactor inside a typed command, whose handler adopts it. Any
+    /// bytes already buffered in the kernel are reported on the next
+    /// event-loop turn (level-triggered readiness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking` / epoll registration failures; the
+    /// stream is dropped (closed) on error.
+    pub fn adopt(&mut self, stream: TcpStream) -> io::Result<ConnId> {
+        self.inner.alloc(stream)
+    }
+
     /// Closes `conn` now, discarding any unsent bytes. The handler gets
     /// no `on_close` for a close it asked for.
     pub fn close(&mut self, conn: ConnId) {

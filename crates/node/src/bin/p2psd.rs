@@ -4,10 +4,15 @@
 //! p2psd directory [--port 0]
 //! p2psd seed    --dir HOST:PORT [--id N] [--class K] [--item NAME]
 //!               [--segments N] [--dt-ms MS] [--segment-bytes B]
+//!               [--threads T]
 //! p2psd stream  --dir HOST:PORT [--id N] [--class K] [--item NAME]
 //!               [--segments N] [--dt-ms MS] [--segment-bytes B]
-//!               [--m M] [--retries N] [--serve-secs S]
+//!               [--m M] [--retries N] [--serve-secs S] [--threads T]
 //! ```
+//!
+//! `--threads` sizes the node's reactor pool (default 1): its supplier
+//! listener and requester sessions shard across that many event-loop
+//! threads, the multi-core knob for heavily loaded peers.
 //!
 //! `directory` runs until killed (binding the loopback port given by
 //! `--port`, or an ephemeral one when 0/omitted); `seed` serves until
@@ -40,6 +45,7 @@ const MEDIA_FLAGS: &[&str] = &[
     "retries",
     "serve-secs",
     "port",
+    "threads",
 ];
 
 fn media_info(args: &Args) -> Result<MediaInfo, Box<dyn std::error::Error>> {
@@ -59,12 +65,14 @@ fn node_config(args: &Args) -> Result<NodeConfig, Box<dyn std::error::Error>> {
     let dir: SocketAddr = args.require("dir")?;
     let id: u64 = args.get_or("id", std::process::id() as u64)?;
     let class: u8 = args.get_or("class", 1)?;
-    Ok(NodeConfig::new(
+    let mut config = NodeConfig::new(
         PeerId::new(id),
         PeerClass::new(class)?,
         media_info(args)?,
         dir,
-    ))
+    );
+    config.threads = args.get_or("threads", 1)?;
+    Ok(config)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {

@@ -23,6 +23,14 @@ pub enum NodeError {
     },
     /// A peer answered with a message that violates the protocol.
     Protocol(String),
+    /// Suppliers kept failing mid-stream until none remained: each
+    /// individual loss first triggers a `SelectionPolicy::replan` onto
+    /// the survivors; this error surfaces only when the last supplier is
+    /// gone (or a replan cannot cover the gap) with segments missing.
+    SuppliersLost {
+        /// Segments still missing when recovery became impossible.
+        missing: u64,
+    },
     /// The model rejected the supplier set (should not happen when grants
     /// are aggregated correctly; indicates a peer lied about its class).
     Model(p2ps_core::Error),
@@ -39,6 +47,12 @@ impl fmt::Display for NodeError {
                 write!(f, "stream incomplete: {received}/{expected} segments")
             }
             NodeError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NodeError::SuppliersLost { missing } => {
+                write!(
+                    f,
+                    "all suppliers lost mid-stream ({missing} segments missing)"
+                )
+            }
             NodeError::Model(e) => write!(f, "model violation: {e}"),
         }
     }
@@ -88,6 +102,10 @@ mod tests {
 
         let proto = NodeError::Protocol("bad".into());
         assert!(proto.to_string().contains("bad"));
+
+        let lost = NodeError::SuppliersLost { missing: 7 };
+        assert!(lost.to_string().contains("7 segments missing"));
+        assert!(std::error::Error::source(&lost).is_none());
 
         let model = NodeError::from(p2ps_core::Error::NoSuppliers);
         assert!(model.to_string().contains("model violation"));

@@ -20,13 +20,18 @@
 //! The admission state machines are shared verbatim with the simulator
 //! (`p2ps-core::admission`); only the transport differs.
 //!
-//! Serving is event-driven: the directory and every node's supplier side
-//! (admission handshake, reminder collection, §3 paced streaming) run as
-//! sans-io state machines on a `p2ps-net` epoll reactor, with pacing and
-//! read timeouts on its timer wheel — one [`NodeReactor`] thread carries
-//! thousands of concurrent sessions, and many nodes can share one
-//! reactor ([`PeerNode::spawn_on`]). The requester side stays blocking
-//! and talks the identical wire format.
+//! Both halves are event-driven: the directory, every node's supplier
+//! side (admission handshake, reminder collection, §3 paced streaming)
+//! *and* every node's requester side (paced reception, reassembly, live
+//! replanning on supplier departure) run as sans-io state machines on a
+//! `p2ps-net` epoll reactor, with pacing and read timeouts on its timer
+//! wheel. A [`NodeReactor`] is a pool of 1..N such reactor threads:
+//! nodes shard across it by tag, requester sessions by session id, so
+//! one process carries thousands of full-duplex sessions and scales
+//! across cores ([`NodeReactor::with_threads`]). Only the short, bounded
+//! admission probe runs on the calling thread; [`PeerNode::begin_stream`]
+//! returns a [`PendingStream`] so hundreds of receiving sessions can be
+//! in flight without a thread each.
 //!
 //! One deliberate addition over the paper: a supplier that issues a grant
 //! holds a short *reservation* until the requester either confirms
@@ -67,6 +72,6 @@ pub use args::{Args, ArgsError};
 pub use clock::Clock;
 pub use directory::{query_candidates, register_supplier, DirectoryServer, ShardedRegistry};
 pub use error::NodeError;
-pub use node::{NodeConfig, PeerNode, StreamOutcome};
+pub use node::{NodeConfig, PeerNode, PendingStream, StreamOutcome};
 pub use serve::NodeReactor;
 pub use swarm::Swarm;

@@ -3,6 +3,7 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -12,8 +13,10 @@ use rand::{Rng, SeedableRng};
 use p2ps_core::admission::{Protocol, SupplierConfig, SupplierState};
 use p2ps_core::{PeerClass, PeerId};
 use p2ps_media::{MediaFile, MediaInfo};
+use p2ps_net::PoolHandle;
 
 use crate::directory::{query_candidates, register_supplier};
+use crate::requester::{SessionLaunch, SessionResult};
 use crate::serve::{NodeCmd, NodeReactor};
 use crate::supplier::{AdmissionGuard, SupplierShared};
 use crate::{Clock, NodeError};
@@ -43,6 +46,11 @@ pub struct NodeConfig {
     /// How the requester assigns media segments to its granted suppliers
     /// (default: the paper's `OTSp2p` optimal assignment).
     pub policy: p2ps_policy::SharedPolicy,
+    /// Reactor threads of the node's *private* reactor pool
+    /// ([`PeerNode::spawn`]/[`PeerNode::spawn_seed`]; default 1). Ignored
+    /// when the node is hosted on a shared [`NodeReactor`], whose own
+    /// thread count applies.
+    pub threads: usize,
 }
 
 impl NodeConfig {
@@ -57,6 +65,7 @@ impl NodeConfig {
             idle_timeout_ms: 60_000,
             protocol: Protocol::Dac,
             policy: p2ps_policy::SharedPolicy::default(),
+            threads: 1,
         }
     }
 }
@@ -77,19 +86,20 @@ pub struct StreamOutcome {
     pub duration_ms: u64,
 }
 
-/// Which serving reactor hosts a node's listener and sessions.
+/// Which reactor pool hosts a node's listener and sessions.
 enum ReactorRef {
-    /// A private reactor, owned (and joined at shutdown) by this node.
+    /// A private reactor pool, owned (and joined at shutdown) by this
+    /// node.
     Owned(NodeReactor),
-    /// A shared [`NodeReactor`] hosting many nodes on one thread.
-    Shared(p2ps_net::Handle<NodeCmd>),
+    /// A shared [`NodeReactor`] pool hosting many nodes.
+    Shared(PoolHandle<NodeCmd>),
 }
 
 impl ReactorRef {
-    fn handle(&self) -> &p2ps_net::Handle<NodeCmd> {
+    fn pool(&self) -> PoolHandle<NodeCmd> {
         match self {
             ReactorRef::Owned(r) => r.handle(),
-            ReactorRef::Shared(h) => h,
+            ReactorRef::Shared(h) => h.clone(),
         }
     }
 }
@@ -125,7 +135,7 @@ impl PeerNode {
     ///
     /// Propagates socket errors from binding the listener.
     pub fn spawn(config: NodeConfig, clock: Clock) -> io::Result<Self> {
-        let reactor = ReactorRef::Owned(NodeReactor::new()?);
+        let reactor = ReactorRef::Owned(NodeReactor::with_threads(config.threads)?);
         Self::spawn_inner(config, clock, None, reactor)
     }
 
@@ -138,7 +148,7 @@ impl PeerNode {
     /// Propagates socket errors from binding or from the directory
     /// registration.
     pub fn spawn_seed(config: NodeConfig, clock: Clock) -> io::Result<Self> {
-        let reactor = ReactorRef::Owned(NodeReactor::new()?);
+        let reactor = ReactorRef::Owned(NodeReactor::with_threads(config.threads)?);
         let file = MediaFile::synthesize(config.info.clone());
         let node = Self::spawn_inner(config, clock, Some(file), reactor)?;
         node.register()?;
@@ -211,18 +221,21 @@ impl PeerNode {
             stop: std::sync::atomic::AtomicBool::new(false),
         });
 
-        // Attach before the listener goes live: commands are processed in
+        // Attach before the listener goes live: the node's tag picks its
+        // reactor shard, and that shard's commands are processed in
         // order, so no accepted connection can miss its node state.
         let tag = NEXT_TAG.fetch_add(1, Ordering::Relaxed);
-        reactor.handle().send(NodeCmd::Attach {
+        let pool = reactor.pool();
+        let shard = pool.shard(tag);
+        shard.send(NodeCmd::Attach {
             tag,
             shared: Arc::clone(&shared),
         });
-        if let Err(e) = reactor.handle().add_listener(listener, tag) {
+        if let Err(e) = shard.add_listener(listener, tag) {
             // Roll the attach back: without this a failed spawn on a
             // shared reactor would pin the node's state in the handler's
             // map for the reactor's whole lifetime.
-            reactor.handle().send(NodeCmd::Detach { tag });
+            shard.send(NodeCmd::Detach { tag });
             return Err(e);
         }
 
@@ -256,6 +269,13 @@ impl PeerNode {
         self.shared.file.lock().is_some()
     }
 
+    /// A shared view of the node's media file, if it owns one ([`MediaFile`]
+    /// clones are O(1) views of one allocation — handy for byte-level
+    /// verification in tests and tools).
+    pub fn media_file(&self) -> Option<MediaFile> {
+        self.shared.file.lock().clone()
+    }
+
     /// A snapshot of the node's current admission probability vector
     /// (with idle relaxation folded in up to now) — the paper's
     /// per-supplier `DACp2p` state, exposed for monitoring and tests.
@@ -283,31 +303,83 @@ impl PeerNode {
     /// full streaming session; afterwards the node stores the file,
     /// registers as a supplier and returns the session outcome.
     ///
+    /// Equivalent to [`begin_stream`](Self::begin_stream) +
+    /// [`PendingStream::wait`]: the paced reception itself runs on the
+    /// node's reactor pool, this thread only blocks on the result.
+    ///
     /// # Errors
     ///
     /// * [`NodeError::Rejected`] — could not secure the playback rate;
     ///   retry after a backoff (the paper's `T_bkf · E_bkf^(i-1)`).
-    /// * [`NodeError::IncompleteStream`] / [`NodeError::Io`] — a supplier
-    ///   failed mid-session.
+    /// * [`NodeError::SuppliersLost`] / [`NodeError::IncompleteStream`] /
+    ///   [`NodeError::Io`] — suppliers failed mid-session beyond what
+    ///   live replanning could recover.
     pub fn request_stream(&self, m: usize) -> Result<StreamOutcome, NodeError> {
+        self.begin_stream(m)?.wait()
+    }
+
+    /// Starts one streaming session without blocking on its completion:
+    /// runs the (short, bounded) §4.2 admission handshake on this thread,
+    /// plans the session through the configured policy, then hands the
+    /// granted connections to the node's reactor pool, which receives the
+    /// paced stream event-driven — no reader threads. The returned
+    /// [`PendingStream`] resolves to the outcome; hundreds of sessions
+    /// can be in flight per process this way (sharded across the pool's
+    /// reactor threads by session id).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] and admission-phase I/O errors surface
+    /// here; everything mid-stream surfaces from [`PendingStream::wait`].
+    pub fn begin_stream(&self, m: usize) -> Result<PendingStream, NodeError> {
         let candidates = query_candidates(self.config.directory, self.config.info.name(), m)?;
+        self.begin_stream_from(candidates)
+    }
+
+    /// Like [`begin_stream`](Self::begin_stream) with an explicit
+    /// candidate set instead of a directory query — for deployments with
+    /// out-of-band supplier knowledge (tracker hints, prior sessions) and
+    /// for harnesses that need deterministic supplier placement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`begin_stream`](Self::begin_stream).
+    pub fn begin_stream_from(
+        &self,
+        candidates: Vec<p2ps_proto::CandidateRecord>,
+    ) -> Result<PendingStream, NodeError> {
         let session: u64 = self.session_rng.lock().gen();
-        let (outcome, store) = crate::requester::attempt_and_stream(
+        let (lanes, theoretical_slots) = crate::requester::admit_and_plan(
             candidates,
             self.config.class,
             session,
             &self.config.info,
             &*self.config.policy,
         )?;
-        let file = MediaFile::from_store(self.config.info.clone(), &store).ok_or(
-            NodeError::IncompleteStream {
-                received: store.len() as u64,
-                expected: self.config.info.segment_count(),
-            },
-        )?;
-        *self.shared.file.lock() = Some(file);
-        self.register()?;
-        Ok(outcome)
+        let (done, rx) = std::sync::mpsc::channel();
+        let pool = self
+            .reactor
+            .as_ref()
+            .expect("node is not shut down while handles exist")
+            .pool();
+        pool.shard(session)
+            .send(NodeCmd::StartRequester(Box::new(SessionLaunch {
+                session,
+                info: self.config.info.clone(),
+                policy: self.config.policy.clone(),
+                lanes,
+                theoretical_slots,
+                done,
+            })));
+        Ok(PendingStream {
+            rx,
+            shared: Arc::clone(&self.shared),
+            info: self.config.info.clone(),
+            directory: self.config.directory,
+            id: self.config.id,
+            class: self.config.class,
+            port: self.port,
+        })
     }
 
     /// Like [`request_stream`](Self::request_stream) but retries rejected
@@ -352,10 +424,12 @@ impl PeerNode {
         let Some(reactor) = self.reactor.take() else {
             return;
         };
-        reactor.handle().remove_listener(self.tag);
-        reactor.handle().send(NodeCmd::Detach { tag: self.tag });
+        let pool = reactor.pool();
+        let shard = pool.shard(self.tag);
+        shard.remove_listener(self.tag);
+        shard.send(NodeCmd::Detach { tag: self.tag });
         if let ReactorRef::Owned(owned) = reactor {
-            owned.shutdown(); // joins the reactor thread
+            owned.shutdown(); // joins the reactor threads
         }
     }
 }
@@ -365,5 +439,66 @@ impl Drop for PeerNode {
         if self.reactor.is_some() {
             self.stop_inner();
         }
+    }
+}
+
+/// A streaming session in flight on the node's reactor pool
+/// ([`PeerNode::begin_stream`]). Dropping it abandons the result (the
+/// reactor still finishes or fails the session and releases the
+/// suppliers).
+pub struct PendingStream {
+    rx: Receiver<SessionResult>,
+    shared: Arc<SupplierShared>,
+    info: MediaInfo,
+    directory: SocketAddr,
+    id: PeerId,
+    class: PeerClass,
+    port: u16,
+}
+
+impl std::fmt::Debug for PendingStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingStream")
+            .field("id", &self.id)
+            .field("item", &self.info.name())
+            .finish()
+    }
+}
+
+impl PendingStream {
+    /// Blocks until the session completes; on success the node stores the
+    /// received file, registers as a supplier with the directory, and the
+    /// outcome is returned — identical post-conditions to
+    /// [`PeerNode::request_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever the session ended with ([`NodeError::SuppliersLost`],
+    /// [`NodeError::IncompleteStream`], …), or [`NodeError::Protocol`] if
+    /// the reactor shut down underneath the session.
+    pub fn wait(self) -> Result<StreamOutcome, NodeError> {
+        let (outcome, store) = self
+            .rx
+            .recv()
+            .map_err(|_| NodeError::Protocol("reactor shut down mid-session".into()))??;
+        let file = MediaFile::from_store(self.info.clone(), &store).ok_or(
+            NodeError::IncompleteStream {
+                received: store.len() as u64,
+                expected: self.info.segment_count(),
+            },
+        )?;
+        *self.shared.file.lock() = Some(file);
+        // A node shut down while its session was in flight keeps the
+        // completed file but must not advertise a listener nobody runs.
+        if !self.shared.stop.load(Ordering::Relaxed) {
+            register_supplier(
+                self.directory,
+                self.info.name(),
+                self.id,
+                self.class,
+                self.port,
+            )?;
+        }
+        Ok(outcome)
     }
 }

@@ -1,21 +1,51 @@
-//! Requester-side probing and stream reception.
+//! Requester side: blocking admission probe, reactor-hosted session.
+//!
+//! The §4.2 admission handshake is a short, bounded exchange (connect,
+//! `StreamRequest`, `Grant`/`Deny`, reminders) and runs on the caller's
+//! thread exactly as before — the protocol logic is the *same*
+//! [`Candidate`] trait the simulator drives. Everything long-lived
+//! changed in the reactor refactor: once admission succeeds and the
+//! [`SelectionPolicy`] has planned the session, the granted connections
+//! are shipped to a `NodeReactor` shard ([`SessionLaunch`]) where a
+//! sans-io [`RequesterSession`] state machine receives the paced stream —
+//! **no reader threads, no blocking reads**. One reactor thread hosts any
+//! number of receiving sessions; a [`ReactorPool`](p2ps_net::ReactorPool)
+//! spreads them across cores by session hash.
+//!
+//! Mid-stream supplier loss is a structured per-supplier event, not a
+//! session abort: the lost supplier's undelivered share feeds
+//! [`SelectionPolicy::replan`] over the survivors, and the recovered
+//! shares ride the wire as *explicit* `SessionPlan`s that surviving
+//! suppliers append to their schedules. Only when no survivor remains
+//! (or a replan cannot cover the gap) does the session fail, with
+//! [`NodeError::SuppliersLost`].
 
+use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
-
-use crossbeam::channel;
+use std::sync::mpsc::Sender;
+use std::time::Duration;
 
 use p2ps_core::admission::{attempt_admission, Candidate, ProbeOutcome, RequestDecision};
 use p2ps_core::PeerClass;
 use p2ps_media::{MediaInfo, PlaybackBuffer, Segment, SegmentStore};
-use p2ps_policy::{SelectionPolicy, SessionContext};
-use p2ps_proto::{read_message, write_message, CandidateRecord, Message, SessionPlan};
+use p2ps_net::{ConnId, Ctx};
+use p2ps_policy::{SelectionPolicy, SessionContext, SharedPolicy};
+use p2ps_proto::{
+    read_message, write_message, CandidateRecord, FrameDecoder, Message, RequesterSession,
+    SessionPlan,
+};
 
+use crate::serve::send;
 use crate::{NodeError, StreamOutcome};
 
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
-const STREAM_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// A supplier that goes quiet for this long mid-stream is treated as
+/// departed (read timer on the reactor wheel, re-armed on every frame).
+const STREAM_READ_TIMEOUT_MS: u64 = 30_000;
+
+/// The requester-side read-progress timer kind.
+const K_REQ_READ: u32 = 0;
 
 /// A candidate supplier reached over TCP. Implements the *same*
 /// [`Candidate`] trait the simulator uses, so the admission protocol logic
@@ -122,52 +152,66 @@ impl Candidate for NetCandidate {
     }
 }
 
-/// One full admission attempt followed (on success) by the streaming
-/// session. Returns the outcome and the received segments.
-pub(crate) fn attempt_and_stream(
+/// One granted supplier ready for reactor hand-off: its open connection
+/// and the wire plan the reactor will send as `StartSession`.
+pub(crate) struct LaneLaunch {
+    pub class: PeerClass,
+    pub stream: TcpStream,
+    pub plan: SessionPlan,
+}
+
+/// What a finished reactor-hosted session delivers back to the caller.
+pub(crate) type SessionResult = Result<(StreamOutcome, SegmentStore), NodeError>;
+
+/// Everything a reactor shard needs to host one receiving session.
+pub(crate) struct SessionLaunch {
+    pub session: u64,
+    pub info: MediaInfo,
+    pub policy: SharedPolicy,
+    pub lanes: Vec<LaneLaunch>,
+    /// The plan's minimum feasible delay in slots of `δt` (Theorem 1 for
+    /// `Otsp2p`), for the outcome report.
+    pub theoretical_slots: u64,
+    pub done: Sender<SessionResult>,
+}
+
+/// One full §4.2 admission attempt followed (on success) by planning:
+/// returns the granted connections with their wire plans, ready for the
+/// reactor, plus the plan's theoretical delay. Suppliers the policy left
+/// empty-handed are `Release`d here and play no further part.
+pub(crate) fn admit_and_plan(
     candidates: Vec<CandidateRecord>,
     class: PeerClass,
     session: u64,
     info: &MediaInfo,
     policy: &dyn SelectionPolicy,
-) -> Result<(StreamOutcome, SegmentStore), NodeError> {
+) -> Result<(Vec<LaneLaunch>, u64), NodeError> {
     let mut net: Vec<NetCandidate> = candidates
         .into_iter()
         .map(|rec| NetCandidate::new(rec, session, class))
         .collect();
 
     let outcome = attempt_admission(class, &mut net);
-    match outcome {
-        ProbeOutcome::Admitted { granted } => {
-            let mut suppliers: Vec<(PeerClass, TcpStream)> = Vec::with_capacity(granted.len());
-            for i in granted {
-                let stream = net[i]
-                    .take_stream()
-                    .ok_or_else(|| NodeError::Protocol("granted candidate lost stream".into()))?;
-                suppliers.push((net[i].class(), stream));
-            }
-            receive_stream(suppliers, session, info, policy)
+    let granted = match outcome {
+        ProbeOutcome::Admitted { granted } => granted,
+        ProbeOutcome::Rejected { reminders, .. } => {
+            return Err(NodeError::Rejected {
+                reminders_left: reminders.len(),
+            })
         }
-        ProbeOutcome::Rejected { reminders, .. } => Err(NodeError::Rejected {
-            reminders_left: reminders.len(),
-        }),
+    };
+    let mut suppliers: Vec<(PeerClass, TcpStream)> = Vec::with_capacity(granted.len());
+    for i in granted {
+        let stream = net[i]
+            .take_stream()
+            .ok_or_else(|| NodeError::Protocol("granted candidate lost stream".into()))?;
+        suppliers.push((net[i].class(), stream));
     }
-}
 
-/// Plans the segment → supplier assignment over the granted suppliers
-/// through the configured [`SelectionPolicy`], starts the session on
-/// every assigned connection and receives until all suppliers finish.
-///
-/// With the default `Otsp2p` policy the emitted `SessionPlan`s are
-/// byte-identical to the pre-policy code path (the plan *is* the §3
-/// assignment, back-mapped to the granted order); other policies ship
-/// explicit one-shot plans over the same wire format.
-fn receive_stream(
-    mut suppliers: Vec<(PeerClass, TcpStream)>,
-    session: u64,
-    info: &MediaInfo,
-    policy: &dyn SelectionPolicy,
-) -> Result<(StreamOutcome, SegmentStore), NodeError> {
+    // With the default `Otsp2p` policy the emitted `SessionPlan`s are
+    // byte-identical to the pre-policy code path (the plan *is* the §3
+    // assignment, back-mapped to the granted order); other policies ship
+    // explicit one-shot plans over the same wire format.
     let classes: Vec<PeerClass> = suppliers.iter().map(|(c, _)| *c).collect();
     let ctx = SessionContext::full(&classes, info.segment_count()).with_seed(session);
     let plan = policy
@@ -183,102 +227,420 @@ fn receive_stream(
     }
     let theoretical_slots = plan.min_delay_slots(&ctx);
     let dt_ms = info.segment_duration().as_millis();
-    let started = Instant::now();
 
-    // Kick off every assigned supplier with its share of the plan; a
-    // supplier the policy left empty-handed is released (its grant held
-    // bandwidth the plan does not use) and plays no further part.
-    let mut active: Vec<(PeerClass, TcpStream)> = Vec::with_capacity(suppliers.len());
+    let mut lanes: Vec<LaneLaunch> = Vec::with_capacity(suppliers.len());
     for (slot, (class, mut stream)) in suppliers.drain(..).enumerate() {
         let segments = plan.slot(slot);
         if segments.is_empty() {
+            // The policy left this grant unused: its bandwidth reservation
+            // must not linger.
             let _ = write_message(&mut stream, &Message::Release { session });
             continue;
         }
-        let wire_plan = SessionPlan {
-            item: info.name().to_owned(),
-            segments: segments.to_vec(),
-            period: plan.period(),
-            total_segments: info.segment_count(),
-            dt_ms: dt_ms as u32,
-        };
-        write_message(
-            &mut stream,
-            &Message::StartSession {
-                session,
-                plan: wire_plan,
+        lanes.push(LaneLaunch {
+            class,
+            stream,
+            plan: SessionPlan {
+                item: info.name().to_owned(),
+                segments: segments.to_vec(),
+                period: plan.period(),
+                total_segments: info.segment_count(),
+                dt_ms: dt_ms as u32,
             },
-        )
-        .map_err(NodeError::Io)?;
-        active.push((class, stream));
+        });
     }
-    if active.is_empty() {
+    if lanes.is_empty() {
         return Err(NodeError::Protocol(format!(
             "policy '{}' assigned no segments to any supplier",
             policy.name()
         )));
     }
-    let classes: Vec<PeerClass> = active.iter().map(|(c, _)| *c).collect();
+    Ok((lanes, theoretical_slots))
+}
 
-    // One reader thread per supplier feeding a common channel.
-    let (tx, rx) = channel::unbounded::<(u64, bytes::Bytes, u64)>();
-    let mut readers = Vec::new();
-    for (_, stream) in active {
-        let tx = tx.clone();
-        readers.push(std::thread::spawn(move || -> io::Result<()> {
-            let mut stream = stream;
-            stream.set_read_timeout(Some(STREAM_READ_TIMEOUT))?;
-            loop {
-                match read_message(&mut stream)? {
-                    Message::SegmentData { index, payload, .. } => {
-                        let at = started.elapsed().as_millis() as u64;
-                        let _ = tx.send((index, payload, at));
-                    }
-                    Message::EndSession { .. } => return Ok(()),
-                    other => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("expected segment data, got {}", other.name()),
-                        ));
-                    }
+/// One reactor-hosted receiving session: the sans-io state machine plus
+/// the connection bookkeeping around it.
+struct ReqSession {
+    session: u64,
+    info: MediaInfo,
+    policy: SharedPolicy,
+    /// Active suppliers' classes, in lane order (the outcome report).
+    classes: Vec<PeerClass>,
+    /// Lane → live connection (None once ended or failed).
+    lane_conns: Vec<Option<ConnId>>,
+    sm: RequesterSession,
+    dt_ms: u64,
+    theoretical_slots: u64,
+    start_ms: u64,
+    done: Sender<SessionResult>,
+}
+
+/// A requester-side connection's reactor bookkeeping.
+struct ReqConn {
+    session: u64,
+    lane: usize,
+    dec: FrameDecoder,
+}
+
+/// All receiving sessions hosted on one reactor shard. Owned by the
+/// node's serve handler; every callback is dispatched here when the
+/// connection belongs to a requester lane.
+#[derive(Default)]
+pub(crate) struct ReqSessions {
+    sessions: HashMap<u64, ReqSession>,
+    conns: HashMap<ConnId, ReqConn>,
+}
+
+impl ReqSessions {
+    /// Whether `conn` is a requester-side connection on this shard.
+    pub(crate) fn owns(&self, conn: ConnId) -> bool {
+        self.conns.contains_key(&conn)
+    }
+
+    /// Hosts a new session: adopts every lane's connection, sends its
+    /// `StartSession`, and arms the read timers. Lanes whose adoption
+    /// fails are treated as immediate departures (replanned like any
+    /// other loss).
+    pub(crate) fn start(&mut self, ctx: &mut Ctx<'_>, launch: SessionLaunch) {
+        let SessionLaunch {
+            session,
+            info,
+            policy,
+            lanes,
+            theoretical_slots,
+            done,
+        } = launch;
+        let dt_ms = info.segment_duration().as_millis();
+        let mut sm = RequesterSession::new(info.segment_count());
+        let mut classes = Vec::with_capacity(lanes.len());
+        let mut lane_conns = Vec::with_capacity(lanes.len());
+        let mut dead_lanes = Vec::new();
+        let start_ms = ctx.now_ms();
+        for (lane_idx, lane) in lanes.into_iter().enumerate() {
+            classes.push(lane.class);
+            let slot = sm.add_supplier(lane.plan.expanded());
+            debug_assert_eq!(slot, lane_idx);
+            match ctx.adopt(lane.stream) {
+                Ok(conn) => {
+                    self.conns.insert(
+                        conn,
+                        ReqConn {
+                            session,
+                            lane: lane_idx,
+                            dec: FrameDecoder::new(),
+                        },
+                    );
+                    send(
+                        ctx,
+                        conn,
+                        &Message::StartSession {
+                            session,
+                            plan: lane.plan,
+                        },
+                    );
+                    ctx.set_timer(conn, K_REQ_READ, STREAM_READ_TIMEOUT_MS);
+                    lane_conns.push(Some(conn));
+                }
+                Err(_) => {
+                    lane_conns.push(None);
+                    dead_lanes.push(lane_idx);
                 }
             }
-        }));
+        }
+        self.sessions.insert(
+            session,
+            ReqSession {
+                session,
+                info,
+                policy,
+                classes,
+                lane_conns,
+                sm,
+                dt_ms,
+                theoretical_slots,
+                start_ms,
+                done,
+            },
+        );
+        for lane in dead_lanes {
+            self.fail_lane(ctx, session, lane);
+        }
+        self.try_finish(ctx, session);
     }
-    drop(tx);
 
-    let mut store = SegmentStore::new(info.segment_count());
-    let mut buffer = PlaybackBuffer::new(info.segment_count(), info.segment_duration());
-    while let Ok((index, payload, at_ms)) = rx.recv() {
-        if index < info.segment_count() {
-            buffer.record_arrival(index, at_ms);
-            store.insert(Segment::new(index, payload));
+    /// Bytes arrived on a requester connection.
+    pub(crate) fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let Some(mut rc) = self.conns.remove(&conn) else {
+            return;
+        };
+        rc.dec.feed(data);
+        loop {
+            match rc.dec.poll() {
+                Ok(Some(msg)) => match self.on_message(ctx, conn, &rc, msg) {
+                    LaneFlow::Keep => {}
+                    LaneFlow::Settled => return, // conn closed, maps updated
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt stream: a structured per-supplier failure,
+                    // not a session abort.
+                    self.close_lane_conn(ctx, &rc, conn);
+                    self.fail_lane(ctx, rc.session, rc.lane);
+                    return;
+                }
+            }
+        }
+        ctx.set_timer(conn, K_REQ_READ, STREAM_READ_TIMEOUT_MS);
+        self.conns.insert(conn, rc);
+    }
+
+    /// A requester-side timer fired: the supplier went quiet.
+    pub(crate) fn on_timer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _kind: u32) {
+        let Some(rc) = self.conns.remove(&conn) else {
+            return;
+        };
+        self.close_lane_conn(ctx, &rc, conn);
+        self.fail_lane(ctx, rc.session, rc.lane);
+    }
+
+    /// The supplier's connection dropped (peer close or I/O error).
+    pub(crate) fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let Some(rc) = self.conns.remove(&conn) else {
+            return;
+        };
+        if let Some(sess) = self.sessions.get_mut(&rc.session) {
+            sess.lane_conns[rc.lane] = None;
+        }
+        self.fail_lane(ctx, rc.session, rc.lane);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        rc: &ReqConn,
+        msg: Message,
+    ) -> LaneFlow {
+        let Some(sess) = self.sessions.get_mut(&rc.session) else {
+            ctx.close(conn);
+            return LaneFlow::Settled;
+        };
+        match msg {
+            Message::SegmentData {
+                session,
+                index,
+                payload,
+            } if session == rc.session => {
+                let at = ctx.now_ms().saturating_sub(sess.start_ms);
+                sess.sm.on_segment(rc.lane, index, payload, at);
+                if sess.sm.is_complete() {
+                    self.finish(ctx, rc.session, None);
+                    return LaneFlow::Settled;
+                }
+                LaneFlow::Keep
+            }
+            Message::EndSession { session } if session == rc.session => {
+                sess.lane_conns[rc.lane] = None;
+                ctx.close(conn);
+                let leftovers = sess.sm.on_end(rc.lane);
+                if leftovers.is_empty() {
+                    self.try_finish(ctx, rc.session);
+                } else {
+                    // A replan raced this supplier's EndSession: its
+                    // unserved share moves on to the remaining suppliers.
+                    self.replan_or_fail(ctx, rc.session, leftovers);
+                }
+                LaneFlow::Settled
+            }
+            _ => {
+                // Anything else mid-stream is a protocol violation by this
+                // supplier alone.
+                self.close_lane_conn(ctx, rc, conn);
+                self.fail_lane(ctx, rc.session, rc.lane);
+                LaneFlow::Settled
+            }
         }
     }
-    for handle in readers {
-        match handle.join() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => return Err(NodeError::Io(e)),
-            Err(_) => return Err(NodeError::Protocol("reader thread panicked".into())),
+
+    /// Marks the lane's connection gone (map + session + socket).
+    fn close_lane_conn(&mut self, ctx: &mut Ctx<'_>, rc: &ReqConn, conn: ConnId) {
+        if let Some(sess) = self.sessions.get_mut(&rc.session) {
+            sess.lane_conns[rc.lane] = None;
+        }
+        ctx.close(conn);
+    }
+
+    /// A supplier was lost: collect what it owed and replan onto the
+    /// survivors.
+    fn fail_lane(&mut self, ctx: &mut Ctx<'_>, session: u64, lane: usize) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if let Some(conn) = sess.lane_conns[lane].take() {
+            self.conns.remove(&conn);
+            ctx.close(conn);
+        }
+        let missing = sess.sm.on_failure(lane);
+        if missing.is_empty() {
+            self.try_finish(ctx, session);
+        } else {
+            self.replan_or_fail(ctx, session, missing);
         }
     }
 
-    if !store.is_complete() {
-        return Err(NodeError::IncompleteStream {
-            received: store.len() as u64,
-            expected: info.segment_count(),
-        });
+    /// Routes `missing` through the session's policy onto the surviving
+    /// suppliers; fails the session when recovery is impossible.
+    fn replan_or_fail(&mut self, ctx: &mut Ctx<'_>, session: u64, missing: Vec<u64>) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        match Self::replan(ctx, sess, &missing) {
+            Ok(()) => self.try_finish(ctx, session),
+            Err(e) => self.finish(ctx, session, Some(e)),
+        }
     }
 
-    let measured = buffer
-        .min_feasible_delay_ms()
-        .expect("store is complete, so is the buffer");
-    let outcome = StreamOutcome {
-        supplier_count: classes.len(),
-        supplier_classes: classes,
-        measured_delay_ms: measured,
-        theoretical_delay_ms: theoretical_slots * dt_ms,
-        duration_ms: started.elapsed().as_millis() as u64,
-    };
-    Ok((outcome, store))
+    /// The replan itself: survivors in, explicit wire plans out.
+    fn replan(ctx: &mut Ctx<'_>, sess: &mut ReqSession, missing: &[u64]) -> Result<(), NodeError> {
+        let total = sess.sm.total_segments();
+        let outstanding = total - sess.sm.received();
+        let survivors: Vec<usize> = sess
+            .sm
+            .streaming_suppliers()
+            .filter(|&lane| sess.lane_conns[lane].is_some())
+            .collect();
+        if survivors.is_empty() {
+            return Err(NodeError::SuppliersLost {
+                missing: outstanding,
+            });
+        }
+        let survivor_classes: Vec<PeerClass> =
+            survivors.iter().map(|&lane| sess.classes[lane]).collect();
+        let rctx = SessionContext::full(&survivor_classes, total).with_seed(sess.session);
+        let plan = sess
+            .policy
+            .replan(&rctx, missing)
+            .map_err(|e| NodeError::Protocol(format!("replan failed: {e}")))?;
+        if plan.slot_count() != survivors.len() {
+            return Err(NodeError::Protocol(format!(
+                "policy '{}' replanned {} slots for {} survivors",
+                sess.policy.name(),
+                plan.slot_count(),
+                survivors.len()
+            )));
+        }
+        let period = u32::try_from(total.max(1))
+            .map_err(|_| NodeError::Protocol("file too large for an explicit replan".into()))?;
+        let queues = plan.queues(0, total);
+        let assigned: usize = queues.iter().map(Vec::len).sum();
+        if assigned < missing.len() {
+            // The policy could not place every lost segment; the session
+            // can never complete.
+            return Err(NodeError::SuppliersLost {
+                missing: outstanding,
+            });
+        }
+        for (j, queue) in queues.into_iter().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            let lane = survivors[j];
+            let conn = sess.lane_conns[lane].expect("survivor has a live connection");
+            let wire = SessionPlan {
+                item: sess.info.name().to_owned(),
+                segments: queue.iter().map(|&s| s as u32).collect(),
+                period,
+                total_segments: total,
+                dt_ms: sess.dt_ms as u32,
+            };
+            sess.sm.assign_more(lane, queue);
+            // Surviving suppliers append explicit plans to their running
+            // schedule (the wire-level replan extension) and keep pacing
+            // at their class rate.
+            send(
+                ctx,
+                conn,
+                &Message::StartSession {
+                    session: sess.session,
+                    plan: wire,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Finishes the session if it is complete, or if nothing can still
+    /// make progress (all lanes terminal with segments missing).
+    fn try_finish(&mut self, ctx: &mut Ctx<'_>, session: u64) {
+        let Some(sess) = self.sessions.get(&session) else {
+            return;
+        };
+        if sess.sm.is_complete() {
+            self.finish(ctx, session, None);
+            return;
+        }
+        let any_live = sess
+            .sm
+            .streaming_suppliers()
+            .any(|lane| sess.lane_conns[lane].is_some());
+        if !any_live {
+            let err = NodeError::IncompleteStream {
+                received: sess.sm.received(),
+                expected: sess.sm.total_segments(),
+            };
+            self.finish(ctx, session, Some(err));
+        }
+    }
+
+    /// Tears the session down and reports to the waiting caller.
+    fn finish(&mut self, ctx: &mut Ctx<'_>, session: u64, err: Option<NodeError>) {
+        let Some(mut sess) = self.sessions.remove(&session) else {
+            return;
+        };
+        for conn in sess.lane_conns.iter_mut().filter_map(Option::take) {
+            self.conns.remove(&conn);
+            ctx.close(conn);
+        }
+        let done = sess.done.clone();
+        let result = match err {
+            Some(e) => Err(e),
+            None => Ok(Self::complete(sess, ctx.now_ms())),
+        };
+        // The caller may have given up (dropped the receiver); that is
+        // its prerogative, not an error here.
+        let _ = done.send(result);
+    }
+
+    /// Builds the outcome + store for a completed session.
+    fn complete(sess: ReqSession, now_ms: u64) -> (StreamOutcome, SegmentStore) {
+        let total = sess.sm.total_segments();
+        let mut store = SegmentStore::new(total);
+        let mut buffer = PlaybackBuffer::new(total, sess.info.segment_duration());
+        for (index, entry) in sess.sm.into_segments().into_iter().enumerate() {
+            if let Some((payload, at_ms)) = entry {
+                buffer.record_arrival(index as u64, at_ms);
+                store.insert(Segment::new(index as u64, payload));
+            }
+        }
+        let measured = buffer
+            .min_feasible_delay_ms()
+            .expect("session completed, so did the buffer");
+        let outcome = StreamOutcome {
+            supplier_count: sess.classes.len(),
+            supplier_classes: sess.classes,
+            measured_delay_ms: measured,
+            theoretical_delay_ms: sess.theoretical_slots * sess.dt_ms,
+            duration_ms: now_ms.saturating_sub(sess.start_ms),
+        };
+        (outcome, store)
+    }
+}
+
+/// What to do with a requester connection after one message.
+enum LaneFlow {
+    /// Keep decoding on this connection.
+    Keep,
+    /// The connection's lane settled (ended, failed, or session over);
+    /// maps are already updated and the conn must not be re-inserted.
+    Settled,
 }

@@ -1,19 +1,22 @@
-//! The reactor-backed supplier serving path.
+//! The reactor-backed node runtime: supplier serving + requester hosting.
 //!
-//! One [`NodeReactor`] thread carries the server side of any number of
-//! peer nodes: the `DACp2p` admission handshake, reminder collection, and
-//! §3 paced segment streaming are all event-driven per-connection state
-//! machines. Pacing uses timer-wheel deadlines instead of
-//! `thread::sleep`, so a session occupies a connection slot and a timer —
-//! not a thread — and one reactor thread sustains thousands of concurrent
-//! sessions. The requester side stays blocking ([`crate::requester`]) and
-//! interoperates over the unchanged wire format.
+//! A [`NodeReactor`] is a [`ReactorPool`] of 1..N epoll threads carrying
+//! *both* halves of any number of peer nodes. The supplier side — the
+//! `DACp2p` admission handshake, reminder collection, and §3 paced
+//! segment streaming — runs as event-driven per-connection state
+//! machines, pacing on timer-wheel deadlines instead of `thread::sleep`.
+//! The requester side ([`crate::requester`]) hands its granted
+//! connections here too: a sans-io `RequesterSession` per session
+//! receives the paced stream, with supplier departures replanned live.
+//! A session occupies connection slots and timers — never a thread — so
+//! one process sustains thousands of full-duplex sessions, sharded
+//! across reactor threads by node tag (supplier side) and session id
+//! (requester side).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -21,9 +24,10 @@ use rand::SeedableRng;
 use p2ps_core::admission::RequestDecision;
 use p2ps_core::PeerClass;
 use p2ps_media::MediaFile;
-use p2ps_net::{ConnId, Ctx, Handler, Reactor, ReactorConfig};
+use p2ps_net::{ConnId, Ctx, Handler, PoolHandle, ReactorConfig, ReactorPool};
 use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan};
 
+use crate::requester::{ReqSessions, SessionLaunch};
 use crate::supplier::{SupplierShared, GRANT_TTL_MS};
 
 /// Read-progress timer: fires when the peer goes quiet in a phase that
@@ -53,6 +57,11 @@ pub(crate) enum NodeCmd {
         /// The tag passed at attach time.
         tag: u64,
     },
+    /// Host a requesting peer's streaming session on this shard: adopt
+    /// its granted connections and drive the sans-io receive state
+    /// machine (boxed: the launch carries streams, plans and a result
+    /// channel).
+    StartRequester(Box<SessionLaunch>),
 }
 
 /// Per-connection protocol phase (the supplier half of §4.2).
@@ -60,12 +69,11 @@ enum Phase {
     /// Fresh connection: the first frame must be a `StreamRequest`.
     AwaitRequest,
     /// Grant sent; a `StartSession` must confirm within the grant TTL.
-    AwaitStart {
-        session: u64,
-    },
+    AwaitStart { session: u64 },
     /// Busy denial sent; absorbing `Reminder`s until the peer hangs up.
     Reminders,
-    Streaming(StreamState),
+    /// Boxed: the stream state dwarfs the handshake phases.
+    Streaming(Box<StreamState>),
 }
 
 /// An in-flight paced streaming session.
@@ -73,16 +81,66 @@ struct StreamState {
     session: u64,
     /// O(1) snapshot: a shared view of the node's media allocation.
     file: MediaFile,
-    segments: Vec<u32>,
-    period: u64,
+    /// The base wire plan: `plan.nth_segment` (the one shared expansion
+    /// rule) defines what this supplier owes, O(1) memory however long
+    /// the file.
+    plan: SessionPlan,
     /// Slots per period for this supplier: pacing stride `spp · δt`.
     spp: u64,
-    dt_ms: u64,
-    total: u64,
-    /// Next transmission ordinal `p` (0-based, §3 numbering).
+    /// Next transmission ordinal `p` (0-based, §3 numbering) — drives the
+    /// pacing deadline across base and appended segments alike.
     p: u64,
+    /// Next index into the base plan's periodic expansion.
+    base_p: u64,
+    /// The base plan reached its first out-of-range segment.
+    base_done: bool,
+    /// Mid-stream replan shares (explicit plans the requester appended
+    /// after losing another supplier), served after the base plan at the
+    /// same pacing stride.
+    appended: VecDeque<u32>,
     /// Reactor time at `StartSession`.
     start_ms: u64,
+}
+
+impl StreamState {
+    /// The next segment due for transmission, skipping out-of-range
+    /// entries, or `None` when the whole schedule (base + appended) is
+    /// exhausted. Does not consume; pair with [`consume`](Self::consume)
+    /// after the send.
+    fn next_unsent(&mut self) -> Option<u64> {
+        // The plan already bounds by its own total; a shorter local file
+        // copy additionally caps what can be served.
+        let cap = self.file.info().segment_count();
+        loop {
+            if !self.base_done {
+                match self.plan.nth_segment(self.base_p) {
+                    Some(seg) if seg < cap => return Some(seg),
+                    _ => self.base_done = true,
+                }
+            } else {
+                match self.appended.front() {
+                    Some(&seg) if u64::from(seg) < self.plan.total_segments.min(cap) => {
+                        return Some(u64::from(seg))
+                    }
+                    Some(_) => {
+                        self.appended.pop_front();
+                    }
+                    None => return None,
+                }
+            }
+        }
+    }
+
+    /// Marks the segment returned by [`next_unsent`](Self::next_unsent)
+    /// as transmitted.
+    fn consume(&mut self) {
+        if self.base_done {
+            self.appended.pop_front();
+        } else {
+            self.base_p += 1;
+        }
+        self.p += 1;
+    }
 }
 
 struct ConnState {
@@ -102,11 +160,14 @@ enum Flow {
     CloseAfterFlush,
 }
 
-/// The reactor handler multiplexing every attached node's supplier side.
+/// The reactor handler multiplexing every attached node's supplier side
+/// plus every requester session routed to this shard.
 #[derive(Default)]
 pub(crate) struct NodeServeHandler {
     nodes: HashMap<u64, Arc<SupplierShared>>,
     conns: HashMap<ConnId, ConnState>,
+    /// Reactor-hosted receiving sessions (the requester half).
+    req: ReqSessions,
 }
 
 /// Queues every chunk of `msg`'s frame on `conn` — the one place that
@@ -221,8 +282,23 @@ impl NodeServeHandler {
                 Flow::Keep
             }
             (Phase::Reminders, _) => Flow::CloseNow,
-            // The requester does not speak during streaming; tolerate
-            // noise (e.g. an early EndSession) without dropping pacing.
+            // Mid-stream replan: after losing another supplier the
+            // requester appends an *explicit* share of the lost segments
+            // to this one's schedule. Served after the running plan, at
+            // the same pacing stride.
+            (
+                Phase::Streaming(ref mut s),
+                Message::StartSession {
+                    session: confirmed,
+                    plan,
+                },
+            ) if confirmed == s.session && plan.is_explicit() => {
+                s.appended.extend(plan.segments.iter().copied());
+                Flow::Keep
+            }
+            // Otherwise the requester does not speak during streaming;
+            // tolerate noise (e.g. an early EndSession) without dropping
+            // pacing.
             (Phase::Streaming(_), _) => Flow::Keep,
             (Phase::AwaitRequest, _) => Flow::CloseNow,
         }
@@ -274,15 +350,15 @@ impl NodeServeHandler {
             session,
             file,
             spp,
-            segments: plan.segments,
-            period: plan.period as u64,
-            dt_ms: plan.dt_ms as u64,
-            total: plan.total_segments,
+            plan,
             p: 0,
+            base_p: 0,
+            base_done: false,
+            appended: VecDeque::new(),
             start_ms: ctx.now_ms(),
         };
         ctx.cancel_timer(conn, K_READ);
-        st.phase = Phase::Streaming(stream);
+        st.phase = Phase::Streaming(Box::new(stream));
         // First deadline may be 0 ms out (dt=0 plans): fire promptly.
         ctx.set_timer(conn, K_PACE, 0);
         Ok(())
@@ -300,16 +376,13 @@ impl NodeServeHandler {
             // requester sees the connection drop, not an EndSession.
             return Flow::CloseNow;
         }
-        let per_period = s.segments.len() as u64;
         loop {
-            let seg =
-                (s.p / per_period) * s.period + u64::from(s.segments[(s.p % per_period) as usize]);
-            if seg >= s.total || seg >= s.file.info().segment_count() {
+            let Some(seg) = s.next_unsent() else {
                 let session = s.session;
                 send(ctx, conn, &Message::EndSession { session });
                 return Flow::CloseAfterFlush;
-            }
-            let deadline = s.start_ms + (s.p + 1) * s.spp * s.dt_ms;
+            };
+            let deadline = s.start_ms + (s.p + 1) * s.spp * u64::from(s.plan.dt_ms);
             let now = ctx.now_ms();
             if deadline > now {
                 ctx.set_timer(conn, K_PACE, deadline - now);
@@ -331,7 +404,7 @@ impl NodeServeHandler {
                     payload: segment.into_payload(),
                 },
             );
-            s.p += 1;
+            s.consume();
         }
     }
 
@@ -410,6 +483,7 @@ impl Handler for NodeServeHandler {
                     }
                 }
             }
+            NodeCmd::StartRequester(launch) => self.req.start(ctx, *launch),
         }
     }
 
@@ -431,6 +505,10 @@ impl Handler for NodeServeHandler {
     }
 
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        if self.req.owns(conn) {
+            self.req.on_data(ctx, conn, data);
+            return;
+        }
         let Some(mut st) = self.conns.remove(&conn) else {
             return;
         };
@@ -455,6 +533,10 @@ impl Handler for NodeServeHandler {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, kind: u32) {
+        if self.req.owns(conn) {
+            self.req.on_timer(ctx, conn, kind);
+            return;
+        }
         let Some(mut st) = self.conns.remove(&conn) else {
             return;
         };
@@ -471,20 +553,27 @@ impl Handler for NodeServeHandler {
         }
     }
 
-    fn on_close(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId) {
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        if self.req.owns(conn) {
+            self.req.on_close(ctx, conn);
+            return;
+        }
         if let Some(st) = self.conns.remove(&conn) {
             Self::settle(&st);
         }
     }
 }
 
-/// A serving reactor shared by any number of [`PeerNode`](crate::PeerNode)s.
+/// The node runtime's reactor pool, shared by any number of
+/// [`PeerNode`](crate::PeerNode)s.
 ///
 /// Each node registers its listener here
-/// ([`PeerNode::spawn_on`](crate::PeerNode::spawn_on)); all of their
-/// admission handshakes and
-/// paced streaming sessions then run on this single thread. A node
-/// spawned without an explicit reactor owns a private one.
+/// ([`PeerNode::spawn_on`](crate::PeerNode::spawn_on)) and routes its
+/// requester sessions here too; with [`with_threads`](Self::with_threads)
+/// the pool shards nodes (by tag) and sessions (by session id) across N
+/// reactor threads, one epoll loop per core. [`new`](Self::new) keeps the
+/// single-thread behavior of earlier releases. A node spawned without an
+/// explicit reactor owns a private one.
 ///
 /// # Examples
 ///
@@ -495,10 +584,10 @@ impl Handler for NodeServeHandler {
 /// use p2ps_media::MediaInfo;
 ///
 /// let dir = DirectoryServer::start()?;
-/// let reactor = NodeReactor::new()?;
+/// // 8 supplier nodes sharded over 2 serving threads.
+/// let reactor = NodeReactor::with_threads(2)?;
 /// let clock = Clock::new();
 /// let info = MediaInfo::new("demo", 16, SegmentDuration::from_millis(10), 512);
-/// // 8 supplier nodes, one serving thread.
 /// let nodes: Vec<PeerNode> = (0..8u64)
 ///     .map(|i| {
 ///         let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
@@ -511,50 +600,46 @@ impl Handler for NodeServeHandler {
 /// ```
 #[derive(Debug)]
 pub struct NodeReactor {
-    handle: p2ps_net::Handle<NodeCmd>,
-    thread: Option<JoinHandle<io::Result<()>>>,
+    pool: ReactorPool<NodeCmd>,
 }
 
 impl NodeReactor {
-    /// Starts the reactor thread.
+    /// Starts a single reactor thread (the source-compatible default).
     ///
     /// # Errors
     ///
     /// Propagates epoll / self-pipe creation errors.
     pub fn new() -> io::Result<Self> {
-        let (reactor, handle) = Reactor::new(ReactorConfig::default())?;
-        let thread = std::thread::Builder::new()
-            .name("p2ps-node-reactor".into())
-            .spawn(move || reactor.run(&mut NodeServeHandler::default()))
-            .expect("spawning the node reactor thread cannot fail");
-        Ok(NodeReactor {
-            handle,
-            thread: Some(thread),
-        })
+        Self::with_threads(1)
     }
 
-    pub(crate) fn handle(&self) -> &p2ps_net::Handle<NodeCmd> {
-        &self.handle
+    /// Starts a pool of `threads` reactor threads (clamped to at least
+    /// one). Nodes and sessions registered through this reactor are
+    /// hash-sharded across them; every connection's events stay on its
+    /// shard's thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll / self-pipe creation errors.
+    pub fn with_threads(threads: usize) -> io::Result<Self> {
+        let pool = ReactorPool::spawn(threads, ReactorConfig::default(), |_| {
+            NodeServeHandler::default()
+        })?;
+        Ok(NodeReactor { pool })
     }
 
-    /// Stops the reactor and joins its thread; all hosted connections
+    /// Number of reactor threads in the pool.
+    pub fn thread_count(&self) -> usize {
+        self.pool.shard_count()
+    }
+
+    pub(crate) fn handle(&self) -> PoolHandle<NodeCmd> {
+        self.pool.handle()
+    }
+
+    /// Stops every reactor thread and joins it; all hosted connections
     /// drop (in-flight sessions abort like a supplier crash).
-    pub fn shutdown(mut self) {
-        self.stop_inner();
-    }
-
-    fn stop_inner(&mut self) {
-        self.handle.shutdown();
-        if let Some(h) = self.thread.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for NodeReactor {
-    fn drop(&mut self) {
-        if self.thread.is_some() {
-            self.stop_inner();
-        }
+    pub fn shutdown(self) {
+        self.pool.shutdown();
     }
 }

@@ -12,9 +12,11 @@ use crate::{Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode
 ///
 /// Mirrors the paper's system at laptop scale: seeds own the file,
 /// requesters stream it and become suppliers, so the swarm's capacity
-/// grows with every completed session. All nodes' supplier sides share
-/// one [`NodeReactor`] thread, so the swarm's serving footprint is one
-/// event loop no matter how many peers join.
+/// grows with every completed session. All nodes — supplier *and*
+/// requester sides — share one [`NodeReactor`] pool, so the swarm's
+/// footprint is one event loop per configured thread
+/// ([`start_with_threads`](Self::start_with_threads)) no matter how many
+/// peers join.
 ///
 /// # Examples
 ///
@@ -53,13 +55,28 @@ impl std::fmt::Debug for Swarm {
 
 impl Swarm {
     /// Starts a directory server and `seed_count` class-1 seed suppliers
-    /// for the given media item.
+    /// for the given media item, on a single-threaded reactor.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from starting the servers.
     pub fn start(info: MediaInfo, seed_count: usize) -> Result<Self, NodeError> {
-        Self::start_inner(info, seed_count, DirectoryServer::start()?)
+        Self::start_inner(info, seed_count, DirectoryServer::start()?, 1)
+    }
+
+    /// Like [`start`](Self::start) but the swarm's nodes and sessions are
+    /// sharded across `threads` reactor threads — the multi-core knob for
+    /// swarms whose aggregate traffic outgrows one event loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from starting the servers.
+    pub fn start_with_threads(
+        info: MediaInfo,
+        seed_count: usize,
+        threads: usize,
+    ) -> Result<Self, NodeError> {
+        Self::start_inner(info, seed_count, DirectoryServer::start()?, threads)
     }
 
     /// Like [`start`](Self::start) but the lookup service indexes
@@ -78,6 +95,7 @@ impl Swarm {
             info,
             seed_count,
             DirectoryServer::start_with_chord(index_nodes)?,
+            1,
         )
     }
 
@@ -85,11 +103,12 @@ impl Swarm {
         info: MediaInfo,
         seed_count: usize,
         directory: DirectoryServer,
+        threads: usize,
     ) -> Result<Self, NodeError> {
         let clock = Clock::new();
         let mut swarm = Swarm {
             directory,
-            reactor: NodeReactor::new().map_err(NodeError::Io)?,
+            reactor: NodeReactor::with_threads(threads).map_err(NodeError::Io)?,
             clock,
             info,
             nodes: Vec::new(),
@@ -155,6 +174,11 @@ impl Swarm {
     /// The swarm's shared clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Reactor threads carrying the swarm's nodes and sessions.
+    pub fn thread_count(&self) -> usize {
+        self.reactor.thread_count()
     }
 
     /// Number of peer nodes (seeds + converted requesters).

@@ -1,0 +1,189 @@
+//! Live replan on supplier departure: kill one supplier mid-stream and
+//! the requester still completes **byte-identically** via the fallback
+//! plan.
+//!
+//! Two class-2 seeds serve one class-1 requester (together they match
+//! `R0`, so the §3 periodic assignment splits the file across both). Mid-
+//! stream, one seed is shut down — its connection drops like a crash.
+//! The reactor-hosted requester must treat that as a structured
+//! per-supplier failure, route the dead supplier's undelivered share
+//! through `SelectionPolicy::replan`, append it to the survivor's
+//! schedule over the wire, and finish with a file identical to the
+//! synthesized original.
+
+use std::time::{Duration, Instant};
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaFile;
+use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeReactor, PeerNode};
+
+const SEGMENTS: u64 = 64;
+const DT_MS: u64 = 20;
+
+#[test]
+fn killed_supplier_is_replanned_and_the_file_is_byte_identical() {
+    let info = p2ps_media::MediaInfo::new(
+        "replan-departure",
+        SEGMENTS,
+        SegmentDuration::from_millis(DT_MS),
+        512,
+    );
+    let reference = MediaFile::synthesize(info.clone());
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::new().unwrap();
+
+    let class2 = PeerClass::new(2).unwrap();
+    let seed_a = PeerNode::spawn_seed_on(
+        NodeConfig::new(PeerId::new(0), class2, info.clone(), dir.addr()),
+        clock.clone(),
+        &reactor,
+    )
+    .unwrap();
+    let seed_b = PeerNode::spawn_seed_on(
+        NodeConfig::new(PeerId::new(1), class2, info.clone(), dir.addr()),
+        clock.clone(),
+        &reactor,
+    )
+    .unwrap();
+
+    // A class-1 requester needs both class-2 grants (1/2 + 1/2 = R0) and
+    // is favored by every reachable admission vector, so the two-supplier
+    // session is deterministic.
+    let requester = PeerNode::spawn_on(
+        NodeConfig::new(PeerId::new(2), PeerClass::HIGHEST, info.clone(), dir.addr()),
+        clock.clone(),
+        &reactor,
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    let pending = requester.begin_stream(8).unwrap();
+
+    // Let roughly a quarter of the paced session elapse, then crash one
+    // supplier. The full session runs ≈ SEGMENTS · DT_MS = 1.28 s, so
+    // 300 ms is reliably mid-stream.
+    std::thread::sleep(Duration::from_millis(300));
+    seed_b.shutdown();
+
+    let outcome = pending
+        .wait()
+        .expect("session must survive the departure via replan");
+    assert_eq!(outcome.supplier_count, 2, "both seeds granted the session");
+    assert!(
+        started.elapsed() >= Duration::from_millis((SEGMENTS - 1) * DT_MS),
+        "the survivor still paces; the session cannot beat its schedule"
+    );
+
+    // Byte-for-byte: the reassembled file equals the synthesized one.
+    let file = requester.media_file().expect("requester stored the file");
+    for i in 0..SEGMENTS {
+        assert_eq!(
+            file.segment(i).into_payload(),
+            reference.segment(i).into_payload(),
+            "segment {i} differs after the replan"
+        );
+    }
+    assert!(requester.is_supplier(), "completed peers re-register");
+
+    requester.shutdown();
+    seed_a.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+#[test]
+fn shutdown_mid_session_keeps_the_file_but_never_advertises_a_dead_port() {
+    // The requesting node is shut down while its session is still in
+    // flight on the shared pool. The session itself completes (its lanes
+    // are not the node's supplier connections), but the directory must
+    // NOT be handed the dead listener's port.
+    let info = p2ps_media::MediaInfo::new(
+        "shutdown-no-register",
+        SEGMENTS,
+        SegmentDuration::from_millis(DT_MS),
+        512,
+    );
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::new().unwrap();
+    let seed = PeerNode::spawn_seed_on(
+        NodeConfig::new(PeerId::new(0), PeerClass::HIGHEST, info.clone(), dir.addr()),
+        clock.clone(),
+        &reactor,
+    )
+    .unwrap();
+    let requester_id = PeerId::new(7);
+    let requester = PeerNode::spawn_on(
+        NodeConfig::new(requester_id, PeerClass::HIGHEST, info.clone(), dir.addr()),
+        clock.clone(),
+        &reactor,
+    )
+    .unwrap();
+
+    let pending = requester.begin_stream(8).unwrap();
+    requester.shutdown();
+    pending
+        .wait()
+        .expect("the in-flight session outlives the node handle");
+    let candidates = p2ps_node::query_candidates(dir.addr(), info.name(), 16).unwrap();
+    assert!(
+        candidates.iter().all(|c| c.id != requester_id),
+        "a shut-down node must not register as a supplier: {candidates:?}"
+    );
+
+    seed.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+#[test]
+fn losing_every_supplier_fails_with_a_structured_error() {
+    // Same shape, but both seeds die: no survivor remains to replan onto
+    // and the session must fail with SuppliersLost — the structured
+    // replacement for the old reader-thread error mapping.
+    let info = p2ps_media::MediaInfo::new(
+        "replan-total-loss",
+        SEGMENTS,
+        SegmentDuration::from_millis(DT_MS),
+        512,
+    );
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::new().unwrap();
+    let class2 = PeerClass::new(2).unwrap();
+    let seeds: Vec<PeerNode> = (0..2)
+        .map(|i| {
+            PeerNode::spawn_seed_on(
+                NodeConfig::new(PeerId::new(i), class2, info.clone(), dir.addr()),
+                clock.clone(),
+                &reactor,
+            )
+            .unwrap()
+        })
+        .collect();
+    let requester = PeerNode::spawn_on(
+        NodeConfig::new(PeerId::new(9), PeerClass::HIGHEST, info.clone(), dir.addr()),
+        clock.clone(),
+        &reactor,
+    )
+    .unwrap();
+
+    let pending = requester.begin_stream(8).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    for seed in seeds {
+        seed.shutdown();
+    }
+    match pending.wait() {
+        Err(p2ps_node::NodeError::SuppliersLost { missing }) => {
+            assert!(missing > 0, "something must have been outstanding");
+        }
+        other => panic!("expected SuppliersLost, got {other:?}"),
+    }
+    assert!(!requester.is_supplier(), "no truncated file is re-served");
+
+    requester.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}

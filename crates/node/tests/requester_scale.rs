@@ -1,0 +1,132 @@
+//! ≥256 SIMULTANEOUS requester sessions on a 2-thread `ReactorPool`.
+//!
+//! The acceptance pin of the reactor-hosted requester: one process runs
+//! 256 receiving sessions concurrently — none of them owning a thread —
+//! sharded across two reactor threads that also carry every supplier's
+//! serving side (full duplex). Each session runs the real path end to
+//! end: directory query, §4.2 admission handshake, policy plan, reactor
+//! hand-off, paced reception, byte-for-byte reassembly, re-registration
+//! as a supplier.
+//!
+//! Simultaneity is proved by pacing: a session cannot finish before its
+//! own §3 schedule (≈ `SEGMENTS · DT_MS`), so once the last
+//! `begin_stream` returns within that floor, all 256 sessions are in
+//! flight at the same instant.
+
+use std::time::{Duration, Instant};
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::{MediaFile, MediaInfo};
+use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode};
+
+const SESSIONS: usize = 256;
+/// More seeds than sessions so late admissions still find idle suppliers
+/// (a class-1 session occupies exactly one class-1 seed).
+const SEEDS: u64 = 320;
+const SEGMENTS: u64 = 128;
+const DT_MS: u64 = 60;
+const PAYLOAD: u32 = 64;
+
+#[test]
+fn two_hundred_fifty_six_simultaneous_sessions_on_a_two_thread_pool() {
+    let info = MediaInfo::new(
+        "requester-scale",
+        SEGMENTS,
+        SegmentDuration::from_millis(DT_MS),
+        PAYLOAD,
+    );
+    let reference = MediaFile::synthesize(info.clone());
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+
+    let reactor = NodeReactor::with_threads(2).unwrap();
+    assert_eq!(reactor.thread_count(), 2);
+
+    let seeds: Vec<PeerNode> = (0..SEEDS)
+        .map(|i| {
+            let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+            PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor).unwrap()
+        })
+        .collect();
+
+    // Kick off all sessions. Admission is a short blocking exchange on
+    // this thread; the streams themselves live on the pool. A busy-pool
+    // rejection (every sampled candidate already serving) just retries.
+    let begin_start = Instant::now();
+    let mut requesters = Vec::with_capacity(SESSIONS);
+    let mut pendings = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS as u64 {
+        let cfg = NodeConfig::new(
+            PeerId::new(SEEDS + i),
+            PeerClass::HIGHEST,
+            info.clone(),
+            dir.addr(),
+        );
+        let node = PeerNode::spawn_on(cfg, clock.clone(), &reactor).unwrap();
+        let mut attempt = 0;
+        let pending = loop {
+            match node.begin_stream(16) {
+                Ok(p) => break p,
+                Err(NodeError::Rejected { .. }) if attempt < 20 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("session {i}: admission failed: {e}"),
+            }
+        };
+        requesters.push(node);
+        pendings.push(pending);
+    }
+    let begin_elapsed = begin_start.elapsed();
+
+    // Every session paces at least (SEGMENTS-1)·δt from ITS start, so if
+    // all 256 hand-offs completed inside that floor, there is an instant
+    // at which all 256 sessions are simultaneously in flight.
+    let pacing_floor = Duration::from_millis((SEGMENTS - 1) * DT_MS);
+    assert!(
+        begin_elapsed < pacing_floor,
+        "admissions took {begin_elapsed:?}; too slow to overlap all \
+         {SESSIONS} sessions inside the {pacing_floor:?} pacing floor"
+    );
+
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let outcome = pending
+            .wait()
+            .unwrap_or_else(|e| panic!("session {i} failed: {e}"));
+        assert_eq!(outcome.supplier_count, 1, "session {i}: one class-1 seed");
+        assert_eq!(outcome.theoretical_delay_ms, DT_MS, "session {i}");
+    }
+    let wall = begin_start.elapsed();
+    // 256 paced sessions of ≈7.6 s each, serially ≈32 min; concurrently
+    // they must land within a small multiple of one session.
+    assert!(
+        wall < 4 * pacing_floor,
+        "sessions did not overlap: {wall:?} total"
+    );
+
+    // Byte-for-byte: every requester reassembled the exact file and can
+    // now supply it.
+    for (i, node) in requesters.iter().enumerate() {
+        let file = node
+            .media_file()
+            .unwrap_or_else(|| panic!("session {i} stored no file"));
+        for s in 0..SEGMENTS {
+            assert_eq!(
+                file.segment(s).into_payload(),
+                reference.segment(s).into_payload(),
+                "session {i}: segment {s} bytes differ"
+            );
+        }
+        assert!(node.is_supplier());
+    }
+
+    for node in requesters {
+        node.shutdown();
+    }
+    for seed in seeds {
+        seed.shutdown();
+    }
+    reactor.shutdown();
+    dir.shutdown();
+}

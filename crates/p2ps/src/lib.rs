@@ -21,8 +21,8 @@
 //! | [`media`] | `p2ps-media` | CBR segmentation, stores, playback buffer |
 //! | [`lookup`] | `p2ps-lookup` | centralized directory and Chord ring |
 //! | [`proto`] | `p2ps-proto` | wire messages, binary codec, sans-io frame decoder/encoder |
-//! | [`net`] | `p2ps-net` | Linux epoll reactor: nonblocking sockets, buffered writes, timer wheel |
-//! | [`node`] | `p2ps-node` | runnable TCP peer node, reactor-hosted directory server and supplier path, swarm harness |
+//! | [`net`] | `p2ps-net` | Linux epoll reactor + multi-reactor `ReactorPool`: nonblocking sockets, buffered writes, timer wheel, key-sharded pools |
+//! | [`node`] | `p2ps-node` | runnable TCP peer node (reactor-hosted directory, supplier *and* requester paths), swarm harness |
 //! | [`sim`] | `p2ps-sim` | the paper's 50,100-peer evaluation as a deterministic simulator, plus the policy × VoD-scenario matrix |
 //! | [`metrics`] | `p2ps-metrics` | series, tables, plots for the experiment harness |
 //!
@@ -93,7 +93,7 @@ pub mod prelude {
     pub use p2ps_core::assignment::{edf, otsp2p, Assignment, SegmentDuration};
     pub use p2ps_core::{Bandwidth, CapacityTracker, PeerClass, PeerId};
     pub use p2ps_media::{MediaFile, MediaInfo, PlaybackBuffer};
-    pub use p2ps_node::{DirectoryServer, NodeConfig, NodeReactor, PeerNode, Swarm};
+    pub use p2ps_node::{DirectoryServer, NodeConfig, NodeReactor, PeerNode, PendingStream, Swarm};
     pub use p2ps_policy::{
         Otsp2p, RandomBaseline, RarestFirst, SelectionPolicy, SequentialWindow, SessionContext,
         SharedPolicy,

@@ -37,6 +37,39 @@ pub struct SessionPlan {
     pub dt_ms: u32,
 }
 
+impl SessionPlan {
+    /// Whether this is an *explicit* (one-shot) plan: its period spans the
+    /// whole file, so [`expanded`](Self::expanded) yields `segments` once,
+    /// verbatim. Periodic §3 plans repeat per period instead. The supplier
+    /// paces explicit plans at its own class rate.
+    pub fn is_explicit(&self) -> bool {
+        u64::from(self.period) == self.total_segments.max(1)
+    }
+
+    /// The segment transmission ordinal `p` carries under this plan —
+    /// `(p / len) · period + segments[p % len]` — or `None` once the
+    /// session is over (the first out-of-range segment ends it). This is
+    /// **the** wire expansion rule: the supplier's pacing loop, the
+    /// requester's owed-queue bookkeeping and `p2ps-policy`'s
+    /// `PolicyPlan::queues` must all agree with it.
+    pub fn nth_segment(&self, p: u64) -> Option<u64> {
+        let len = self.segments.len() as u64;
+        if len == 0 {
+            return None; // empty plan: ends immediately
+        }
+        let seg = (p / len) * u64::from(self.period) + u64::from(self.segments[(p % len) as usize]);
+        (seg < self.total_segments).then_some(seg)
+    }
+
+    /// The plan's whole transmission queue:
+    /// [`nth_segment`](Self::nth_segment) for `p = 0, 1, …` until the
+    /// session ends. The requester's session state machine uses this to
+    /// know what every supplier still owes.
+    pub fn expanded(&self) -> impl Iterator<Item = u64> + '_ {
+        (0u64..).map_while(move |p| self.nth_segment(p))
+    }
+}
+
 /// Every message exchanged between peers and the directory server.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]

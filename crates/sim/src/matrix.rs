@@ -318,8 +318,8 @@ mod tests {
     fn matrix_covers_every_cell() {
         let report = quick().run();
         assert_eq!(report.policies().len(), 4);
-        assert_eq!(report.scenarios().len(), 5);
-        assert_eq!(report.cells().len(), 20);
+        assert_eq!(report.scenarios().len(), 6);
+        assert_eq!(report.cells().len(), 24);
         for p in report.policies() {
             for s in report.scenarios() {
                 let cell = report.cell(p, s).unwrap();
@@ -353,10 +353,12 @@ mod tests {
     }
 
     #[test]
-    fn seek_latency_only_in_seek_scenario() {
+    fn seek_latency_only_in_seeking_scenarios() {
         let report = quick().run();
-        let seek_cell = report.cell("otsp2p", "seek").unwrap();
-        assert!(seek_cell.mean_seek_latency_slots().is_some());
+        for scenario in ["seek", "seek+departure"] {
+            let cell = report.cell("otsp2p", scenario).unwrap();
+            assert!(cell.mean_seek_latency_slots().is_some(), "{scenario}");
+        }
         let steady_cell = report.cell("otsp2p", "steady").unwrap();
         assert!(steady_cell.mean_seek_latency_slots().is_none());
     }

@@ -40,16 +40,21 @@ pub enum VodScenario {
     /// A flash crowd oversubscribes every supplier: transmissions slow
     /// by a shared load factor, stretching all deadlines.
     FlashCrowd,
+    /// The multi-event session: the viewer seeks *and* a supplier departs
+    /// within one session (in either order), so the policy's `replan`
+    /// hook fires twice against an already-perturbed schedule.
+    SeekAndDeparture,
 }
 
 impl VodScenario {
     /// Every scenario, in matrix row order.
-    pub const ALL: [VodScenario; 5] = [
+    pub const ALL: [VodScenario; 6] = [
         VodScenario::SteadyState,
         VodScenario::MidStreamSeek,
         VodScenario::EarlyDeparture,
         VodScenario::PartialFile,
         VodScenario::FlashCrowd,
+        VodScenario::SeekAndDeparture,
     ];
 
     /// A short, stable identifier for tables.
@@ -60,6 +65,7 @@ impl VodScenario {
             VodScenario::EarlyDeparture => "departure",
             VodScenario::PartialFile => "partial-file",
             VodScenario::FlashCrowd => "flash-crowd",
+            VodScenario::SeekAndDeparture => "seek+departure",
         }
     }
 }
@@ -144,12 +150,20 @@ impl SessionWorld {
         // skew across the startup window.
         let budget = load * n + (load - 1) * (window - 1);
 
-        let seek = (scenario == VodScenario::MidStreamSeek).then(|| {
+        let seeks = matches!(
+            scenario,
+            VodScenario::MidStreamSeek | VodScenario::SeekAndDeparture
+        );
+        let departs = matches!(
+            scenario,
+            VodScenario::EarlyDeparture | VodScenario::SeekAndDeparture
+        );
+        let seek = seeks.then(|| {
             let at = rng.gen_range(budget + total / 8..budget + total / 2);
             let target = rng.gen_range(total / 2..total * 3 / 4);
             (at, target)
         });
-        let departure = (scenario == VodScenario::EarlyDeparture).then(|| {
+        let departure = departs.then(|| {
             let who = rng.gen_range(0..suppliers.len());
             let at = rng.gen_range(budget..budget + total / 2);
             (who, at)
@@ -471,6 +485,31 @@ mod tests {
             // must not suffer.
             assert_eq!(out.delivered, out.needed, "seed {seed}: {out:?}");
         }
+    }
+
+    #[test]
+    fn seek_and_departure_worlds_carry_both_events_and_complete() {
+        let mut departure_first = 0;
+        let mut seek_first = 0;
+        for seed in 0..40 {
+            let w = world(VodScenario::SeekAndDeparture, seed);
+            let (seek_at, _) = w.seek.expect("multi-event world seeks");
+            let (_, depart_at) = w.departure.expect("multi-event world departs");
+            if depart_at <= seek_at {
+                departure_first += 1;
+            } else {
+                seek_first += 1;
+            }
+            let out = run_session(&Otsp2p, &w);
+            assert!(out.seek_latency_slots.is_some(), "seed {seed}");
+            // Two replans (seek + departure) later, the survivors still
+            // cover everything the viewer needs.
+            assert_eq!(out.delivered, out.needed, "seed {seed}: {out:?}");
+        }
+        assert!(
+            departure_first > 0 && seek_first > 0,
+            "both event orders must occur ({departure_first} vs {seek_first})"
+        );
     }
 
     #[test]

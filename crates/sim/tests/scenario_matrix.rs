@@ -31,7 +31,7 @@ fn matrix_is_deterministic_from_one_seed() {
 fn every_policy_runs_every_scenario() {
     let report = matrix().run();
     assert_eq!(report.policies().len(), 4, "≥4 policies");
-    assert_eq!(report.scenarios().len(), 5, "≥4 scenarios");
+    assert_eq!(report.scenarios().len(), 6, "≥6 scenarios");
     for policy in report.policies() {
         for scenario in report.scenarios() {
             let cell = report
@@ -55,7 +55,14 @@ fn comparison_table_renders() {
     for name in ["otsp2p", "sequential-window", "rarest-first", "random"] {
         assert!(text.contains(name), "table misses {name}:\n{text}");
     }
-    for scenario in ["steady", "seek", "departure", "partial-file", "flash-crowd"] {
+    for scenario in [
+        "steady",
+        "seek",
+        "departure",
+        "partial-file",
+        "flash-crowd",
+        "seek+departure",
+    ] {
         assert!(text.contains(scenario), "table misses {scenario}:\n{text}");
     }
 }
@@ -79,8 +86,36 @@ fn otsp2p_dominates_random_on_in_time_startup() {
     }
     assert!(
         strictly_better >= 3,
-        "otsp2p should be strictly better in most scenarios, was in {strictly_better}/5"
+        "otsp2p should be strictly better in most scenarios, was in {strictly_better}/6"
     );
+}
+
+#[test]
+fn otsp2p_dominates_random_in_the_multi_event_scenario() {
+    // The ROADMAP-listed multi-event session (mid-stream seek *and*
+    // supplier departure in one session): two replans deep, the §3
+    // assignment must still start more sessions in time and deliver at
+    // least as much by deadline as the random baseline.
+    let report = matrix().run();
+    let opt = report.cell("otsp2p", "seek+departure").unwrap();
+    let rnd = report.cell("random", "seek+departure").unwrap();
+    assert!(
+        opt.in_time_startup_ratio() > rnd.in_time_startup_ratio(),
+        "seek+departure: otsp2p {} vs random {}",
+        opt.in_time_startup_ratio(),
+        rnd.in_time_startup_ratio()
+    );
+    // (On-time ratio is *not* pinned here: after a seek, playback resumes
+    // at the target's arrival, so a policy that delivers the target late
+    // buys itself looser deadlines for everything after — the metric
+    // rewards slowness post-seek. In-time startup is the fair headline,
+    // same as the all-scenario dominance pin.)
+    assert!(
+        opt.mean_seek_latency_slots().is_some(),
+        "multi-event cells must report seek latency"
+    );
+    // Both replans notwithstanding, nothing the viewer needed is lost.
+    assert!(opt.completion_ratio() >= 0.999);
 }
 
 #[test]

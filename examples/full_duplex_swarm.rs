@@ -1,0 +1,112 @@
+//! Full-duplex swarm: every node requests and supplies simultaneously.
+//!
+//! Phase 1 bootstraps a small swarm (two seeds, six requesters) the
+//! usual way. Phase 2 is the point: **all eight nodes re-fetch the item
+//! at the same time while serving each other** — every peer is requester
+//! and supplier in the same instant, both halves hosted on one two-
+//! thread reactor pool. No node owns a session thread: admission runs on
+//! a worker, the paced reception lives on the pool (`begin_stream` /
+//! `PendingStream`), and each node's listener keeps granting and
+//! streaming to the others throughout.
+//!
+//! Run with `cargo run --example full_duplex_swarm`.
+
+use std::time::Duration;
+
+use p2ps::core::assignment::SegmentDuration;
+use p2ps::core::{PeerClass, PeerId};
+use p2ps::media::MediaInfo;
+use p2ps::node::{query_candidates, Clock, DirectoryServer, NodeConfig, NodeReactor, PeerNode};
+
+const NODES: u64 = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let info = MediaInfo::new(
+        "full-duplex",
+        80,                               // 80 segments …
+        SegmentDuration::from_millis(10), // … of 10 ms each
+        1_024,
+    );
+    let dir = DirectoryServer::start()?;
+    let clock = Clock::new();
+    // Two reactor threads carry all 8 nodes' listeners AND all their
+    // receiving sessions, sharded by node tag / session id.
+    let reactor = NodeReactor::with_threads(2)?;
+    println!(
+        "directory {} + {}-thread reactor pool",
+        dir.addr(),
+        reactor.thread_count()
+    );
+
+    // Phase 1: bootstrap. Two class-1 seeds, six peers stream to join.
+    let mut nodes: Vec<PeerNode> = Vec::new();
+    for i in 0..2 {
+        let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+        nodes.push(PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor)?);
+    }
+    for i in 2..NODES {
+        let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+        let node = PeerNode::spawn_on(cfg, clock.clone(), &reactor)?;
+        let mut outcome = None;
+        for _ in 0..10 {
+            match node.request_stream(8) {
+                Ok(o) => {
+                    outcome = Some(o);
+                    break;
+                }
+                Err(p2ps::node::NodeError::Rejected { .. }) => {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let outcome = outcome.ok_or("bootstrap admission kept getting rejected")?;
+        println!(
+            "bootstrap: node {i} joined via {} supplier(s), delay {} ms",
+            outcome.supplier_count, outcome.measured_delay_ms
+        );
+        nodes.push(node);
+    }
+
+    // Phase 2: full duplex. Every node re-fetches the item concurrently —
+    // while its own listener serves the others' sessions.
+    println!("\nfull duplex: all {NODES} nodes request AND supply at once…");
+    let mut pendings = Vec::new();
+    for node in &nodes {
+        let mut candidates = query_candidates(dir.addr(), info.name(), 16)?;
+        candidates.retain(|c| c.id != node.id()); // don't stream from yourself
+        let mut pending = None;
+        // Late nodes may find every peer briefly busy serving the earlier
+        // sessions; retry past one session length (~0.8 s).
+        for _ in 0..50 {
+            match node.begin_stream_from(candidates.clone()) {
+                Ok(p) => {
+                    pending = Some(p);
+                    break;
+                }
+                Err(p2ps::node::NodeError::Rejected { .. }) => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        pendings.push(pending.ok_or("full-duplex admission kept getting rejected")?);
+    }
+    // All 8 sessions are now in flight simultaneously; every supplier of
+    // those sessions is itself mid-download.
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let outcome = pending.wait()?;
+        println!(
+            "node {i}: re-fetched from {} peer(s) in {} ms (measured delay {} ms) while serving",
+            outcome.supplier_count, outcome.duration_ms, outcome.measured_delay_ms
+        );
+    }
+    println!("\nevery node held its supplier role throughout — full duplex on one pool");
+
+    for node in nodes {
+        node.shutdown();
+    }
+    reactor.shutdown();
+    dir.shutdown();
+    Ok(())
+}

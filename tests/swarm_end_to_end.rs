@@ -169,7 +169,13 @@ fn supplier_crash_mid_session_is_reported() {
     let result = requester.request_stream(8);
     killer.join().unwrap();
     match result {
-        Err(NodeError::Io(_)) | Err(NodeError::IncompleteStream { .. }) => {
+        // The sole supplier was lost with no survivor to replan onto:
+        // the structured SuppliersLost is the expected verdict since the
+        // reactor-hosted requester; Io/IncompleteStream cover shutdown
+        // races in other phases.
+        Err(NodeError::SuppliersLost { .. })
+        | Err(NodeError::Io(_))
+        | Err(NodeError::IncompleteStream { .. }) => {
             assert!(
                 !requester.is_supplier(),
                 "a truncated copy must not be re-served"
