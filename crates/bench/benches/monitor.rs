@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the introspection tree.
+//!
+//! The monitor's contract is that the data path pays nothing for being
+//! observable: a metric update must be a single relaxed atomic op (a few
+//! ns, no allocation, no lock), and all walking cost — snapshotting a
+//! 64-session tree, rendering it to Prometheus text — lands on the
+//! *observer's* thread. These benches pin both halves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2ps_monitor::Monitor;
+
+/// The hot-path cost: one counter increment / gauge store.
+fn bench_update(c: &mut Criterion) {
+    let root = Monitor::root();
+    let scope = root.child("reactor", 0).child("session", 42);
+    let counter = scope.counter("bytes_total", "bench counter");
+    let gauge = scope.gauge("owed", "bench gauge");
+    c.bench_function("monitor/counter-incr", |b| b.iter(|| counter.incr()));
+    c.bench_function("monitor/gauge-set", |b| b.iter(|| gauge.set(black_box(7))));
+}
+
+/// Builds the tree a 2-reactor, 64-session swarm registers: the shape
+/// `p2psd status` walks.
+fn swarm_tree() -> (Monitor, Vec<p2ps_monitor::Gauge>) {
+    let root = Monitor::root();
+    let mut keep = Vec::new();
+    for shard in 0..2 {
+        let reactor = root.child("reactor", shard);
+        keep.push(reactor.gauge("connections", "open connections"));
+        keep.push(reactor.gauge("queued_write_bytes", "buffered bytes"));
+        for s in 0..32u64 {
+            let session = reactor.child("session", shard as u64 * 32 + s);
+            keep.push(session.gauge("received_segments", "received"));
+            keep.push(session.gauge("owed_segments", "owed"));
+            keep.push(session.gauge("last_progress_ms", "progress clock"));
+        }
+    }
+    (root, keep)
+}
+
+/// The observer's cost: snapshotting the swarm-shaped tree, and
+/// rendering the snapshot as Prometheus text.
+fn bench_walk(c: &mut Criterion) {
+    let (root, _keep) = swarm_tree();
+    c.bench_function("monitor/snapshot-64-sessions", |b| {
+        b.iter(|| black_box(root.snapshot()))
+    });
+    let snap = root.snapshot();
+    c.bench_function("monitor/prometheus-64-sessions", |b| {
+        b.iter(|| black_box(snap.to_prometheus("p2ps")))
+    });
+}
+
+criterion_group!(benches, bench_update, bench_walk);
+criterion_main!(benches);

@@ -18,6 +18,8 @@
 //! * [`Table`] — aligned text tables (paper Table 1).
 //! * [`AsciiPlot`] — multi-series terminal line plots (paper figures).
 //! * [`CsvWriter`] — minimal CSV emission for post-processing.
+//! * [`prometheus`] — Prometheus text exposition rendering, used by the
+//!   `p2ps-monitor` introspection tree's `/metrics` endpoint.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 mod csv;
 mod histogram;
 mod plot;
+pub mod prometheus;
 mod reservoir;
 mod stats;
 mod table;

@@ -1,0 +1,200 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! [`PrometheusText`] is an incremental builder: callers feed it one
+//! sample at a time (family name, kind, help text, label pairs, value)
+//! in whatever order their data structure yields them, and [`render`]
+//! groups the samples by family so each family's `# HELP`/`# TYPE`
+//! header is emitted exactly once, followed by its samples in insertion
+//! order. Label values are escaped per the exposition-format rules
+//! (backslash, double quote, newline).
+//!
+//! [`render`]: PrometheusText::render
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Metric kind advertised in a family's `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing value; resets only on process restart.
+    Counter,
+    /// Value that can go up and down.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Incremental builder for the Prometheus text exposition format.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::prometheus::{MetricKind, PrometheusText};
+///
+/// let mut out = PrometheusText::new();
+/// out.sample(
+///     "p2ps_reactor_connections",
+///     MetricKind::Gauge,
+///     "open connections on this shard",
+///     &[("reactor", "0")],
+///     7.0,
+/// );
+/// let text = out.render();
+/// assert!(text.contains("# TYPE p2ps_reactor_connections gauge"));
+/// assert!(text.contains("p2ps_reactor_connections{reactor=\"0\"} 7"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PrometheusText {
+    order: Vec<String>,
+    families: HashMap<String, Family>,
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: MetricKind,
+    help: String,
+    samples: Vec<String>,
+}
+
+impl PrometheusText {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `family` with the given label pairs.
+    ///
+    /// The first sample of a family fixes its kind and help text;
+    /// subsequent samples only append a line. Values that are whole
+    /// numbers render without a fractional part.
+    pub fn sample(
+        &mut self,
+        family: &str,
+        kind: MetricKind,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let entry = self.families.entry(family.to_string()).or_insert_with(|| {
+            self.order.push(family.to_string());
+            Family {
+                kind,
+                help: help.to_string(),
+                samples: Vec::new(),
+            }
+        });
+        let mut line = String::with_capacity(family.len() + 16 * labels.len() + 8);
+        line.push_str(family);
+        if !labels.is_empty() {
+            line.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{k}=\"{}\"", escape_label_value(v));
+            }
+            line.push('}');
+        }
+        line.push(' ');
+        line.push_str(&format_value(value));
+        entry.samples.push(line);
+    }
+
+    /// Renders the full exposition: per family, `# HELP`, `# TYPE`, then
+    /// each sample line, families in first-seen order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for name in &self.order {
+            let fam = &self.families[name];
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for line in &fam.samples {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Number of distinct families recorded so far.
+    pub fn family_count(&self) -> usize {
+        self.order.len()
+    }
+}
+
+fn format_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline become `\\`, `\"` and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_samples_by_family_with_single_header() {
+        let mut out = PrometheusText::new();
+        out.sample("a_total", MetricKind::Counter, "as", &[("x", "1")], 3.0);
+        out.sample("b", MetricKind::Gauge, "bs", &[], -2.0);
+        out.sample("a_total", MetricKind::Counter, "as", &[("x", "2")], 4.0);
+        let text = out.render();
+        assert_eq!(text.matches("# TYPE a_total counter").count(), 1);
+        let a_help = text.find("# HELP a_total").unwrap();
+        let line1 = text.find("a_total{x=\"1\"} 3").unwrap();
+        let line2 = text.find("a_total{x=\"2\"} 4").unwrap();
+        assert!(a_help < line1 && line1 < line2, "family lines stay grouped");
+        assert!(text.contains("b -2\n"));
+        assert_eq!(out.family_count(), 2);
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut out = PrometheusText::new();
+        out.sample("m", MetricKind::Gauge, "h", &[("item", "a\"b\\c\nd")], 1.0);
+        assert!(out.render().contains("m{item=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn whole_values_render_without_fraction() {
+        assert_eq!(format_value(3072.0), "3072");
+        assert_eq!(format_value(-5.0), "-5");
+        assert_eq!(format_value(0.5), "0.5");
+    }
+}

@@ -1,0 +1,161 @@
+//! Loopback HTTP endpoint serving the Prometheus text exposition, plus
+//! a tiny client used by `p2psd status` and tests.
+//!
+//! The server is deliberately minimal: one thread, a nonblocking accept
+//! loop, one snapshot rendered per request, `Connection: close`. Every
+//! request path gets the same exposition body — there is exactly one
+//! resource. It binds loopback only; metric exposure to a wider network
+//! is a deployment decision this crate does not make.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::Monitor;
+
+/// Serves `Monitor` snapshots as Prometheus text over loopback HTTP.
+///
+/// Dropping the server (or calling [`StatusServer::shutdown`]) stops
+/// the accept thread.
+#[derive(Debug)]
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `127.0.0.1:port` (`0` picks an ephemeral port — read it
+    /// back with [`StatusServer::addr`]) and starts serving snapshots
+    /// of `monitor` with metric families prefixed `{prefix}_`.
+    pub fn start(port: u16, monitor: Monitor, prefix: &str) -> io::Result<StatusServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let prefix = prefix.to_string();
+        let thread = thread::Builder::new()
+            .name("p2ps-status".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = serve_one(stream, &monitor, &prefix);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })
+            .map_err(io::Error::other)?;
+        Ok(StatusServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, monitor: &Monitor, prefix: &str) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Drain the request head; the path is irrelevant (one resource).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = monitor.snapshot().to_prometheus(prefix);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Fetches the exposition body from a [`StatusServer`] at `addr`
+/// (`host:port`). Blocks until the server closes the connection.
+pub fn fetch_status(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.find("\r\n\r\n") {
+        Some(i) => Ok(raw[i + 4..].to_string()),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed HTTP response from status endpoint",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_snapshot_over_http() {
+        let root = Monitor::root();
+        let depth = root
+            .child("reactor", 0)
+            .gauge("queue_depth", "queued bytes");
+        depth.set(512);
+        let mut server = StatusServer::start(0, root.clone(), "p2ps").unwrap();
+        let addr = server.addr().to_string();
+
+        let body = fetch_status(&addr).unwrap();
+        assert!(
+            body.contains("p2ps_reactor_queue_depth{reactor=\"0\"} 512"),
+            "{body}"
+        );
+
+        // A second fetch sees updated values.
+        depth.set(1024);
+        let body = fetch_status(&addr).unwrap();
+        assert!(body.contains("p2ps_reactor_queue_depth{reactor=\"0\"} 1024"));
+
+        server.shutdown();
+        assert!(fetch_status(&addr).is_err(), "endpoint gone after shutdown");
+    }
+}

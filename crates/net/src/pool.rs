@@ -65,6 +65,13 @@ impl<C> PoolHandle<C> {
         &self.handles[shard_of(key, self.handles.len())]
     }
 
+    /// The shard index `key` routes to — the `{i}` of the shard's
+    /// `reactor={i}` monitor scope, letting callers register per-key
+    /// metrics under the reactor that will host the key.
+    pub fn shard_index(&self, key: u64) -> usize {
+        shard_of(key, self.handles.len())
+    }
+
     /// Every shard's [`Handle`], in shard order (for broadcasts).
     pub fn shards(&self) -> &[Handle<C>] {
         &self.handles
@@ -150,7 +157,11 @@ impl<C: Send + 'static> ReactorPool<C> {
         let mut handles: Vec<Handle<C>> = Vec::with_capacity(shards);
         let mut joins: Vec<JoinHandle<io::Result<()>>> = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (reactor, handle) = match Reactor::new(cfg.clone()) {
+            // Each shard reports under its own `reactor={i}` scope of the
+            // tree the caller passed in `cfg.monitor`.
+            let mut cfg = cfg.clone();
+            cfg.monitor = cfg.monitor.child("reactor", i);
+            let (reactor, handle) = match Reactor::new(cfg) {
                 Ok(pair) => pair,
                 Err(e) => {
                     for h in &handles {

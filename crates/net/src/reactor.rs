@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use p2ps_monitor::{Counter, Gauge, Monitor};
 use p2ps_proto::{ChunkQueue, MAX_GATHER_SLICES};
 
 use crate::sys::{Epoll, Event, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -45,6 +46,12 @@ pub struct ReactorConfig {
     /// Longest epoll sleep when no timer is due sooner (bounds shutdown
     /// latency even if a wake-up is somehow lost).
     pub idle_wait_ms: u64,
+    /// Introspection scope this reactor registers its transport metrics
+    /// on (connection count, queued write bytes, timer backlog, byte
+    /// counters). Defaults to a detached root, so an unwired reactor
+    /// costs only the relaxed atomic updates; [`crate::ReactorPool`]
+    /// replaces it with a per-shard `reactor={i}` child scope.
+    pub monitor: Monitor,
 }
 
 impl Default for ReactorConfig {
@@ -54,6 +61,7 @@ impl Default for ReactorConfig {
             wheel_slots: 512,
             max_write_buffer: 64 * 1024 * 1024,
             idle_wait_ms: 100,
+            monitor: Monitor::default(),
         }
     }
 }
@@ -198,6 +206,47 @@ struct TimerKey {
     seq: u64,
 }
 
+/// Transport metrics registered on the reactor's monitor scope at
+/// construction time. Every update below is one relaxed atomic — the
+/// event loop takes no lock for any of them (the registration lock is
+/// only held once, inside [`Reactor::new`]).
+struct Stats {
+    /// Live connections on this reactor (accepted + adopted − closed).
+    connections: Gauge,
+    /// Bytes sitting in outbound queues, not yet accepted by sockets.
+    queued_write_bytes: Gauge,
+    /// Armed entries in the timer wheel (refreshed once per loop turn).
+    timer_entries: Gauge,
+    /// Total bytes read from sockets.
+    bytes_read: Counter,
+    /// Total bytes the kernel accepted from outbound queues.
+    bytes_written: Counter,
+    /// Connections accepted from listeners.
+    accepts: Counter,
+    /// Typed commands delivered through [`Handle::send`].
+    commands: Counter,
+    /// Timer callbacks actually dispatched to the handler.
+    timer_fires: Counter,
+}
+
+impl Stats {
+    fn register(monitor: &Monitor) -> Stats {
+        Stats {
+            connections: monitor.gauge("connections", "live connections on this reactor"),
+            queued_write_bytes: monitor.gauge(
+                "queued_write_bytes",
+                "outbound bytes queued but not yet accepted by sockets",
+            ),
+            timer_entries: monitor.gauge("timer_entries", "armed entries in the timer wheel"),
+            bytes_read: monitor.counter("bytes_read_total", "bytes read from sockets"),
+            bytes_written: monitor.counter("bytes_written_total", "bytes written to sockets"),
+            accepts: monitor.counter("accepts_total", "connections accepted from listeners"),
+            commands: monitor.counter("commands_total", "typed commands delivered to the handler"),
+            timer_fires: monitor.counter("timer_fires_total", "timer callbacks dispatched"),
+        }
+    }
+}
+
 struct Inner {
     epoll: Epoll,
     conns: Vec<Option<Conn>>,
@@ -209,6 +258,7 @@ struct Inner {
     next_seq: u64,
     start: Instant,
     cfg: ReactorConfig,
+    stats: Stats,
 }
 
 const TAG_LISTENER: u64 = 1 << 62;
@@ -266,6 +316,7 @@ impl Inner {
             closing: false,
             notify: false,
         });
+        self.stats.connections.add(1);
         Ok(ConnId { idx, gen })
     }
 
@@ -304,7 +355,11 @@ impl Inner {
                     self.mark_closing(id, true);
                     return false;
                 }
-                Ok(n) => conn.wq.advance(n),
+                Ok(n) => {
+                    conn.wq.advance(n);
+                    self.stats.queued_write_bytes.add(-(n as i64));
+                    self.stats.bytes_written.add(n as u64);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.set_writable_interest(id, true);
                     return true;
@@ -376,11 +431,14 @@ impl Ctx<'_> {
     /// write-buffer limit afterwards.
     fn enqueue(&mut self, conn: ConnId, chunk: Bytes) -> bool {
         let limit = self.inner.cfg.max_write_buffer;
+        let len = chunk.len();
         let Some(c) = self.inner.conn_mut(conn) else {
             return false;
         };
         c.wq.push(chunk);
-        if c.wq.pending_bytes() > limit {
+        let over = c.wq.pending_bytes() > limit;
+        self.inner.stats.queued_write_bytes.add(len as i64);
+        if over {
             self.inner.mark_closing(conn, true);
             return false;
         }
@@ -411,7 +469,9 @@ impl Ctx<'_> {
     /// no `on_close` for a close it asked for.
     pub fn close(&mut self, conn: ConnId) {
         if let Some(c) = self.inner.conn_mut(conn) {
+            let discarded = c.wq.pending_bytes();
             c.wq.clear();
+            self.inner.stats.queued_write_bytes.add(-(discarded as i64));
         }
         self.inner.mark_closing(conn, false);
     }
@@ -556,6 +616,7 @@ impl<C: Send + 'static> Reactor<C> {
         epoll.add(waker_rx.as_raw_fd(), TOK_WAKER, EPOLLIN)?;
         let (tx, rx) = std::sync::mpsc::channel();
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = Stats::register(&cfg.monitor);
         let reactor = Reactor {
             inner: Inner {
                 epoll,
@@ -568,6 +629,7 @@ impl<C: Send + 'static> Reactor<C> {
                 next_seq: 0,
                 start: Instant::now(),
                 cfg,
+                stats,
             },
             rx,
             waker_rx,
@@ -628,6 +690,10 @@ impl<C: Send + 'static> Reactor<C> {
                 self.fire_timer(key, handler);
             }
             self.sweep_closed(handler);
+            self.inner
+                .stats
+                .timer_entries
+                .set(self.inner.wheel.len() as i64);
         }
         Ok(())
     }
@@ -677,6 +743,7 @@ impl<C: Send + 'static> Reactor<C> {
                     }
                 }
                 Control::User(cmd) => {
+                    self.inner.stats.commands.incr();
                     let mut ctx = Ctx {
                         inner: &mut self.inner,
                     };
@@ -697,6 +764,7 @@ impl<C: Send + 'static> Reactor<C> {
                     let Ok(id) = self.inner.alloc(stream) else {
                         continue;
                     };
+                    self.inner.stats.accepts.incr();
                     let mut ctx = Ctx {
                         inner: &mut self.inner,
                     };
@@ -729,6 +797,7 @@ impl<C: Send + 'static> Reactor<C> {
                     return;
                 }
                 Ok(n) => {
+                    self.inner.stats.bytes_read.add(n as u64);
                     let mut ctx = Ctx {
                         inner: &mut self.inner,
                     };
@@ -758,6 +827,7 @@ impl<C: Send + 'static> Reactor<C> {
             return;
         }
         conn.timers.remove(&key.kind);
+        self.inner.stats.timer_fires.incr();
         let mut ctx = Ctx {
             inner: &mut self.inner,
         };
@@ -776,6 +846,11 @@ impl<C: Send + 'static> Reactor<C> {
             let _ = self.inner.epoll.delete(conn.stream.as_raw_fd());
             self.inner.gens[idx as usize] = (gen + 1) & (GEN_MASK as u32);
             self.inner.free.push(idx);
+            self.inner.stats.connections.add(-1);
+            self.inner
+                .stats
+                .queued_write_bytes
+                .add(-(conn.wq.pending_bytes() as i64));
             drop(conn); // closes the socket
             if notify {
                 let mut ctx = Ctx {

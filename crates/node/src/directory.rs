@@ -19,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use p2ps_core::{PeerClass, PeerId};
+use p2ps_monitor::{Counter, Gauge, Monitor};
 use p2ps_net::{ConnId, Ctx, Handler, Reactor, ReactorConfig};
 use p2ps_proto::{read_message, write_message, CandidateRecord, FrameDecoder, Message};
 
@@ -37,11 +38,19 @@ struct Registry {
 }
 
 impl Registry {
-    fn register(&mut self, item: &str, rec: CandidateRecord) {
+    /// Returns `true` when the record is new (not a refresh of an
+    /// existing supplier), so the caller can track occupancy by delta.
+    fn register(&mut self, item: &str, rec: CandidateRecord) -> bool {
         let list = self.items.entry(item.to_owned()).or_default();
         match list.iter_mut().find(|c| c.id == rec.id) {
-            Some(existing) => *existing = rec,
-            None => list.push(rec),
+            Some(existing) => {
+                *existing = rec;
+                false
+            }
+            None => {
+                list.push(rec);
+                true
+            }
         }
     }
 
@@ -93,15 +102,37 @@ impl Registry {
 /// ```
 #[derive(Debug)]
 pub struct ShardedRegistry {
-    shards: Box<[Mutex<Registry>]>,
+    shards: Box<[RegistryStripe]>,
+}
+
+/// One stripe: its lock plus an occupancy gauge updated by delta on the
+/// stripe's own register path (no extra lock, no full-table walks).
+#[derive(Debug)]
+struct RegistryStripe {
+    registry: Mutex<Registry>,
+    /// Supplier records held by this stripe.
+    records: Gauge,
 }
 
 impl ShardedRegistry {
     /// A registry striped over `shards` locks (at least one).
     pub fn new(shards: usize) -> Self {
+        Self::with_monitor(shards, &Monitor::default())
+    }
+
+    /// Like [`new`](Self::new), but each stripe registers an occupancy
+    /// gauge (`stripe={i}` / `records`) on the given monitor scope, so
+    /// `p2psd status` and the exposition endpoint can show how evenly
+    /// the supplier index spreads over its locks.
+    pub fn with_monitor(shards: usize, monitor: &Monitor) -> Self {
         ShardedRegistry {
             shards: (0..shards.max(1))
-                .map(|_| Mutex::new(Registry::default()))
+                .map(|i| RegistryStripe {
+                    registry: Mutex::new(Registry::default()),
+                    records: monitor
+                        .child("stripe", i)
+                        .gauge("records", "supplier records held by this stripe"),
+                })
                 .collect(),
         }
     }
@@ -111,7 +142,7 @@ impl ShardedRegistry {
         self.shards.len()
     }
 
-    fn shard(&self, item: &str) -> &Mutex<Registry> {
+    fn shard(&self, item: &str) -> &RegistryStripe {
         let mut h = DefaultHasher::new();
         item.hash(&mut h);
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
@@ -119,12 +150,15 @@ impl ShardedRegistry {
 
     /// Registers (or refreshes) `rec` as a supplier of `item`.
     pub fn register(&self, item: &str, rec: CandidateRecord) {
-        self.shard(item).lock().register(item, rec);
+        let stripe = self.shard(item);
+        if stripe.registry.lock().register(item, rec) {
+            stripe.records.add(1);
+        }
     }
 
     /// Samples up to `m` distinct candidates for `item`.
     pub fn sample(&self, item: &str, m: usize, rng: &mut SmallRng) -> Vec<CandidateRecord> {
-        self.shard(item).lock().sample(item, m, rng)
+        self.shard(item).registry.lock().sample(item, m, rng)
     }
 }
 
@@ -210,6 +244,8 @@ struct DirectoryHandler {
     backend: Backend,
     rng: SmallRng,
     conns: HashMap<ConnId, DirConn>,
+    registrations: Counter,
+    queries: Counter,
 }
 
 impl DirectoryHandler {
@@ -221,6 +257,7 @@ impl DirectoryHandler {
                 class,
                 port,
             } => {
+                self.registrations.incr();
                 self.backend.register(
                     &item,
                     CandidateRecord {
@@ -232,6 +269,7 @@ impl DirectoryHandler {
                 true
             }
             Message::QueryCandidates { item, m } => {
+                self.queries.incr();
                 let list = self.backend.sample(&item, m as usize, &mut self.rng);
                 crate::serve::send(ctx, conn, &Message::Candidates { list });
                 true
@@ -335,6 +373,7 @@ pub struct DirectoryServer {
     addr: SocketAddr,
     handle: p2ps_net::Handle<()>,
     thread: Option<JoinHandle<io::Result<()>>>,
+    monitor: Monitor,
 }
 
 impl DirectoryServer {
@@ -358,7 +397,10 @@ impl DirectoryServer {
     /// Propagates socket errors from binding the listener — in
     /// particular `AddrInUse` when `port` is already taken.
     pub fn start_on(port: u16) -> io::Result<Self> {
-        Self::start_with_backend(Backend::Napster(ShardedRegistry::new(16)), port)
+        Self::start_with_backend(
+            |m| Backend::Napster(ShardedRegistry::with_monitor(16, m)),
+            port,
+        )
     }
 
     /// Like [`start`](Self::start), but the index is a Chord ring of
@@ -382,18 +424,29 @@ impl DirectoryServer {
     /// Propagates socket errors from binding the listener — in
     /// particular `AddrInUse` when `port` is already taken.
     pub fn start_with_chord_on(index_nodes: u64, port: u16) -> io::Result<Self> {
-        Self::start_with_backend(Backend::Chord(ChordBackend::new(index_nodes)), port)
+        Self::start_with_backend(|_| Backend::Chord(ChordBackend::new(index_nodes)), port)
     }
 
-    fn start_with_backend(backend: Backend, port: u16) -> io::Result<Self> {
+    fn start_with_backend(
+        backend: impl FnOnce(&Monitor) -> Backend,
+        port: u16,
+    ) -> io::Result<Self> {
+        let monitor = Monitor::root();
+        let backend = backend(&monitor);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
-        let (reactor, handle) = Reactor::new(ReactorConfig::default())?;
+        let cfg = ReactorConfig {
+            monitor: monitor.child("reactor", 0),
+            ..ReactorConfig::default()
+        };
+        let (reactor, handle) = Reactor::new(cfg)?;
         handle.add_listener(listener, 0)?;
         let mut handler = DirectoryHandler {
             backend,
             rng: SmallRng::seed_from_u64(0x5eed),
             conns: HashMap::new(),
+            registrations: monitor.counter("registrations_total", "supplier registrations applied"),
+            queries: monitor.counter("queries_total", "candidate queries answered"),
         };
         let thread = std::thread::Builder::new()
             .name("p2ps-directory".into())
@@ -403,12 +456,20 @@ impl DirectoryServer {
             addr,
             handle,
             thread: Some(thread),
+            monitor,
         })
     }
 
     /// The address the server listens on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's introspection tree root: registration/query counters,
+    /// per-stripe index occupancy (`stripe={i}` scopes, Napster backend)
+    /// and the serving reactor's own stats under `reactor=0`.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
     }
 
     /// The listening port.

@@ -67,6 +67,7 @@ mod requester;
 mod serve;
 mod supplier;
 mod swarm;
+mod watchdog;
 
 pub use args::{Args, ArgsError};
 pub use clock::Clock;
@@ -75,3 +76,4 @@ pub use error::NodeError;
 pub use node::{NodeConfig, PeerNode, PendingStream, StreamOutcome};
 pub use serve::NodeReactor;
 pub use swarm::Swarm;
+pub use watchdog::WatchdogConfig;

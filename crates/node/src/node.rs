@@ -13,10 +13,11 @@ use rand::{Rng, SeedableRng};
 use p2ps_core::admission::{Protocol, SupplierConfig, SupplierState};
 use p2ps_core::{PeerClass, PeerId};
 use p2ps_media::{MediaFile, MediaInfo};
+use p2ps_monitor::Monitor;
 use p2ps_net::PoolHandle;
 
 use crate::directory::{query_candidates, register_supplier};
-use crate::requester::{SessionLaunch, SessionResult};
+use crate::requester::{SessionLaunch, SessionProbe, SessionResult};
 use crate::serve::{NodeCmd, NodeReactor};
 use crate::supplier::{AdmissionGuard, SupplierShared};
 use crate::{Clock, NodeError};
@@ -113,6 +114,9 @@ pub struct PeerNode {
     port: u16,
     tag: u64,
     reactor: Option<ReactorRef>,
+    /// The hosting reactor's introspection tree root — session probes
+    /// register here under the shard that will host them.
+    monitor: Monitor,
     session_rng: Mutex<SmallRng>,
 }
 
@@ -135,8 +139,9 @@ impl PeerNode {
     ///
     /// Propagates socket errors from binding the listener.
     pub fn spawn(config: NodeConfig, clock: Clock) -> io::Result<Self> {
-        let reactor = ReactorRef::Owned(NodeReactor::with_threads(config.threads)?);
-        Self::spawn_inner(config, clock, None, reactor)
+        let reactor = NodeReactor::with_threads(config.threads)?;
+        let monitor = reactor.monitor().clone();
+        Self::spawn_inner(config, clock, None, ReactorRef::Owned(reactor), monitor)
     }
 
     /// Starts a node that already owns the complete media file and
@@ -148,9 +153,16 @@ impl PeerNode {
     /// Propagates socket errors from binding or from the directory
     /// registration.
     pub fn spawn_seed(config: NodeConfig, clock: Clock) -> io::Result<Self> {
-        let reactor = ReactorRef::Owned(NodeReactor::with_threads(config.threads)?);
+        let reactor = NodeReactor::with_threads(config.threads)?;
+        let monitor = reactor.monitor().clone();
         let file = MediaFile::synthesize(config.info.clone());
-        let node = Self::spawn_inner(config, clock, Some(file), reactor)?;
+        let node = Self::spawn_inner(
+            config,
+            clock,
+            Some(file),
+            ReactorRef::Owned(reactor),
+            monitor,
+        )?;
         node.register()?;
         Ok(node)
     }
@@ -168,6 +180,7 @@ impl PeerNode {
             clock,
             None,
             ReactorRef::Shared(reactor.handle().clone()),
+            reactor.monitor().clone(),
         )
     }
 
@@ -189,6 +202,7 @@ impl PeerNode {
             clock,
             Some(file),
             ReactorRef::Shared(reactor.handle().clone()),
+            reactor.monitor().clone(),
         )?;
         node.register()?;
         Ok(node)
@@ -199,6 +213,7 @@ impl PeerNode {
         clock: Clock,
         file: Option<MediaFile>,
         reactor: ReactorRef,
+        monitor: Monitor,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let port = listener.local_addr()?.port();
@@ -246,6 +261,7 @@ impl PeerNode {
             port,
             tag,
             reactor: Some(reactor),
+            monitor,
         })
     }
 
@@ -287,6 +303,14 @@ impl PeerNode {
     /// Whether the node is currently busy serving a streaming session.
     pub fn is_busy(&self) -> bool {
         self.shared.admission.lock().state.is_busy()
+    }
+
+    /// The hosting reactor's introspection tree root (the same tree as
+    /// [`NodeReactor::monitor`] when the node is hosted on a shared
+    /// reactor). This node's in-flight sessions appear as
+    /// `reactor={shard} / session={id}` scopes.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
     }
 
     fn register(&self) -> io::Result<()> {
@@ -349,6 +373,15 @@ impl PeerNode {
         candidates: Vec<p2ps_proto::CandidateRecord>,
     ) -> Result<PendingStream, NodeError> {
         let session: u64 = self.session_rng.lock().gen();
+        let pool = self
+            .reactor
+            .as_ref()
+            .expect("node is not shut down while handles exist")
+            .pool();
+        // Registered before admission so the `probing` phase is visible
+        // while the §4.2 handshake runs; an admission failure drops the
+        // probe and the session scope vanishes from snapshots.
+        let probe = SessionProbe::register(&self.monitor, pool.shard_index(session), session);
         let (lanes, theoretical_slots) = crate::requester::admit_and_plan(
             candidates,
             self.config.class,
@@ -357,11 +390,6 @@ impl PeerNode {
             &*self.config.policy,
         )?;
         let (done, rx) = std::sync::mpsc::channel();
-        let pool = self
-            .reactor
-            .as_ref()
-            .expect("node is not shut down while handles exist")
-            .pool();
         pool.shard(session)
             .send(NodeCmd::StartRequester(Box::new(SessionLaunch {
                 session,
@@ -369,6 +397,7 @@ impl PeerNode {
                 policy: self.config.policy.clone(),
                 lanes,
                 theoretical_slots,
+                probe,
                 done,
             })));
         Ok(PendingStream {

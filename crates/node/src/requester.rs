@@ -29,6 +29,7 @@ use std::time::Duration;
 use p2ps_core::admission::{attempt_admission, Candidate, ProbeOutcome, RequestDecision};
 use p2ps_core::PeerClass;
 use p2ps_media::{MediaInfo, PlaybackBuffer, Segment, SegmentStore};
+use p2ps_monitor::{monotonic_ms, Counter, Gauge, Monitor, StateCell};
 use p2ps_net::{ConnId, Ctx};
 use p2ps_policy::{SelectionPolicy, SessionContext, SharedPolicy};
 use p2ps_proto::{
@@ -152,6 +153,93 @@ impl Candidate for NetCandidate {
     }
 }
 
+/// Every state a session probe can report: the four
+/// [`SessionPhase`](p2ps_proto::SessionPhase) names plus the watchdog's
+/// `stalled` verdict.
+const SESSION_STATES: &[&str] = &[
+    "probing",
+    "streaming",
+    "reassembling",
+    "complete",
+    "stalled",
+];
+
+/// One session's monitor scope: the gauges and state cell the status
+/// endpoint and the stall watchdog read.
+///
+/// Created on the caller's thread *before* admission (so the `probing`
+/// phase is visible while the §4.2 handshake runs) and carried into the
+/// reactor with the [`SessionLaunch`]. The handles keep the
+/// `reactor={shard} / session={id}` scope alive; dropping the probe —
+/// admission failure, session finish — removes the subtree from
+/// subsequent snapshots. Every update is a relaxed atomic store.
+pub(crate) struct SessionProbe {
+    state: StateCell,
+    received: Gauge,
+    total: Gauge,
+    owed: Gauge,
+    /// [`monotonic_ms`] of the last received segment (or of launch).
+    last_progress_ms: Gauge,
+    /// Worst-case healthy ms between consecutive segments (§3: the
+    /// largest per-supplier `spp · δt` stride in the plan).
+    stride_ms: Gauge,
+    bytes_received: Counter,
+}
+
+impl SessionProbe {
+    /// Registers the session's scope under the reactor shard that will
+    /// host it.
+    pub(crate) fn register(monitor: &Monitor, shard: usize, session: u64) -> SessionProbe {
+        let scope = monitor.child("reactor", shard).child("session", session);
+        let probe = SessionProbe {
+            state: scope.state("state", "session lifecycle phase", SESSION_STATES),
+            received: scope.gauge("received_segments", "segments received so far"),
+            total: scope.gauge("total_segments", "segments the session must deliver"),
+            owed: scope.gauge(
+                "owed_segments",
+                "segments still owed by streaming suppliers",
+            ),
+            last_progress_ms: scope.gauge(
+                "last_progress_ms",
+                "monotonic ms of the last received segment (or of launch)",
+            ),
+            stride_ms: scope.gauge(
+                "stride_ms",
+                "worst-case healthy ms between consecutive segments",
+            ),
+            bytes_received: scope.counter("bytes_received_total", "segment payload bytes received"),
+        };
+        probe.last_progress_ms.set(monotonic_ms() as i64);
+        probe
+    }
+
+    /// The reactor adopted the lanes: record the plan's worst stride and
+    /// reset the progress clock so the watchdog measures from launch.
+    fn launched(&self, sm: &RequesterSession, stride_ms: u64) {
+        self.stride_ms.set(stride_ms as i64);
+        self.last_progress_ms.set(monotonic_ms() as i64);
+        self.sync(sm);
+    }
+
+    /// A segment arrived: refresh every per-session row. Also the stall
+    /// *recovery* path — the state write moves a `stalled` session back
+    /// to its live phase.
+    fn progress(&self, sm: &RequesterSession, payload_bytes: u64) {
+        self.bytes_received.add(payload_bytes);
+        self.last_progress_ms.set(monotonic_ms() as i64);
+        self.sync(sm);
+    }
+
+    /// Re-publishes phase, received and owed after any state-machine
+    /// transition (lane end, failure, replan).
+    fn sync(&self, sm: &RequesterSession) {
+        self.received.set(sm.received() as i64);
+        self.total.set(sm.total_segments() as i64);
+        self.owed.set(sm.owed_total() as i64);
+        self.state.set(sm.phase().name());
+    }
+}
+
 /// One granted supplier ready for reactor hand-off: its open connection
 /// and the wire plan the reactor will send as `StartSession`.
 pub(crate) struct LaneLaunch {
@@ -172,6 +260,9 @@ pub(crate) struct SessionLaunch {
     /// The plan's minimum feasible delay in slots of `δt` (Theorem 1 for
     /// `Otsp2p`), for the outcome report.
     pub theoretical_slots: u64,
+    /// The session's monitor scope, registered by the caller while
+    /// probing.
+    pub probe: SessionProbe,
     pub done: Sender<SessionResult>,
 }
 
@@ -272,6 +363,7 @@ struct ReqSession {
     dt_ms: u64,
     theoretical_slots: u64,
     start_ms: u64,
+    probe: SessionProbe,
     done: Sender<SessionResult>,
 }
 
@@ -308,9 +400,28 @@ impl ReqSessions {
             policy,
             lanes,
             theoretical_slots,
+            probe,
             done,
         } = launch;
         let dt_ms = info.segment_duration().as_millis();
+        // The watchdog's healthy bound: the slowest lane's §3 pacing
+        // stride `spp · δt` (mirroring the supplier-side stride rule —
+        // explicit one-shot plans pace at the supplier's class rate).
+        let stride_ms = lanes
+            .iter()
+            .map(|lane| {
+                let period = lane.plan.period as u64;
+                let spp = if period == lane.plan.total_segments.max(1) {
+                    u64::from(lane.class.slots_per_segment())
+                } else {
+                    period
+                        .checked_div(lane.plan.segments.len() as u64)
+                        .unwrap_or(period)
+                };
+                spp.max(1) * dt_ms
+            })
+            .max()
+            .unwrap_or(dt_ms);
         let mut sm = RequesterSession::new(info.segment_count());
         let mut classes = Vec::with_capacity(lanes.len());
         let mut lane_conns = Vec::with_capacity(lanes.len());
@@ -347,6 +458,7 @@ impl ReqSessions {
                 }
             }
         }
+        probe.launched(&sm, stride_ms);
         self.sessions.insert(
             session,
             ReqSession {
@@ -359,6 +471,7 @@ impl ReqSessions {
                 dt_ms,
                 theoretical_slots,
                 start_ms,
+                probe,
                 done,
             },
         );
@@ -432,7 +545,9 @@ impl ReqSessions {
                 payload,
             } if session == rc.session => {
                 let at = ctx.now_ms().saturating_sub(sess.start_ms);
+                let payload_bytes = payload.len() as u64;
                 sess.sm.on_segment(rc.lane, index, payload, at);
+                sess.probe.progress(&sess.sm, payload_bytes);
                 if sess.sm.is_complete() {
                     self.finish(ctx, rc.session, None);
                     return LaneFlow::Settled;
@@ -443,6 +558,7 @@ impl ReqSessions {
                 sess.lane_conns[rc.lane] = None;
                 ctx.close(conn);
                 let leftovers = sess.sm.on_end(rc.lane);
+                sess.probe.sync(&sess.sm);
                 if leftovers.is_empty() {
                     self.try_finish(ctx, rc.session);
                 } else {
@@ -481,6 +597,7 @@ impl ReqSessions {
             ctx.close(conn);
         }
         let missing = sess.sm.on_failure(lane);
+        sess.probe.sync(&sess.sm);
         if missing.is_empty() {
             self.try_finish(ctx, session);
         } else {
@@ -495,7 +612,10 @@ impl ReqSessions {
             return;
         };
         match Self::replan(ctx, sess, &missing) {
-            Ok(()) => self.try_finish(ctx, session),
+            Ok(()) => {
+                sess.probe.sync(&sess.sm);
+                self.try_finish(ctx, session)
+            }
             Err(e) => self.finish(ctx, session, Some(e)),
         }
     }

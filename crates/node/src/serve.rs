@@ -24,11 +24,13 @@ use rand::SeedableRng;
 use p2ps_core::admission::RequestDecision;
 use p2ps_core::PeerClass;
 use p2ps_media::MediaFile;
+use p2ps_monitor::{Counter, Gauge, Monitor};
 use p2ps_net::{ConnId, Ctx, Handler, PoolHandle, ReactorConfig, ReactorPool};
 use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan};
 
 use crate::requester::{ReqSessions, SessionLaunch};
 use crate::supplier::{SupplierShared, GRANT_TTL_MS};
+use crate::watchdog::{Watchdog, WatchdogConfig};
 
 /// Read-progress timer: fires when the peer goes quiet in a phase that
 /// expects it to speak.
@@ -160,14 +162,54 @@ enum Flow {
     CloseAfterFlush,
 }
 
+/// Supplier-side shard metrics, registered on the shard's
+/// `reactor={i}` monitor scope next to the `p2ps-net` reactor stats.
+/// Updates are single relaxed atomics — no locks on the serving path.
+struct ServeStats {
+    /// Peer nodes attached to this shard.
+    hosted_nodes: Gauge,
+    /// Supplier-side paced sessions currently streaming.
+    active_streams: Gauge,
+    segments_sent: Counter,
+    bytes_sent: Counter,
+    /// Supplier-side sessions whose whole schedule was served.
+    streams_completed: Counter,
+}
+
+impl ServeStats {
+    fn register(monitor: &Monitor) -> ServeStats {
+        ServeStats {
+            hosted_nodes: monitor.gauge("hosted_nodes", "peer nodes attached to this shard"),
+            active_streams: monitor.gauge(
+                "active_streams",
+                "supplier-side paced sessions currently streaming",
+            ),
+            segments_sent: monitor.counter("segments_sent_total", "media segments served"),
+            bytes_sent: monitor.counter("bytes_sent_total", "segment payload bytes served"),
+            streams_completed: monitor.counter(
+                "streams_completed_total",
+                "supplier-side sessions whose whole schedule was served",
+            ),
+        }
+    }
+}
+
 /// The reactor handler multiplexing every attached node's supplier side
 /// plus every requester session routed to this shard.
-#[derive(Default)]
 pub(crate) struct NodeServeHandler {
     nodes: HashMap<u64, Arc<SupplierShared>>,
     conns: HashMap<ConnId, ConnState>,
     /// Reactor-hosted receiving sessions (the requester half).
     req: ReqSessions,
+    stats: ServeStats,
+}
+
+impl Default for NodeServeHandler {
+    /// A handler reporting to a detached monitor (tests and embedders
+    /// that don't scrape).
+    fn default() -> Self {
+        NodeServeHandler::new(&Monitor::default())
+    }
 }
 
 /// Queues every chunk of `msg`'s frame on `conn` — the one place that
@@ -181,6 +223,17 @@ pub(crate) fn send(ctx: &mut Ctx<'_>, conn: ConnId, msg: &Message) {
 }
 
 impl NodeServeHandler {
+    /// A handler whose shard metrics register on `monitor` (the shard's
+    /// `reactor={i}` scope).
+    pub(crate) fn new(monitor: &Monitor) -> Self {
+        NodeServeHandler {
+            nodes: HashMap::new(),
+            conns: HashMap::new(),
+            req: ReqSessions::default(),
+            stats: ServeStats::register(monitor),
+        }
+    }
+
     /// Runs the admission decision for a fresh `StreamRequest` — the same
     /// logic the blocking path used, shared state and all.
     fn decide(shared: &SupplierShared, requester_class: PeerClass) -> RequestDecision {
@@ -209,7 +262,13 @@ impl NodeServeHandler {
         }
     }
 
-    fn on_message(ctx: &mut Ctx<'_>, conn: ConnId, st: &mut ConnState, msg: Message) -> Flow {
+    fn on_message(
+        &self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        st: &mut ConnState,
+        msg: Message,
+    ) -> Flow {
         match (&mut st.phase, msg) {
             (Phase::AwaitRequest, Message::StreamRequest { session, class }) => {
                 match Self::decide(&st.shared, class) {
@@ -262,7 +321,7 @@ impl NodeServeHandler {
                 },
             ) if confirmed == *session => {
                 let session = *session;
-                match Self::start_streaming(ctx, conn, st, session, plan) {
+                match self.start_streaming(ctx, conn, st, session, plan) {
                     Ok(()) => Flow::Keep,
                     Err(_) => {
                         st.shared.admission.lock().reserved_at = None;
@@ -306,6 +365,7 @@ impl NodeServeHandler {
 
     /// Confirms the grant and arms the first pacing deadline.
     fn start_streaming(
+        &self,
         ctx: &mut Ctx<'_>,
         conn: ConnId,
         st: &mut ConnState,
@@ -359,6 +419,7 @@ impl NodeServeHandler {
         };
         ctx.cancel_timer(conn, K_READ);
         st.phase = Phase::Streaming(Box::new(stream));
+        self.stats.active_streams.add(1);
         // First deadline may be 0 ms out (dt=0 plans): fire promptly.
         ctx.set_timer(conn, K_PACE, 0);
         Ok(())
@@ -367,7 +428,7 @@ impl NodeServeHandler {
     /// Sends every segment whose §3 deadline `(p+1)·spp·δt` has passed,
     /// then re-arms the pacing timer for the next one. Returns the flow
     /// for the connection.
-    fn pace(ctx: &mut Ctx<'_>, conn: ConnId, st: &mut ConnState) -> Flow {
+    fn pace(&self, ctx: &mut Ctx<'_>, conn: ConnId, st: &mut ConnState) -> Flow {
         let Phase::Streaming(ref mut s) = st.phase else {
             return Flow::Keep; // stale pace timer from a replaced phase
         };
@@ -394,14 +455,16 @@ impl NodeServeHandler {
                 ctx.set_timer(conn, K_PACE, 1);
                 return Flow::Keep;
             }
-            let segment = s.file.segment(seg);
+            let payload = s.file.segment(seg).into_payload();
+            self.stats.segments_sent.incr();
+            self.stats.bytes_sent.add(payload.len() as u64);
             send(
                 ctx,
                 conn,
                 &Message::SegmentData {
                     session: s.session,
                     index: seg,
-                    payload: segment.into_payload(),
+                    payload,
                 },
             );
             s.consume();
@@ -410,12 +473,13 @@ impl NodeServeHandler {
 
     /// Rolls back shared admission state for a connection that is going
     /// away in whatever phase it reached.
-    fn settle(st: &ConnState) {
+    fn settle(&self, st: &ConnState) {
         match st.phase {
             Phase::AwaitStart { .. } => {
                 st.shared.admission.lock().reserved_at = None;
             }
             Phase::Streaming(_) => {
+                self.stats.active_streams.add(-1);
                 st.shared
                     .admission
                     .lock()
@@ -434,12 +498,12 @@ impl NodeServeHandler {
                 true
             }
             Flow::CloseNow => {
-                Self::settle(&st);
+                self.settle(&st);
                 ctx.close(conn);
                 false
             }
             Flow::CloseAfterFlush => {
-                Self::settle_finished(&st);
+                self.settle_finished(&st);
                 ctx.close_after_flush(conn);
                 false
             }
@@ -449,8 +513,10 @@ impl NodeServeHandler {
     /// Like [`settle`](Self::settle) but for a cleanly finished exchange:
     /// a completed stream ends its session; other phases have nothing
     /// reserved.
-    fn settle_finished(st: &ConnState) {
+    fn settle_finished(&self, st: &ConnState) {
         if let Phase::Streaming(_) = st.phase {
+            self.stats.active_streams.add(-1);
+            self.stats.streams_completed.incr();
             st.shared
                 .admission
                 .lock()
@@ -466,10 +532,14 @@ impl Handler for NodeServeHandler {
     fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: NodeCmd) {
         match cmd {
             NodeCmd::Attach { tag, shared } => {
-                self.nodes.insert(tag, shared);
+                if self.nodes.insert(tag, shared).is_none() {
+                    self.stats.hosted_nodes.add(1);
+                }
             }
             NodeCmd::Detach { tag } => {
-                self.nodes.remove(&tag);
+                if self.nodes.remove(&tag).is_some() {
+                    self.stats.hosted_nodes.add(-1);
+                }
                 let doomed: Vec<ConnId> = self
                     .conns
                     .iter()
@@ -478,7 +548,7 @@ impl Handler for NodeServeHandler {
                     .collect();
                 for id in doomed {
                     if let Some(st) = self.conns.remove(&id) {
-                        Self::settle(&st);
+                        self.settle(&st);
                         ctx.close(id);
                     }
                 }
@@ -516,7 +586,7 @@ impl Handler for NodeServeHandler {
         loop {
             match st.dec.poll() {
                 Ok(Some(msg)) => {
-                    let flow = Self::on_message(ctx, conn, &mut st, msg);
+                    let flow = self.on_message(ctx, conn, &mut st, msg);
                     if !matches!(flow, Flow::Keep) {
                         self.apply(ctx, conn, st, flow);
                         return;
@@ -542,7 +612,7 @@ impl Handler for NodeServeHandler {
         };
         match kind {
             K_PACE => {
-                let flow = Self::pace(ctx, conn, &mut st);
+                let flow = self.pace(ctx, conn, &mut st);
                 self.apply(ctx, conn, st, flow);
             }
             // K_READ (and anything unknown): the peer went quiet in a
@@ -559,7 +629,7 @@ impl Handler for NodeServeHandler {
             return;
         }
         if let Some(st) = self.conns.remove(&conn) {
-            Self::settle(&st);
+            self.settle(&st);
         }
     }
 }
@@ -601,6 +671,8 @@ impl Handler for NodeServeHandler {
 #[derive(Debug)]
 pub struct NodeReactor {
     pool: ReactorPool<NodeCmd>,
+    monitor: Monitor,
+    watchdog: Watchdog,
 }
 
 impl NodeReactor {
@@ -622,15 +694,45 @@ impl NodeReactor {
     ///
     /// Propagates epoll / self-pipe creation errors.
     pub fn with_threads(threads: usize) -> io::Result<Self> {
-        let pool = ReactorPool::spawn(threads, ReactorConfig::default(), |_| {
-            NodeServeHandler::default()
+        Self::with_options(threads, WatchdogConfig::default())
+    }
+
+    /// Like [`with_threads`](Self::with_threads) with an explicit stall
+    /// [`WatchdogConfig`] (tight graces for tests, long ones for
+    /// production scrapes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll / self-pipe creation errors.
+    pub fn with_options(threads: usize, watchdog: WatchdogConfig) -> io::Result<Self> {
+        let monitor = Monitor::root();
+        let cfg = ReactorConfig {
+            monitor: monitor.clone(),
+            ..ReactorConfig::default()
+        };
+        let pool = ReactorPool::spawn(threads, cfg, |i| {
+            NodeServeHandler::new(&monitor.child("reactor", i))
         })?;
-        Ok(NodeReactor { pool })
+        let watchdog = Watchdog::start(monitor.clone(), watchdog);
+        Ok(NodeReactor {
+            pool,
+            monitor,
+            watchdog,
+        })
     }
 
     /// Number of reactor threads in the pool.
     pub fn thread_count(&self) -> usize {
         self.pool.shard_count()
+    }
+
+    /// The root of this reactor's introspection tree: per-shard
+    /// `reactor={i}` scopes carrying the epoll loop's own stats, the
+    /// supplier-side serve stats and every hosted session's probe.
+    /// Snapshot it directly or serve it via
+    /// `p2ps_monitor::StatusServer`.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
     }
 
     pub(crate) fn handle(&self) -> PoolHandle<NodeCmd> {
@@ -640,6 +742,12 @@ impl NodeReactor {
     /// Stops every reactor thread and joins it; all hosted connections
     /// drop (in-flight sessions abort like a supplier crash).
     pub fn shutdown(self) {
-        self.pool.shutdown();
+        let NodeReactor {
+            pool,
+            monitor: _,
+            watchdog,
+        } = self;
+        drop(watchdog); // stop flagging before sessions abort
+        pool.shutdown();
     }
 }

@@ -1,0 +1,186 @@
+//! The stall watchdog: a timer that walks the monitor tree and flags
+//! sessions whose §3 pacing deadline slipped.
+//!
+//! Healthy pacing (paper §3) delivers a session's next segment within its
+//! worst per-supplier stride `spp · δt`. Each requester session publishes
+//! that stride and a last-progress timestamp on its monitor scope
+//! ([`crate::requester`]); the watchdog periodically snapshots the tree
+//! and, for every session still in the `streaming` state, compares the
+//! time since last progress against `stride + grace`. A session past the
+//! bound is flagged *through its live snapshot row*: its state cell flips
+//! to `stalled`, the root `watchdog_stalls_total` counter increments, and
+//! one structured line goes to stderr. The flag is edge-triggered — a
+//! stalled session is skipped on later ticks until a segment arrival
+//! moves it back to `streaming`.
+//!
+//! The watchdog never touches reactor threads or hot-path locks: it reads
+//! and writes the same relaxed atomics the sessions publish.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use p2ps_monitor::{monotonic_ms, Counter, Monitor};
+
+/// Tuning for a [`NodeReactor`](crate::NodeReactor)'s stall watchdog.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// How often the watchdog walks a snapshot (default 500 ms).
+    pub interval_ms: u64,
+    /// Slack past a session's worst-case healthy segment stride before
+    /// it is flagged as stalled (default 3000 ms).
+    pub grace_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            interval_ms: 500,
+            grace_ms: 3_000,
+        }
+    }
+}
+
+/// The background watchdog thread; stops (and joins) on drop.
+#[derive(Debug)]
+pub(crate) struct Watchdog {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog over the tree rooted at `root`, registering
+    /// the root-level `watchdog_stalls_total` counter.
+    pub(crate) fn start(root: Monitor, cfg: WatchdogConfig) -> Watchdog {
+        let stalls = root.counter(
+            "watchdog_stalls_total",
+            "sessions the stall watchdog flagged",
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let interval = Duration::from_millis(cfg.interval_ms.max(1));
+        let thread = std::thread::Builder::new()
+            .name("p2ps-watchdog".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    tick(&root, &stalls, cfg.grace_ms);
+                }
+            })
+            .expect("spawning the watchdog thread cannot fail");
+        Watchdog {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// One watchdog pass over the tree.
+fn tick(root: &Monitor, stalls: &Counter, grace_ms: u64) {
+    let snap = root.snapshot();
+    let now = monotonic_ms();
+    for node in snap.nodes() {
+        if node.kind() != Some("session") {
+            continue;
+        }
+        // Snapshot rows carry live handles: the reads below are fresh and
+        // the state write lands in the session's own cell.
+        let Some(state) = node.metric("state").and_then(|m| m.handle().as_state()) else {
+            continue;
+        };
+        if !state.is("streaming") {
+            continue;
+        }
+        let gauge = |name: &str| {
+            node.metric(name)
+                .and_then(|m| m.handle().as_gauge())
+                .map(|g| g.get().max(0) as u64)
+        };
+        let (Some(last), Some(stride)) = (gauge("last_progress_ms"), gauge("stride_ms")) else {
+            continue;
+        };
+        let lag = now.saturating_sub(last);
+        if lag > stride + grace_ms {
+            state.set("stalled");
+            stalls.incr();
+            eprintln!(
+                "p2ps-watchdog: stall session={} reactor={} lag_ms={lag} stride_ms={stride} grace_ms={grace_ms}",
+                node.label("session").unwrap_or("?"),
+                node.label("reactor").unwrap_or("?"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `tick` directly (no thread, no sleeps): a quiet streaming
+    /// session is flagged, a fresh one is not, and a flagged one is
+    /// skipped until it reports progress again.
+    #[test]
+    fn tick_flags_only_quiet_streaming_sessions() {
+        const STATES: &[&str] = &["probing", "streaming", "stalled"];
+        // Pin the process epoch, then let a little time pass so a
+        // last-progress of 0 reads as a real lag below.
+        let _ = monotonic_ms();
+        std::thread::sleep(Duration::from_millis(15));
+        let root = Monitor::root();
+        let stalls = root.counter("watchdog_stalls_total", "flags");
+        let scope = root.child("reactor", 0);
+
+        let quiet = scope.child("session", 1);
+        let quiet_state = quiet.state("state", "phase", STATES);
+        quiet_state.set("streaming");
+        quiet.gauge("last_progress_ms", "t").set(0);
+        quiet.gauge("stride_ms", "stride").set(10);
+
+        let fresh = scope.child("session", 2);
+        let fresh_state = fresh.state("state", "phase", STATES);
+        fresh_state.set("streaming");
+        fresh
+            .gauge("last_progress_ms", "t")
+            .set(monotonic_ms() as i64);
+        fresh.gauge("stride_ms", "stride").set(10);
+
+        let probing = scope.child("session", 3);
+        let probing_state = probing.state("state", "phase", STATES);
+        probing.gauge("last_progress_ms", "t").set(0);
+        probing.gauge("stride_ms", "stride").set(10);
+
+        tick(&root, &stalls, 0);
+        assert!(quiet_state.is("stalled"), "quiet session flagged");
+        assert!(fresh_state.is("streaming"), "fresh session untouched");
+        assert!(probing_state.is("probing"), "non-streaming never flagged");
+        assert_eq!(stalls.get(), 1);
+
+        // Edge-triggered: no re-flagging while still stalled.
+        tick(&root, &stalls, 0);
+        assert_eq!(stalls.get(), 1);
+
+        // Progress recovers the session; going quiet flags it again.
+        quiet_state.set("streaming");
+        quiet.gauge("last_progress_ms", "t").set(0);
+        tick(&root, &stalls, 0);
+        assert!(quiet_state.is("stalled"));
+        assert_eq!(stalls.get(), 2);
+    }
+}

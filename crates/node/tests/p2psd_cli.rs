@@ -154,3 +154,98 @@ fn directory_bind_failure_exits_nonzero() {
     };
     assert_eq!(status.code(), Some(1));
 }
+
+#[test]
+fn help_documents_every_flag_and_exit_code() {
+    for invocation in [
+        vec!["--help"],
+        vec!["-h"],
+        vec!["help"],
+        vec!["stream", "--help"],
+    ] {
+        let out = p2psd().args(&invocation).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{invocation:?} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // The authoritative flag list: notably --threads (the multi-core
+        // knob) and the observability flags, plus the exit-code table.
+        for needle in [
+            "--threads",
+            "--status-port",
+            "--status-addr",
+            "--dir",
+            "--serve-secs",
+            "exit codes",
+        ] {
+            assert!(
+                stdout.contains(needle),
+                "{invocation:?}: help output lacks {needle:?}"
+            );
+        }
+    }
+}
+
+/// Reads lines from a child's stdout until `predicate` matches one,
+/// returning the match.
+fn wait_for_line(stdout: &mut impl Read, predicate: impl Fn(&str) -> bool) -> String {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while stdout.read(&mut byte).unwrap() == 1 {
+        if byte[0] != b'\n' {
+            buf.push(byte[0]);
+            continue;
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        if predicate(&line) {
+            return line;
+        }
+        buf.clear();
+    }
+    panic!("child stdout closed before the expected line appeared");
+}
+
+#[test]
+fn status_subcommand_renders_a_live_directory() {
+    // A directory with an ephemeral status endpoint…
+    let child = p2psd()
+        .args(["directory", "--status-port", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut child = Reaper(child);
+    let mut stdout = child.0.stdout.take().unwrap();
+    let status_line = wait_for_line(&mut stdout, |l| l.contains("status endpoint on"));
+    let status_addr = status_line
+        .rsplit("http://")
+        .next()
+        .unwrap()
+        .trim_end_matches("/metrics")
+        .to_owned();
+
+    // …scraped by a second p2psd: the human table must carry the
+    // per-reactor row and the directory's stripe occupancy.
+    let out = p2psd()
+        .args(["status", "--status-addr", &status_addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    for needle in ["reactors:", "queued-bytes", "index stripes: 16", "sessions"] {
+        assert!(
+            rendered.contains(needle),
+            "status output lacks {needle:?}: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn status_against_nothing_exits_nonzero() {
+    let probe = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = probe.local_addr().unwrap();
+    drop(probe);
+    let out = p2psd()
+        .args(["status", "--status-addr", &addr.to_string()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,301 @@
+//! The stall watchdog against real sessions: a supplier that freezes its
+//! §3 pacing gets its session flagged `stalled` within the grace window,
+//! while a healthy multi-session swarm is never flagged — and the
+//! introspection tree exposes per-reactor queue depth, per-session state
+//! and owed-queue lag for all of it without touching the data path.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaInfo;
+use p2ps_node::{
+    Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode, WatchdogConfig,
+};
+use p2ps_proto::{read_message, write_message, CandidateRecord, Message};
+
+/// A supplier that passes admission and then freezes: accepts one
+/// connection, grants the stream request, reads the `StartSession`, and
+/// never sends a single segment. Returns the listener's port.
+fn frozen_supplier() -> u16 {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        let Ok((mut conn, _)) = listener.accept() else {
+            return;
+        };
+        // Bounded reads so the thread dies with the test instead of
+        // outliving a failed assertion.
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
+        let Ok(Message::StreamRequest { session, .. }) = read_message(&mut conn) else {
+            return;
+        };
+        let _ = write_message(
+            &mut conn,
+            &Message::Grant {
+                session,
+                class: PeerClass::HIGHEST,
+            },
+        );
+        let Ok(Message::StartSession { .. }) = read_message(&mut conn) else {
+            return;
+        };
+        // ...and now: silence. Block until the requester hangs up.
+        let _ = read_message(&mut conn);
+    });
+    port
+}
+
+/// One frozen supplier, one healthy seed: the watchdog must flag exactly
+/// the frozen supplier's session — and must flag it within the grace
+/// window, not on the 30 s read timeout the reactor would eventually hit.
+#[test]
+fn watchdog_flags_the_stalled_session_and_only_it() {
+    let info = MediaInfo::new("stall-test", 16, SegmentDuration::from_millis(20), 64);
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    // Aggressive watchdog so the test observes a flag in tens of ms:
+    // stride for a class-1 lane is 1·δt = 20 ms, so the deadline is
+    // 20 + 150 ms past the last segment.
+    let reactor = NodeReactor::with_options(
+        2,
+        WatchdogConfig {
+            interval_ms: 25,
+            grace_ms: 150,
+        },
+    )
+    .unwrap();
+
+    // The healthy half: a real seed, a real paced session.
+    let seed_cfg = NodeConfig::new(PeerId::new(1), PeerClass::HIGHEST, info.clone(), dir.addr());
+    let seed = PeerNode::spawn_seed_on(seed_cfg, clock.clone(), &reactor).unwrap();
+    let healthy_cfg = NodeConfig::new(PeerId::new(2), PeerClass::HIGHEST, info.clone(), dir.addr());
+    let healthy = PeerNode::spawn_on(healthy_cfg, clock.clone(), &reactor).unwrap();
+    let healthy_pending = healthy.begin_stream(4).unwrap();
+
+    // The stalled half: admission succeeds, then nothing ever arrives.
+    let frozen_port = frozen_supplier();
+    let stalled_cfg = NodeConfig::new(PeerId::new(3), PeerClass::HIGHEST, info.clone(), dir.addr());
+    let stalled = PeerNode::spawn_on(stalled_cfg, clock.clone(), &reactor).unwrap();
+    let _stalled_pending = stalled
+        .begin_stream_from(vec![CandidateRecord {
+            id: PeerId::new(99),
+            class: PeerClass::HIGHEST,
+            port: frozen_port,
+        }])
+        .unwrap();
+
+    // Poll the tree until the watchdog verdict lands. Deadline ≈ stride
+    // (20 ms) + grace (150 ms) + one interval (25 ms); 5 s of slack keeps
+    // a loaded CI machine from flaking the pin.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let flagged_at = loop {
+        let snap = reactor.monitor().snapshot();
+        let stalled_sessions = snap
+            .nodes()
+            .iter()
+            .filter(|n| n.kind() == Some("session"))
+            .filter(|n| {
+                n.metric("state")
+                    .map(|m| m.value().state_name() == Some("stalled"))
+                    .unwrap_or(false)
+            })
+            .count();
+        if stalled_sessions == 1 {
+            break snap;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never flagged the frozen session"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The flagged session is genuinely the frozen one: it received
+    // nothing while still owing its whole file.
+    let flagged = flagged_at
+        .nodes()
+        .iter()
+        .find(|n| {
+            n.kind() == Some("session")
+                && n.metric("state")
+                    .map(|m| m.value().state_name() == Some("stalled"))
+                    .unwrap_or(false)
+        })
+        .unwrap();
+    assert_eq!(
+        flagged
+            .metric("received_segments")
+            .unwrap()
+            .value()
+            .as_i64(),
+        0,
+        "the frozen supplier never delivered"
+    );
+    assert_eq!(
+        flagged.metric("owed_segments").unwrap().value().as_i64(),
+        16,
+        "the frozen lane still owes the whole file"
+    );
+
+    // The healthy session completes and is never the flagged one: the
+    // stall counter stays at exactly one event (edge-triggered).
+    healthy_pending.wait().unwrap();
+    let snap = reactor.monitor().snapshot();
+    let stalls = snap
+        .find(&[], "watchdog_stalls_total")
+        .expect("the watchdog registers its counter at the root")
+        .value()
+        .as_i64();
+    assert_eq!(stalls, 1, "only the frozen session may be flagged");
+
+    stalled.shutdown();
+    healthy.shutdown();
+    seed.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+/// A healthy 64-session swarm: the acceptance pin that the tree reports
+/// per-reactor queue depth, per-session state and owed-queue lag for a
+/// live ≥64-session swarm — and that the watchdog flags none of it.
+#[test]
+fn healthy_sixty_four_session_swarm_flags_nothing() {
+    const SESSIONS: usize = 64;
+    const SEEDS: u64 = 80;
+    const SEGMENTS: u64 = 64;
+    const DT_MS: u64 = 30;
+
+    let info = MediaInfo::new(
+        "healthy-swarm",
+        SEGMENTS,
+        SegmentDuration::from_millis(DT_MS),
+        64,
+    );
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    // A watchful watchdog: 500 ms grace against a 30 ms pacing stride.
+    // Healthy paced sessions deliver a segment every δt, so nothing may
+    // come within an order of magnitude of the deadline.
+    let reactor = NodeReactor::with_options(
+        2,
+        WatchdogConfig {
+            interval_ms: 50,
+            grace_ms: 500,
+        },
+    )
+    .unwrap();
+
+    let seeds: Vec<PeerNode> = (0..SEEDS)
+        .map(|i| {
+            let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+            PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor).unwrap()
+        })
+        .collect();
+
+    let mut requesters = Vec::with_capacity(SESSIONS);
+    let mut pendings = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS as u64 {
+        let cfg = NodeConfig::new(
+            PeerId::new(SEEDS + i),
+            PeerClass::HIGHEST,
+            info.clone(),
+            dir.addr(),
+        );
+        let node = PeerNode::spawn_on(cfg, clock.clone(), &reactor).unwrap();
+        let mut attempt = 0;
+        let pending = loop {
+            match node.begin_stream(16) {
+                Ok(p) => break p,
+                Err(NodeError::Rejected { .. }) if attempt < 20 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("session {i}: admission failed: {e}"),
+            }
+        };
+        requesters.push(node);
+        pendings.push(pending);
+    }
+
+    // All 64 sessions are paced over ≈ SEGMENTS·δt ≈ 1.9 s, so right
+    // after the last hand-off every one of them is still in flight: the
+    // snapshot must show the whole swarm. (Scoped: a snapshot's live
+    // handles keep the session scopes alive, and the leak check below
+    // must observe the real tree, not this snapshot's refs.)
+    {
+        let snap = reactor.monitor().snapshot();
+        let sessions: Vec<_> = snap
+            .nodes()
+            .iter()
+            .filter(|n| n.kind() == Some("session"))
+            .collect();
+        assert!(
+            sessions.len() >= SESSIONS,
+            "expected ≥{SESSIONS} live session scopes, saw {}",
+            sessions.len()
+        );
+        for node in &sessions {
+            let state = node
+                .metric("state")
+                .expect("every session exposes its phase")
+                .value()
+                .state_name()
+                .unwrap();
+            // "probing" is possible for an instant: the hand-off command may
+            // still be in the reactor's queue when the snapshot is taken.
+            assert!(
+                state == "probing" || state == "streaming" || state == "complete",
+                "healthy session in state {state:?}"
+            );
+            // Owed-queue lag: owed is live and bounded by the file size.
+            let owed = node.metric("owed_segments").unwrap().value().as_i64();
+            assert!((0..=SEGMENTS as i64).contains(&owed));
+            assert!(node.metric("last_progress_ms").is_some());
+            assert!(node.metric("stride_ms").is_some());
+        }
+        // Per-reactor queue depths are published for both shards.
+        for shard in 0..2 {
+            let id = shard.to_string();
+            let labels = [("reactor", id.as_str())];
+            for gauge in ["queued_write_bytes", "timer_entries", "connections"] {
+                assert!(
+                    snap.find(&labels, gauge).is_some(),
+                    "reactor {shard} missing {gauge}"
+                );
+            }
+        }
+    }
+
+    for (i, pending) in pendings.into_iter().enumerate() {
+        pending
+            .wait()
+            .unwrap_or_else(|e| panic!("session {i} failed: {e}"));
+    }
+
+    // Healthy run: the watchdog saw 64 paced sessions and flagged none.
+    let snap = reactor.monitor().snapshot();
+    let stalls = snap
+        .find(&[], "watchdog_stalls_total")
+        .expect("watchdog counter")
+        .value()
+        .as_i64();
+    assert_eq!(stalls, 0, "healthy sessions must never be flagged");
+    // Completed sessions dropped their scopes: the tree does not leak.
+    let leftover = snap
+        .nodes()
+        .iter()
+        .filter(|n| n.kind() == Some("session"))
+        .count();
+    assert_eq!(leftover, 0, "{leftover} session scopes leaked");
+
+    for node in requesters {
+        node.shutdown();
+    }
+    for seed in seeds {
+        seed.shutdown();
+    }
+    reactor.shutdown();
+    dir.shutdown();
+}

@@ -25,6 +25,7 @@
 //! | [`node`] | `p2ps-node` | runnable TCP peer node (reactor-hosted directory, supplier *and* requester paths), swarm harness |
 //! | [`sim`] | `p2ps-sim` | the paper's 50,100-peer evaluation as a deterministic simulator, plus the policy × VoD-scenario matrix |
 //! | [`metrics`] | `p2ps-metrics` | series, tables, plots for the experiment harness |
+//! | [`monitor`] | `p2ps-monitor` | lock-free introspection tree, Prometheus exposition, status endpoint |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@ pub use p2ps_core as core;
 pub use p2ps_lookup as lookup;
 pub use p2ps_media as media;
 pub use p2ps_metrics as metrics;
+pub use p2ps_monitor as monitor;
 pub use p2ps_net as net;
 pub use p2ps_node as node;
 pub use p2ps_policy as policy;

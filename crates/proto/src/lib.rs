@@ -53,5 +53,5 @@ pub use chunks::{ChunkQueue, MAX_GATHER_SLICES};
 pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
 pub use error::DecodeError;
 pub use message::{CandidateRecord, Message, SessionPlan};
-pub use requester::RequesterSession;
+pub use requester::{RequesterSession, SessionPhase};
 pub use sansio::{FrameDecoder, FrameEncoder};

@@ -61,6 +61,35 @@ struct Lane {
     state: LaneState,
 }
 
+/// Coarse lifecycle of a whole [`RequesterSession`], derived from its
+/// lane states and reassembly progress — the session-level tag an
+/// observer (monitoring, a stall watchdog) wants, as opposed to the
+/// per-lane states the replan machinery works with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// No supplier registered yet (admission probing still running).
+    Probing,
+    /// At least one supplier is expected to be transmitting.
+    Streaming,
+    /// No supplier is transmitting and segments are still missing: the
+    /// caller must replan (or the session failed).
+    Reassembling,
+    /// Every segment of the file has arrived.
+    Complete,
+}
+
+impl SessionPhase {
+    /// Stable lowercase name, matching the monitoring `state` label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionPhase::Probing => "probing",
+            SessionPhase::Streaming => "streaming",
+            SessionPhase::Reassembling => "reassembling",
+            SessionPhase::Complete => "complete",
+        }
+    }
+}
+
 /// The requester half of one streaming session as a sans-io state
 /// machine: reassembly, per-supplier owed queues, and completion.
 ///
@@ -194,6 +223,31 @@ impl RequesterSession {
         self.received == self.segments.len() as u64
     }
 
+    /// Segments still owed across all streaming lanes — the live
+    /// backlog an observer compares against wall-clock progress to spot
+    /// a pacing stall (settled lanes owe nothing by definition; their
+    /// leftovers were returned to the caller to replan).
+    pub fn owed_total(&self) -> u64 {
+        self.lanes
+            .iter()
+            .filter(|l| l.state == LaneState::Streaming)
+            .map(|l| l.owed.len() as u64)
+            .sum()
+    }
+
+    /// The session's coarse lifecycle tag. See [`SessionPhase`].
+    pub fn phase(&self) -> SessionPhase {
+        if self.is_complete() {
+            SessionPhase::Complete
+        } else if self.lanes.is_empty() {
+            SessionPhase::Probing
+        } else if self.lanes.iter().any(|l| l.state == LaneState::Streaming) {
+            SessionPhase::Streaming
+        } else {
+            SessionPhase::Reassembling
+        }
+    }
+
     /// Consumes the machine, yielding per-segment `(payload, at_ms)`
     /// entries (`None` where nothing arrived).
     pub fn into_segments(self) -> Vec<Option<(Bytes, u64)>> {
@@ -272,6 +326,26 @@ mod tests {
         sm.on_segment(b, 2, payload(2), 5);
         assert_eq!(sm.on_failure(a), vec![0, 1], "2 already arrived via b");
         assert_eq!(sm.received(), 1);
+    }
+
+    #[test]
+    fn phase_follows_the_session_lifecycle() {
+        let mut sm = RequesterSession::new(2);
+        assert_eq!(sm.phase(), SessionPhase::Probing);
+        let a = sm.add_supplier([0, 1]);
+        assert_eq!(sm.phase(), SessionPhase::Streaming);
+        assert_eq!(sm.owed_total(), 2);
+        sm.on_segment(a, 0, payload(0), 1);
+        assert_eq!(sm.owed_total(), 1);
+        let owed = sm.on_failure(a);
+        assert_eq!(owed, vec![1]);
+        assert_eq!(sm.phase(), SessionPhase::Reassembling);
+        assert_eq!(sm.owed_total(), 0, "settled lanes owe nothing");
+        let b = sm.add_supplier(owed);
+        assert_eq!(sm.phase(), SessionPhase::Streaming);
+        sm.on_segment(b, 1, payload(1), 2);
+        assert_eq!(sm.phase(), SessionPhase::Complete);
+        assert_eq!(sm.phase().name(), "complete");
     }
 
     #[test]

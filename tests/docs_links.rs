@@ -1,0 +1,84 @@
+//! Every relative markdown link in the repo's documentation must point
+//! at a file that exists — READMEs and the docs/ handbook rot silently
+//! otherwise (CI runs this as its link check).
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files under the link check: the repo root, `docs/`, and
+/// every crate README.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut push_dir = |dir: &Path| {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                out.push(path);
+            }
+        }
+    };
+    push_dir(root);
+    push_dir(&root.join("docs"));
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for entry in crates.flatten() {
+            push_dir(&entry.path());
+        }
+    }
+    out
+}
+
+/// Extracts inline markdown link targets: the `(target)` of `](target)`.
+fn link_targets(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("](") {
+        rest = &rest[pos + 2..];
+        if let Some(end) = rest.find(')') {
+            out.push(&rest[..end]);
+            rest = &rest[end + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = doc_files(root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "the link check found no README — wrong root?"
+    );
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        for target in link_targets(&text) {
+            // External links, intra-page anchors and mail addresses are
+            // out of scope; so are rustdoc-style `[x](y)` shorthand hits
+            // inside code spans, which never contain a path separator or
+            // .md suffix.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            if !(target.contains('/') || target.ends_with(".md")) {
+                continue;
+            }
+            let path = target.split('#').next().unwrap();
+            let resolved = file.parent().unwrap().join(path);
+            if !resolved.exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+}
