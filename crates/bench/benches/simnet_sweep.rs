@@ -1,0 +1,46 @@
+//! Criterion micro-benches for the deterministic simulation harness.
+//!
+//! `single_run` times one full seed-derived run per scenario (schedule
+//! derivation, the event loop over the real protocol machines, and the
+//! trace digest). `sweep_16` times a 16-seed mini-sweep per scenario —
+//! the shape of the tier-1 test, scaled down — so regressions in the
+//! harness's per-run overhead show up before the 1,000-seed sweep
+//! crawls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2ps_simnet::{run, ScenarioKind};
+use std::hint::black_box;
+
+fn single_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_single_run");
+    for scenario in ScenarioKind::ALL {
+        group.bench_function(scenario.name(), |b| {
+            b.iter(|| {
+                let report = run(black_box(42), black_box(scenario));
+                black_box(report.trace_hash)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sweep_16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_sweep_16");
+    group.sample_size(20);
+    for scenario in ScenarioKind::ALL {
+        group.bench_function(scenario.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for seed in 0..16u64 {
+                    let report = run(black_box(seed), black_box(scenario));
+                    acc ^= report.trace_hash;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_run, sweep_16);
+criterion_main!(benches);

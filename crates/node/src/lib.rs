@@ -61,6 +61,7 @@
 mod args;
 mod clock;
 mod directory;
+mod driver;
 mod error;
 mod node;
 mod requester;
@@ -72,6 +73,7 @@ mod watchdog;
 pub use args::{Args, ArgsError};
 pub use clock::Clock;
 pub use directory::{query_candidates, register_supplier, DirectoryServer, ShardedRegistry};
+pub use driver::{DriverStep, SessionDriver};
 pub use error::NodeError;
 pub use node::{NodeConfig, PeerNode, PendingStream, StreamOutcome};
 pub use serve::NodeReactor;

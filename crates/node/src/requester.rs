@@ -38,7 +38,7 @@ use p2ps_proto::{
 };
 
 use crate::serve::send;
-use crate::{NodeError, StreamOutcome};
+use crate::{DriverStep, NodeError, SessionDriver, StreamOutcome};
 
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
 /// A supplier that goes quiet for this long mid-stream is treated as
@@ -349,18 +349,16 @@ pub(crate) fn admit_and_plan(
     Ok((lanes, theoretical_slots))
 }
 
-/// One reactor-hosted receiving session: the sans-io state machine plus
-/// the connection bookkeeping around it.
+/// One reactor-hosted receiving session: the transport-agnostic
+/// [`SessionDriver`] plus the connection bookkeeping around it. All
+/// streaming *decisions* (replan routing, completion, failure) live in
+/// the driver — this struct only maps lanes to reactor connections and
+/// ships what the driver says to ship.
 struct ReqSession {
-    session: u64,
     info: MediaInfo,
-    policy: SharedPolicy,
-    /// Active suppliers' classes, in lane order (the outcome report).
-    classes: Vec<PeerClass>,
+    driver: SessionDriver,
     /// Lane → live connection (None once ended or failed).
     lane_conns: Vec<Option<ConnId>>,
-    sm: RequesterSession,
-    dt_ms: u64,
     theoretical_slots: u64,
     start_ms: u64,
     probe: SessionProbe,
@@ -404,34 +402,25 @@ impl ReqSessions {
             done,
         } = launch;
         let dt_ms = info.segment_duration().as_millis();
-        // The watchdog's healthy bound: the slowest lane's §3 pacing
-        // stride `spp · δt` (mirroring the supplier-side stride rule —
-        // explicit one-shot plans pace at the supplier's class rate).
-        let stride_ms = lanes
-            .iter()
-            .map(|lane| {
-                let period = lane.plan.period as u64;
-                let spp = if period == lane.plan.total_segments.max(1) {
-                    u64::from(lane.class.slots_per_segment())
-                } else {
-                    period
-                        .checked_div(lane.plan.segments.len() as u64)
-                        .unwrap_or(period)
-                };
-                spp.max(1) * dt_ms
-            })
-            .max()
-            .unwrap_or(dt_ms);
-        let mut sm = RequesterSession::new(info.segment_count());
-        let mut classes = Vec::with_capacity(lanes.len());
-        let mut lane_conns = Vec::with_capacity(lanes.len());
+        let mut specs = Vec::with_capacity(lanes.len());
+        let mut streams = Vec::with_capacity(lanes.len());
+        for lane in lanes {
+            specs.push((lane.class, lane.plan));
+            streams.push(lane.stream);
+        }
+        let mut driver = SessionDriver::new(
+            session,
+            info.name(),
+            info.segment_count(),
+            dt_ms,
+            policy,
+            &specs,
+        );
+        let mut lane_conns = Vec::with_capacity(streams.len());
         let mut dead_lanes = Vec::new();
         let start_ms = ctx.now_ms();
-        for (lane_idx, lane) in lanes.into_iter().enumerate() {
-            classes.push(lane.class);
-            let slot = sm.add_supplier(lane.plan.expanded());
-            debug_assert_eq!(slot, lane_idx);
-            match ctx.adopt(lane.stream) {
+        for (lane_idx, stream) in streams.into_iter().enumerate() {
+            match ctx.adopt(stream) {
                 Ok(conn) => {
                     self.conns.insert(
                         conn,
@@ -446,29 +435,29 @@ impl ReqSessions {
                         conn,
                         &Message::StartSession {
                             session,
-                            plan: lane.plan,
+                            plan: specs[lane_idx].1.clone(),
                         },
                     );
                     ctx.set_timer(conn, K_REQ_READ, STREAM_READ_TIMEOUT_MS);
                     lane_conns.push(Some(conn));
                 }
                 Err(_) => {
+                    // Mark every doomed lane dead *before* settling any of
+                    // them, so the first replan does not count the others
+                    // as survivors.
+                    driver.mark_dead(lane_idx);
                     lane_conns.push(None);
                     dead_lanes.push(lane_idx);
                 }
             }
         }
-        probe.launched(&sm, stride_ms);
+        probe.launched(driver.machine(), driver.stride_ms());
         self.sessions.insert(
             session,
             ReqSession {
-                session,
                 info,
-                policy,
-                classes,
+                driver,
                 lane_conns,
-                sm,
-                dt_ms,
                 theoretical_slots,
                 start_ms,
                 probe,
@@ -478,7 +467,11 @@ impl ReqSessions {
         for lane in dead_lanes {
             self.fail_lane(ctx, session, lane);
         }
-        self.try_finish(ctx, session);
+        if let Some(sess) = self.sessions.get(&session) {
+            // A zero-segment file is complete right at launch.
+            let step = sess.driver.status();
+            self.apply(ctx, session, step);
+        }
     }
 
     /// Bytes arrived on a requester connection.
@@ -546,9 +539,9 @@ impl ReqSessions {
             } if session == rc.session => {
                 let at = ctx.now_ms().saturating_sub(sess.start_ms);
                 let payload_bytes = payload.len() as u64;
-                sess.sm.on_segment(rc.lane, index, payload, at);
-                sess.probe.progress(&sess.sm, payload_bytes);
-                if sess.sm.is_complete() {
+                let step = sess.driver.on_segment(rc.lane, index, payload, at);
+                sess.probe.progress(sess.driver.machine(), payload_bytes);
+                if matches!(step, DriverStep::Complete) {
                     self.finish(ctx, rc.session, None);
                     return LaneFlow::Settled;
                 }
@@ -557,15 +550,9 @@ impl ReqSessions {
             Message::EndSession { session } if session == rc.session => {
                 sess.lane_conns[rc.lane] = None;
                 ctx.close(conn);
-                let leftovers = sess.sm.on_end(rc.lane);
-                sess.probe.sync(&sess.sm);
-                if leftovers.is_empty() {
-                    self.try_finish(ctx, rc.session);
-                } else {
-                    // A replan raced this supplier's EndSession: its
-                    // unserved share moves on to the remaining suppliers.
-                    self.replan_or_fail(ctx, rc.session, leftovers);
-                }
+                let step = sess.driver.on_end(rc.lane);
+                sess.probe.sync(sess.driver.machine());
+                self.apply(ctx, rc.session, step);
                 LaneFlow::Settled
             }
             _ => {
@@ -586,8 +573,8 @@ impl ReqSessions {
         ctx.close(conn);
     }
 
-    /// A supplier was lost: collect what it owed and replan onto the
-    /// survivors.
+    /// A supplier was lost: the driver collects what it owed and replans
+    /// onto the survivors; this side ships the verdict.
     fn fail_lane(&mut self, ctx: &mut Ctx<'_>, session: u64, lane: usize) {
         let Some(sess) = self.sessions.get_mut(&session) else {
             return;
@@ -596,119 +583,30 @@ impl ReqSessions {
             self.conns.remove(&conn);
             ctx.close(conn);
         }
-        let missing = sess.sm.on_failure(lane);
-        sess.probe.sync(&sess.sm);
-        if missing.is_empty() {
-            self.try_finish(ctx, session);
-        } else {
-            self.replan_or_fail(ctx, session, missing);
-        }
+        let step = sess.driver.on_failure(lane);
+        sess.probe.sync(sess.driver.machine());
+        self.apply(ctx, session, step);
     }
 
-    /// Routes `missing` through the session's policy onto the surviving
-    /// suppliers; fails the session when recovery is impossible.
-    fn replan_or_fail(&mut self, ctx: &mut Ctx<'_>, session: u64, missing: Vec<u64>) {
-        let Some(sess) = self.sessions.get_mut(&session) else {
-            return;
-        };
-        match Self::replan(ctx, sess, &missing) {
-            Ok(()) => {
-                sess.probe.sync(&sess.sm);
-                self.try_finish(ctx, session)
+    /// Executes a [`DriverStep`]: ships replanned shares as explicit
+    /// `StartSession`s (surviving suppliers append them to their running
+    /// schedule and keep pacing at their class rate), finishes on
+    /// `Complete`/`Failed`.
+    fn apply(&mut self, ctx: &mut Ctx<'_>, session: u64, step: DriverStep) {
+        match step {
+            DriverStep::Continue => {}
+            DriverStep::Replanned(plans) => {
+                let Some(sess) = self.sessions.get_mut(&session) else {
+                    return;
+                };
+                for (lane, plan) in plans {
+                    let conn = sess.lane_conns[lane].expect("survivor has a live connection");
+                    send(ctx, conn, &Message::StartSession { session, plan });
+                }
+                sess.probe.sync(sess.driver.machine());
             }
-            Err(e) => self.finish(ctx, session, Some(e)),
-        }
-    }
-
-    /// The replan itself: survivors in, explicit wire plans out.
-    fn replan(ctx: &mut Ctx<'_>, sess: &mut ReqSession, missing: &[u64]) -> Result<(), NodeError> {
-        let total = sess.sm.total_segments();
-        let outstanding = total - sess.sm.received();
-        let survivors: Vec<usize> = sess
-            .sm
-            .streaming_suppliers()
-            .filter(|&lane| sess.lane_conns[lane].is_some())
-            .collect();
-        if survivors.is_empty() {
-            return Err(NodeError::SuppliersLost {
-                missing: outstanding,
-            });
-        }
-        let survivor_classes: Vec<PeerClass> =
-            survivors.iter().map(|&lane| sess.classes[lane]).collect();
-        let rctx = SessionContext::full(&survivor_classes, total).with_seed(sess.session);
-        let plan = sess
-            .policy
-            .replan(&rctx, missing)
-            .map_err(|e| NodeError::Protocol(format!("replan failed: {e}")))?;
-        if plan.slot_count() != survivors.len() {
-            return Err(NodeError::Protocol(format!(
-                "policy '{}' replanned {} slots for {} survivors",
-                sess.policy.name(),
-                plan.slot_count(),
-                survivors.len()
-            )));
-        }
-        let period = u32::try_from(total.max(1))
-            .map_err(|_| NodeError::Protocol("file too large for an explicit replan".into()))?;
-        let queues = plan.queues(0, total);
-        let assigned: usize = queues.iter().map(Vec::len).sum();
-        if assigned < missing.len() {
-            // The policy could not place every lost segment; the session
-            // can never complete.
-            return Err(NodeError::SuppliersLost {
-                missing: outstanding,
-            });
-        }
-        for (j, queue) in queues.into_iter().enumerate() {
-            if queue.is_empty() {
-                continue;
-            }
-            let lane = survivors[j];
-            let conn = sess.lane_conns[lane].expect("survivor has a live connection");
-            let wire = SessionPlan {
-                item: sess.info.name().to_owned(),
-                segments: queue.iter().map(|&s| s as u32).collect(),
-                period,
-                total_segments: total,
-                dt_ms: sess.dt_ms as u32,
-            };
-            sess.sm.assign_more(lane, queue);
-            // Surviving suppliers append explicit plans to their running
-            // schedule (the wire-level replan extension) and keep pacing
-            // at their class rate.
-            send(
-                ctx,
-                conn,
-                &Message::StartSession {
-                    session: sess.session,
-                    plan: wire,
-                },
-            );
-        }
-        Ok(())
-    }
-
-    /// Finishes the session if it is complete, or if nothing can still
-    /// make progress (all lanes terminal with segments missing).
-    fn try_finish(&mut self, ctx: &mut Ctx<'_>, session: u64) {
-        let Some(sess) = self.sessions.get(&session) else {
-            return;
-        };
-        if sess.sm.is_complete() {
-            self.finish(ctx, session, None);
-            return;
-        }
-        let any_live = sess
-            .sm
-            .streaming_suppliers()
-            .any(|lane| sess.lane_conns[lane].is_some());
-        if !any_live {
-            let err = NodeError::IncompleteStream {
-                received: sess.sm.received(),
-                expected: sess.sm.total_segments(),
-            };
-            self.finish(ctx, session, Some(err));
+            DriverStep::Complete => self.finish(ctx, session, None),
+            DriverStep::Failed(e) => self.finish(ctx, session, Some(e)),
         }
     }
 
@@ -733,10 +631,12 @@ impl ReqSessions {
 
     /// Builds the outcome + store for a completed session.
     fn complete(sess: ReqSession, now_ms: u64) -> (StreamOutcome, SegmentStore) {
-        let total = sess.sm.total_segments();
+        let dt_ms = sess.driver.dt_ms();
+        let (sm, classes) = sess.driver.into_parts();
+        let total = sm.total_segments();
         let mut store = SegmentStore::new(total);
         let mut buffer = PlaybackBuffer::new(total, sess.info.segment_duration());
-        for (index, entry) in sess.sm.into_segments().into_iter().enumerate() {
+        for (index, entry) in sm.into_segments().into_iter().enumerate() {
             if let Some((payload, at_ms)) = entry {
                 buffer.record_arrival(index as u64, at_ms);
                 store.insert(Segment::new(index as u64, payload));
@@ -746,10 +646,10 @@ impl ReqSessions {
             .min_feasible_delay_ms()
             .expect("session completed, so did the buffer");
         let outcome = StreamOutcome {
-            supplier_count: sess.classes.len(),
-            supplier_classes: sess.classes,
+            supplier_count: classes.len(),
+            supplier_classes: classes,
             measured_delay_ms: measured,
-            theoretical_delay_ms: sess.theoretical_slots * sess.dt_ms,
+            theoretical_delay_ms: sess.theoretical_slots * dt_ms,
             duration_ms: now_ms.saturating_sub(sess.start_ms),
         };
         (outcome, store)

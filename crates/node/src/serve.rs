@@ -13,7 +13,7 @@
 //! across reactor threads by node tag (supplier side) and session id
 //! (requester side).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -26,7 +26,7 @@ use p2ps_core::PeerClass;
 use p2ps_media::MediaFile;
 use p2ps_monitor::{Counter, Gauge, Monitor};
 use p2ps_net::{ConnId, Ctx, Handler, PoolHandle, ReactorConfig, ReactorPool};
-use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan};
+use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan, SupplierSchedule};
 
 use crate::requester::{ReqSessions, SessionLaunch};
 use crate::supplier::{SupplierShared, GRANT_TTL_MS};
@@ -83,66 +83,12 @@ struct StreamState {
     session: u64,
     /// O(1) snapshot: a shared view of the node's media allocation.
     file: MediaFile,
-    /// The base wire plan: `plan.nth_segment` (the one shared expansion
-    /// rule) defines what this supplier owes, O(1) memory however long
-    /// the file.
-    plan: SessionPlan,
-    /// Slots per period for this supplier: pacing stride `spp · δt`.
-    spp: u64,
-    /// Next transmission ordinal `p` (0-based, §3 numbering) — drives the
-    /// pacing deadline across base and appended segments alike.
-    p: u64,
-    /// Next index into the base plan's periodic expansion.
-    base_p: u64,
-    /// The base plan reached its first out-of-range segment.
-    base_done: bool,
-    /// Mid-stream replan shares (explicit plans the requester appended
-    /// after losing another supplier), served after the base plan at the
-    /// same pacing stride.
-    appended: VecDeque<u32>,
+    /// The sans-io transmission schedule (base plan expansion, appended
+    /// replan shares, §3 pacing stride) — the same machine the
+    /// deterministic simulation harness drives without sockets.
+    sched: SupplierSchedule,
     /// Reactor time at `StartSession`.
     start_ms: u64,
-}
-
-impl StreamState {
-    /// The next segment due for transmission, skipping out-of-range
-    /// entries, or `None` when the whole schedule (base + appended) is
-    /// exhausted. Does not consume; pair with [`consume`](Self::consume)
-    /// after the send.
-    fn next_unsent(&mut self) -> Option<u64> {
-        // The plan already bounds by its own total; a shorter local file
-        // copy additionally caps what can be served.
-        let cap = self.file.info().segment_count();
-        loop {
-            if !self.base_done {
-                match self.plan.nth_segment(self.base_p) {
-                    Some(seg) if seg < cap => return Some(seg),
-                    _ => self.base_done = true,
-                }
-            } else {
-                match self.appended.front() {
-                    Some(&seg) if u64::from(seg) < self.plan.total_segments.min(cap) => {
-                        return Some(u64::from(seg))
-                    }
-                    Some(_) => {
-                        self.appended.pop_front();
-                    }
-                    None => return None,
-                }
-            }
-        }
-    }
-
-    /// Marks the segment returned by [`next_unsent`](Self::next_unsent)
-    /// as transmitted.
-    fn consume(&mut self) {
-        if self.base_done {
-            self.appended.pop_front();
-        } else {
-            self.base_p += 1;
-        }
-        self.p += 1;
-    }
 }
 
 struct ConnState {
@@ -352,7 +298,7 @@ impl NodeServeHandler {
                     plan,
                 },
             ) if confirmed == s.session && plan.is_explicit() => {
-                s.appended.extend(plan.segments.iter().copied());
+                s.sched.append(plan.segments.iter().copied());
                 Flow::Keep
             }
             // Otherwise the requester does not speak during streaming;
@@ -378,29 +324,11 @@ impl NodeServeHandler {
             .lock()
             .clone()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "media file vanished"))?;
-        let per_period = plan.segments.len() as u64;
-        if per_period == 0 || plan.period == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "malformed session plan",
-            ));
-        }
-        // Pacing stride: a periodic (§3) plan tiles its period exactly, so
-        // the stride is the per-period share. An explicit one-shot plan
-        // (period spans the whole file, arbitrary list length — the
-        // non-periodic selection policies) paces at this supplier's own
-        // class rate instead; for rate-matched periodic plans the two
-        // formulas agree.
-        let spp = if plan.period as u64 == plan.total_segments.max(1) {
-            u64::from(st.shared.class.slots_per_segment())
-        } else if (plan.period as u64).is_multiple_of(per_period) {
-            plan.period as u64 / per_period
-        } else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "periodic session plan does not tile its period",
-            ));
-        };
+        // The schedule validates the plan and derives the pacing stride
+        // (periodic §3 plans tile their period; explicit one-shot plans
+        // pace at this supplier's own class rate).
+        let sched = SupplierSchedule::new(plan, u64::from(st.shared.class.slots_per_segment()))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         {
             let mut guard = st.shared.admission.lock();
             guard.reserved_at = None;
@@ -409,12 +337,7 @@ impl NodeServeHandler {
         let stream = StreamState {
             session,
             file,
-            spp,
-            plan,
-            p: 0,
-            base_p: 0,
-            base_done: false,
-            appended: VecDeque::new(),
+            sched,
             start_ms: ctx.now_ms(),
         };
         ctx.cancel_timer(conn, K_READ);
@@ -437,13 +360,16 @@ impl NodeServeHandler {
             // requester sees the connection drop, not an EndSession.
             return Flow::CloseNow;
         }
+        // The plan already bounds by its own total; a shorter local file
+        // copy additionally caps what can be served.
+        let cap = s.file.info().segment_count();
         loop {
-            let Some(seg) = s.next_unsent() else {
+            let Some(seg) = s.sched.next_unsent(cap) else {
                 let session = s.session;
                 send(ctx, conn, &Message::EndSession { session });
                 return Flow::CloseAfterFlush;
             };
-            let deadline = s.start_ms + (s.p + 1) * s.spp * u64::from(s.plan.dt_ms);
+            let deadline = s.sched.next_deadline_ms(s.start_ms);
             let now = ctx.now_ms();
             if deadline > now {
                 ctx.set_timer(conn, K_PACE, deadline - now);
@@ -467,7 +393,7 @@ impl NodeServeHandler {
                     payload,
                 },
             );
-            s.consume();
+            s.sched.consume();
         }
     }
 

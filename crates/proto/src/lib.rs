@@ -48,6 +48,7 @@ mod error;
 mod message;
 mod requester;
 mod sansio;
+mod supplier;
 
 pub use chunks::{ChunkQueue, MAX_GATHER_SLICES};
 pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
@@ -55,3 +56,4 @@ pub use error::DecodeError;
 pub use message::{CandidateRecord, Message, SessionPlan};
 pub use requester::{RequesterSession, SessionPhase};
 pub use sansio::{FrameDecoder, FrameEncoder};
+pub use supplier::{ScheduleError, SupplierSchedule};

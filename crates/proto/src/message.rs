@@ -68,6 +68,25 @@ impl SessionPlan {
     pub fn expanded(&self) -> impl Iterator<Item = u64> + '_ {
         (0u64..).map_while(move |p| self.nth_segment(p))
     }
+
+    /// The plan's pacing stride in slots of `δt`, floored at one: an
+    /// explicit plan paces at the supplier's own class rate (`class_spp`,
+    /// its `2^(k-1)` slots per segment), a periodic §3 plan at its
+    /// per-period share `period / len`. This is the requester's *healthy
+    /// bound* on the gap between consecutive segments (the stall
+    /// watchdog's stride); the supplier side additionally requires
+    /// periodic plans to tile exactly
+    /// ([`SupplierSchedule::new`](crate::SupplierSchedule::new)).
+    pub fn stride_slots(&self, class_spp: u64) -> u64 {
+        let spp = if self.is_explicit() {
+            class_spp
+        } else {
+            u64::from(self.period)
+                .checked_div(self.segments.len() as u64)
+                .unwrap_or(u64::from(self.period))
+        };
+        spp.max(1)
+    }
 }
 
 /// Every message exchanged between peers and the directory server.

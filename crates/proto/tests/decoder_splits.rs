@@ -1,0 +1,150 @@
+//! `FrameDecoder` must be split-invariant: however a byte stream is cut
+//! into chunks — at every single byte boundary, or at seeded random
+//! ones — the decoded message sequence is identical to the whole-stream
+//! decode. The simulation harness (`p2ps-simnet`) leans on exactly this
+//! property when it fragments wire traffic at arbitrary boundaries, so
+//! it is pinned here directly against the codec.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_proto::{encode_frame, CandidateRecord, FrameDecoder, Message, SessionPlan};
+
+/// A stream touching every message family: lookup, admission and
+/// streaming plane, with string, list, plan and payload field shapes.
+fn sample_messages(payload: &[u8]) -> Vec<Message> {
+    vec![
+        Message::Register {
+            item: "movie".into(),
+            peer: PeerId::new(7),
+            class: PeerClass::new(2).unwrap(),
+            port: 9000,
+        },
+        Message::QueryCandidates {
+            item: "movie".into(),
+            m: 5,
+        },
+        Message::Candidates {
+            list: vec![
+                CandidateRecord {
+                    id: PeerId::new(1),
+                    class: PeerClass::HIGHEST,
+                    port: 9001,
+                },
+                CandidateRecord {
+                    id: PeerId::new(2),
+                    class: PeerClass::new(3).unwrap(),
+                    port: 9002,
+                },
+            ],
+        },
+        Message::StreamRequest {
+            session: 0xfeed,
+            class: PeerClass::new(4).unwrap(),
+        },
+        Message::Grant {
+            session: 0xfeed,
+            class: PeerClass::new(2).unwrap(),
+        },
+        Message::Deny {
+            session: 0xfeed,
+            busy: true,
+            favored: false,
+        },
+        Message::Reminder {
+            session: 0xfeed,
+            class: PeerClass::new(4).unwrap(),
+        },
+        Message::StartSession {
+            session: 0xfeed,
+            plan: SessionPlan {
+                item: "movie".into(),
+                segments: vec![0, 3],
+                period: 4,
+                total_segments: 16,
+                dt_ms: 10,
+            },
+        },
+        Message::SegmentData {
+            session: 0xfeed,
+            index: 3,
+            payload: Bytes::from(payload.to_vec()),
+        },
+        Message::Release { session: 0xfeed },
+        Message::EndSession { session: 0xfeed },
+    ]
+}
+
+/// Encodes `msgs` back to back into one contiguous byte stream.
+fn wire(msgs: &[Message]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    for m in msgs {
+        encode_frame(m, &mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Feeds `stream` to a fresh decoder in the given chunks and returns
+/// every decoded message, asserting no decode error and no leftovers.
+fn decode_chunked(stream: &[u8], chunks: impl Iterator<Item = usize>) -> Vec<Message> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    for len in chunks {
+        let end = (at + len).min(stream.len());
+        dec.feed(&stream[at..end]);
+        at = end;
+        while let Some(msg) = dec.poll().expect("valid stream must decode") {
+            out.push(msg);
+        }
+    }
+    assert_eq!(at, stream.len(), "every byte fed");
+    assert_eq!(dec.buffered(), 0, "no partial frame left behind");
+    out
+}
+
+#[test]
+fn every_split_point_of_a_multi_message_stream_decodes_identically() {
+    let msgs = sample_messages(b"segment payload bytes \x00\xff\x7f");
+    let stream = wire(&msgs);
+    // One cut at every byte boundary, including the degenerate
+    // empty-first-chunk and empty-second-chunk splits.
+    for cut in 0..=stream.len() {
+        let got = decode_chunked(&stream, [cut, stream.len() - cut].into_iter());
+        assert_eq!(got, msgs, "split at byte {cut} changed the decode");
+    }
+}
+
+#[test]
+fn one_byte_at_a_time_decodes_identically() {
+    let msgs = sample_messages(&[0xaa; 63]);
+    let stream = wire(&msgs);
+    let got = decode_chunked(&stream, std::iter::repeat_n(1, stream.len()));
+    assert_eq!(got, msgs);
+}
+
+proptest! {
+    /// Seeded random chunkings of a randomized-payload stream: any
+    /// partition of the wire bytes decodes to the same messages.
+    #[test]
+    fn random_chunk_splits_are_decode_invariant(
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+        sizes in prop::collection::vec(1usize..48, 1..128),
+    ) {
+        let msgs = sample_messages(&payload);
+        let stream = wire(&msgs);
+        // Cycle the drawn sizes until the stream is exhausted.
+        let mut cuts = Vec::new();
+        let mut covered = 0;
+        for len in sizes.iter().cycle() {
+            if covered >= stream.len() {
+                break;
+            }
+            cuts.push(*len);
+            covered += len;
+        }
+        let got = decode_chunked(&stream, cuts.into_iter());
+        prop_assert_eq!(got, msgs);
+    }
+}

@@ -1,0 +1,100 @@
+//! In-memory link model with TCP-like FIFO delivery.
+//!
+//! A [`Link`] carries one direction of one supplier⇆requester pair. It
+//! models latency, per-chunk jitter and serialization bandwidth, but —
+//! like the TCP connections the real node uses — it never reorders or
+//! drops bytes within the stream: each chunk's arrival is clamped to be
+//! no earlier than the previous chunk's. Adversity *between* lanes
+//! (cross-lane reordering, a crawling peer) emerges from giving lanes
+//! different specs; adversity *within* a lane comes from how the world
+//! fragments the byte stream into chunks, not from the link.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::LinkSpec;
+
+/// One direction of one lane's connection.
+#[derive(Debug)]
+pub struct Link {
+    spec: LinkSpec,
+    /// The FIFO clamp: no chunk may arrive before this instant.
+    next_free_ms: u64,
+}
+
+impl Link {
+    /// A quiet link with the given characteristics.
+    pub fn new(spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            next_free_ms: 0,
+        }
+    }
+
+    /// The link's fixed characteristics.
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Schedules one chunk sent at `now`, returning its arrival time.
+    /// Arrivals are monotone per link: `max(prev_arrival, now + latency
+    /// + jitter) + ⌈len / bandwidth⌉`.
+    pub fn send(&mut self, now_ms: u64, len: usize, rng: &mut SmallRng) -> u64 {
+        let jitter = if self.spec.jitter_ms == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.spec.jitter_ms)
+        };
+        let tx = (len as u64).div_ceil(self.spec.bytes_per_ms.max(1));
+        let arrival = (now_ms + self.spec.latency_ms + jitter).max(self.next_free_ms) + tx;
+        self.next_free_ms = arrival;
+        arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_fifo_even_under_jitter() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut link = Link::new(LinkSpec {
+            latency_ms: 5,
+            jitter_ms: 50,
+            bytes_per_ms: 8,
+        });
+        let mut prev = 0;
+        for i in 0..200 {
+            let at = link.send(i, 16, &mut rng);
+            assert!(at >= prev, "chunk {i} would overtake its predecessor");
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_chunks() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut link = Link::new(LinkSpec {
+            latency_ms: 0,
+            jitter_ms: 0,
+            bytes_per_ms: 1,
+        });
+        let first = link.send(0, 10, &mut rng);
+        let second = link.send(0, 10, &mut rng);
+        assert_eq!(first, 10, "10 bytes at 1 B/ms");
+        assert_eq!(second, 20, "second chunk queues behind the first");
+    }
+
+    #[test]
+    fn latency_delays_the_first_byte() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut link = Link::new(LinkSpec {
+            latency_ms: 30,
+            jitter_ms: 0,
+            bytes_per_ms: 100,
+        });
+        assert_eq!(link.send(5, 100, &mut rng), 36);
+    }
+}

@@ -1,0 +1,579 @@
+//! The simulated world: virtual clock, event queue, and the real stack.
+//!
+//! [`SimWorld`] hosts one streaming session end to end with **zero**
+//! threads, sockets or wall-clock reads. The protocol code is the real
+//! thing — the same types the live node runs on its epoll reactor:
+//!
+//! * the requester side is a [`SessionDriver`] (reassembly, lane
+//!   liveness, policy replans, completion/failure verdicts) fed through
+//!   a per-lane [`FrameDecoder`];
+//! * each supplier side is a [`SupplierSchedule`] (§3 pacing, appended
+//!   replan shares) whose frames leave through [`FrameEncoder`] framing;
+//! * plans come from a real `p2ps-policy` [`SharedPolicy`].
+//!
+//! Only the transport is simulated: per-lane [`Link`]s impose latency,
+//! jitter and bandwidth, the byte stream is fragmented at arbitrary
+//! boundaries, and scheduled deaths cut a frame mid-byte before the
+//! close lands. Everything is driven by one event queue keyed on virtual
+//! milliseconds, with a strictly increasing sequence number breaking
+//! ties — two runs of the same [`Schedule`] replay the identical event
+//! order, asserted via the run's [`trace_hash`](SimReport::trace_hash).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::PeerClass;
+use p2ps_media::{MediaFile, MediaInfo};
+use p2ps_node::{DriverStep, NodeError, SessionDriver};
+use p2ps_policy::{SessionContext, SharedPolicy};
+use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan, SupplierSchedule};
+
+use crate::link::Link;
+use crate::{Schedule, SimOutcome, SimReport, TraceHasher};
+
+/// Which way bytes travel on a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// Supplier → requester (the stream).
+    ToRequester = 0,
+    /// Requester → supplier (session setup and replans).
+    ToSupplier = 1,
+}
+
+/// One thing that happens at a virtual instant.
+#[derive(Debug)]
+enum Event {
+    /// Supplier `lane`'s next §3 pacing deadline.
+    SupplierTick { lane: usize },
+    /// A chunk of raw bytes reaches one end of `lane`'s connection.
+    Deliver {
+        lane: usize,
+        dir: Dir,
+        chunk: Vec<u8>,
+    },
+    /// The requester observes `lane`'s connection close.
+    Closed { lane: usize },
+    /// Supplier `lane` dies now.
+    Die { lane: usize },
+}
+
+/// Queue entry: min-ordered by `(at, seq)` so equal-time events replay
+/// in scheduling order.
+#[derive(Debug)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Trace record tags (folded into the run digest).
+const T_SEND: u8 = 1;
+const T_CHUNK: u8 = 2;
+const T_SEGMENT: u8 = 3;
+const T_END: u8 = 4;
+const T_START: u8 = 5;
+const T_DIE: u8 = 6;
+const T_CLOSED: u8 = 7;
+const T_REPLAN: u8 = 8;
+const T_OUTCOME: u8 = 9;
+
+/// One supplier's in-world state around its real [`SupplierSchedule`].
+#[derive(Debug)]
+struct SimSupplier {
+    class: PeerClass,
+    dec: FrameDecoder,
+    /// Built when the wire `StartSession` arrives (like the live node).
+    sched: Option<SupplierSchedule>,
+    start_ms: u64,
+    alive: bool,
+    /// `EndSession` already sent; late replans are ignored (the live
+    /// node's closed connection) and recovered via the driver's
+    /// leftover path.
+    done: bool,
+}
+
+/// How the session ended, before outcome mapping.
+enum RawOutcome {
+    Complete,
+    Failed(NodeError),
+}
+
+/// One deterministic run: virtual clock, event queue, links, and the
+/// real requester/supplier/policy stack. Build with [`SimWorld::new`],
+/// consume with [`SimWorld::run`].
+pub struct SimWorld {
+    schedule: Schedule,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    rng: SmallRng,
+    trace: TraceHasher,
+
+    session: u64,
+    file: MediaFile,
+    suppliers: Vec<SimSupplier>,
+    /// Per lane: `[to_requester, to_supplier]`.
+    links: Vec<[Link; 2]>,
+    /// Transport-open flag per lane (requester's view).
+    lane_open: Vec<bool>,
+    req_decs: Vec<FrameDecoder>,
+    driver: SessionDriver,
+    outcome: Option<RawOutcome>,
+
+    events: u64,
+    segments_delivered: u64,
+    bytes_on_wire: u64,
+    replans: u64,
+    deaths: u64,
+}
+
+/// A message's full wire bytes (header chunk + zero-copy payload chunk,
+/// concatenated — byte-identical to what the reactor writes).
+fn wire_bytes(msg: &Message) -> Vec<u8> {
+    let (head, payload) = FrameEncoder::frame(msg);
+    let mut v = Vec::with_capacity(head.len() + payload.as_ref().map_or(0, |p| p.len()));
+    v.extend_from_slice(&head);
+    if let Some(p) = payload {
+        v.extend_from_slice(&p);
+    }
+    v
+}
+
+impl SimWorld {
+    /// Builds the world for one schedule: synthesizes the media file,
+    /// runs the real selection policy over the supplier mix, constructs
+    /// the driver and supplier machines, and queues the session-opening
+    /// `StartSession` frames plus every scheduled death.
+    pub fn new(schedule: Schedule) -> SimWorld {
+        let session = schedule.seed;
+        let info = MediaInfo::new(
+            format!("simnet-{:016x}", schedule.seed),
+            schedule.segment_count,
+            SegmentDuration::from_millis(schedule.dt_ms),
+            schedule.segment_bytes,
+        );
+        let file = MediaFile::synthesize(info);
+        let total = file.info().segment_count();
+        let dt_ms = schedule.dt_ms;
+
+        let classes: Vec<PeerClass> = schedule
+            .mix
+            .iter()
+            .map(|&k| PeerClass::new(k).expect("mix classes are valid"))
+            .collect();
+        let policy = SharedPolicy::default();
+        let ctx = SessionContext::full(&classes, total).with_seed(session);
+        let plan = policy
+            .plan(&ctx)
+            .expect("the default policy plans rate-matched mixes");
+        assert_eq!(plan.slot_count(), classes.len(), "one slot per supplier");
+
+        // Lanes are the slots the policy actually used; remember which
+        // mix position each lane came from so links and deaths follow.
+        let mut lanes: Vec<(PeerClass, SessionPlan)> = Vec::new();
+        let mut lane_of_mix: Vec<Option<usize>> = vec![None; classes.len()];
+        let mut links: Vec<[Link; 2]> = Vec::new();
+        for (slot, &class) in classes.iter().enumerate() {
+            let segments = plan.slot(slot);
+            if segments.is_empty() {
+                continue;
+            }
+            lane_of_mix[slot] = Some(lanes.len());
+            links.push([
+                Link::new(schedule.links[slot]),
+                Link::new(schedule.links[slot]),
+            ]);
+            lanes.push((
+                class,
+                SessionPlan {
+                    item: file.info().name().to_owned(),
+                    segments: segments.to_vec(),
+                    period: plan.period(),
+                    total_segments: total,
+                    dt_ms: dt_ms as u32,
+                },
+            ));
+        }
+
+        let driver = SessionDriver::new(session, file.info().name(), total, dt_ms, policy, &lanes);
+        let suppliers: Vec<SimSupplier> = lanes
+            .iter()
+            .map(|(class, _)| SimSupplier {
+                class: *class,
+                dec: FrameDecoder::new(),
+                sched: None,
+                start_ms: 0,
+                alive: true,
+                done: false,
+            })
+            .collect();
+        let lane_count = lanes.len();
+        let rng_seed = schedule.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ schedule.scenario.salt();
+        let scheduled_deaths = schedule.deaths.clone();
+
+        let mut world = SimWorld {
+            schedule,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: SmallRng::seed_from_u64(rng_seed),
+            trace: TraceHasher::new(),
+            session,
+            file,
+            suppliers,
+            links,
+            lane_open: vec![true; lane_count],
+            req_decs: (0..lane_count).map(|_| FrameDecoder::new()).collect(),
+            driver,
+            outcome: None,
+            events: 0,
+            segments_delivered: 0,
+            bytes_on_wire: 0,
+            replans: 0,
+            deaths: 0,
+        };
+
+        // Session setup travels the wire like everything else: the
+        // requester's opening StartSession per lane, framed and
+        // fragmented; each supplier builds its schedule on receipt.
+        for (lane, (_, plan)) in lanes.into_iter().enumerate() {
+            let bytes = wire_bytes(&Message::StartSession { session, plan });
+            world.send_stream(lane, Dir::ToSupplier, &bytes);
+        }
+        for &(mix_idx, at) in &scheduled_deaths {
+            if let Some(lane) = lane_of_mix[mix_idx] {
+                world.push(at, Event::Die { lane });
+            }
+        }
+        world
+    }
+
+    /// Runs the world to quiescence and reports.
+    pub fn run(mut self) -> SimReport {
+        let step = self.driver.status();
+        self.apply(step);
+        while self.outcome.is_none() {
+            let Some(s) = self.queue.pop() else { break };
+            debug_assert!(s.at >= self.now, "virtual time must be monotone");
+            self.now = s.at;
+            self.events += 1;
+            self.dispatch(s.ev);
+        }
+        let outcome = match self.outcome.take() {
+            Some(RawOutcome::Complete) => {
+                let mut byte_exact = true;
+                let (sm, _classes) = self.driver.into_parts();
+                for (i, entry) in sm.into_segments().into_iter().enumerate() {
+                    let expect = self.file.segment(i as u64).into_payload();
+                    match entry {
+                        Some((payload, _at)) if payload[..] == expect[..] => {}
+                        _ => {
+                            byte_exact = false;
+                            break;
+                        }
+                    }
+                }
+                SimOutcome::Completed { byte_exact }
+            }
+            Some(RawOutcome::Failed(e)) => match e {
+                NodeError::SuppliersLost { missing } => SimOutcome::SuppliersLost { missing },
+                NodeError::IncompleteStream { received, expected } => {
+                    SimOutcome::Incomplete { received, expected }
+                }
+                other => SimOutcome::ProtocolError(other.to_string()),
+            },
+            None => SimOutcome::Stalled {
+                received: self.driver.machine().received(),
+                expected: self.driver.machine().total_segments(),
+            },
+        };
+        self.trace.record(T_OUTCOME, &[outcome.tag()]);
+        SimReport {
+            seed: self.schedule.seed,
+            scenario: self.schedule.scenario,
+            outcome,
+            trace_hash: self.trace.digest(),
+            events: self.events,
+            segments_delivered: self.segments_delivered,
+            bytes_on_wire: self.bytes_on_wire,
+            replans: self.replans,
+            deaths: self.deaths,
+        }
+    }
+
+    /// Schedules `ev` at virtual time `at` (tie-broken by push order).
+    fn push(&mut self, at: u64, ev: Event) {
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::SupplierTick { lane } => self.tick(lane),
+            Event::Deliver {
+                lane,
+                dir: Dir::ToRequester,
+                chunk,
+            } => self.deliver_to_requester(lane, &chunk),
+            Event::Deliver {
+                lane,
+                dir: Dir::ToSupplier,
+                chunk,
+            } => self.deliver_to_supplier(lane, &chunk),
+            Event::Closed { lane } => self.closed(lane),
+            Event::Die { lane } => self.die(lane),
+        }
+    }
+
+    /// Fragments `bytes` at arbitrary boundaries and schedules each
+    /// chunk's FIFO delivery over the lane's link.
+    fn send_stream(&mut self, lane: usize, dir: Dir, bytes: &[u8]) {
+        self.bytes_on_wire += bytes.len() as u64;
+        let max_chunk = self.schedule.max_chunk.max(1);
+        let mut off = 0;
+        while off < bytes.len() {
+            let cap = (bytes.len() - off).min(max_chunk);
+            let take = if cap == 1 {
+                1
+            } else {
+                self.rng.gen_range(1..=cap)
+            };
+            let chunk = bytes[off..off + take].to_vec();
+            off += take;
+            let at = self.links[lane][dir as usize].send(self.now, chunk.len(), &mut self.rng);
+            self.push(at, Event::Deliver { lane, dir, chunk });
+        }
+    }
+
+    /// Supplier pacing deadline: transmit the next scheduled segment, or
+    /// `EndSession` when the schedule (base + appends) is exhausted.
+    fn tick(&mut self, lane: usize) {
+        if !self.suppliers[lane].alive
+            || self.suppliers[lane].done
+            || self.suppliers[lane].sched.is_none()
+        {
+            return;
+        }
+        let cap = self.file.info().segment_count();
+        let start_ms = self.suppliers[lane].start_ms;
+        let sched = self.suppliers[lane].sched.as_mut().expect("checked above");
+        let action = match sched.next_unsent(cap) {
+            Some(seg) => {
+                sched.consume();
+                Some((seg, sched.next_deadline_ms(start_ms)))
+            }
+            None => None,
+        };
+        match action {
+            Some((seg, next)) => {
+                self.trace.record(T_SEND, &[self.now, lane as u64, seg]);
+                let bytes = wire_bytes(&Message::SegmentData {
+                    session: self.session,
+                    index: seg,
+                    payload: self.file.segment(seg).into_payload(),
+                });
+                self.send_stream(lane, Dir::ToRequester, &bytes);
+                self.push(next.max(self.now), Event::SupplierTick { lane });
+            }
+            None => {
+                self.suppliers[lane].done = true;
+                let bytes = wire_bytes(&Message::EndSession {
+                    session: self.session,
+                });
+                self.send_stream(lane, Dir::ToRequester, &bytes);
+            }
+        }
+    }
+
+    /// Stream bytes reach the requester: feed the lane's real decoder,
+    /// drive the real driver with whatever frames completed.
+    fn deliver_to_requester(&mut self, lane: usize, chunk: &[u8]) {
+        if !self.lane_open[lane] {
+            return;
+        }
+        self.trace
+            .record(T_CHUNK, &[self.now, lane as u64, 0, chunk.len() as u64]);
+        self.req_decs[lane].feed(chunk);
+        while self.outcome.is_none() && self.lane_open[lane] {
+            match self.req_decs[lane].poll() {
+                Ok(Some(Message::SegmentData {
+                    session,
+                    index,
+                    payload,
+                })) if session == self.session => {
+                    self.segments_delivered += 1;
+                    self.trace.record(
+                        T_SEGMENT,
+                        &[self.now, lane as u64, index, payload.len() as u64],
+                    );
+                    let step = self.driver.on_segment(lane, index, payload, self.now);
+                    self.apply(step);
+                }
+                Ok(Some(Message::EndSession { session })) if session == self.session => {
+                    self.trace.record(T_END, &[self.now, lane as u64]);
+                    self.lane_open[lane] = false;
+                    let step = self.driver.on_end(lane);
+                    self.apply(step);
+                }
+                Ok(None) => return,
+                Ok(Some(_)) | Err(_) => {
+                    // A frame this harness never sends, or a corrupt
+                    // stream: the reactor treats both as a structured
+                    // per-lane failure, so does the simulation.
+                    self.lane_open[lane] = false;
+                    let step = self.driver.on_failure(lane);
+                    self.apply(step);
+                }
+            }
+        }
+    }
+
+    /// Setup/replan bytes reach a supplier: decode `StartSession`s with
+    /// the real decoder and build/extend the real schedule.
+    fn deliver_to_supplier(&mut self, lane: usize, chunk: &[u8]) {
+        if !self.suppliers[lane].alive {
+            return;
+        }
+        self.trace
+            .record(T_CHUNK, &[self.now, lane as u64, 1, chunk.len() as u64]);
+        self.suppliers[lane].dec.feed(chunk);
+        loop {
+            match self.suppliers[lane].dec.poll() {
+                Ok(Some(Message::StartSession { session, plan })) if session == self.session => {
+                    self.trace.record(
+                        T_START,
+                        &[self.now, lane as u64, plan.segments.len() as u64],
+                    );
+                    self.start_or_append(lane, plan);
+                }
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => return,
+            }
+        }
+    }
+
+    /// The supplier half of `StartSession` handling, mirroring the live
+    /// node: first plan builds the schedule and starts pacing; later
+    /// (explicit replan) plans append to the running schedule.
+    fn start_or_append(&mut self, lane: usize, plan: SessionPlan) {
+        if self.suppliers[lane].done {
+            // EndSession already left: the requester's leftover path
+            // re-replans this share (the live node's closed connection).
+            return;
+        }
+        if let Some(sched) = self.suppliers[lane].sched.as_mut() {
+            sched.append(plan.segments.iter().copied());
+            return;
+        }
+        let spp = u64::from(self.suppliers[lane].class.slots_per_segment());
+        let Ok(sched) = SupplierSchedule::new(plan, spp) else {
+            // Malformed plan — our own policy never emits one; dropping
+            // it stalls the lane, which the sweep would flag.
+            return;
+        };
+        self.suppliers[lane].start_ms = self.now;
+        let first = sched.next_deadline_ms(self.now);
+        self.suppliers[lane].sched = Some(sched);
+        self.push(first, Event::SupplierTick { lane });
+    }
+
+    /// A scheduled death: the dying supplier's next frame is cut at an
+    /// arbitrary byte boundary (the truncated prefix still arrives,
+    /// stressing the decoder), then the close lands on the same FIFO.
+    fn die(&mut self, lane: usize) {
+        if !self.suppliers[lane].alive {
+            return;
+        }
+        self.suppliers[lane].alive = false;
+        self.deaths += 1;
+        self.trace.record(T_DIE, &[self.now, lane as u64]);
+        let cap = self.file.info().segment_count();
+        let mut partial = None;
+        if !self.suppliers[lane].done {
+            if let Some(sched) = self.suppliers[lane].sched.as_mut() {
+                partial = sched.next_unsent(cap);
+            }
+        }
+        if let Some(seg) = partial {
+            let bytes = wire_bytes(&Message::SegmentData {
+                session: self.session,
+                index: seg,
+                payload: self.file.segment(seg).into_payload(),
+            });
+            let cut = self.rng.gen_range(0..bytes.len());
+            if cut > 0 {
+                self.send_stream(lane, Dir::ToRequester, &bytes[..cut]);
+            }
+        }
+        let at = self.links[lane][Dir::ToRequester as usize].send(self.now, 0, &mut self.rng);
+        self.push(at + 1, Event::Closed { lane });
+    }
+
+    /// The requester observes a lane's connection close.
+    fn closed(&mut self, lane: usize) {
+        if !self.lane_open[lane] {
+            return;
+        }
+        self.trace.record(T_CLOSED, &[self.now, lane as u64]);
+        self.lane_open[lane] = false;
+        let step = self.driver.on_failure(lane);
+        self.apply(step);
+    }
+
+    /// Executes a [`DriverStep`], shipping replanned shares back over
+    /// the wire exactly as the reactor does.
+    fn apply(&mut self, step: DriverStep) {
+        match step {
+            DriverStep::Continue => {}
+            DriverStep::Replanned(plans) => {
+                self.replans += plans.len() as u64;
+                for (lane, plan) in plans {
+                    self.trace.record(
+                        T_REPLAN,
+                        &[self.now, lane as u64, plan.segments.len() as u64],
+                    );
+                    let bytes = wire_bytes(&Message::StartSession {
+                        session: self.session,
+                        plan,
+                    });
+                    self.send_stream(lane, Dir::ToSupplier, &bytes);
+                }
+            }
+            DriverStep::Complete => self.outcome = Some(RawOutcome::Complete),
+            DriverStep::Failed(e) => self.outcome = Some(RawOutcome::Failed(e)),
+            _ => unreachable!("non-exhaustive DriverStep grew a variant"),
+        }
+    }
+}
