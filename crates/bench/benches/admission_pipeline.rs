@@ -1,0 +1,170 @@
+//! Admission-round latency: candidates × pipelining.
+//!
+//! Every iteration runs one complete §4.2 round through the live stack —
+//! `begin_stream_from` hands the candidate list to the reactor-hosted
+//! admission pipeline, which connects and probes **all** lanes
+//! concurrently over adopted streams — followed by the (tiny, constant)
+//! paced stream off the one granting seed. Three shapes:
+//!
+//! * `candidates/{1,8,64}` — the seed alone, then 7 and 63 instant-deny
+//!   decoys ahead of it. The candidate count is the load knob: a
+//!   pipelined round's cost stays ~flat as decoys are added, while
+//!   sequential probing would grow linearly with every refusal.
+//! * `slow_one_of_64` — 62 instant decoys plus one 40 ms-to-refuse
+//!   candidate, the granting seed last. The pipelined round costs
+//!   ~max(RTT) ≈ 40 ms + the stream; probing lanes one at a time would
+//!   pay the 40 ms *in series* with everything else. This is the bench
+//!   half of the tier-1 `admission_pipeline` integration pin (which uses
+//!   500 ms and 63 slow lanes for an unmissable margin).
+//!
+//! Decoy listeners accept in a loop, so every criterion iteration gets a
+//! fresh connection from the same fixed ports — no per-iteration setup
+//! in the measured path beyond the requester node itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::TcpListener;
+use std::time::Duration;
+
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaInfo;
+use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode};
+use p2ps_proto::{read_message, write_message, CandidateRecord, Message};
+
+const SEGMENTS: u64 = 8;
+const DT_MS: u64 = 1;
+
+/// A candidate that refuses every request after `delay`: accepts
+/// connections forever, reads the `StreamRequest`, sleeps, sends a plain
+/// `Deny`, hangs up. Returns the fixed listening port.
+fn deny_candidate(delay: Duration) -> u16 {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
+            let Ok(Message::StreamRequest { session, .. }) = read_message(&mut conn) else {
+                continue;
+            };
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            let _ = write_message(
+                &mut conn,
+                &Message::Deny {
+                    session,
+                    busy: false,
+                    favored: false,
+                },
+            );
+        }
+    });
+    port
+}
+
+/// One full round + stream for a fresh requester against `candidates`,
+/// retrying the rare tail-of-previous-iteration rejection.
+fn run_round(
+    id: u64,
+    info: &MediaInfo,
+    dir: &DirectoryServer,
+    clock: &Clock,
+    reactor: &NodeReactor,
+    candidates: &[CandidateRecord],
+) {
+    let cfg = NodeConfig::new(
+        PeerId::new(id),
+        PeerClass::HIGHEST,
+        info.clone(),
+        dir.addr(),
+    );
+    let node = PeerNode::spawn_on(cfg, clock.clone(), reactor).unwrap();
+    loop {
+        let pending = node.begin_stream_from(candidates.to_vec()).unwrap();
+        match pending.wait() {
+            Ok(outcome) => {
+                assert_eq!(outcome.supplier_count, 1, "only the seed grants");
+                break;
+            }
+            // The previous iteration's session may still hold the seed's
+            // reservation for an instant after its wait() returned.
+            Err(NodeError::Rejected { .. }) => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("round failed: {e}"),
+        }
+    }
+    node.shutdown();
+}
+
+fn bench_admission_pipeline(c: &mut Criterion) {
+    let info = MediaInfo::new(
+        "admission-pipeline-bench",
+        SEGMENTS,
+        SegmentDuration::from_millis(DT_MS),
+        1024,
+    );
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::with_threads(2).unwrap();
+    let seed_cfg = NodeConfig::new(PeerId::new(1), PeerClass::HIGHEST, info.clone(), dir.addr());
+    let seed = PeerNode::spawn_seed_on(seed_cfg, clock.clone(), &reactor).unwrap();
+    let seed_record = CandidateRecord {
+        id: seed.id(),
+        class: seed.class(),
+        port: seed.port(),
+    };
+
+    // One decoy pool, reused across groups: lane order puts decoys
+    // first, the granting seed last, so the greedy fold must consult
+    // every decoy before it may commit the grant.
+    let decoys: Vec<CandidateRecord> = (0..63u64)
+        .map(|i| CandidateRecord {
+            id: PeerId::new(1_000 + i),
+            class: PeerClass::HIGHEST,
+            port: deny_candidate(Duration::ZERO),
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("admission_pipeline");
+    group.sample_size(10);
+
+    let mut next_id = 10_000u64;
+    for n in [1usize, 8, 64] {
+        let mut candidates: Vec<CandidateRecord> = decoys[..n - 1].to_vec();
+        candidates.push(seed_record);
+        group.bench_with_input(BenchmarkId::new("candidates", n), &n, |b, _| {
+            b.iter(|| {
+                next_id += 1;
+                run_round(next_id, &info, &dir, &clock, &reactor, &candidates);
+            });
+        });
+    }
+
+    // Worst case: one candidate takes 40 ms to refuse. Pipelined, the
+    // whole 64-lane round lands in ~40 ms + the stream; sequential
+    // probing would serialize the wait behind 62 other probes.
+    let slow = CandidateRecord {
+        id: PeerId::new(2_000),
+        class: PeerClass::HIGHEST,
+        port: deny_candidate(Duration::from_millis(40)),
+    };
+    let mut candidates: Vec<CandidateRecord> = decoys[..62].to_vec();
+    candidates.push(slow);
+    candidates.push(seed_record);
+    group.bench_function("slow_one_of_64", |b| {
+        b.iter(|| {
+            next_id += 1;
+            run_round(next_id, &info, &dir, &clock, &reactor, &candidates);
+        });
+    });
+
+    group.finish();
+    seed.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+criterion_group!(benches, bench_admission_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,540 @@
+//! The committed perf trajectory: `bench snapshot` / `bench compare`.
+//!
+//! `snapshot` measures a small set of performance-critical metrics and
+//! writes them to a JSON baseline (`BENCH_<n>.json`, committed with the
+//! PR that changed the numbers); `compare --against <file>` re-measures
+//! and fails **loudly** (non-zero exit, per-metric report) on any
+//! regression. Two metric kinds keep the gate honest across machines:
+//!
+//! * **exact** — deterministic counters: simnet trace hashes and event
+//!   counts for pinned `(seed, scenario)` runs, and the steady-path
+//!   decode allocation count (which must be exactly zero). These are
+//!   machine-independent and compare bit-for-bit; any drift is a real
+//!   behavior change and must be re-snapshotted deliberately.
+//! * **timing** — wall-clock and syscall measurements (pipelined
+//!   64-candidate admission round, kernel crossings per session). These
+//!   vary with the host, so the gate is generous: a regression is
+//!   flagged only past `4× + 250 ms` (wall) or `2×` (syscalls) of the
+//!   committed value.
+//!
+//! ```text
+//! cargo run --release -p p2ps-bench --bin bench -- snapshot --out BENCH_8.json
+//! cargo run --release -p p2ps-bench --bin bench -- compare --against BENCH_8.json
+//! cargo run --release -p p2ps-bench --bin bench -- measure   # print only
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use p2ps_core::assignment::SegmentDuration;
+use p2ps_core::{PeerClass, PeerId};
+use p2ps_media::MediaInfo;
+use p2ps_node::{Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode};
+use p2ps_proto::{
+    read_message, write_message, CandidateRecord, FrameDecoder, FrameEncoder, Message,
+};
+use p2ps_simnet::ScenarioKind;
+
+/// System allocator wrapper counting every (re)allocation, so the
+/// zero-allocation claim is measured in this binary exactly as the
+/// dedicated `zero_alloc_decode` test measures it.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// How a metric is compared against its committed baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Deterministic counter/digest: must match bit-for-bit.
+    Exact,
+    /// Wall-clock milliseconds: regression past `4× + 250 ms`.
+    TimeMs,
+    /// Syscalls per session: regression past `2×`.
+    PerSession,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Exact => "exact",
+            Kind::TimeMs => "time_ms",
+            Kind::PerSession => "per_session",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Kind> {
+        match s {
+            "exact" => Some(Kind::Exact),
+            "time_ms" => Some(Kind::TimeMs),
+            "per_session" => Some(Kind::PerSession),
+            _ => None,
+        }
+    }
+}
+
+/// One measured metric. Values are strings so exact metrics (hex
+/// digests, integers) never round-trip through floats.
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    kind: Kind,
+    value: String,
+}
+
+impl Metric {
+    fn exact(name: impl Into<String>, value: impl ToString) -> Metric {
+        Metric {
+            name: name.into(),
+            kind: Kind::Exact,
+            value: value.to_string(),
+        }
+    }
+
+    fn timing(name: impl Into<String>, kind: Kind, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            kind,
+            value: format!("{value:.1}"),
+        }
+    }
+}
+
+/// Simnet runs pinned into the baseline: deterministic by construction,
+/// so their digests and counters gate the whole protocol stack (codec,
+/// admission fold, driver, policy) against silent behavior drift.
+const SIMNET_PINS: &[(u64, ScenarioKind)] = &[
+    (7, ScenarioKind::Steady),
+    (7, ScenarioKind::Churn),
+    (11, ScenarioKind::Loss),
+    (5, ScenarioKind::SlowPeer),
+    // Admission twice: seed 3 all-grants and streams, seed 5 is denied
+    // short of R0 and walks the release/reminder rejection path.
+    (3, ScenarioKind::Admission),
+    (5, ScenarioKind::Admission),
+];
+
+fn simnet_metrics(out: &mut Vec<Metric>) {
+    for &(seed, scenario) in SIMNET_PINS {
+        let r = p2ps_simnet::run(seed, scenario);
+        let base = format!("simnet/{}/seed{}", scenario.name(), seed);
+        out.push(Metric::exact(
+            format!("{base}/trace_hash"),
+            format!("{:016x}", r.trace_hash),
+        ));
+        out.push(Metric::exact(format!("{base}/events"), r.events));
+        out.push(Metric::exact(
+            format!("{base}/bytes_on_wire"),
+            r.bytes_on_wire,
+        ));
+        out.push(Metric::exact(format!("{base}/grants"), r.grants));
+        out.push(Metric::exact(format!("{base}/denials"), r.denials));
+        out.push(Metric::exact(format!("{base}/reminders"), r.reminders));
+    }
+}
+
+/// Steady-path decode allocations per `SegmentData` frame — the
+/// allocation-free receive path's headline number, which must be 0.
+fn decode_alloc_metric(out: &mut Vec<Metric>) {
+    const PAYLOAD: usize = 16 * 1024;
+    const WARMUP: u64 = 32;
+    const MEASURED: u64 = 256;
+
+    let payload = Bytes::from(vec![0xabu8; PAYLOAD]);
+    let mut wire = Vec::new();
+    let mut enc = FrameEncoder::new();
+    enc.push(&Message::SegmentData {
+        session: 7,
+        index: 0,
+        payload,
+    });
+    while let Some(chunk) = enc.pop_chunk() {
+        wire.extend_from_slice(&chunk);
+    }
+
+    let mut dec = FrameDecoder::new();
+    let decode_one = |dec: &mut FrameDecoder| {
+        // Two fragments so the tightly-sized fast path never donates the
+        // accumulator: the reactor shape.
+        dec.feed(&wire[..10]);
+        dec.feed(&wire[10..]);
+        match dec.poll().unwrap().expect("one whole frame") {
+            Message::SegmentData { payload, .. } => assert_eq!(payload.len(), PAYLOAD),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    for _ in 0..WARMUP {
+        decode_one(&mut dec);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED {
+        decode_one(&mut dec);
+    }
+    let per_frame = (ALLOCS.load(Ordering::Relaxed) - before) / MEASURED;
+    out.push(Metric::exact(
+        "decode/segment_data/allocs_per_frame",
+        per_frame,
+    ));
+}
+
+/// A candidate that refuses after `delay`, accepting in a loop.
+fn deny_candidate(delay: Duration) -> u16 {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
+            let Ok(Message::StreamRequest { session, .. }) = read_message(&mut conn) else {
+                continue;
+            };
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            let _ = write_message(
+                &mut conn,
+                &Message::Deny {
+                    session,
+                    busy: false,
+                    favored: false,
+                },
+            );
+        }
+    });
+    port
+}
+
+/// One complete round + stream; retries the rare cross-round rejection.
+fn run_round(
+    id: u64,
+    info: &MediaInfo,
+    dir: &DirectoryServer,
+    clock: &Clock,
+    reactor: &NodeReactor,
+    candidates: &[CandidateRecord],
+) {
+    let cfg = NodeConfig::new(
+        PeerId::new(id),
+        PeerClass::HIGHEST,
+        info.clone(),
+        dir.addr(),
+    );
+    let node = PeerNode::spawn_on(cfg, clock.clone(), reactor).unwrap();
+    loop {
+        let pending = node.begin_stream_from(candidates.to_vec()).unwrap();
+        match pending.wait() {
+            Ok(outcome) => {
+                assert_eq!(outcome.supplier_count, 1);
+                break;
+            }
+            Err(NodeError::Rejected { .. }) => std::thread::sleep(Duration::from_micros(200)),
+            Err(e) => panic!("bench round failed: {e}"),
+        }
+    }
+    node.shutdown();
+}
+
+/// The pipelined worst case: a 64-candidate round where one candidate
+/// takes 50 ms to refuse and the granting seed is the last lane. Probed
+/// sequentially this could not beat 50 ms × its queue position; the
+/// pipelined round lands in ~50 ms + the (tiny) stream. Best of 3.
+fn admission_round_metrics(out: &mut Vec<Metric>) {
+    let info = MediaInfo::new("bench-admission", 8, SegmentDuration::from_millis(1), 1024);
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::with_threads(2).unwrap();
+    let seed_cfg = NodeConfig::new(PeerId::new(1), PeerClass::HIGHEST, info.clone(), dir.addr());
+    let seed = PeerNode::spawn_seed_on(seed_cfg, clock.clone(), &reactor).unwrap();
+
+    let mut candidates: Vec<CandidateRecord> = (0..62u64)
+        .map(|i| CandidateRecord {
+            id: PeerId::new(1_000 + i),
+            class: PeerClass::HIGHEST,
+            port: deny_candidate(Duration::ZERO),
+        })
+        .collect();
+    candidates.push(CandidateRecord {
+        id: PeerId::new(2_000),
+        class: PeerClass::HIGHEST,
+        port: deny_candidate(Duration::from_millis(50)),
+    });
+    candidates.push(CandidateRecord {
+        id: seed.id(),
+        class: seed.class(),
+        port: seed.port(),
+    });
+
+    let mut best = f64::INFINITY;
+    for round in 0..3u64 {
+        let started = Instant::now();
+        run_round(10_000 + round, &info, &dir, &clock, &reactor, &candidates);
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    out.push(Metric::timing(
+        "admission/64_candidates_one_slow_wall_ms",
+        Kind::TimeMs,
+        best,
+    ));
+
+    seed.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+/// Kernel crossings per complete session: 32 pinned seed↔requester pairs
+/// on a 2-thread pool, measured with the process-wide `p2ps-net` syscall
+/// counters. Scheduling-dependent only in the retry tail, so the compare
+/// gate is 2×.
+fn syscalls_per_session_metric(out: &mut Vec<Metric>) {
+    const SESSIONS: usize = 32;
+    let info = MediaInfo::new(
+        "bench-syscalls",
+        16,
+        SegmentDuration::from_millis(1),
+        16 * 1024,
+    );
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    let reactor = NodeReactor::with_threads(2).unwrap();
+    let seeds: Vec<PeerNode> = (0..SESSIONS as u64)
+        .map(|i| {
+            let cfg = NodeConfig::new(PeerId::new(i), PeerClass::HIGHEST, info.clone(), dir.addr());
+            PeerNode::spawn_seed_on(cfg, clock.clone(), &reactor).unwrap()
+        })
+        .collect();
+
+    let before = p2ps_net::sys::syscall_counts();
+    let nodes: Vec<PeerNode> = (0..SESSIONS as u64)
+        .map(|i| {
+            let cfg = NodeConfig::new(
+                PeerId::new(100 + i),
+                PeerClass::HIGHEST,
+                info.clone(),
+                dir.addr(),
+            );
+            PeerNode::spawn_on(cfg, clock.clone(), &reactor).unwrap()
+        })
+        .collect();
+    let mut inflight: Vec<(usize, _)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let candidate = CandidateRecord {
+                id: seeds[i].id(),
+                class: seeds[i].class(),
+                port: seeds[i].port(),
+            };
+            (i, node.begin_stream_from(vec![candidate]).unwrap())
+        })
+        .collect();
+    while !inflight.is_empty() {
+        let mut rejected = Vec::new();
+        for (i, pending) in inflight {
+            match pending.wait() {
+                Ok(outcome) => assert_eq!(outcome.supplier_count, 1),
+                Err(NodeError::Rejected { .. }) => rejected.push(i),
+                Err(e) => panic!("session {i}: {e}"),
+            }
+        }
+        inflight = rejected
+            .into_iter()
+            .map(|i| {
+                let candidate = CandidateRecord {
+                    id: seeds[i].id(),
+                    class: seeds[i].class(),
+                    port: seeds[i].port(),
+                };
+                (i, nodes[i].begin_stream_from(vec![candidate]).unwrap())
+            })
+            .collect();
+    }
+    let delta = p2ps_net::sys::syscall_counts().since(&before);
+    out.push(Metric::timing(
+        "syscalls/per_session",
+        Kind::PerSession,
+        delta.total() as f64 / SESSIONS as f64,
+    ));
+
+    for n in nodes {
+        n.shutdown();
+    }
+    for s in seeds {
+        s.shutdown();
+    }
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+fn measure() -> Vec<Metric> {
+    let mut out = Vec::new();
+    eprintln!("measuring: simnet pins (deterministic)");
+    simnet_metrics(&mut out);
+    eprintln!("measuring: steady-path decode allocations");
+    decode_alloc_metric(&mut out);
+    eprintln!("measuring: pipelined 64-candidate admission round");
+    admission_round_metrics(&mut out);
+    eprintln!("measuring: syscalls per session");
+    syscalls_per_session_metric(&mut out);
+    out
+}
+
+fn to_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n  \"version\": 8,\n  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"kind\": \"{}\", \"value\": \"{}\" }}{}\n",
+            m.name,
+            m.kind.name(),
+            m.value,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses the snapshot format written by [`to_json`]: one metric object
+/// per line, fields as quoted strings in name/kind/value order. Not a
+/// general JSON parser — it reads exactly what `bench snapshot` writes.
+fn from_json(text: &str) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with("{ \"name\"") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('"').collect();
+        // ["    { ", "name", ": ", "<name>", ", ", "kind", ": ", "<kind>", ...]
+        if fields.len() < 12 {
+            panic!("malformed snapshot line: {line}");
+        }
+        let (name, kind, value) = (fields[3], fields[7], fields[11]);
+        let kind = Kind::parse(kind).unwrap_or_else(|| panic!("unknown metric kind {kind:?}"));
+        out.push(Metric {
+            name: name.to_string(),
+            kind,
+            value: value.to_string(),
+        });
+    }
+    out
+}
+
+/// Compares fresh measurements against the committed baseline. Returns
+/// the number of regressions, printing one loud line per metric.
+fn compare(baseline: &[Metric], fresh: &[Metric]) -> usize {
+    let mut regressions = 0;
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|m| m.name == base.name) else {
+            println!("MISSING  {:<44} (baseline {})", base.name, base.value);
+            regressions += 1;
+            continue;
+        };
+        let ok = match base.kind {
+            Kind::Exact => now.value == base.value,
+            Kind::TimeMs => {
+                let (b, n): (f64, f64) = (base.value.parse().unwrap(), now.value.parse().unwrap());
+                n <= b * 4.0 + 250.0
+            }
+            Kind::PerSession => {
+                let (b, n): (f64, f64) = (base.value.parse().unwrap(), now.value.parse().unwrap());
+                n <= b * 2.0
+            }
+        };
+        if ok {
+            println!(
+                "ok       {:<44} {} (baseline {})",
+                base.name, now.value, base.value
+            );
+        } else {
+            println!(
+                "REGRESSED {:<43} {} exceeds baseline {} ({})",
+                base.name,
+                now.value,
+                base.value,
+                match base.kind {
+                    Kind::Exact => "must match exactly — re-snapshot deliberately if intended",
+                    Kind::TimeMs => "gate: 4x + 250 ms",
+                    Kind::PerSession => "gate: 2x",
+                }
+            );
+            regressions += 1;
+        }
+    }
+    for m in fresh {
+        if !baseline.iter().any(|b| b.name == m.name) {
+            println!(
+                "new      {:<44} {} (not in baseline; snapshot to commit)",
+                m.name, m.value
+            );
+        }
+    }
+    regressions
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench snapshot [--out FILE]   write a new baseline (default BENCH_8.json)\n\
+         \u{20}      bench compare --against FILE  re-measure and fail on regression\n\
+         \u{20}      bench measure                 print metrics without touching disk"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("measure") => {
+            for m in measure() {
+                println!("{:<52} {:<12} {}", m.name, m.kind.name(), m.value);
+            }
+        }
+        Some("snapshot") => {
+            let out = match args.get(1).map(String::as_str) {
+                Some("--out") => args.get(2).cloned().unwrap_or_else(|| usage()),
+                None => "BENCH_8.json".to_string(),
+                _ => usage(),
+            };
+            let metrics = measure();
+            std::fs::write(&out, to_json(&metrics)).expect("writing snapshot");
+            println!("wrote {} ({} metrics)", out, metrics.len());
+        }
+        Some("compare") => {
+            let against = match args.get(1).map(String::as_str) {
+                Some("--against") => args.get(2).cloned().unwrap_or_else(|| usage()),
+                _ => usage(),
+            };
+            let text = std::fs::read_to_string(&against)
+                .unwrap_or_else(|e| panic!("reading {against}: {e}"));
+            let baseline = from_json(&text);
+            let fresh = measure();
+            let regressions = compare(&baseline, &fresh);
+            if regressions > 0 {
+                eprintln!("\n{regressions} metric(s) regressed against {against}");
+                std::process::exit(1);
+            }
+            println!(
+                "\nall {} baseline metrics hold against {against}",
+                baseline.len()
+            );
+        }
+        _ => usage(),
+    }
+}

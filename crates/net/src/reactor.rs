@@ -177,6 +177,7 @@ impl<C> Handle<C> {
     fn wake(&self) {
         // One byte on the self-pipe; WouldBlock means a wake-up is
         // already pending, which is just as good.
+        crate::sys::record_write();
         let _ = (&*self.waker).write(&[1u8]);
     }
 }
@@ -227,6 +228,14 @@ struct Stats {
     commands: Counter,
     /// Timer callbacks actually dispatched to the handler.
     timer_fires: Counter,
+    /// `read` syscalls this reactor issued (sockets + self-pipe).
+    sys_reads: Counter,
+    /// `writev` syscalls this reactor issued flushing outbound queues.
+    sys_writevs: Counter,
+    /// `accept` syscalls this reactor issued (incl. the EWOULDBLOCK probe).
+    sys_accepts: Counter,
+    /// `epoll_wait` calls this reactor's loop made.
+    sys_epoll_waits: Counter,
 }
 
 impl Stats {
@@ -243,6 +252,10 @@ impl Stats {
             accepts: monitor.counter("accepts_total", "connections accepted from listeners"),
             commands: monitor.counter("commands_total", "typed commands delivered to the handler"),
             timer_fires: monitor.counter("timer_fires_total", "timer callbacks dispatched"),
+            sys_reads: monitor.counter("syscalls_read_total", "read syscalls issued"),
+            sys_writevs: monitor.counter("syscalls_writev_total", "writev syscalls issued"),
+            sys_accepts: monitor.counter("syscalls_accept_total", "accept syscalls issued"),
+            sys_epoll_waits: monitor.counter("syscalls_epoll_wait_total", "epoll_wait calls made"),
         }
     }
 }
@@ -332,19 +345,26 @@ impl Inner {
     /// Returns false when the connection errored (already marked).
     fn flush(&mut self, id: ConnId) -> bool {
         loop {
-            let Some(conn) = self.conn_mut(id) else {
-                return true;
-            };
-            if conn.wq.pending_bytes() == 0 {
-                conn.wq.clear(); // zero-length chunks carry no bytes
-                let close = conn.close_after_flush;
-                self.set_writable_interest(id, false);
-                if close {
-                    self.mark_closing(id, false);
+            {
+                let Some(conn) = self.conn_mut(id) else {
+                    return true;
+                };
+                if conn.wq.pending_bytes() == 0 {
+                    conn.wq.clear(); // zero-length chunks carry no bytes
+                    let close = conn.close_after_flush;
+                    self.set_writable_interest(id, false);
+                    if close {
+                        self.mark_closing(id, false);
+                    }
+                    return true;
                 }
-                return true;
             }
+            crate::sys::record_writev();
+            self.stats.sys_writevs.incr();
             let res = {
+                let Some(conn) = self.conn_mut(id) else {
+                    return true;
+                };
                 let mut slices: [IoSlice<'_>; MAX_GATHER_SLICES] =
                     [IoSlice::new(&[]); MAX_GATHER_SLICES];
                 let count = conn.wq.gather(&mut slices);
@@ -356,7 +376,9 @@ impl Inner {
                     return false;
                 }
                 Ok(n) => {
-                    conn.wq.advance(n);
+                    if let Some(conn) = self.conn_mut(id) {
+                        conn.wq.advance(n);
+                    }
                     self.stats.queued_write_bytes.add(-(n as i64));
                     self.stats.bytes_written.add(n as u64);
                 }
@@ -662,6 +684,7 @@ impl<C: Send + 'static> Reactor<C> {
                 .next_timeout_ms(now, self.inner.cfg.idle_wait_ms)
                 .min(i32::MAX as u64) as i32;
             self.inner.epoll.wait(&mut events, timeout)?;
+            self.inner.stats.sys_epoll_waits.incr();
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -700,7 +723,13 @@ impl<C: Send + 'static> Reactor<C> {
 
     fn drain_waker(&mut self) {
         let mut buf = [0u8; 256];
-        while matches!((&self.waker_rx).read(&mut buf), Ok(n) if n > 0) {}
+        loop {
+            crate::sys::record_read();
+            self.inner.stats.sys_reads.incr();
+            if !matches!((&self.waker_rx).read(&mut buf), Ok(n) if n > 0) {
+                return;
+            }
+        }
     }
 
     fn process_controls<H: Handler<Cmd = C>>(&mut self, handler: &mut H) {
@@ -755,6 +784,8 @@ impl<C: Send + 'static> Reactor<C> {
 
     fn accept_ready<H: Handler<Cmd = C>>(&mut self, lidx: usize, handler: &mut H) {
         loop {
+            crate::sys::record_accept();
+            self.inner.stats.sys_accepts.incr();
             let accepted = match self.inner.listeners.get(lidx).and_then(Option::as_ref) {
                 Some((listener, tag)) => (listener.accept(), *tag),
                 None => return,
@@ -787,6 +818,8 @@ impl<C: Send + 'static> Reactor<C> {
             if !self.inner.valid(id) {
                 return;
             }
+            crate::sys::record_read();
+            self.inner.stats.sys_reads.incr();
             let res = {
                 let conn = self.inner.conns[id.idx as usize].as_ref().expect("valid");
                 (&conn.stream).read(scratch)

@@ -13,6 +13,83 @@
 use std::io;
 use std::os::fd::RawFd;
 use std::os::raw::c_int;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---- process-wide syscall counters ---------------------------------------
+//
+// Every kernel crossing the reactor makes is tallied here with one relaxed
+// atomic increment (the counters are never used for synchronization). The
+// totals feed the perf trajectory: `bench` snapshots them so a regression
+// that doubles the syscalls per session fails `bench compare` even when
+// wall-clock noise hides it.
+
+static READS: AtomicU64 = AtomicU64::new(0);
+static WRITES: AtomicU64 = AtomicU64::new(0);
+static WRITEVS: AtomicU64 = AtomicU64::new(0);
+static ACCEPTS: AtomicU64 = AtomicU64::new(0);
+static EPOLL_WAITS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide totals of the syscalls issued by every reactor
+/// in this process (plus their cross-thread wake-up writes). Obtained
+/// from [`syscall_counts`]; subtract two snapshots to meter a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyscallCounts {
+    /// `read` calls (socket reads and self-pipe drains).
+    pub reads: u64,
+    /// Plain `write` calls (self-pipe wake-ups).
+    pub writes: u64,
+    /// `writev` calls (vectored flushes of outbound queues).
+    pub writevs: u64,
+    /// `accept` calls (including the final `EWOULDBLOCK` probe).
+    pub accepts: u64,
+    /// `epoll_wait` calls (including `EINTR` retries).
+    pub epoll_waits: u64,
+}
+
+impl SyscallCounts {
+    /// Total syscalls across all categories.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.writevs + self.accepts + self.epoll_waits
+    }
+
+    /// Component-wise difference against an `earlier` snapshot.
+    pub fn since(&self, earlier: &SyscallCounts) -> SyscallCounts {
+        SyscallCounts {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            writevs: self.writevs - earlier.writevs,
+            accepts: self.accepts - earlier.accepts,
+            epoll_waits: self.epoll_waits - earlier.epoll_waits,
+        }
+    }
+}
+
+/// Snapshots the process-wide syscall totals.
+pub fn syscall_counts() -> SyscallCounts {
+    SyscallCounts {
+        reads: READS.load(Ordering::Relaxed),
+        writes: WRITES.load(Ordering::Relaxed),
+        writevs: WRITEVS.load(Ordering::Relaxed),
+        accepts: ACCEPTS.load(Ordering::Relaxed),
+        epoll_waits: EPOLL_WAITS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_read() {
+    READS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_write() {
+    WRITES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_writev() {
+    WRITEVS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_accept() {
+    ACCEPTS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// The file is readable (or a peer hang-up / error makes `read` return
 /// without blocking — those are folded into "readable" by [`Event`]).
@@ -189,6 +266,7 @@ impl Epoll {
     pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
         out.clear();
         let n = loop {
+            EPOLL_WAITS.fetch_add(1, Ordering::Relaxed);
             // SAFETY: `buf` is a live allocation of `buf.len()` correctly
             // laid out events; the kernel writes at most that many.
             let rc = unsafe {
@@ -331,5 +409,26 @@ mod tests {
         let mut events = Vec::new();
         ep.wait(&mut events, 0).unwrap();
         assert!(start.elapsed() < std::time::Duration::from_millis(100));
+    }
+
+    #[test]
+    fn syscall_counters_record_and_diff() {
+        let before = syscall_counts();
+        record_read();
+        record_write();
+        record_writev();
+        record_accept();
+        let mut ep = Epoll::new().unwrap();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 0).unwrap();
+        let after = syscall_counts();
+        let delta = after.since(&before);
+        // Other tests run concurrently, so deltas are lower bounds.
+        assert!(delta.reads >= 1);
+        assert!(delta.writes >= 1);
+        assert!(delta.writevs >= 1);
+        assert!(delta.accepts >= 1);
+        assert!(delta.epoll_waits >= 1);
+        assert!(delta.total() >= 5);
     }
 }

@@ -1,0 +1,344 @@
+//! Reactor hosting for the pipelined §4.2 admission handshake.
+//!
+//! [`Admissions`] is the transport half of
+//! [`AdmissionDriver`](p2ps_proto::AdmissionDriver): it adopts one
+//! connection per candidate lane, fires the concurrent `StreamRequest`
+//! burst, feeds decoded replies (and lane timeouts, and peer closes)
+//! back into the driver, and executes whatever the driver says — sends,
+//! reminder drops, releases. All lanes are in flight at once, so a round
+//! over N candidates costs ~max(RTT), not Σ(RTT), and a frozen
+//! candidate burns only its own [`ADMISSION_REPLY_TIMEOUT_MS`].
+//!
+//! When the driver's verdict settles:
+//!
+//! * **Admitted** — the granted lanes' connections (already adopted,
+//!   already on this shard) are planned via
+//!   [`plan_session`](crate::requester::plan_session) and handed
+//!   straight to [`ReqSessions`](crate::requester::ReqSessions) as a
+//!   [`ReadyLaunch`] — no socket changes hands, no thread is woken.
+//! * **Rejected** — reminders are already on the wire (driver actions);
+//!   the waiting caller gets [`NodeError::Rejected`] through the same
+//!   channel that would have carried the stream outcome.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::mpsc::Sender;
+
+use p2ps_core::PeerClass;
+use p2ps_media::MediaInfo;
+use p2ps_net::{ConnId, Ctx};
+use p2ps_policy::SharedPolicy;
+use p2ps_proto::{AdmissionAction, AdmissionDriver, AdmissionVerdict, FrameDecoder, Message};
+
+use crate::requester::{plan_session, AdoptedLane, ReadyLaunch, SessionProbe, SessionResult};
+use crate::serve::send;
+use crate::NodeError;
+
+/// How long a lane may stay silent after its `StreamRequest` before it
+/// settles as refused — the pipelined analogue of the old blocking
+/// path's 2 s per-candidate read timeout. One frozen candidate delays
+/// the round by at most this much (and only when it precedes the
+/// deciding prefix in class order).
+pub(crate) const ADMISSION_REPLY_TIMEOUT_MS: u64 = 2_000;
+
+/// Admission-lane read timer. Deliberately the same kind the requester
+/// session uses on surviving connections: the hand-off's `set_timer`
+/// replaces this one in place, so no stale admission timer can fire
+/// into a streaming lane.
+const K_ADM_READ: u32 = 0;
+
+/// Everything a reactor shard needs to run one admission round.
+pub(crate) struct AdmissionLaunch {
+    pub session: u64,
+    /// The requesting peer's class (sent in every `StreamRequest`).
+    pub class: PeerClass,
+    pub info: MediaInfo,
+    pub policy: SharedPolicy,
+    /// One advertised class per candidate lane.
+    pub classes: Vec<PeerClass>,
+    /// One connected stream per lane; `None` when the connect itself
+    /// failed (the lane settles refused at start).
+    pub streams: Vec<Option<TcpStream>>,
+    /// The session's monitor scope, registered by the caller (phase
+    /// `probing` while the round runs).
+    pub probe: SessionProbe,
+    pub done: Sender<SessionResult>,
+}
+
+/// One in-flight admission round.
+struct AdmSession {
+    driver: AdmissionDriver,
+    /// Lane → live connection (None once closed or handed off).
+    lane_conns: Vec<Option<ConnId>>,
+    classes: Vec<PeerClass>,
+    info: MediaInfo,
+    policy: SharedPolicy,
+    probe: SessionProbe,
+    done: Sender<SessionResult>,
+}
+
+/// An admission-phase connection's reactor bookkeeping.
+struct AdmConn {
+    session: u64,
+    lane: usize,
+    dec: FrameDecoder,
+}
+
+/// All admission rounds hosted on one reactor shard. Owned by the
+/// node's serve handler; callbacks are dispatched here when the
+/// connection belongs to an admission lane. Methods return a
+/// [`ReadyLaunch`] when their round was admitted — the handler feeds it
+/// to `ReqSessions` on the same shard.
+#[derive(Default)]
+pub(crate) struct Admissions {
+    sessions: HashMap<u64, AdmSession>,
+    conns: HashMap<ConnId, AdmConn>,
+}
+
+impl Admissions {
+    /// Whether `conn` is an admission-phase connection on this shard.
+    pub(crate) fn owns(&self, conn: ConnId) -> bool {
+        self.conns.contains_key(&conn)
+    }
+
+    /// Starts a round: adopts every lane's connection, bursts the
+    /// `StreamRequest`s, and settles lanes whose connect or adoption
+    /// already failed. May resolve immediately (all lanes dead, or an
+    /// empty candidate list).
+    pub(crate) fn start(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        launch: AdmissionLaunch,
+    ) -> Option<ReadyLaunch> {
+        let AdmissionLaunch {
+            session,
+            class,
+            info,
+            policy,
+            classes,
+            streams,
+            probe,
+            done,
+        } = launch;
+        let mut driver = AdmissionDriver::new(session, class, &classes);
+        let mut lane_conns = Vec::with_capacity(streams.len());
+        let mut dead_lanes = Vec::new();
+        for (lane, stream) in streams.into_iter().enumerate() {
+            match stream.map(|s| ctx.adopt(s)) {
+                Some(Ok(conn)) => {
+                    self.conns.insert(
+                        conn,
+                        AdmConn {
+                            session,
+                            lane,
+                            dec: FrameDecoder::new(),
+                        },
+                    );
+                    ctx.set_timer(conn, K_ADM_READ, ADMISSION_REPLY_TIMEOUT_MS);
+                    lane_conns.push(Some(conn));
+                }
+                Some(Err(_)) | None => {
+                    lane_conns.push(None);
+                    dead_lanes.push(lane);
+                }
+            }
+        }
+        driver.start();
+        for lane in dead_lanes {
+            driver.on_lane_error(lane);
+        }
+        self.sessions.insert(
+            session,
+            AdmSession {
+                driver,
+                lane_conns,
+                classes,
+                info,
+                policy,
+                probe,
+                done,
+            },
+        );
+        self.pump(ctx, session)
+    }
+
+    /// Bytes arrived on an admission lane.
+    pub(crate) fn on_data(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        data: &[u8],
+    ) -> Option<ReadyLaunch> {
+        let mut ac = self.conns.remove(&conn)?;
+        ac.dec.feed(data);
+        let mut lane_failed = false;
+        loop {
+            let Some(sess) = self.sessions.get_mut(&ac.session) else {
+                // Round already resolved; nothing more to say here.
+                ctx.close(conn);
+                return None;
+            };
+            match ac.dec.poll() {
+                Ok(Some(msg)) => sess.driver.on_message(ac.lane, &msg),
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt lane: it costs only itself.
+                    sess.lane_conns[ac.lane] = None;
+                    sess.driver.on_lane_error(ac.lane);
+                    ctx.close(conn);
+                    lane_failed = true;
+                    break;
+                }
+            }
+        }
+        let ready = self.pump(ctx, ac.session);
+        if !lane_failed {
+            // Re-insert only while the round still needs this lane open
+            // (pump may have closed it or handed it to the session).
+            if let Some(sess) = self.sessions.get(&ac.session) {
+                if sess.lane_conns[ac.lane] == Some(conn) {
+                    ctx.set_timer(conn, K_ADM_READ, ADMISSION_REPLY_TIMEOUT_MS);
+                    self.conns.insert(conn, ac);
+                }
+            }
+        }
+        ready
+    }
+
+    /// An admission lane's read timer fired: the candidate went quiet.
+    pub(crate) fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        _kind: u32,
+    ) -> Option<ReadyLaunch> {
+        let ac = self.conns.remove(&conn)?;
+        ctx.close(conn);
+        let sess = self.sessions.get_mut(&ac.session)?;
+        sess.lane_conns[ac.lane] = None;
+        sess.driver.on_lane_error(ac.lane);
+        self.pump(ctx, ac.session)
+    }
+
+    /// The candidate's connection dropped (peer close or I/O error).
+    pub(crate) fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) -> Option<ReadyLaunch> {
+        let ac = self.conns.remove(&conn)?;
+        let sess = self.sessions.get_mut(&ac.session)?;
+        sess.lane_conns[ac.lane] = None;
+        sess.driver.on_lane_error(ac.lane);
+        self.pump(ctx, ac.session)
+    }
+
+    /// Drains the driver's pending actions onto the wire, then resolves
+    /// the round if its verdict settled.
+    fn pump(&mut self, ctx: &mut Ctx<'_>, session: u64) -> Option<ReadyLaunch> {
+        let sess = self.sessions.get_mut(&session)?;
+        while let Some(action) = sess.driver.pop_action() {
+            match action {
+                AdmissionAction::Send { lane, msg } => {
+                    if let Some(conn) = sess.lane_conns[lane] {
+                        send(ctx, conn, &msg);
+                    }
+                }
+                AdmissionAction::Close { lane } => {
+                    if let Some(conn) = sess.lane_conns[lane].take() {
+                        self.conns.remove(&conn);
+                        // Queued goodbyes (Deny-reminder, Release) leave
+                        // first.
+                        ctx.close_after_flush(conn);
+                    }
+                }
+            }
+        }
+        match sess.driver.verdict().clone() {
+            AdmissionVerdict::Pending => None,
+            AdmissionVerdict::Admitted { granted } => {
+                let sess = self.sessions.remove(&session).expect("present above");
+                self.resolve_admitted(ctx, session, granted, sess)
+            }
+            AdmissionVerdict::Rejected { reminders, .. } => {
+                let sess = self.sessions.remove(&session).expect("present above");
+                // Every lane is already closed (the driver closes each as
+                // it settles); sweep defensively anyway.
+                for conn in sess.lane_conns.into_iter().flatten() {
+                    self.conns.remove(&conn);
+                    ctx.close_after_flush(conn);
+                }
+                let _ = sess.done.send(Err(NodeError::Rejected {
+                    reminders_left: reminders.len(),
+                }));
+                // `sess.probe` drops here: the session scope vanishes
+                // from monitor snapshots.
+                None
+            }
+        }
+    }
+
+    /// `R0` secured: plan the session over the granted classes and hand
+    /// the surviving connections to the requester side.
+    fn resolve_admitted(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        session: u64,
+        granted: Vec<usize>,
+        sess: AdmSession,
+    ) -> Option<ReadyLaunch> {
+        let AdmSession {
+            lane_conns,
+            classes,
+            info,
+            policy,
+            probe,
+            done,
+            ..
+        } = sess;
+        let sup_classes: Vec<PeerClass> = granted.iter().map(|&l| classes[l]).collect();
+        let (mut slot_plans, theoretical_slots) =
+            match plan_session(&sup_classes, session, &info, &*policy) {
+                Ok(planned) => planned,
+                Err(e) => {
+                    // Planning failed: free every reservation we hold.
+                    for &l in &granted {
+                        if let Some(conn) = lane_conns[l] {
+                            self.conns.remove(&conn);
+                            send(ctx, conn, &Message::Release { session });
+                            ctx.close_after_flush(conn);
+                        }
+                    }
+                    let _ = done.send(Err(e));
+                    return None;
+                }
+            };
+        let mut lanes = Vec::with_capacity(granted.len());
+        for (slot, &l) in granted.iter().enumerate() {
+            let conn = lane_conns[l];
+            if let Some(c) = conn {
+                self.conns.remove(&c);
+            }
+            match slot_plans[slot].take() {
+                Some(plan) => lanes.push(AdoptedLane {
+                    class: classes[l],
+                    conn,
+                    plan,
+                }),
+                None => {
+                    // The policy left this grant unused: its bandwidth
+                    // reservation must not linger.
+                    if let Some(c) = conn {
+                        send(ctx, c, &Message::Release { session });
+                        ctx.close_after_flush(c);
+                    }
+                }
+            }
+        }
+        Some(ReadyLaunch {
+            session,
+            info,
+            policy,
+            lanes,
+            theoretical_slots,
+            probe,
+            done,
+        })
+    }
+}

@@ -28,10 +28,16 @@
 //! wheel. A [`NodeReactor`] is a pool of 1..N such reactor threads:
 //! nodes shard across it by tag, requester sessions by session id, so
 //! one process carries thousands of full-duplex sessions and scales
-//! across cores ([`NodeReactor::with_threads`]). Only the short, bounded
-//! admission probe runs on the calling thread; [`PeerNode::begin_stream`]
-//! returns a [`PendingStream`] so hundreds of receiving sessions can be
-//! in flight without a thread each.
+//! across cores ([`NodeReactor::with_threads`]). The §4.2 admission
+//! round is reactor-hosted too: a pipelined sans-io
+//! [`AdmissionDriver`](p2ps_proto::AdmissionDriver) probes every
+//! candidate lane *concurrently*, so `M` candidates cost ~max(RTT)
+//! instead of Σ(RTT) and a frozen candidate burns only its own timeout.
+//! [`PeerNode::begin_stream`] just connects and returns a
+//! [`PendingStream`] — the verdict (including
+//! [`NodeError::Rejected`]) surfaces at [`PendingStream::wait`] — so
+//! hundreds of receiving sessions can be in flight without a thread
+//! each.
 //!
 //! One deliberate addition over the paper: a supplier that issues a grant
 //! holds a short *reservation* until the requester either confirms
@@ -58,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission_host;
 mod args;
 mod clock;
 mod directory;

@@ -16,8 +16,9 @@ use p2ps_media::{MediaFile, MediaInfo};
 use p2ps_monitor::Monitor;
 use p2ps_net::PoolHandle;
 
+use crate::admission_host::AdmissionLaunch;
 use crate::directory::{query_candidates, register_supplier};
-use crate::requester::{SessionLaunch, SessionProbe, SessionResult};
+use crate::requester::{SessionProbe, SessionResult};
 use crate::serve::{NodeCmd, NodeReactor};
 use crate::supplier::{AdmissionGuard, SupplierShared};
 use crate::{Clock, NodeError};
@@ -26,6 +27,11 @@ use crate::{Clock, NodeError};
 /// shared state; a process-global counter keeps them unique even across
 /// swarms that reuse peer ids.
 static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// Per-candidate TCP connect budget. Connects stay on the caller's
+/// thread (loopback deployment, `std` has no non-blocking connect); a
+/// candidate that cannot even accept settles its lane as refused.
+const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(1_000);
 
 /// Static configuration of one peer node.
 #[derive(Debug, Clone)]
@@ -328,8 +334,9 @@ impl PeerNode {
     /// registers as a supplier and returns the session outcome.
     ///
     /// Equivalent to [`begin_stream`](Self::begin_stream) +
-    /// [`PendingStream::wait`]: the paced reception itself runs on the
-    /// node's reactor pool, this thread only blocks on the result.
+    /// [`PendingStream::wait`]: the admission handshake *and* the paced
+    /// reception run on the node's reactor pool, this thread only
+    /// blocks on the result.
     ///
     /// # Errors
     ///
@@ -342,19 +349,22 @@ impl PeerNode {
         self.begin_stream(m)?.wait()
     }
 
-    /// Starts one streaming session without blocking on its completion:
-    /// runs the (short, bounded) §4.2 admission handshake on this thread,
-    /// plans the session through the configured policy, then hands the
-    /// granted connections to the node's reactor pool, which receives the
-    /// paced stream event-driven — no reader threads. The returned
-    /// [`PendingStream`] resolves to the outcome; hundreds of sessions
-    /// can be in flight per process this way (sharded across the pool's
-    /// reactor threads by session id).
+    /// Starts one streaming session without blocking: connects to the
+    /// candidates (loopback, bounded), then hands the whole round to
+    /// the node's reactor pool, where a pipelined sans-io
+    /// [`AdmissionDriver`](p2ps_proto::AdmissionDriver) probes **every**
+    /// candidate lane concurrently — N candidates cost ~max(RTT), not
+    /// Σ(RTT) — and, on admission, the granted connections flow
+    /// straight into the event-driven receiving session. No reader
+    /// threads anywhere. The returned [`PendingStream`] resolves to the
+    /// outcome; hundreds of sessions can be in flight per process this
+    /// way (sharded across the pool's reactor threads by session id).
     ///
     /// # Errors
     ///
-    /// [`NodeError::Rejected`] and admission-phase I/O errors surface
-    /// here; everything mid-stream surfaces from [`PendingStream::wait`].
+    /// Directory-query I/O errors surface here. The admission verdict is
+    /// asynchronous: [`NodeError::Rejected`] — like everything
+    /// mid-stream — surfaces from [`PendingStream::wait`].
     pub fn begin_stream(&self, m: usize) -> Result<PendingStream, NodeError> {
         let candidates = query_candidates(self.config.directory, self.config.info.name(), m)?;
         self.begin_stream_from(candidates)
@@ -382,21 +392,28 @@ impl PeerNode {
         // while the §4.2 handshake runs; an admission failure drops the
         // probe and the session scope vanishes from snapshots.
         let probe = SessionProbe::register(&self.monitor, pool.shard_index(session), session);
-        let (lanes, theoretical_slots) = crate::requester::admit_and_plan(
-            candidates,
-            self.config.class,
-            session,
-            &self.config.info,
-            &*self.config.policy,
-        )?;
+        let mut classes = Vec::with_capacity(candidates.len());
+        let mut streams = Vec::with_capacity(candidates.len());
+        for rec in &candidates {
+            classes.push(rec.class);
+            let addr = SocketAddr::from(([127, 0, 0, 1], rec.port));
+            let stream = std::net::TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)
+                .and_then(|s| {
+                    s.set_nodelay(true)?;
+                    Ok(s)
+                })
+                .ok();
+            streams.push(stream);
+        }
         let (done, rx) = std::sync::mpsc::channel();
         pool.shard(session)
-            .send(NodeCmd::StartRequester(Box::new(SessionLaunch {
+            .send(NodeCmd::StartAdmission(Box::new(AdmissionLaunch {
                 session,
+                class: self.config.class,
                 info: self.config.info.clone(),
                 policy: self.config.policy.clone(),
-                lanes,
-                theoretical_slots,
+                classes,
+                streams,
                 probe,
                 done,
             })));
@@ -502,9 +519,12 @@ impl PendingStream {
     ///
     /// # Errors
     ///
-    /// Whatever the session ended with ([`NodeError::SuppliersLost`],
-    /// [`NodeError::IncompleteStream`], …), or [`NodeError::Protocol`] if
-    /// the reactor shut down underneath the session.
+    /// Whatever the round or session ended with —
+    /// [`NodeError::Rejected`] when the pipelined admission could not
+    /// secure the playback rate, [`NodeError::SuppliersLost`] /
+    /// [`NodeError::IncompleteStream`] mid-stream, or
+    /// [`NodeError::Protocol`] if the reactor shut down underneath the
+    /// session.
     pub fn wait(self) -> Result<StreamOutcome, NodeError> {
         let (outcome, store) = self
             .rx

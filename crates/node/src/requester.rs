@@ -1,13 +1,14 @@
-//! Requester side: blocking admission probe, reactor-hosted session.
+//! Requester side: session planning and the reactor-hosted session.
 //!
-//! The §4.2 admission handshake is a short, bounded exchange (connect,
-//! `StreamRequest`, `Grant`/`Deny`, reminders) and runs on the caller's
-//! thread exactly as before — the protocol logic is the *same*
-//! [`Candidate`] trait the simulator drives. Everything long-lived
-//! changed in the reactor refactor: once admission succeeds and the
-//! [`SelectionPolicy`] has planned the session, the granted connections
-//! are shipped to a `NodeReactor` shard ([`SessionLaunch`]) where a
-//! sans-io [`RequesterSession`] state machine receives the paced stream —
+//! The §4.2 admission handshake itself is reactor-hosted too (see
+//! [`crate::admission_host`]): every candidate lane is probed
+//! concurrently by a sans-io
+//! [`AdmissionDriver`](p2ps_proto::AdmissionDriver), so the caller's
+//! thread never blocks on a slow candidate. Once the round is admitted,
+//! [`plan_session`] runs the [`SelectionPolicy`] over the granted
+//! classes and the already-adopted connections transition straight into
+//! a receiving session ([`ReqSessions::start_adopted`]) where a sans-io
+//! [`RequesterSession`] state machine receives the paced stream —
 //! **no reader threads, no blocking reads**. One reactor thread hosts any
 //! number of receiving sessions; a [`ReactorPool`](p2ps_net::ReactorPool)
 //! spreads them across cores by session hash.
@@ -21,137 +22,24 @@
 //! [`NodeError::SuppliersLost`].
 
 use std::collections::HashMap;
-use std::io;
-use std::net::TcpStream;
 use std::sync::mpsc::Sender;
-use std::time::Duration;
 
-use p2ps_core::admission::{attempt_admission, Candidate, ProbeOutcome, RequestDecision};
 use p2ps_core::PeerClass;
 use p2ps_media::{MediaInfo, PlaybackBuffer, Segment, SegmentStore};
 use p2ps_monitor::{monotonic_ms, Counter, Gauge, Monitor, StateCell};
 use p2ps_net::{ConnId, Ctx};
 use p2ps_policy::{SelectionPolicy, SessionContext, SharedPolicy};
-use p2ps_proto::{
-    read_message, write_message, CandidateRecord, FrameDecoder, Message, RequesterSession,
-    SessionPlan,
-};
+use p2ps_proto::{FrameDecoder, Message, RequesterSession, SessionPlan};
 
 use crate::serve::send;
 use crate::{DriverStep, NodeError, SessionDriver, StreamOutcome};
 
-const CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
 /// A supplier that goes quiet for this long mid-stream is treated as
 /// departed (read timer on the reactor wheel, re-armed on every frame).
 const STREAM_READ_TIMEOUT_MS: u64 = 30_000;
 
 /// The requester-side read-progress timer kind.
 const K_REQ_READ: u32 = 0;
-
-/// A candidate supplier reached over TCP. Implements the *same*
-/// [`Candidate`] trait the simulator uses, so the admission protocol logic
-/// is shared verbatim.
-struct NetCandidate {
-    rec: CandidateRecord,
-    session: u64,
-    requester_class: PeerClass,
-    /// Open while the candidate may still receive follow-up messages.
-    stream: Option<TcpStream>,
-    granted: bool,
-}
-
-impl NetCandidate {
-    fn new(rec: CandidateRecord, session: u64, requester_class: PeerClass) -> Self {
-        NetCandidate {
-            rec,
-            session,
-            requester_class,
-            stream: None,
-            granted: false,
-        }
-    }
-
-    fn try_request(&mut self) -> io::Result<RequestDecision> {
-        let addr = std::net::SocketAddr::from(([127, 0, 0, 1], self.rec.port));
-        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_millis(2_000)))?;
-        write_message(
-            &mut stream,
-            &Message::StreamRequest {
-                session: self.session,
-                class: self.requester_class,
-            },
-        )?;
-        let reply = read_message(&mut stream)?;
-        match reply {
-            Message::Grant { .. } => {
-                self.granted = true;
-                self.stream = Some(stream);
-                Ok(RequestDecision::Granted)
-            }
-            Message::Deny { busy, favored, .. } => {
-                if busy && favored {
-                    // Keep the connection open: a reminder may follow.
-                    self.stream = Some(stream);
-                }
-                if busy {
-                    Ok(RequestDecision::Busy { favored })
-                } else {
-                    Ok(RequestDecision::Refused)
-                }
-            }
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("expected grant/deny, got {}", other.name()),
-            )),
-        }
-    }
-
-    fn take_stream(&mut self) -> Option<TcpStream> {
-        self.stream.take()
-    }
-}
-
-impl Candidate for NetCandidate {
-    fn class(&self) -> PeerClass {
-        self.rec.class
-    }
-
-    fn request(&mut self, _from: PeerClass) -> RequestDecision {
-        // An unreachable or misbehaving candidate is "down" in the paper's
-        // terms: no bandwidth can be secured from it and no reminder can
-        // be left with it.
-        self.try_request().unwrap_or(RequestDecision::Refused)
-    }
-
-    fn leave_reminder(&mut self, from: PeerClass) {
-        if let Some(stream) = &mut self.stream {
-            let _ = write_message(
-                stream,
-                &Message::Reminder {
-                    session: self.session,
-                    class: from,
-                },
-            );
-        }
-        self.stream = None; // hang up after the reminder
-    }
-
-    fn release(&mut self) {
-        if self.granted {
-            if let Some(stream) = &mut self.stream {
-                let _ = write_message(
-                    stream,
-                    &Message::Release {
-                        session: self.session,
-                    },
-                );
-            }
-        }
-        self.stream = None;
-    }
-}
 
 /// Every state a session probe can report: the four
 /// [`SessionPhase`](p2ps_proto::SessionPhase) names plus the watchdog's
@@ -169,7 +57,7 @@ const SESSION_STATES: &[&str] = &[
 ///
 /// Created on the caller's thread *before* admission (so the `probing`
 /// phase is visible while the §4.2 handshake runs) and carried into the
-/// reactor with the [`SessionLaunch`]. The handles keep the
+/// reactor with the admission launch. The handles keep the
 /// `reactor={shard} / session={id}` scope alive; dropping the probe —
 /// admission failure, session finish — removes the subtree from
 /// subsequent snapshots. Every update is a relaxed atomic store.
@@ -240,23 +128,28 @@ impl SessionProbe {
     }
 }
 
-/// One granted supplier ready for reactor hand-off: its open connection
-/// and the wire plan the reactor will send as `StartSession`.
-pub(crate) struct LaneLaunch {
-    pub class: PeerClass,
-    pub stream: TcpStream,
-    pub plan: SessionPlan,
-}
-
 /// What a finished reactor-hosted session delivers back to the caller.
 pub(crate) type SessionResult = Result<(StreamOutcome, SegmentStore), NodeError>;
 
-/// Everything a reactor shard needs to host one receiving session.
-pub(crate) struct SessionLaunch {
+/// One granted supplier ready for session launch: its already-adopted
+/// connection and the wire plan the reactor will send as `StartSession`.
+pub(crate) struct AdoptedLane {
+    pub class: PeerClass,
+    /// `None` when the lane's connection died between grant and
+    /// hand-off; the lane is marked dead at launch and replanned like
+    /// any other loss.
+    pub conn: Option<ConnId>,
+    pub plan: SessionPlan,
+}
+
+/// An admitted, planned session ready to start receiving — produced by
+/// the admission host once the §4.2 round settles, consumed by
+/// [`ReqSessions::start_adopted`] on the same reactor shard.
+pub(crate) struct ReadyLaunch {
     pub session: u64,
     pub info: MediaInfo,
     pub policy: SharedPolicy,
-    pub lanes: Vec<LaneLaunch>,
+    pub lanes: Vec<AdoptedLane>,
     /// The plan's minimum feasible delay in slots of `δt` (Theorem 1 for
     /// `Otsp2p`), for the outcome report.
     pub theoretical_slots: u64,
@@ -266,87 +159,58 @@ pub(crate) struct SessionLaunch {
     pub done: Sender<SessionResult>,
 }
 
-/// One full §4.2 admission attempt followed (on success) by planning:
-/// returns the granted connections with their wire plans, ready for the
-/// reactor, plus the plan's theoretical delay. Suppliers the policy left
-/// empty-handed are `Release`d here and play no further part.
-pub(crate) fn admit_and_plan(
-    candidates: Vec<CandidateRecord>,
-    class: PeerClass,
+/// Runs the [`SelectionPolicy`] over the granted classes: one
+/// `SessionPlan` per supplier slot (`None` when the policy left that
+/// grant unused — its reservation must be released), plus the plan's
+/// theoretical delay.
+///
+/// With the default `Otsp2p` policy the emitted `SessionPlan`s are
+/// byte-identical to the pre-policy code path (the plan *is* the §3
+/// assignment, back-mapped to the granted order); other policies ship
+/// explicit one-shot plans over the same wire format.
+pub(crate) fn plan_session(
+    classes: &[PeerClass],
     session: u64,
     info: &MediaInfo,
     policy: &dyn SelectionPolicy,
-) -> Result<(Vec<LaneLaunch>, u64), NodeError> {
-    let mut net: Vec<NetCandidate> = candidates
-        .into_iter()
-        .map(|rec| NetCandidate::new(rec, session, class))
-        .collect();
-
-    let outcome = attempt_admission(class, &mut net);
-    let granted = match outcome {
-        ProbeOutcome::Admitted { granted } => granted,
-        ProbeOutcome::Rejected { reminders, .. } => {
-            return Err(NodeError::Rejected {
-                reminders_left: reminders.len(),
-            })
-        }
-    };
-    let mut suppliers: Vec<(PeerClass, TcpStream)> = Vec::with_capacity(granted.len());
-    for i in granted {
-        let stream = net[i]
-            .take_stream()
-            .ok_or_else(|| NodeError::Protocol("granted candidate lost stream".into()))?;
-        suppliers.push((net[i].class(), stream));
-    }
-
-    // With the default `Otsp2p` policy the emitted `SessionPlan`s are
-    // byte-identical to the pre-policy code path (the plan *is* the §3
-    // assignment, back-mapped to the granted order); other policies ship
-    // explicit one-shot plans over the same wire format.
-    let classes: Vec<PeerClass> = suppliers.iter().map(|(c, _)| *c).collect();
-    let ctx = SessionContext::full(&classes, info.segment_count()).with_seed(session);
+) -> Result<(Vec<Option<SessionPlan>>, u64), NodeError> {
+    let ctx = SessionContext::full(classes, info.segment_count()).with_seed(session);
     let plan = policy
         .plan(&ctx)
         .map_err(|e| NodeError::Protocol(format!("policy '{}' failed: {e}", policy.name())))?;
-    if plan.slot_count() != suppliers.len() {
+    if plan.slot_count() != classes.len() {
         return Err(NodeError::Protocol(format!(
             "policy '{}' planned {} slots for {} suppliers",
             policy.name(),
             plan.slot_count(),
-            suppliers.len()
+            classes.len()
         )));
     }
     let theoretical_slots = plan.min_delay_slots(&ctx);
     let dt_ms = info.segment_duration().as_millis();
 
-    let mut lanes: Vec<LaneLaunch> = Vec::with_capacity(suppliers.len());
-    for (slot, (class, mut stream)) in suppliers.drain(..).enumerate() {
+    let mut slot_plans: Vec<Option<SessionPlan>> = Vec::with_capacity(classes.len());
+    for slot in 0..classes.len() {
         let segments = plan.slot(slot);
         if segments.is_empty() {
-            // The policy left this grant unused: its bandwidth reservation
-            // must not linger.
-            let _ = write_message(&mut stream, &Message::Release { session });
+            slot_plans.push(None);
             continue;
         }
-        lanes.push(LaneLaunch {
-            class,
-            stream,
-            plan: SessionPlan {
-                item: info.name().to_owned(),
-                segments: segments.to_vec(),
-                period: plan.period(),
-                total_segments: info.segment_count(),
-                dt_ms: dt_ms as u32,
-            },
-        });
+        slot_plans.push(Some(SessionPlan {
+            item: info.name().to_owned(),
+            segments: segments.to_vec(),
+            period: plan.period(),
+            total_segments: info.segment_count(),
+            dt_ms: dt_ms as u32,
+        }));
     }
-    if lanes.is_empty() {
+    if slot_plans.iter().all(Option::is_none) {
         return Err(NodeError::Protocol(format!(
             "policy '{}' assigned no segments to any supplier",
             policy.name()
         )));
     }
-    Ok((lanes, theoretical_slots))
+    Ok((slot_plans, theoretical_slots))
 }
 
 /// One reactor-hosted receiving session: the transport-agnostic
@@ -387,12 +251,14 @@ impl ReqSessions {
         self.conns.contains_key(&conn)
     }
 
-    /// Hosts a new session: adopts every lane's connection, sends its
-    /// `StartSession`, and arms the read timers. Lanes whose adoption
-    /// fails are treated as immediate departures (replanned like any
-    /// other loss).
-    pub(crate) fn start(&mut self, ctx: &mut Ctx<'_>, launch: SessionLaunch) {
-        let SessionLaunch {
+    /// Hosts a new session over connections the admission phase already
+    /// adopted: sends each lane's `StartSession` and arms the read
+    /// timers (replacing the admission-phase timer in place — same
+    /// kind). Lanes that lost their connection between grant and
+    /// hand-off are immediate departures (replanned like any other
+    /// loss).
+    pub(crate) fn start_adopted(&mut self, ctx: &mut Ctx<'_>, launch: ReadyLaunch) {
+        let ReadyLaunch {
             session,
             info,
             policy,
@@ -403,10 +269,10 @@ impl ReqSessions {
         } = launch;
         let dt_ms = info.segment_duration().as_millis();
         let mut specs = Vec::with_capacity(lanes.len());
-        let mut streams = Vec::with_capacity(lanes.len());
+        let mut conns = Vec::with_capacity(lanes.len());
         for lane in lanes {
             specs.push((lane.class, lane.plan));
-            streams.push(lane.stream);
+            conns.push(lane.conn);
         }
         let mut driver = SessionDriver::new(
             session,
@@ -416,12 +282,12 @@ impl ReqSessions {
             policy,
             &specs,
         );
-        let mut lane_conns = Vec::with_capacity(streams.len());
+        let mut lane_conns = Vec::with_capacity(conns.len());
         let mut dead_lanes = Vec::new();
         let start_ms = ctx.now_ms();
-        for (lane_idx, stream) in streams.into_iter().enumerate() {
-            match ctx.adopt(stream) {
-                Ok(conn) => {
+        for (lane_idx, conn) in conns.into_iter().enumerate() {
+            match conn {
+                Some(conn) => {
                     self.conns.insert(
                         conn,
                         ReqConn {
@@ -441,7 +307,7 @@ impl ReqSessions {
                     ctx.set_timer(conn, K_REQ_READ, STREAM_READ_TIMEOUT_MS);
                     lane_conns.push(Some(conn));
                 }
-                Err(_) => {
+                None => {
                     // Mark every doomed lane dead *before* settling any of
                     // them, so the first replan does not count the others
                     // as survivors.

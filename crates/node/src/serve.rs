@@ -28,7 +28,8 @@ use p2ps_monitor::{Counter, Gauge, Monitor};
 use p2ps_net::{ConnId, Ctx, Handler, PoolHandle, ReactorConfig, ReactorPool};
 use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan, SupplierSchedule};
 
-use crate::requester::{ReqSessions, SessionLaunch};
+use crate::admission_host::{AdmissionLaunch, Admissions};
+use crate::requester::ReqSessions;
 use crate::supplier::{SupplierShared, GRANT_TTL_MS};
 use crate::watchdog::{Watchdog, WatchdogConfig};
 
@@ -59,11 +60,12 @@ pub(crate) enum NodeCmd {
         /// The tag passed at attach time.
         tag: u64,
     },
-    /// Host a requesting peer's streaming session on this shard: adopt
-    /// its granted connections and drive the sans-io receive state
-    /// machine (boxed: the launch carries streams, plans and a result
-    /// channel).
-    StartRequester(Box<SessionLaunch>),
+    /// Run a requesting peer's §4.2 admission round on this shard:
+    /// adopt one connection per candidate lane, drive the pipelined
+    /// sans-io `AdmissionDriver`, and on admission transition the
+    /// granted lanes straight into a receiving session (boxed: the
+    /// launch carries streams, classes and a result channel).
+    StartAdmission(Box<AdmissionLaunch>),
 }
 
 /// Per-connection protocol phase (the supplier half of §4.2).
@@ -147,6 +149,8 @@ pub(crate) struct NodeServeHandler {
     conns: HashMap<ConnId, ConnState>,
     /// Reactor-hosted receiving sessions (the requester half).
     req: ReqSessions,
+    /// Reactor-hosted admission rounds (the requester's §4.2 probe).
+    adm: Admissions,
     stats: ServeStats,
 }
 
@@ -176,6 +180,7 @@ impl NodeServeHandler {
             nodes: HashMap::new(),
             conns: HashMap::new(),
             req: ReqSessions::default(),
+            adm: Admissions::default(),
             stats: ServeStats::register(monitor),
         }
     }
@@ -479,7 +484,11 @@ impl Handler for NodeServeHandler {
                     }
                 }
             }
-            NodeCmd::StartRequester(launch) => self.req.start(ctx, *launch),
+            NodeCmd::StartAdmission(launch) => {
+                if let Some(ready) = self.adm.start(ctx, *launch) {
+                    self.req.start_adopted(ctx, ready);
+                }
+            }
         }
     }
 
@@ -503,6 +512,12 @@ impl Handler for NodeServeHandler {
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
         if self.req.owns(conn) {
             self.req.on_data(ctx, conn, data);
+            return;
+        }
+        if self.adm.owns(conn) {
+            if let Some(ready) = self.adm.on_data(ctx, conn, data) {
+                self.req.start_adopted(ctx, ready);
+            }
             return;
         }
         let Some(mut st) = self.conns.remove(&conn) else {
@@ -533,6 +548,12 @@ impl Handler for NodeServeHandler {
             self.req.on_timer(ctx, conn, kind);
             return;
         }
+        if self.adm.owns(conn) {
+            if let Some(ready) = self.adm.on_timer(ctx, conn, kind) {
+                self.req.start_adopted(ctx, ready);
+            }
+            return;
+        }
         let Some(mut st) = self.conns.remove(&conn) else {
             return;
         };
@@ -552,6 +573,12 @@ impl Handler for NodeServeHandler {
     fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         if self.req.owns(conn) {
             self.req.on_close(ctx, conn);
+            return;
+        }
+        if self.adm.owns(conn) {
+            if let Some(ready) = self.adm.on_close(ctx, conn) {
+                self.req.start_adopted(ctx, ready);
+            }
             return;
         }
         if let Some(st) = self.conns.remove(&conn) {

@@ -11,7 +11,9 @@
 //! Simultaneity is proved by pacing: a session cannot finish before its
 //! own §3 schedule (≈ `SEGMENTS · DT_MS`), so once the last
 //! `begin_stream` returns within that floor, all 256 sessions are in
-//! flight at the same instant.
+//! flight at the same instant. Admission itself is reactor-hosted and
+//! pipelined, so a rejection (every sampled candidate busy) surfaces at
+//! `wait()`; rejected sessions retry in whole rounds that overlap too.
 
 use std::time::{Duration, Instant};
 
@@ -50,12 +52,12 @@ fn two_hundred_fifty_six_simultaneous_sessions_on_a_two_thread_pool() {
         })
         .collect();
 
-    // Kick off all sessions. Admission is a short blocking exchange on
-    // this thread; the streams themselves live on the pool. A busy-pool
-    // rejection (every sampled candidate already serving) just retries.
+    // Kick off all sessions. Admission is fully reactor-hosted: this
+    // loop only connects and enqueues, so all 256 rounds (and then all
+    // 256 streams) are in flight together on the pool.
     let begin_start = Instant::now();
     let mut requesters = Vec::with_capacity(SESSIONS);
-    let mut pendings = Vec::with_capacity(SESSIONS);
+    let mut inflight: Vec<(usize, p2ps_node::PendingStream)> = Vec::with_capacity(SESSIONS);
     for i in 0..SESSIONS as u64 {
         let cfg = NodeConfig::new(
             PeerId::new(SEEDS + i),
@@ -64,19 +66,11 @@ fn two_hundred_fifty_six_simultaneous_sessions_on_a_two_thread_pool() {
             dir.addr(),
         );
         let node = PeerNode::spawn_on(cfg, clock.clone(), &reactor).unwrap();
-        let mut attempt = 0;
-        let pending = loop {
-            match node.begin_stream(16) {
-                Ok(p) => break p,
-                Err(NodeError::Rejected { .. }) if attempt < 20 => {
-                    attempt += 1;
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) => panic!("session {i}: admission failed: {e}"),
-            }
-        };
+        let pending = node
+            .begin_stream(16)
+            .unwrap_or_else(|e| panic!("session {i}: launch failed: {e}"));
         requesters.push(node);
-        pendings.push(pending);
+        inflight.push((i as usize, pending));
     }
     let begin_elapsed = begin_start.elapsed();
 
@@ -90,10 +84,33 @@ fn two_hundred_fifty_six_simultaneous_sessions_on_a_two_thread_pool() {
          {SESSIONS} sessions inside the {pacing_floor:?} pacing floor"
     );
 
-    for (i, pending) in pendings.into_iter().enumerate() {
-        let outcome = pending
-            .wait()
-            .unwrap_or_else(|e| panic!("session {i} failed: {e}"));
+    // Rejections (every sampled candidate busy) surface at wait(); each
+    // retry ROUND relaunches all its sessions at once so even the
+    // stragglers' paced streams overlap each other.
+    let mut outcomes: Vec<Option<p2ps_node::StreamOutcome>> = (0..SESSIONS).map(|_| None).collect();
+    let mut rounds = 0;
+    while !inflight.is_empty() {
+        let mut rejected = Vec::new();
+        for (i, pending) in inflight {
+            match pending.wait() {
+                Ok(o) => outcomes[i] = Some(o),
+                Err(NodeError::Rejected { .. }) => rejected.push(i),
+                Err(e) => panic!("session {i} failed: {e}"),
+            }
+        }
+        if rejected.is_empty() {
+            break;
+        }
+        rounds += 1;
+        assert!(rounds <= 20, "sessions kept being rejected: {rejected:?}");
+        std::thread::sleep(Duration::from_millis(10));
+        inflight = rejected
+            .into_iter()
+            .map(|i| (i, requesters[i].begin_stream(16).unwrap()))
+            .collect();
+    }
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let outcome = outcome.unwrap_or_else(|| panic!("session {i} never completed"));
         assert_eq!(outcome.supplier_count, 1, "session {i}: one class-1 seed");
         assert_eq!(outcome.theoretical_delay_ms, DT_MS, "session {i}");
     }

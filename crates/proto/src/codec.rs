@@ -126,16 +126,9 @@ pub fn encode_frame(msg: &Message, buf: &mut BytesMut) {
 /// Any [`DecodeError`]; the buffer state is unspecified afterwards and the
 /// connection should be dropped.
 pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, DecodeError> {
-    if buf.len() < 4 {
+    let Some(len) = complete_frame_len(buf)? else {
         return Ok(None);
-    }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(DecodeError::FrameTooLarge(len));
-    }
-    if buf.len() < 4 + len {
-        return Ok(None);
-    }
+    };
     // Fast path: the accumulator holds exactly this frame AND fits it
     // tightly — move the allocation into the shared store instead of
     // copying the frame out. The tight-capacity guard matters twice: a
@@ -145,7 +138,7 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, DecodeError> 
     // blocking read_message path (FrameDecoder::fill_from sizes the
     // buffer to the frame) qualifies for every large frame, restoring
     // the single-copy receive of segment payloads.
-    let mut body = if buf.len() == 4 + len && buf.capacity() == buf.len() {
+    let body = if buf.len() == 4 + len && buf.capacity() == buf.len() {
         let mut whole = std::mem::take(buf).freeze();
         whole.advance(4);
         whole
@@ -156,11 +149,38 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, DecodeError> 
         // a segment payload — is then an O(1) view of that allocation.
         buf.copy_to_bytes(len)
     };
+    decode_whole_body(body).map(Some)
+}
+
+/// Length of the payload of the frame at the head of `buf`, when a
+/// complete frame is buffered; `None` when more bytes are needed.
+///
+/// # Errors
+///
+/// [`DecodeError::FrameTooLarge`] when the prefix claims more than
+/// [`MAX_FRAME_LEN`].
+pub(crate) fn complete_frame_len(buf: &BytesMut) -> Result<Option<usize>, DecodeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some(len))
+}
+
+/// Decodes one complete frame body (length prefix already stripped),
+/// rejecting trailing bytes.
+pub(crate) fn decode_whole_body(mut body: Bytes) -> Result<Message, DecodeError> {
     let msg = decode_body(&mut body)?;
     if !body.is_empty() {
         return Err(DecodeError::TrailingBytes(body.len()));
     }
-    Ok(Some(msg))
+    Ok(msg)
 }
 
 fn decode_body(b: &mut Bytes) -> Result<Message, DecodeError> {
@@ -349,7 +369,11 @@ fn get_str(b: &mut Bytes) -> Result<String, DecodeError> {
         return Err(DecodeError::UnexpectedEof);
     }
     let raw = b.split_to(n);
-    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    // Validate in place on the shared view; the only copy is the one
+    // into the returned String (the old intermediate Vec doubled it).
+    std::str::from_utf8(&raw)
+        .map(str::to_owned)
+        .map_err(|_| DecodeError::InvalidUtf8)
 }
 
 #[cfg(test)]

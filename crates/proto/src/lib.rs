@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod chunks;
 mod codec;
 mod error;
@@ -50,6 +51,7 @@ mod requester;
 mod sansio;
 mod supplier;
 
+pub use admission::{AdmissionAction, AdmissionDriver, AdmissionVerdict};
 pub use chunks::{ChunkQueue, MAX_GATHER_SLICES};
 pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
 pub use error::DecodeError;

@@ -35,9 +35,9 @@
 
 use std::io::{Read, Write};
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut, BytesPool};
 
-use crate::codec::{decode_frame, encode_frame};
+use crate::codec::{complete_frame_len, decode_whole_body, encode_frame};
 use crate::{ChunkQueue, DecodeError, Message, MAX_FRAME_LEN};
 
 /// Incremental frame decoder: feed bytes in any fragmentation, poll
@@ -47,9 +47,34 @@ use crate::{ChunkQueue, DecodeError, Message, MAX_FRAME_LEN};
 /// `SegmentData` payloads are O(1) shared views of one per-frame
 /// allocation, never copies of the payload bytes (the PR 2 zero-copy
 /// property, preserved through the sans-io split).
-#[derive(Debug, Default)]
+///
+/// Frame buffers are drawn from a small recycling [`BytesPool`]: once a
+/// connection has warmed up, decoding a frame whose payload the consumer
+/// drops (or copies out) performs **zero** heap allocations — the
+/// accumulator keeps its capacity across frames and the pool reuses the
+/// same frame allocation in place. Payload views retained long-term (a
+/// reassembling session holds its segments) simply pin their allocation
+/// until dropped; the pool rotates past them.
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: BytesMut,
+    pool: BytesPool,
+    /// True while every buffered byte was deposited by
+    /// [`fill_from`](Self::fill_from) (the blocking exact-read shape):
+    /// only then may [`poll`](Self::poll) donate the whole accumulator
+    /// as the frame allocation. A reactor-fed accumulator must keep its
+    /// buffer across frames, whatever its capacity happens to be.
+    via_fill: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder {
+            buf: BytesMut::new(),
+            pool: BytesPool::new(),
+            via_fill: true,
+        }
+    }
 }
 
 impl FrameDecoder {
@@ -60,6 +85,7 @@ impl FrameDecoder {
 
     /// Appends raw bytes from the transport to the accumulator.
     pub fn feed(&mut self, bytes: &[u8]) {
+        self.via_fill = false;
         self.buf.extend_from_slice(bytes);
     }
 
@@ -73,7 +99,27 @@ impl FrameDecoder {
     /// Any [`DecodeError`]; the stream is corrupt and the connection
     /// should be dropped.
     pub fn poll(&mut self) -> Result<Option<Message>, DecodeError> {
-        decode_frame(&mut self.buf)
+        let Some(len) = complete_frame_len(&self.buf)? else {
+            return Ok(None);
+        };
+        // Exactly-one-frame accumulator deposited by fill_from (the
+        // blocking exact-read path): donate the allocation outright —
+        // zero copies, however large the frame.
+        if self.via_fill && self.buf.len() == 4 + len {
+            let mut whole = std::mem::take(&mut self.buf).freeze();
+            whole.advance(4);
+            return decode_whole_body(whole).map(Some);
+        }
+        // Steady reactor path: one copy of the frame out of the
+        // accumulator into a recycled pool allocation — no allocation
+        // once the pool is warm — then O(1) views for every field.
+        Buf::advance(&mut self.buf, 4);
+        let frame = self.pool.copy_from_slice(&self.buf[..len]);
+        Buf::advance(&mut self.buf, len);
+        if self.buf.is_empty() {
+            self.via_fill = true; // empty again: next fill_from qualifies
+        }
+        decode_whole_body(frame).map(Some)
     }
 
     /// Minimum number of additional bytes that must be fed before

@@ -17,11 +17,19 @@
 //! witnessed by the [`SimReport::trace_hash`] digest — so any failure in
 //! a thousand-seed sweep is one `SIMNET_SEED=…` away from a debugger.
 //!
-//! Four [`ScenarioKind`] adversity profiles are swept: `Steady` (latency
+//! Every run opens with the real §4.2 admission round: the pipelined
+//! `p2ps_proto::AdmissionDriver` sends its `StreamRequest` burst over
+//! the simulated links and folds each supplier's scripted reply into a
+//! verdict before a single segment moves — the same code path the live
+//! reactor hosts.
+//!
+//! Five [`ScenarioKind`] adversity profiles are swept: `Steady` (latency
 //! and fragmentation only), `Churn` (suppliers die mid-stream, up to all
 //! of them), `Loss` (1–5 byte chunks plus a death that cuts a frame at
-//! an arbitrary byte boundary) and `SlowPeer` (one crawling link). Every
-//! run must end in byte-exact reassembly or a *structured* failure
+//! an arbitrary byte boundary), `SlowPeer` (one crawling link) and
+//! `Admission` (suppliers may deny the round, exercising releases,
+//! reminders and the structured `Rejected` outcome). Every run must end
+//! in byte-exact reassembly or a *structured* failure
 //! ([`SimOutcome::is_acceptable`]); stalls and corrupt reassembly are
 //! harness-caught bugs.
 //!
@@ -47,7 +55,7 @@ mod world;
 
 pub use link::Link;
 pub use report::{repro_hint, SimOutcome, SimReport};
-pub use schedule::{LinkSpec, ScenarioKind, Schedule};
+pub use schedule::{AdmissionReply, LinkSpec, ScenarioKind, Schedule};
 pub use trace::TraceHasher;
 pub use world::SimWorld;
 
@@ -92,6 +100,60 @@ mod tests {
         let a = run(1, ScenarioKind::Steady);
         let b = run(2, ScenarioKind::Steady);
         assert_ne!(a.trace_hash, b.trace_hash);
+    }
+
+    #[test]
+    fn steady_runs_pass_admission_with_a_grant_per_lane() {
+        for seed in 0..8u64 {
+            let schedule = Schedule::derive(seed, ScenarioKind::Steady);
+            let report = run(seed, ScenarioKind::Steady);
+            assert_eq!(
+                report.grants,
+                schedule.mix.len() as u64,
+                "every lane must grant before a segment moves"
+            );
+            assert_eq!(report.denials, 0);
+            assert_eq!(report.reminders, 0);
+        }
+    }
+
+    #[test]
+    fn admission_scenario_exercises_denial_and_rejection() {
+        let mut saw_rejection = false;
+        let mut saw_reminder = false;
+        let mut saw_completion = false;
+        for seed in 0..32u64 {
+            let report = run(seed, ScenarioKind::Admission);
+            assert!(
+                report.outcome.is_acceptable(),
+                "seed {seed}: {:?}\n{}",
+                report.outcome,
+                report.repro_hint()
+            );
+            match report.outcome {
+                SimOutcome::Rejected { reminders } => {
+                    saw_rejection = true;
+                    saw_reminder |= reminders > 0 && report.reminders == reminders;
+                    assert!(report.denials > 0, "a rejection needs at least one deny");
+                    assert_eq!(
+                        report.segments_delivered, 0,
+                        "a rejected round must never stream"
+                    );
+                }
+                SimOutcome::Completed { byte_exact } => {
+                    saw_completion = true;
+                    assert!(byte_exact);
+                    assert_eq!(report.denials, 0, "any deny rejects a rate-matched mix");
+                }
+                ref other => panic!("seed {seed}: unexpected {other:?}"),
+            }
+        }
+        assert!(
+            saw_rejection,
+            "32 admission seeds must reject at least once"
+        );
+        assert!(saw_reminder, "rejections must deliver reminders on-wire");
+        assert!(saw_completion, "all-grant admission seeds must stream");
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub enum SimOutcome {
         /// Segments expected.
         expected: u64,
     },
+    /// The §4.2 admission round came up short of `R0`: the requester
+    /// released its grants, left its reminders, and never streamed —
+    /// the node's structured `Rejected` error.
+    Rejected {
+        /// Reminders the requester left with busy-but-favored suppliers.
+        reminders: u64,
+    },
 }
 
 impl SimOutcome {
@@ -50,6 +57,7 @@ impl SimOutcome {
             SimOutcome::Completed { byte_exact: true }
                 | SimOutcome::SuppliersLost { .. }
                 | SimOutcome::Incomplete { .. }
+                | SimOutcome::Rejected { .. }
         )
     }
 
@@ -62,6 +70,7 @@ impl SimOutcome {
             SimOutcome::Incomplete { .. } => 4,
             SimOutcome::ProtocolError(_) => 5,
             SimOutcome::Stalled { .. } => 6,
+            SimOutcome::Rejected { .. } => 7,
         }
     }
 }
@@ -89,6 +98,12 @@ pub struct SimReport {
     pub replans: u64,
     /// Suppliers that died mid-run.
     pub deaths: u64,
+    /// `Grant` frames the suppliers sent during admission.
+    pub grants: u64,
+    /// `Deny` frames the suppliers sent during admission.
+    pub denials: u64,
+    /// `Reminder` frames that reached a supplier after a rejection.
+    pub reminders: u64,
 }
 
 impl SimReport {

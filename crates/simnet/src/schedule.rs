@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// The four adversity profiles the sweep crosses with its seeds.
+/// The five adversity profiles the sweep crosses with its seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioKind {
     /// No departures: varied latency, jitter and fragmentation only.
@@ -23,15 +23,20 @@ pub enum ScenarioKind {
     Loss,
     /// One supplier's link is drastically slower than the rest.
     SlowPeer,
+    /// Suppliers may refuse admission (busy, favored or not): the §4.2
+    /// round itself is the adversity — denials, reminders and a
+    /// structured `Rejected` outcome instead of a stream.
+    Admission,
 }
 
 impl ScenarioKind {
     /// Every scenario, in sweep order.
-    pub const ALL: [ScenarioKind; 4] = [
+    pub const ALL: [ScenarioKind; 5] = [
         ScenarioKind::Steady,
         ScenarioKind::Churn,
         ScenarioKind::Loss,
         ScenarioKind::SlowPeer,
+        ScenarioKind::Admission,
     ];
 
     /// Stable lowercase name for reports and repro hints.
@@ -41,6 +46,7 @@ impl ScenarioKind {
             ScenarioKind::Churn => "churn",
             ScenarioKind::Loss => "loss",
             ScenarioKind::SlowPeer => "slow-peer",
+            ScenarioKind::Admission => "admission",
         }
     }
 
@@ -52,8 +58,24 @@ impl ScenarioKind {
             ScenarioKind::Churn => 0xc2b2_ae3d_27d4_eb4f,
             ScenarioKind::Loss => 0x1656_67b1_9e37_79f9,
             ScenarioKind::SlowPeer => 0x2545_f491_4f6c_dd1d,
+            ScenarioKind::Admission => 0x8532_7860_e17a_9cb7,
         }
     }
+}
+
+/// What a supplier says when the `StreamRequest` reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionReply {
+    /// Grant the stream (and hold the reservation).
+    Grant,
+    /// Deny; `busy`/`favored` mirror the wire `Deny` flags — a
+    /// busy-and-favored supplier is a reminder candidate.
+    Deny {
+        /// The supplier is at capacity.
+        busy: bool,
+        /// The requester's class would have been favored.
+        favored: bool,
+    },
 }
 
 /// One directional link's fixed characteristics.
@@ -104,6 +126,13 @@ pub struct Schedule {
     pub links: Vec<LinkSpec>,
     /// `(supplier, at_ms)` death times, sorted by time.
     pub deaths: Vec<(usize, u64)>,
+    /// The requesting peer's class (carried in `StreamRequest` and
+    /// `Reminder` frames).
+    pub req_class: u8,
+    /// Per-supplier admission decision (index = mix position). All
+    /// `Grant` outside the `Admission` scenario, so a rate-matched mix
+    /// admits and streams exactly as before.
+    pub replies: Vec<AdmissionReply>,
 }
 
 impl Schedule {
@@ -140,7 +169,7 @@ impl Schedule {
         // land anywhere in that span (plus slack for latency).
         let span = segment_count * dt_ms * 2;
         let mut deaths: Vec<(usize, u64)> = match scenario {
-            ScenarioKind::Steady | ScenarioKind::SlowPeer => Vec::new(),
+            ScenarioKind::Steady | ScenarioKind::SlowPeer | ScenarioKind::Admission => Vec::new(),
             ScenarioKind::Churn => {
                 let victims = rng.gen_range(1..=mix.len());
                 let mut lanes: Vec<usize> = (0..mix.len()).collect();
@@ -158,6 +187,34 @@ impl Schedule {
             }
         };
         deaths.sort_by_key(|&(lane, at)| (at, lane));
+        let req_class = rng.gen_range(1..=4u8);
+        // A rate-matched mix needs every grant to reach R0, so any deny
+        // rejects the round: the deny count directly controls how often
+        // the scenario exercises the rejection/reminder path (0 denies
+        // still admits and streams).
+        let replies = match scenario {
+            ScenarioKind::Admission => {
+                let denials = rng.gen_range(0..=mix.len());
+                let mut lanes: Vec<usize> = (0..mix.len()).collect();
+                for i in (1..lanes.len()).rev() {
+                    lanes.swap(i, rng.gen_range(0..=i));
+                }
+                let deny: Vec<usize> = lanes.into_iter().take(denials).collect();
+                (0..mix.len())
+                    .map(|lane| {
+                        if deny.contains(&lane) {
+                            AdmissionReply::Deny {
+                                busy: rng.gen_bool(0.8),
+                                favored: rng.gen_bool(0.5),
+                            }
+                        } else {
+                            AdmissionReply::Grant
+                        }
+                    })
+                    .collect()
+            }
+            _ => vec![AdmissionReply::Grant; mix.len()],
+        };
         Schedule {
             seed,
             scenario,
@@ -168,6 +225,8 @@ impl Schedule {
             max_chunk,
             links,
             deaths,
+            req_class,
+            replies,
         }
     }
 }
@@ -213,6 +272,34 @@ mod tests {
             assert_eq!(lanes.len(), len, "seed {seed}: duplicate victim");
             assert!(lanes.iter().all(|&l| l < s.mix.len()));
         }
+    }
+
+    #[test]
+    fn only_admission_schedules_deny() {
+        let mut denying_runs = 0;
+        let mut all_grant_runs = 0;
+        for seed in 0..64u64 {
+            for scenario in ScenarioKind::ALL {
+                let s = Schedule::derive(seed, scenario);
+                assert_eq!(s.replies.len(), s.mix.len());
+                let denies = s
+                    .replies
+                    .iter()
+                    .filter(|r| matches!(r, AdmissionReply::Deny { .. }))
+                    .count();
+                if scenario == ScenarioKind::Admission {
+                    if denies > 0 {
+                        denying_runs += 1;
+                    } else {
+                        all_grant_runs += 1;
+                    }
+                } else {
+                    assert_eq!(denies, 0, "{} must all-grant", scenario.name());
+                }
+            }
+        }
+        assert!(denying_runs > 0, "admission seeds must sometimes deny");
+        assert!(all_grant_runs > 0, "admission seeds must sometimes admit");
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! threads, sockets or wall-clock reads. The protocol code is the real
 //! thing — the same types the live node runs on its epoll reactor:
 //!
+//! * the session opens with the real §4.2 round: a pipelined
+//!   [`AdmissionDriver`] sends `StreamRequest` on every lane, each
+//!   supplier's scripted `Grant`/`Deny` travels back over its link, and
+//!   the round's verdict (including `Release`s and `Reminder`s on
+//!   rejection) is the driver's own greedy fold;
 //! * the requester side is a [`SessionDriver`] (reassembly, lane
 //!   liveness, policy replans, completion/failure verdicts) fed through
 //!   a per-lane [`FrameDecoder`];
@@ -30,17 +35,21 @@ use p2ps_core::PeerClass;
 use p2ps_media::{MediaFile, MediaInfo};
 use p2ps_node::{DriverStep, NodeError, SessionDriver};
 use p2ps_policy::{SessionContext, SharedPolicy};
-use p2ps_proto::{FrameDecoder, FrameEncoder, Message, SessionPlan, SupplierSchedule};
+use p2ps_proto::{
+    AdmissionAction, AdmissionDriver, AdmissionVerdict, FrameDecoder, FrameEncoder, Message,
+    SessionPlan, SupplierSchedule,
+};
 
 use crate::link::Link;
+use crate::schedule::AdmissionReply;
 use crate::{Schedule, SimOutcome, SimReport, TraceHasher};
 
 /// Which way bytes travel on a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Dir {
-    /// Supplier → requester (the stream).
+    /// Supplier → requester (admission replies and the stream).
     ToRequester = 0,
-    /// Requester → supplier (session setup and replans).
+    /// Requester → supplier (admission requests, session setup, replans).
     ToSupplier = 1,
 }
 
@@ -104,11 +113,27 @@ const T_DIE: u8 = 6;
 const T_CLOSED: u8 = 7;
 const T_REPLAN: u8 = 8;
 const T_OUTCOME: u8 = 9;
+const T_ADM_TX: u8 = 10;
+const T_ADM_RX: u8 = 11;
+
+/// Small stable code for an admission-phase frame in the trace.
+fn adm_code(msg: &Message) -> u64 {
+    match msg {
+        Message::StreamRequest { .. } => 1,
+        Message::Grant { .. } => 2,
+        Message::Deny { .. } => 3,
+        Message::Reminder { .. } => 4,
+        Message::Release { .. } => 5,
+        _ => 0,
+    }
+}
 
 /// One supplier's in-world state around its real [`SupplierSchedule`].
 #[derive(Debug)]
 struct SimSupplier {
     class: PeerClass,
+    /// Scripted §4.2 decision for this run.
+    reply: AdmissionReply,
     dec: FrameDecoder,
     /// Built when the wire `StartSession` arrives (like the live node).
     sched: Option<SupplierSchedule>,
@@ -127,8 +152,8 @@ enum RawOutcome {
 }
 
 /// One deterministic run: virtual clock, event queue, links, and the
-/// real requester/supplier/policy stack. Build with [`SimWorld::new`],
-/// consume with [`SimWorld::run`].
+/// real admission/requester/supplier/policy stack. Build with
+/// [`SimWorld::new`], consume with [`SimWorld::run`].
 pub struct SimWorld {
     schedule: Schedule,
     now: u64,
@@ -139,13 +164,23 @@ pub struct SimWorld {
 
     session: u64,
     file: MediaFile,
+    policy: SharedPolicy,
     suppliers: Vec<SimSupplier>,
-    /// Per lane: `[to_requester, to_supplier]`.
+    /// Per lane: `[to_requester, to_supplier]`. Lane = mix position.
     links: Vec<[Link; 2]>,
     /// Transport-open flag per lane (requester's view).
     lane_open: Vec<bool>,
     req_decs: Vec<FrameDecoder>,
-    driver: SessionDriver,
+    /// The §4.2 round, live until its verdict lands.
+    adm: Option<AdmissionDriver>,
+    /// The streaming session, built when the round admits.
+    driver: Option<SessionDriver>,
+    /// Which driver lane (if any) each mix lane streams as.
+    driver_lane_of_mix: Vec<Option<usize>>,
+    /// The mix lane behind each driver lane.
+    mix_of_driver_lane: Vec<usize>,
+    /// Reminders the verdict left, once the round was rejected.
+    rejected: Option<u64>,
     outcome: Option<RawOutcome>,
 
     events: u64,
@@ -153,6 +188,9 @@ pub struct SimWorld {
     bytes_on_wire: u64,
     replans: u64,
     deaths: u64,
+    grants: u64,
+    denials: u64,
+    reminders: u64,
 }
 
 /// A message's full wire bytes (header chunk + zero-copy payload chunk,
@@ -169,9 +207,10 @@ fn wire_bytes(msg: &Message) -> Vec<u8> {
 
 impl SimWorld {
     /// Builds the world for one schedule: synthesizes the media file,
-    /// runs the real selection policy over the supplier mix, constructs
-    /// the driver and supplier machines, and queues the session-opening
-    /// `StartSession` frames plus every scheduled death.
+    /// constructs the admission driver and supplier machines, queues the
+    /// `StreamRequest` burst plus every scheduled death. Planning and
+    /// the [`SessionDriver`] wait for the round's verdict, exactly like
+    /// the live node.
     pub fn new(schedule: Schedule) -> SimWorld {
         let session = schedule.seed;
         let info = MediaInfo::new(
@@ -181,53 +220,20 @@ impl SimWorld {
             schedule.segment_bytes,
         );
         let file = MediaFile::synthesize(info);
-        let total = file.info().segment_count();
-        let dt_ms = schedule.dt_ms;
 
         let classes: Vec<PeerClass> = schedule
             .mix
             .iter()
             .map(|&k| PeerClass::new(k).expect("mix classes are valid"))
             .collect();
-        let policy = SharedPolicy::default();
-        let ctx = SessionContext::full(&classes, total).with_seed(session);
-        let plan = policy
-            .plan(&ctx)
-            .expect("the default policy plans rate-matched mixes");
-        assert_eq!(plan.slot_count(), classes.len(), "one slot per supplier");
+        let req_class = PeerClass::new(schedule.req_class).expect("req_class is valid");
 
-        // Lanes are the slots the policy actually used; remember which
-        // mix position each lane came from so links and deaths follow.
-        let mut lanes: Vec<(PeerClass, SessionPlan)> = Vec::new();
-        let mut lane_of_mix: Vec<Option<usize>> = vec![None; classes.len()];
-        let mut links: Vec<[Link; 2]> = Vec::new();
-        for (slot, &class) in classes.iter().enumerate() {
-            let segments = plan.slot(slot);
-            if segments.is_empty() {
-                continue;
-            }
-            lane_of_mix[slot] = Some(lanes.len());
-            links.push([
-                Link::new(schedule.links[slot]),
-                Link::new(schedule.links[slot]),
-            ]);
-            lanes.push((
-                class,
-                SessionPlan {
-                    item: file.info().name().to_owned(),
-                    segments: segments.to_vec(),
-                    period: plan.period(),
-                    total_segments: total,
-                    dt_ms: dt_ms as u32,
-                },
-            ));
-        }
-
-        let driver = SessionDriver::new(session, file.info().name(), total, dt_ms, policy, &lanes);
-        let suppliers: Vec<SimSupplier> = lanes
+        let suppliers: Vec<SimSupplier> = classes
             .iter()
-            .map(|(class, _)| SimSupplier {
-                class: *class,
+            .zip(&schedule.replies)
+            .map(|(&class, &reply)| SimSupplier {
+                class,
+                reply,
                 dec: FrameDecoder::new(),
                 sched: None,
                 start_ms: 0,
@@ -235,9 +241,17 @@ impl SimWorld {
                 done: false,
             })
             .collect();
-        let lane_count = lanes.len();
+        let links: Vec<[Link; 2]> = schedule
+            .links
+            .iter()
+            .map(|&spec| [Link::new(spec), Link::new(spec)])
+            .collect();
+        let lane_count = classes.len();
         let rng_seed = schedule.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ schedule.scenario.salt();
         let scheduled_deaths = schedule.deaths.clone();
+
+        let mut adm = AdmissionDriver::new(session, req_class, &classes);
+        adm.start();
 
         let mut world = SimWorld {
             schedule,
@@ -248,38 +262,38 @@ impl SimWorld {
             trace: TraceHasher::new(),
             session,
             file,
+            policy: SharedPolicy::default(),
             suppliers,
             links,
             lane_open: vec![true; lane_count],
             req_decs: (0..lane_count).map(|_| FrameDecoder::new()).collect(),
-            driver,
+            adm: Some(adm),
+            driver: None,
+            driver_lane_of_mix: vec![None; lane_count],
+            mix_of_driver_lane: Vec::new(),
+            rejected: None,
             outcome: None,
             events: 0,
             segments_delivered: 0,
             bytes_on_wire: 0,
             replans: 0,
             deaths: 0,
+            grants: 0,
+            denials: 0,
+            reminders: 0,
         };
 
-        // Session setup travels the wire like everything else: the
-        // requester's opening StartSession per lane, framed and
-        // fragmented; each supplier builds its schedule on receipt.
-        for (lane, (_, plan)) in lanes.into_iter().enumerate() {
-            let bytes = wire_bytes(&Message::StartSession { session, plan });
-            world.send_stream(lane, Dir::ToSupplier, &bytes);
-        }
+        // The opening StreamRequest burst travels the wire like
+        // everything else, framed and fragmented per lane.
+        world.pump_admission();
         for &(mix_idx, at) in &scheduled_deaths {
-            if let Some(lane) = lane_of_mix[mix_idx] {
-                world.push(at, Event::Die { lane });
-            }
+            world.push(at, Event::Die { lane: mix_idx });
         }
         world
     }
 
     /// Runs the world to quiescence and reports.
     pub fn run(mut self) -> SimReport {
-        let step = self.driver.status();
-        self.apply(step);
         while self.outcome.is_none() {
             let Some(s) = self.queue.pop() else { break };
             debug_assert!(s.at >= self.now, "virtual time must be monotone");
@@ -290,7 +304,8 @@ impl SimWorld {
         let outcome = match self.outcome.take() {
             Some(RawOutcome::Complete) => {
                 let mut byte_exact = true;
-                let (sm, _classes) = self.driver.into_parts();
+                let driver = self.driver.take().expect("completion implies streaming");
+                let (sm, _classes) = driver.into_parts();
                 for (i, entry) in sm.into_segments().into_iter().enumerate() {
                     let expect = self.file.segment(i as u64).into_payload();
                     match entry {
@@ -310,9 +325,20 @@ impl SimWorld {
                 }
                 other => SimOutcome::ProtocolError(other.to_string()),
             },
-            None => SimOutcome::Stalled {
-                received: self.driver.machine().received(),
-                expected: self.driver.machine().total_segments(),
+            None => match (self.rejected, &self.driver) {
+                // The round was rejected: the queue drained after the
+                // releases and reminders landed — the structured end.
+                (Some(reminders), _) => SimOutcome::Rejected { reminders },
+                (None, Some(driver)) => SimOutcome::Stalled {
+                    received: driver.machine().received(),
+                    expected: driver.machine().total_segments(),
+                },
+                // Admission never resolved — a harness bug by
+                // construction (every lane replies or dies).
+                (None, None) => SimOutcome::Stalled {
+                    received: 0,
+                    expected: self.file.info().segment_count(),
+                },
             },
         };
         self.trace.record(T_OUTCOME, &[outcome.tag()]);
@@ -326,6 +352,9 @@ impl SimWorld {
             bytes_on_wire: self.bytes_on_wire,
             replans: self.replans,
             deaths: self.deaths,
+            grants: self.grants,
+            denials: self.denials,
+            reminders: self.reminders,
         }
     }
 
@@ -377,6 +406,120 @@ impl SimWorld {
         }
     }
 
+    /// Executes the admission driver's queued transport actions and acts
+    /// on its verdict: admitted rounds plan and start streaming,
+    /// rejected rounds record the structured end (their releases and
+    /// reminders are already on the wire).
+    fn pump_admission(&mut self) {
+        let Some(mut adm) = self.adm.take() else {
+            return;
+        };
+        while let Some(action) = adm.pop_action() {
+            match action {
+                AdmissionAction::Send { lane, msg } => {
+                    self.trace
+                        .record(T_ADM_TX, &[self.now, lane as u64, adm_code(&msg)]);
+                    let bytes = wire_bytes(&msg);
+                    self.send_stream(lane, Dir::ToSupplier, &bytes);
+                }
+                AdmissionAction::Close { lane } => {
+                    self.trace.record(T_CLOSED, &[self.now, lane as u64]);
+                    self.lane_open[lane] = false;
+                }
+            }
+        }
+        match adm.verdict().clone() {
+            AdmissionVerdict::Pending => self.adm = Some(adm),
+            AdmissionVerdict::Admitted { granted } => self.begin_streaming(&granted),
+            AdmissionVerdict::Rejected { reminders, .. } => {
+                self.rejected = Some(reminders.len() as u64);
+            }
+        }
+    }
+
+    /// The round admitted: run the real policy over the granted classes,
+    /// build the [`SessionDriver`], and open every granted lane with its
+    /// `StartSession` — the sim's copy of the reactor's adopted-lane
+    /// hand-off.
+    fn begin_streaming(&mut self, granted: &[usize]) {
+        let classes: Vec<PeerClass> = granted.iter().map(|&m| self.suppliers[m].class).collect();
+        let total = self.file.info().segment_count();
+        let dt_ms = self.schedule.dt_ms;
+        let ctx = SessionContext::full(&classes, total).with_seed(self.session);
+        let plan = self
+            .policy
+            .plan(&ctx)
+            .expect("the default policy plans rate-matched mixes");
+        assert_eq!(plan.slot_count(), classes.len(), "one slot per grant");
+
+        // Driver lanes are the slots the policy actually used; a grant
+        // the policy left empty is closed, like the reactor's Release.
+        let mut lanes: Vec<(PeerClass, SessionPlan)> = Vec::new();
+        for (slot, &mix_idx) in granted.iter().enumerate() {
+            let segments = plan.slot(slot);
+            if segments.is_empty() {
+                self.lane_open[mix_idx] = false;
+                continue;
+            }
+            self.driver_lane_of_mix[mix_idx] = Some(lanes.len());
+            self.mix_of_driver_lane.push(mix_idx);
+            lanes.push((
+                classes[slot],
+                SessionPlan {
+                    item: self.file.info().name().to_owned(),
+                    segments: segments.to_vec(),
+                    period: plan.period(),
+                    total_segments: total,
+                    dt_ms: dt_ms as u32,
+                },
+            ));
+        }
+
+        let driver = SessionDriver::new(
+            self.session,
+            self.file.info().name(),
+            total,
+            dt_ms,
+            self.policy.clone(),
+            &lanes,
+        );
+        for (driver_lane, (_, plan)) in lanes.into_iter().enumerate() {
+            let mix_idx = self.mix_of_driver_lane[driver_lane];
+            if !self.lane_open[mix_idx] {
+                continue; // granted, then died mid-round: failed below
+            }
+            let bytes = wire_bytes(&Message::StartSession {
+                session: self.session,
+                plan,
+            });
+            self.send_stream(mix_idx, Dir::ToSupplier, &bytes);
+        }
+        self.driver = Some(driver);
+        let step = self.driver.as_mut().expect("just set").status();
+        self.apply(step);
+        // A lane can grant and then die before the hand-off, with its
+        // close observed while the round was still pending: the grant
+        // stood (the fold keeps settled grants), but the transport is
+        // gone. The reactor discovers exactly this on its first write to
+        // the adopted connection; the sim fails those lanes here so the
+        // driver replans their shares instead of waiting forever.
+        for mix_idx in 0..self.lane_open.len() {
+            if self.outcome.is_some() {
+                break;
+            }
+            if let Some(driver_lane) = self.driver_lane_of_mix[mix_idx] {
+                if !self.lane_open[mix_idx] {
+                    let step = self
+                        .driver
+                        .as_mut()
+                        .expect("just set")
+                        .on_failure(driver_lane);
+                    self.apply(step);
+                }
+            }
+        }
+    }
+
     /// Supplier pacing deadline: transmit the next scheduled segment, or
     /// `EndSession` when the schedule (base + appends) is exhausted.
     fn tick(&mut self, lane: usize) {
@@ -417,8 +560,9 @@ impl SimWorld {
         }
     }
 
-    /// Stream bytes reach the requester: feed the lane's real decoder,
-    /// drive the real driver with whatever frames completed.
+    /// Bytes reach the requester: feed the lane's real decoder, then
+    /// drive whichever phase the session is in — the admission driver
+    /// before the verdict, the session driver after.
     fn deliver_to_requester(&mut self, lane: usize, chunk: &[u8]) {
         if !self.lane_open[lane] {
             return;
@@ -426,7 +570,14 @@ impl SimWorld {
         self.trace
             .record(T_CHUNK, &[self.now, lane as u64, 0, chunk.len() as u64]);
         self.req_decs[lane].feed(chunk);
+        if self.adm.is_some() {
+            self.admission_rx(lane);
+            return;
+        }
         while self.outcome.is_none() && self.lane_open[lane] {
+            let Some(driver_lane) = self.driver_lane_of_mix[lane] else {
+                return; // a lane the round never adopted (rejected tail)
+            };
             match self.req_decs[lane].poll() {
                 Ok(Some(Message::SegmentData {
                     session,
@@ -438,13 +589,22 @@ impl SimWorld {
                         T_SEGMENT,
                         &[self.now, lane as u64, index, payload.len() as u64],
                     );
-                    let step = self.driver.on_segment(lane, index, payload, self.now);
+                    let step = self.driver.as_mut().expect("streaming phase").on_segment(
+                        driver_lane,
+                        index,
+                        payload,
+                        self.now,
+                    );
                     self.apply(step);
                 }
                 Ok(Some(Message::EndSession { session })) if session == self.session => {
                     self.trace.record(T_END, &[self.now, lane as u64]);
                     self.lane_open[lane] = false;
-                    let step = self.driver.on_end(lane);
+                    let step = self
+                        .driver
+                        .as_mut()
+                        .expect("streaming phase")
+                        .on_end(driver_lane);
                     self.apply(step);
                 }
                 Ok(None) => return,
@@ -453,15 +613,48 @@ impl SimWorld {
                     // stream: the reactor treats both as a structured
                     // per-lane failure, so does the simulation.
                     self.lane_open[lane] = false;
-                    let step = self.driver.on_failure(lane);
+                    let step = self
+                        .driver
+                        .as_mut()
+                        .expect("streaming phase")
+                        .on_failure(driver_lane);
                     self.apply(step);
                 }
             }
         }
     }
 
-    /// Setup/replan bytes reach a supplier: decode `StartSession`s with
-    /// the real decoder and build/extend the real schedule.
+    /// Admission-phase frames reaching the requester: `Grant`/`Deny`
+    /// replies feed the admission driver's fold (anything else refuses
+    /// the lane, inside the driver itself).
+    fn admission_rx(&mut self, lane: usize) {
+        while self.adm.is_some() && self.lane_open[lane] {
+            match self.req_decs[lane].poll() {
+                Ok(Some(msg)) => {
+                    self.trace
+                        .record(T_ADM_RX, &[self.now, lane as u64, adm_code(&msg)]);
+                    let mut adm = self.adm.take().expect("checked above");
+                    adm.on_message(lane, &msg);
+                    self.adm = Some(adm);
+                    self.pump_admission();
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    self.lane_open[lane] = false;
+                    let mut adm = self.adm.take().expect("checked above");
+                    adm.on_lane_error(lane);
+                    self.adm = Some(adm);
+                    self.pump_admission();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Setup/replan bytes reach a supplier: decode with the real decoder
+    /// and answer like the live supplier — `StreamRequest` draws the
+    /// scripted §4.2 decision, `StartSession`s build/extend the real
+    /// schedule, reminders and releases are acknowledged into the trace.
     fn deliver_to_supplier(&mut self, lane: usize, chunk: &[u8]) {
         if !self.suppliers[lane].alive {
             return;
@@ -471,12 +664,39 @@ impl SimWorld {
         self.suppliers[lane].dec.feed(chunk);
         loop {
             match self.suppliers[lane].dec.poll() {
+                Ok(Some(Message::StreamRequest { session, .. })) if session == self.session => {
+                    let reply = match self.suppliers[lane].reply {
+                        AdmissionReply::Grant => {
+                            self.grants += 1;
+                            Message::Grant {
+                                session,
+                                class: self.suppliers[lane].class,
+                            }
+                        }
+                        AdmissionReply::Deny { busy, favored } => {
+                            self.denials += 1;
+                            Message::Deny {
+                                session,
+                                busy,
+                                favored,
+                            }
+                        }
+                    };
+                    self.trace
+                        .record(T_ADM_TX, &[self.now, lane as u64, adm_code(&reply)]);
+                    let bytes = wire_bytes(&reply);
+                    self.send_stream(lane, Dir::ToRequester, &bytes);
+                }
                 Ok(Some(Message::StartSession { session, plan })) if session == self.session => {
                     self.trace.record(
                         T_START,
                         &[self.now, lane as u64, plan.segments.len() as u64],
                     );
                     self.start_or_append(lane, plan);
+                }
+                Ok(Some(Message::Reminder { session, .. })) if session == self.session => {
+                    self.reminders += 1;
+                    self.trace.record(T_ADM_RX, &[self.now, lane as u64, 4]);
                 }
                 Ok(Some(_)) => {}
                 Ok(None) | Err(_) => return,
@@ -541,15 +761,30 @@ impl SimWorld {
         self.push(at + 1, Event::Closed { lane });
     }
 
-    /// The requester observes a lane's connection close.
+    /// The requester observes a lane's connection close — a mid-round
+    /// death settles the admission lane, a mid-stream one fails the
+    /// session lane.
     fn closed(&mut self, lane: usize) {
         if !self.lane_open[lane] {
             return;
         }
         self.trace.record(T_CLOSED, &[self.now, lane as u64]);
         self.lane_open[lane] = false;
-        let step = self.driver.on_failure(lane);
-        self.apply(step);
+        if self.adm.is_some() {
+            let mut adm = self.adm.take().expect("checked above");
+            adm.on_lane_error(lane);
+            self.adm = Some(adm);
+            self.pump_admission();
+            return;
+        }
+        if let Some(driver_lane) = self.driver_lane_of_mix[lane] {
+            let step = self
+                .driver
+                .as_mut()
+                .expect("streaming phase")
+                .on_failure(driver_lane);
+            self.apply(step);
+        }
     }
 
     /// Executes a [`DriverStep`], shipping replanned shares back over
@@ -559,16 +794,17 @@ impl SimWorld {
             DriverStep::Continue => {}
             DriverStep::Replanned(plans) => {
                 self.replans += plans.len() as u64;
-                for (lane, plan) in plans {
+                for (driver_lane, plan) in plans {
+                    let mix_idx = self.mix_of_driver_lane[driver_lane];
                     self.trace.record(
                         T_REPLAN,
-                        &[self.now, lane as u64, plan.segments.len() as u64],
+                        &[self.now, mix_idx as u64, plan.segments.len() as u64],
                     );
                     let bytes = wire_bytes(&Message::StartSession {
                         session: self.session,
                         plan,
                     });
-                    self.send_stream(lane, Dir::ToSupplier, &bytes);
+                    self.send_stream(mix_idx, Dir::ToSupplier, &bytes);
                 }
             }
             DriverStep::Complete => self.outcome = Some(RawOutcome::Complete),

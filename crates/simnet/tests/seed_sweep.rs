@@ -9,12 +9,12 @@
 
 use p2ps_simnet::{repro_hint, run, ScenarioKind, SimOutcome};
 
-/// Seeds per scenario in the tier-1 sweep (4 scenarios ⇒ 1,024
+/// Seeds per scenario in the tier-1 sweep (5 scenarios ⇒ 1,280
 /// schedules, each executed twice for the determinism check).
 const TIER1_SEEDS: u64 = 256;
 
 /// Seeds per scenario in the extended (`--ignored`, CI nightly-style)
-/// sweep: 4 × 2,500 = 10,000 schedules.
+/// sweep: 5 × 2,500 = 12,500 schedules.
 const EXTENDED_SEEDS: u64 = 2_500;
 
 /// Runs one `(seed, scenario)` twice, asserts determinism and an
@@ -52,6 +52,7 @@ fn check_one(seed: u64, scenario: ScenarioKind) -> p2ps_simnet::SimReport {
 fn sweep(seeds: u64) {
     let mut completed = 0u64;
     let mut lost = 0u64;
+    let mut rejected = 0u64;
     let mut replans = 0u64;
     let mut deaths = 0u64;
     let mut runs = 0u64;
@@ -68,6 +69,7 @@ fn sweep(seeds: u64) {
                     scenario_completed += 1;
                 }
                 SimOutcome::SuppliersLost { .. } | SimOutcome::Incomplete { .. } => lost += 1,
+                SimOutcome::Rejected { .. } => rejected += 1,
                 _ => unreachable!("check_one rejects unacceptable outcomes"),
             }
         }
@@ -77,12 +79,16 @@ fn sweep(seeds: u64) {
             scenario.name()
         );
     }
-    assert_eq!(runs, seeds * 4);
+    assert_eq!(runs, seeds * ScenarioKind::ALL.len() as u64);
     assert!(deaths > 0, "churn/loss scenarios must kill suppliers");
     assert!(replans > 0, "supplier deaths must trigger live replans");
     assert!(
         lost > 0,
         "killing every supplier must surface SuppliersLost"
+    );
+    assert!(
+        rejected > 0,
+        "the admission scenario must reject some rounds"
     );
     assert!(completed > lost, "most runs should still complete");
 }

@@ -342,6 +342,115 @@ impl fmt::Debug for Bytes {
     }
 }
 
+/// A recycling pool of shared byte allocations.
+///
+/// [`copy_from_slice`](BytesPool::copy_from_slice) copies its input into
+/// an allocation the pool owns and hands back an O(1) [`Bytes`] view of
+/// it. When every view of a pooled allocation has dropped, the next call
+/// reuses that allocation in place — both the reference-count block and
+/// the byte storage — so a steady produce-consume loop (decode a frame,
+/// hand the payload out, drop it) performs **zero** heap allocations per
+/// frame once the pool has warmed up to the working set's size.
+///
+/// Views that outlive the pool's rotation are safe: an allocation is only
+/// reused while the pool holds the *sole* reference (checked with
+/// [`Arc::get_mut`]). A slot whose view is retained long-term is evicted
+/// from the rotation (the view keeps the data alive) and replaced by a
+/// fresh allocation, so a consumer that keeps every frame degrades to
+/// one allocation per frame — exactly the unpooled behavior — while a
+/// consumer that drops frames promptly pays none.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesPool;
+///
+/// let mut pool = BytesPool::new();
+/// let first = pool.copy_from_slice(b"frame one");
+/// let addr = first.as_ptr();
+/// drop(first); // the sole view: the allocation returns to the pool
+/// let second = pool.copy_from_slice(b"frame two");
+/// assert_eq!(second.as_ptr(), addr, "allocation reused in place");
+/// ```
+#[derive(Debug)]
+pub struct BytesPool {
+    slots: Vec<Arc<Vec<u8>>>,
+    /// Next slot to try (and to evict when everything is busy), so
+    /// retained views rotate out instead of pinning the scan head.
+    cursor: usize,
+    max_slots: usize,
+}
+
+impl Default for BytesPool {
+    fn default() -> Self {
+        BytesPool::with_slots(8)
+    }
+}
+
+impl BytesPool {
+    /// A pool that retains up to 8 recyclable allocations.
+    pub fn new() -> Self {
+        BytesPool::default()
+    }
+
+    /// A pool that retains up to `max_slots` recyclable allocations
+    /// (at least one).
+    pub fn with_slots(max_slots: usize) -> Self {
+        BytesPool {
+            slots: Vec::new(),
+            cursor: 0,
+            max_slots: max_slots.max(1),
+        }
+    }
+
+    /// Copies `src` into a pooled allocation and returns a shared view
+    /// of it. Reuses a free slot when one exists (no allocation once the
+    /// slot's capacity covers `src.len()`); otherwise allocates fresh
+    /// and rotates the new allocation into the pool.
+    pub fn copy_from_slice(&mut self, src: &[u8]) -> Bytes {
+        let n = self.slots.len();
+        for probe in 0..n {
+            let i = (self.cursor + probe) % n;
+            if let Some(vec) = Arc::get_mut(&mut self.slots[i]) {
+                vec.clear();
+                vec.extend_from_slice(src);
+                // Stay on this slot: a steady one-frame-in-flight loop
+                // then reuses the same warm allocation every call.
+                self.cursor = i;
+                return Bytes {
+                    data: Arc::clone(&self.slots[i]),
+                    start: 0,
+                    end: src.len(),
+                };
+            }
+        }
+        // Every slot is still referenced by a live view. Allocate fresh
+        // and make the new allocation the recycling candidate: if its
+        // view drops promptly we are back to zero-alloc next call, and
+        // the evicted slot's data stays alive through its own views.
+        let fresh = Arc::new(src.to_vec());
+        let view = Bytes {
+            data: Arc::clone(&fresh),
+            start: 0,
+            end: src.len(),
+        };
+        if self.slots.len() < self.max_slots {
+            self.slots.push(fresh);
+            self.cursor = 0;
+        } else {
+            let i = self.cursor % self.slots.len();
+            self.slots[i] = fresh;
+            self.cursor = i; // retry this slot first next call
+        }
+        view
+    }
+
+    /// Number of allocations currently held in the rotation.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 /// A mutable, growable byte buffer with a read cursor.
 #[derive(Clone, Default)]
 pub struct BytesMut {
@@ -702,6 +811,54 @@ mod tests {
         let p = m.as_ptr();
         let f = m.freeze();
         assert_eq!(f.as_ptr(), p, "freeze of an unconsumed buffer is free");
+    }
+
+    #[test]
+    fn pool_reuses_the_allocation_once_views_drop() {
+        let mut pool = BytesPool::with_slots(2);
+        let a = pool.copy_from_slice(&[1u8; 64]);
+        let addr = a.as_ptr();
+        drop(a);
+        for round in 0..100 {
+            let b = pool.copy_from_slice(&[round as u8; 64]);
+            assert_eq!(b.as_ptr(), addr, "round {round} must recycle in place");
+            assert_eq!(&b[..], &[round as u8; 64]);
+            drop(b);
+        }
+        assert_eq!(pool.slot_count(), 1, "one warm slot serves the whole loop");
+    }
+
+    #[test]
+    fn pool_never_reuses_an_allocation_with_live_views() {
+        let mut pool = BytesPool::with_slots(2);
+        let held = pool.copy_from_slice(b"keep me");
+        let other = pool.copy_from_slice(b"second");
+        assert_ne!(held.as_ptr(), other.as_ptr());
+        drop(other);
+        let third = pool.copy_from_slice(b"third");
+        assert_ne!(third.as_ptr(), held.as_ptr());
+        assert_eq!(&held[..], b"keep me", "retained view is untouched");
+    }
+
+    #[test]
+    fn pool_rotates_out_slots_pinned_by_retained_views() {
+        // A consumer that retains every frame caps the pool at max_slots
+        // and keeps getting valid (fresh) buffers; dropping the retained
+        // views restores recycling.
+        let mut pool = BytesPool::with_slots(2);
+        let retained: Vec<Bytes> = (0..8)
+            .map(|i| pool.copy_from_slice(&[i as u8; 16]))
+            .collect();
+        assert_eq!(pool.slot_count(), 2);
+        for (i, b) in retained.iter().enumerate() {
+            assert_eq!(&b[..], &[i as u8; 16], "eviction must not corrupt views");
+        }
+        drop(retained);
+        let a = pool.copy_from_slice(b"x");
+        let addr = a.as_ptr();
+        drop(a);
+        let b = pool.copy_from_slice(b"y");
+        assert_eq!(b.as_ptr(), addr, "recycling resumes after views drop");
     }
 
     #[test]
