@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use p2ps_monitor::Monitor;
+use p2ps_monitor::{Monitor, Recorder};
 
 /// The hot-path cost: one counter increment / gauge store.
 fn bench_update(c: &mut Criterion) {
@@ -19,6 +19,23 @@ fn bench_update(c: &mut Criterion) {
     let gauge = scope.gauge("owed", "bench gauge");
     c.bench_function("monitor/counter-incr", |b| b.iter(|| counter.incr()));
     c.bench_function("monitor/gauge-set", |b| b.iter(|| gauge.set(black_box(7))));
+}
+
+/// The flight recorder's hot-path cost: recording with no ring attached
+/// (what every call site pays when observability is off — must be a
+/// branch, low single-digit ns) and with a live ring (the seqlock
+/// write: a handful of relaxed stores, no allocation, no lock).
+fn bench_recorder(c: &mut Criterion) {
+    let disabled = Recorder::disabled();
+    c.bench_function("recorder/record-disabled", |b| {
+        b.iter(|| disabled.record(black_box(6), black_box(1), black_box(2)))
+    });
+    let root = Monitor::root();
+    let scope = root.child("reactor", 0).child("session", 42);
+    let enabled = scope.events("events", "bench ring");
+    c.bench_function("recorder/record-enabled", |b| {
+        b.iter(|| enabled.record(black_box(6), black_box(1), black_box(2)))
+    });
 }
 
 /// Builds the tree a 2-reactor, 64-session swarm registers: the shape
@@ -53,5 +70,5 @@ fn bench_walk(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_update, bench_walk);
+criterion_group!(benches, bench_update, bench_recorder, bench_walk);
 criterion_main!(benches);

@@ -18,8 +18,8 @@
 //!   committed value.
 //!
 //! ```text
-//! cargo run --release -p p2ps-bench --bin bench -- snapshot --out BENCH_8.json
-//! cargo run --release -p p2ps-bench --bin bench -- compare --against BENCH_8.json
+//! cargo run --release -p p2ps-bench --bin bench -- snapshot --out BENCH_9.json
+//! cargo run --release -p p2ps-bench --bin bench -- compare --against BENCH_9.json
 //! cargo run --release -p p2ps-bench --bin bench -- measure   # print only
 //! ```
 
@@ -194,6 +194,42 @@ fn decode_alloc_metric(out: &mut Vec<Metric>) {
         "decode/segment_data/allocs_per_frame",
         per_frame,
     ));
+}
+
+/// The flight recorder's cost contract: recording through a disabled
+/// recorder (no sink attached — what every call site pays when
+/// observability is off) is nanoseconds, and recording into a live ring
+/// allocates exactly nothing. The allocation count is machine-exact;
+/// the disabled-path wall time is gated generously like every timing.
+fn recorder_metrics(out: &mut Vec<Metric>) {
+    use std::hint::black_box;
+
+    const DISABLED_ITERS: u64 = 10_000_000;
+    let disabled = p2ps_monitor::Recorder::disabled();
+    let started = Instant::now();
+    for i in 0..DISABLED_ITERS {
+        black_box(&disabled).record(black_box(6), black_box(i), black_box(i));
+    }
+    out.push(Metric::timing(
+        "recorder/disabled_10m_records_wall_ms",
+        Kind::TimeMs,
+        started.elapsed().as_secs_f64() * 1e3,
+    ));
+
+    const WARMUP: u64 = 1_024;
+    const MEASURED: u64 = 65_536;
+    let root = p2ps_monitor::Monitor::root();
+    let scope = root.child("reactor", 0).child("session", 1);
+    let events = scope.events("events", "bench ring");
+    for i in 0..WARMUP {
+        events.record(6, i, i);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..MEASURED {
+        black_box(&events).record(black_box(6), black_box(i), black_box(i));
+    }
+    let per_event = (ALLOCS.load(Ordering::Relaxed) - before) / MEASURED;
+    out.push(Metric::exact("recorder/allocs_per_event", per_event));
 }
 
 /// A candidate that refuses after `delay`, accepting in a loop.
@@ -390,6 +426,8 @@ fn measure() -> Vec<Metric> {
     simnet_metrics(&mut out);
     eprintln!("measuring: steady-path decode allocations");
     decode_alloc_metric(&mut out);
+    eprintln!("measuring: flight-recorder record cost");
+    recorder_metrics(&mut out);
     eprintln!("measuring: pipelined 64-candidate admission round");
     admission_round_metrics(&mut out);
     eprintln!("measuring: syscalls per session");
@@ -398,7 +436,7 @@ fn measure() -> Vec<Metric> {
 }
 
 fn to_json(metrics: &[Metric]) -> String {
-    let mut s = String::from("{\n  \"version\": 8,\n  \"metrics\": [\n");
+    let mut s = String::from("{\n  \"version\": 9,\n  \"metrics\": [\n");
     for (i, m) in metrics.iter().enumerate() {
         s.push_str(&format!(
             "    {{ \"name\": \"{}\", \"kind\": \"{}\", \"value\": \"{}\" }}{}\n",
@@ -491,7 +529,7 @@ fn compare(baseline: &[Metric], fresh: &[Metric]) -> usize {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench snapshot [--out FILE]   write a new baseline (default BENCH_8.json)\n\
+        "usage: bench snapshot [--out FILE]   write a new baseline (default BENCH_9.json)\n\
          \u{20}      bench compare --against FILE  re-measure and fail on regression\n\
          \u{20}      bench measure                 print metrics without touching disk"
     );
@@ -509,7 +547,7 @@ fn main() {
         Some("snapshot") => {
             let out = match args.get(1).map(String::as_str) {
                 Some("--out") => args.get(2).cloned().unwrap_or_else(|| usage()),
-                None => "BENCH_8.json".to_string(),
+                None => "BENCH_9.json".to_string(),
                 _ => usage(),
             };
             let metrics = measure();

@@ -112,6 +112,19 @@ impl TimeSeries {
         out
     }
 
+    /// Drops every sample with `time < cutoff`, keeping the series a
+    /// bounded sliding window. Used by live samplers (the monitor →
+    /// timeseries bridge) that push forever but only retain a recent
+    /// window. Returns the number of samples dropped.
+    pub fn trim_before(&mut self, cutoff: f64) -> usize {
+        let keep_from = self.times.partition_point(|&t| t < cutoff);
+        if keep_from > 0 {
+            self.times.drain(..keep_from);
+            self.values.drain(..keep_from);
+        }
+        keep_from
+    }
+
     /// Minimum and maximum values over the series, if non-empty.
     pub fn value_range(&self) -> Option<(f64, f64)> {
         if self.is_empty() {
@@ -287,6 +300,23 @@ mod tests {
                 (20.0, 10.0)
             ]
         );
+    }
+
+    #[test]
+    fn trim_before_keeps_a_sliding_window() {
+        let mut s = TimeSeries::new("x");
+        s.extend([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]);
+        assert_eq!(s.trim_before(2.0), 2, "samples strictly before stay out");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(2.0, 3.0), (3.0, 4.0)]);
+        assert_eq!(s.trim_before(1.0), 0, "already trimmed past the cutoff");
+        // Pushing after a trim still works (time order is preserved).
+        s.push(4.0, 5.0);
+        assert_eq!(s.len(), 3);
+        // Trimming everything empties the series without breaking it.
+        assert_eq!(s.trim_before(100.0), 3);
+        assert!(s.is_empty());
+        s.push(200.0, 1.0);
+        assert_eq!(s.last(), Some((200.0, 1.0)));
     }
 
     #[test]

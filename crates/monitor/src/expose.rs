@@ -1,11 +1,20 @@
-//! Loopback HTTP endpoint serving the Prometheus text exposition, plus
-//! a tiny client used by `p2psd status` and tests.
+//! Loopback HTTP endpoint serving the Prometheus text exposition, the
+//! timeseries bridge's CSV window, and per-session flight-recorder
+//! timelines — plus a tiny client used by `p2psd status` and tests.
 //!
 //! The server is deliberately minimal: one thread, a nonblocking accept
-//! loop, one snapshot rendered per request, `Connection: close`. Every
-//! request path gets the same exposition body — there is exactly one
-//! resource. It binds loopback only; metric exposure to a wider network
-//! is a deployment decision this crate does not make.
+//! loop, one snapshot rendered per request, `Connection: close`. Three
+//! resources exist:
+//!
+//! * `GET /metrics` (also `/`) — the Prometheus text exposition.
+//! * `GET /timeseries` — the [`BridgeHandle`]'s retained window as CSV
+//!   (`series,time_ms,value`); 404 unless a bridge is attached.
+//! * `GET /trace/<session>` — the session's flight-recorder ring as
+//!   one `at_ms code a b` line per event; 404 when the session (or its
+//!   `events` ring) is not in the tree.
+//!
+//! It binds loopback only; metric exposure to a wider network is a
+//! deployment decision this crate does not make.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -14,9 +23,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use crate::bridge::BridgeHandle;
 use crate::Monitor;
 
-/// Serves `Monitor` snapshots as Prometheus text over loopback HTTP.
+/// Serves `Monitor` snapshots (and optionally a timeseries window and
+/// flight-recorder traces) over loopback HTTP.
 ///
 /// Dropping the server (or calling [`StatusServer::shutdown`]) stops
 /// the accept thread.
@@ -30,8 +41,29 @@ pub struct StatusServer {
 impl StatusServer {
     /// Binds `127.0.0.1:port` (`0` picks an ephemeral port — read it
     /// back with [`StatusServer::addr`]) and starts serving snapshots
-    /// of `monitor` with metric families prefixed `{prefix}_`.
+    /// of `monitor` with metric families prefixed `{prefix}_`. Without
+    /// a bridge, `/timeseries` answers 404.
     pub fn start(port: u16, monitor: Monitor, prefix: &str) -> io::Result<StatusServer> {
+        Self::spawn(port, monitor, prefix, None)
+    }
+
+    /// Like [`StatusServer::start`], additionally serving `bridge`'s
+    /// retained series window on `/timeseries`.
+    pub fn start_with_bridge(
+        port: u16,
+        monitor: Monitor,
+        prefix: &str,
+        bridge: BridgeHandle,
+    ) -> io::Result<StatusServer> {
+        Self::spawn(port, monitor, prefix, Some(bridge))
+    }
+
+    fn spawn(
+        port: u16,
+        monitor: Monitor,
+        prefix: &str,
+        bridge: Option<BridgeHandle>,
+    ) -> io::Result<StatusServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -44,7 +76,7 @@ impl StatusServer {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = serve_one(stream, &monitor, &prefix);
+                            let _ = serve_one(stream, &monitor, &prefix, bridge.as_ref());
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(25));
@@ -81,9 +113,34 @@ impl Drop for StatusServer {
     }
 }
 
-fn serve_one(mut stream: TcpStream, monitor: &Monitor, prefix: &str) -> io::Result<()> {
+/// Renders a session's flight-recorder ring as the `/trace/<id>` body:
+/// one `at_ms code a b` line per retained event, oldest first. `None`
+/// when no session scope with that id carries an `events` ring.
+fn render_trace(monitor: &Monitor, session: &str) -> Option<String> {
+    let snap = monitor.snapshot();
+    for node in snap.nodes() {
+        if node.kind() != Some("session") || node.label("session") != Some(session) {
+            continue;
+        }
+        let Some(recorder) = node.metric("events").and_then(|m| m.handle().as_recorder()) else {
+            continue;
+        };
+        let mut out = String::new();
+        for ev in recorder.events() {
+            out.push_str(&format!("{} {} {} {}\n", ev.at_ms, ev.code, ev.a, ev.b));
+        }
+        return Some(out);
+    }
+    None
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    monitor: &Monitor,
+    prefix: &str,
+    bridge: Option<&BridgeHandle>,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    // Drain the request head; the path is irrelevant (one resource).
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
     loop {
@@ -98,41 +155,91 @@ fn serve_one(mut stream: TcpStream, monitor: &Monitor, prefix: &str) -> io::Resu
             Err(_) => break,
         }
     }
-    let body = monitor.snapshot().to_prometheus(prefix);
-    let response = format!(
-        "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\n\
-         Connection: close\r\n\r\n{}",
-        body.len(),
-        body
-    );
+    // "GET <path> HTTP/1.1" — everything we need is the path.
+    let request_line = String::from_utf8_lossy(&head);
+    let path = request_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("/")
+        .to_string();
+    let response = match path.as_str() {
+        "/" | "/metrics" => ok_response(
+            "text/plain; version=0.0.4; charset=utf-8",
+            &monitor.snapshot().to_prometheus(prefix),
+        ),
+        "/timeseries" => match bridge {
+            Some(handle) => ok_response("text/csv; charset=utf-8", &handle.to_csv()),
+            None => not_found("no timeseries bridge attached\n"),
+        },
+        p => match p.strip_prefix("/trace/") {
+            Some(session) => match render_trace(monitor, session) {
+                Some(body) => ok_response("text/plain; charset=utf-8", &body),
+                None => not_found("no such session trace\n"),
+            },
+            None => not_found("unknown path\n"),
+        },
+    };
     stream.write_all(response.as_bytes())
 }
 
-/// Fetches the exposition body from a [`StatusServer`] at `addr`
-/// (`host:port`). Blocks until the server closes the connection.
-pub fn fetch_status(addr: &str) -> io::Result<String> {
+fn ok_response(content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    )
+}
+
+fn not_found(body: &str) -> String {
+    format!(
+        "HTTP/1.1 404 Not Found\r\n\
+         Content-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    )
+}
+
+/// Fetches `path` from a [`StatusServer`] at `addr` (`host:port`).
+/// Blocks until the server closes the connection; non-200 statuses
+/// (e.g. 404 for an unknown trace) surface as [`io::ErrorKind::NotFound`].
+pub fn fetch_path(addr: &str, path: &str) -> io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     write!(
         stream,
-        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
-    match raw.find("\r\n\r\n") {
-        Some(i) => Ok(raw[i + 4..].to_string()),
-        None => Err(io::Error::new(
+    let Some(i) = raw.find("\r\n\r\n") else {
+        return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "malformed HTTP response from status endpoint",
-        )),
+        ));
+    };
+    let body = raw[i + 4..].to_string();
+    if !raw.starts_with("HTTP/1.1 200") {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("status endpoint: {}", raw.lines().next().unwrap_or("")),
+        ));
     }
+    Ok(body)
+}
+
+/// Fetches the Prometheus exposition body from a [`StatusServer`] at
+/// `addr` (`host:port`).
+pub fn fetch_status(addr: &str) -> io::Result<String> {
+    fetch_path(addr, "/metrics")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bridge::BridgeHandle;
 
     #[test]
     fn serves_snapshot_over_http() {
@@ -157,5 +264,76 @@ mod tests {
 
         server.shutdown();
         assert!(fetch_status(&addr).is_err(), "endpoint gone after shutdown");
+    }
+
+    #[test]
+    fn timeseries_route_serves_the_bridge_window() {
+        let root = Monitor::root();
+        root.counter("ticks_total", "ticks").add(2);
+        let handle = BridgeHandle::new();
+        handle.sample(&root, "p2ps", 100, 60_000);
+        let server =
+            StatusServer::start_with_bridge(0, root.clone(), "p2ps", handle.clone()).unwrap();
+        let addr = server.addr().to_string();
+
+        let csv = fetch_path(&addr, "/timeseries").unwrap();
+        assert!(csv.starts_with("series,time_ms,value\n"), "{csv}");
+        assert!(csv.contains("p2ps_ticks_total,100,2\n"), "{csv}");
+
+        // Without a bridge the route answers 404.
+        let bare = StatusServer::start(0, root, "p2ps").unwrap();
+        let err = fetch_path(&bare.addr().to_string(), "/timeseries").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn trace_route_dumps_a_session_ring() {
+        let root = Monitor::root();
+        let session = root.child("reactor", 1).child("session", 42);
+        let rec = session.events("events", "protocol timeline");
+        rec.record_at(10, 6, 0, 3);
+        rec.record_at(20, 6, 1, 4);
+        let server = StatusServer::start(0, root.clone(), "p2ps").unwrap();
+        let addr = server.addr().to_string();
+
+        let body = fetch_path(&addr, "/trace/42").unwrap();
+        assert_eq!(body, "10 6 0 3\n20 6 1 4\n");
+
+        let err = fetch_path(&addr, "/trace/41").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound, "unknown session");
+        let err = fetch_path(&addr, "/bogus").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound, "unknown path");
+    }
+
+    #[test]
+    fn hostile_state_labels_are_escaped_in_the_exposition() {
+        // Satellite guard: label values containing backslashes, quotes
+        // and newlines must render escaped, keeping the exposition
+        // parseable line-by-line.
+        const STATES: &[&str] = &["ok", "hos\"tile\\state\nnewline"];
+        let root = Monitor::root();
+        let scope = root.child("path", "a\\b\"c\nd");
+        scope
+            .state("state", "hostile states", STATES)
+            .set(STATES[1]);
+        let server = StatusServer::start(0, root.clone(), "p2ps").unwrap();
+
+        let body = fetch_status(&server.addr().to_string()).unwrap();
+        assert!(
+            body.contains(r#"path="a\\b\"c\nd""#),
+            "scope label must be escaped: {body}"
+        );
+        assert!(
+            body.contains(r#"state="hos\"tile\\state\nnewline""#),
+            "state label must be escaped: {body}"
+        );
+        // No raw (unescaped) newline may survive inside a sample line:
+        // every line is either a comment or ends in a numeric value.
+        for line in body.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit(' ').next().unwrap().parse::<f64>().is_ok(),
+                "unparseable exposition line (broken escaping?): {line:?}"
+            );
+        }
     }
 }

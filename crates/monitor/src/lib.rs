@@ -26,7 +26,11 @@
 //!   renders as Prometheus text exposition
 //!   ([`Snapshot::to_prometheus`]) or feeds human tables
 //!   (`p2psd status`). [`StatusServer`] serves the exposition over a
-//!   loopback HTTP endpoint.
+//!   loopback HTTP endpoint. A [`Recorder`] is the same idea for
+//!   *timelines*: a lock-free flight-recorder ring of structured events
+//!   per session, dumpable as `/trace/<session>`. The
+//!   [`TimeseriesBridge`] samples the tree on a cadence into bounded
+//!   `p2ps_metrics::TimeSeries` windows served as `/timeseries` CSV.
 //!
 //! The shape follows ouisync's `state_monitor`/`deadlock` packages
 //! (observe the real system, not a model of it) with the registration
@@ -56,10 +60,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod bridge;
 mod expose;
+mod recorder;
 mod tree;
 
-pub use expose::{fetch_status, StatusServer};
+pub use bridge::{BridgeConfig, BridgeHandle, TimeseriesBridge};
+pub use expose::{fetch_path, fetch_status, StatusServer};
+pub use recorder::{RawEvent, Recorder, DEFAULT_EVENT_CAPACITY};
 pub use tree::{
     Counter, Gauge, MetricHandle, Monitor, SampleValue, Snapshot, SnapshotMetric, SnapshotNode,
     StateCell,

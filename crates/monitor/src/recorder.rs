@@ -1,0 +1,305 @@
+//! The flight recorder: a fixed-capacity, lock-free ring of structured
+//! events per session.
+//!
+//! A [`Recorder`] is a cheap clonable handle, either *disabled* (no ring
+//! attached — [`Recorder::record`] is a single branch on an `Option`,
+//! costing low single-digit nanoseconds and zero allocations) or backed
+//! by an [`EventRing`] registered on a monitor scope via
+//! [`Monitor::events`](crate::Monitor::events). Events are opaque
+//! `(at_ms, code, a, b)` tuples; the protocol-level vocabulary lives in
+//! `p2ps_proto::SessionEvent` so this crate stays protocol-free.
+//!
+//! The ring is a per-slot seqlock over plain atomics — no locks, no
+//! unsafe code. Writers allocate a global index with one `fetch_add`,
+//! invalidate the slot, store the fields, then publish the slot with a
+//! release store of `index + 1`. Readers accept a slot only when its
+//! sequence word reads `index + 1` both before and after the field
+//! loads, so a torn slot (overwritten mid-read) is skipped rather than
+//! misreported. With multiple writers a slot can in principle publish
+//! mixed fields if one writer sleeps through a *full ring wrap* of
+//! another's events — with the default capacity of 256 that window is
+//! hundreds of recorded protocol events wide, and the payload is
+//! telemetry, not state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default ring capacity used by [`Monitor::events`](crate::Monitor::events).
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One recorded event, as drained from a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawEvent {
+    /// Recording timestamp: [`crate::monotonic_ms`] on the live node, a
+    /// virtual clock in deterministic harnesses.
+    pub at_ms: u64,
+    /// Event discriminant (`p2ps_proto::SessionEvent::code`).
+    pub code: u8,
+    /// First payload word (meaning depends on `code`).
+    pub a: u64,
+    /// Second payload word (meaning depends on `code`).
+    pub b: u64,
+}
+
+/// One ring slot: a sequence word plus the event fields, all atomics.
+#[derive(Debug)]
+struct Slot {
+    /// `0` while a write is in flight; `index + 1` once event `index`
+    /// is fully published here.
+    seq: AtomicU64,
+    at_ms: AtomicU64,
+    code: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            at_ms: AtomicU64::new(0),
+            code: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The shared ring. Capacity is fixed at construction; recording never
+/// allocates or blocks, old events are overwritten once the ring wraps.
+#[derive(Debug)]
+pub(crate) struct EventRing {
+    /// Total events ever recorded; slot for event `i` is `i % capacity`.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl EventRing {
+    pub(crate) fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    fn push(&self, at_ms: u64, code: u8, a: u64, b: u64) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
+        // Invalidate, fill, publish. The release fence keeps the field
+        // stores after the invalidation; the release store of `idx + 1`
+        // keeps them before the publication.
+        slot.seq.store(0, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        slot.at_ms.store(at_ms, Ordering::Relaxed);
+        slot.code.store(u64::from(code), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(idx + 1, Ordering::Release);
+    }
+
+    fn drain(&self) -> Vec<RawEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = &self.slots[(i % cap) as usize];
+            if slot.seq.load(Ordering::Acquire) != i + 1 {
+                continue; // being overwritten, or not yet published
+            }
+            let ev = RawEvent {
+                at_ms: slot.at_ms.load(Ordering::Relaxed),
+                code: slot.code.load(Ordering::Relaxed) as u8,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            };
+            // The acquire fence keeps the field loads before the
+            // re-check, completing the seqlock read protocol.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != i + 1 {
+                continue; // torn: a writer lapped us mid-read
+            }
+            out.push(ev);
+        }
+        out
+    }
+
+    fn count(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a session's flight-recorder ring — or to nothing at all.
+///
+/// The disabled form ([`Recorder::disabled`]) is the default for every
+/// call site that has no monitor scope: recording through it is one
+/// `Option` branch, no atomics, no allocation. Clones share the ring.
+/// Like the other metric handles, a recorder handed out by
+/// [`Monitor::events`](crate::Monitor::events) keeps its scope alive in
+/// snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    ring: Option<Arc<EventRing>>,
+    _scope: Option<Arc<crate::tree::Node>>,
+}
+
+impl Recorder {
+    /// A recorder with no sink attached: every `record` call is a
+    /// near-free no-op. This is what hot paths hold when observability
+    /// is off.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            ring: None,
+            _scope: None,
+        }
+    }
+
+    pub(crate) fn with_ring(ring: Arc<EventRing>) -> Recorder {
+        Recorder {
+            ring: Some(ring),
+            _scope: None,
+        }
+    }
+
+    /// An enabled recorder outside any monitor tree: a private ring of
+    /// `capacity` slots. For harnesses (the deterministic simulator)
+    /// that want the flight-recorder timeline without a live tree.
+    pub fn standalone(capacity: usize) -> Recorder {
+        Recorder::with_ring(Arc::new(EventRing::new(capacity)))
+    }
+
+    /// Clone with the scope node attached (see `MetricHandle::attached`).
+    pub(crate) fn attached_to(&self, scope: &Arc<crate::tree::Node>) -> Recorder {
+        Recorder {
+            ring: self.ring.clone(),
+            _scope: Some(scope.clone()),
+        }
+    }
+
+    /// Whether a ring is attached (events recorded are retrievable).
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Records `(code, a, b)` stamped with [`crate::monotonic_ms`].
+    #[inline]
+    pub fn record(&self, code: u8, a: u64, b: u64) {
+        if let Some(ring) = &self.ring {
+            ring.push(crate::monotonic_ms(), code, a, b);
+        }
+    }
+
+    /// Records `(code, a, b)` with an explicit timestamp — for
+    /// deterministic harnesses driving a virtual clock.
+    #[inline]
+    pub fn record_at(&self, at_ms: u64, code: u8, a: u64, b: u64) {
+        if let Some(ring) = &self.ring {
+            ring.push(at_ms, code, a, b);
+        }
+    }
+
+    /// Total events ever recorded (including any the ring has since
+    /// overwritten). Zero for a disabled recorder.
+    pub fn count(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.count())
+    }
+
+    /// The retained tail of the timeline, oldest first. Torn slots
+    /// (concurrently overwritten during the read) are skipped. Empty for
+    /// a disabled recorder.
+    pub fn events(&self) -> Vec<RawEvent> {
+        self.ring.as_ref().map_or_else(Vec::new, |r| r.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(1, 2, 3);
+        assert_eq!(r.count(), 0);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn records_in_order_and_wraps() {
+        let r = Recorder::with_ring(Arc::new(EventRing::new(4)));
+        for i in 0..6u64 {
+            r.record_at(i * 10, 1, i, 100 + i);
+        }
+        assert_eq!(r.count(), 6);
+        let evs = r.events();
+        // Capacity 4: events 2..6 retained, oldest first.
+        assert_eq!(evs.len(), 4);
+        assert_eq!(
+            evs.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(evs[0].at_ms, 20);
+        assert_eq!(evs[3].b, 105);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let r = Recorder::with_ring(Arc::new(EventRing::new(8)));
+        let c = r.clone();
+        c.record_at(1, 7, 0, 0);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.events()[0].code, 7);
+    }
+
+    #[test]
+    fn a_racing_reader_never_sees_a_torn_slot() {
+        // Single writer: the per-slot seqlock double-check is airtight
+        // (a lapped slot's sequence word can never read `i + 1` again),
+        // so every drained event must be internally consistent.
+        let r = Recorder::with_ring(Arc::new(EventRing::new(32)));
+        let writer = {
+            let rc = r.clone();
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    // A self-consistent payload: b must always equal a + 1.
+                    rc.record_at(i, 1, i, i + 1);
+                }
+            })
+        };
+        let reader = {
+            let rc = r.clone();
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    for ev in rc.events() {
+                        assert_eq!(ev.b, ev.a + 1, "torn slot surfaced");
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(r.count(), 50_000);
+        assert_eq!(r.events().len(), 32);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_from_the_head_count() {
+        let r = Recorder::with_ring(Arc::new(EventRing::new(64)));
+        let mut writers = Vec::new();
+        for w in 0..4u64 {
+            let rc = r.clone();
+            writers.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    rc.record_at(i, 1, w, i);
+                }
+            }));
+        }
+        for t in writers {
+            t.join().unwrap();
+        }
+        assert_eq!(r.count(), 20_000);
+        assert_eq!(r.events().len(), 64);
+    }
+}

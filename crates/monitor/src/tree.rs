@@ -21,6 +21,8 @@ use std::sync::{Arc, Weak};
 use p2ps_metrics::prometheus::{MetricKind, PrometheusText};
 use parking_lot::Mutex;
 
+use crate::recorder::{EventRing, Recorder, DEFAULT_EVENT_CAPACITY};
+
 /// A handle to one scope (node) in the introspection tree.
 ///
 /// Clones share the same underlying node. The node stays visible in
@@ -32,7 +34,7 @@ pub struct Monitor {
     inner: Arc<Node>,
 }
 
-struct Node {
+pub(crate) struct Node {
     /// Label key for this scope ("reactor", "session", …); empty for a
     /// root created by [`Monitor::root`].
     kind: String,
@@ -143,6 +145,32 @@ impl Monitor {
         assert!(!names.is_empty(), "state cell needs at least one state");
         match self.register(name, help, || MetricHandle::State(StateCell::new(names))) {
             MetricHandle::State(s) => s,
+            other => panic!(
+                "metric `{name}` already registered as a {}",
+                other.kind_name()
+            ),
+        }
+    }
+
+    /// Registers (or retrieves) a flight-recorder event ring named
+    /// `name` on this scope, with the default capacity
+    /// ([`DEFAULT_EVENT_CAPACITY`] events; the ring overwrites its
+    /// oldest events once full). Renders into the Prometheus exposition
+    /// as a counter of events ever recorded; the retained timeline is
+    /// read through [`Recorder::events`] (e.g. via a snapshot row's
+    /// [`MetricHandle::as_recorder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered on this scope as a
+    /// different metric kind.
+    pub fn events(&self, name: &str, help: &str) -> Recorder {
+        match self.register(name, help, || {
+            MetricHandle::Events(Recorder::with_ring(Arc::new(EventRing::new(
+                DEFAULT_EVENT_CAPACITY,
+            ))))
+        }) {
+            MetricHandle::Events(r) => r,
             other => panic!(
                 "metric `{name}` already registered as a {}",
                 other.kind_name()
@@ -378,6 +406,8 @@ pub enum MetricHandle {
     Gauge(Gauge),
     /// A named-state cell.
     State(StateCell),
+    /// A flight-recorder event ring.
+    Events(Recorder),
 }
 
 impl MetricHandle {
@@ -398,6 +428,7 @@ impl MetricHandle {
                 names: s.names,
                 _scope: Some(node.clone()),
             }),
+            MetricHandle::Events(r) => MetricHandle::Events(r.attached_to(node)),
         }
     }
 
@@ -406,6 +437,7 @@ impl MetricHandle {
             MetricHandle::Counter(_) => "counter",
             MetricHandle::Gauge(_) => "gauge",
             MetricHandle::State(_) => "state",
+            MetricHandle::Events(_) => "event ring",
         }
     }
 
@@ -433,7 +465,16 @@ impl MetricHandle {
         }
     }
 
-    /// Reads the current value through the handle.
+    /// The flight recorder behind this handle, if it is one.
+    pub fn as_recorder(&self) -> Option<&Recorder> {
+        match self {
+            MetricHandle::Events(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Reads the current value through the handle. An event ring reads
+    /// as a counter of events ever recorded.
     pub fn value(&self) -> SampleValue {
         match self {
             MetricHandle::Counter(c) => SampleValue::Counter(c.get()),
@@ -442,6 +483,7 @@ impl MetricHandle {
                 index: s.index(),
                 names: s.names,
             },
+            MetricHandle::Events(r) => SampleValue::Counter(r.count()),
         }
     }
 }
@@ -734,6 +776,35 @@ mod tests {
             text.contains("p2ps_session_state{reactor=\"1\",session=\"9\",state=\"streaming\"} 1")
         );
         assert!(text.contains("# TYPE p2ps_snapshot_now_ms gauge"));
+    }
+
+    #[test]
+    fn event_rings_register_and_read_through_snapshots() {
+        let root = Monitor::root();
+        let session = root.child("reactor", 0).child("session", 7);
+        let rec = session.events("events", "protocol timeline");
+        rec.record_at(5, 6, 0, 3);
+        rec.record_at(9, 6, 1, 4);
+
+        let snap = root.snapshot();
+        let row = snap
+            .find(&[("reactor", "0"), ("session", "7")], "events")
+            .unwrap();
+        assert_eq!(row.value(), SampleValue::Counter(2));
+        let through = row.handle().as_recorder().unwrap();
+        let evs = through.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            (evs[1].at_ms, evs[1].code, evs[1].a, evs[1].b),
+            (9, 6, 1, 4)
+        );
+
+        // The exposition renders the ring as an event counter.
+        let text = snap.to_prometheus("p2ps");
+        assert!(
+            text.contains("p2ps_session_events{reactor=\"0\",session=\"7\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

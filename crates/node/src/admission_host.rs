@@ -28,7 +28,9 @@ use p2ps_core::PeerClass;
 use p2ps_media::MediaInfo;
 use p2ps_net::{ConnId, Ctx};
 use p2ps_policy::SharedPolicy;
-use p2ps_proto::{AdmissionAction, AdmissionDriver, AdmissionVerdict, FrameDecoder, Message};
+use p2ps_proto::{
+    AdmissionAction, AdmissionDriver, AdmissionVerdict, FrameDecoder, Message, SessionEvent,
+};
 
 use crate::requester::{plan_session, AdoptedLane, ReadyLaunch, SessionProbe, SessionResult};
 use crate::serve::send;
@@ -179,7 +181,19 @@ impl Admissions {
                 return None;
             };
             match ac.dec.poll() {
-                Ok(Some(msg)) => sess.driver.on_message(ac.lane, &msg),
+                Ok(Some(msg)) => {
+                    let lane = ac.lane as u64;
+                    match &msg {
+                        Message::Grant { .. } => {
+                            sess.probe.record(SessionEvent::AdmissionGrant { lane });
+                        }
+                        Message::Deny { .. } => {
+                            sess.probe.record(SessionEvent::AdmissionDeny { lane });
+                        }
+                        _ => {}
+                    }
+                    sess.driver.on_message(ac.lane, &msg)
+                }
                 Ok(None) => break,
                 Err(_) => {
                     // Corrupt lane: it costs only itself.
@@ -237,6 +251,16 @@ impl Admissions {
             match action {
                 AdmissionAction::Send { lane, msg } => {
                     if let Some(conn) = sess.lane_conns[lane] {
+                        let lane = lane as u64;
+                        match &msg {
+                            Message::StreamRequest { .. } => {
+                                sess.probe.record(SessionEvent::AdmissionRequest { lane });
+                            }
+                            Message::Reminder { .. } => {
+                                sess.probe.record(SessionEvent::AdmissionReminder { lane });
+                            }
+                            _ => {}
+                        }
                         send(ctx, conn, &msg);
                     }
                 }

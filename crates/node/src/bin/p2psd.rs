@@ -27,8 +27,11 @@ use p2ps_core::assignment::SegmentDuration;
 use p2ps_core::{PeerClass, PeerId};
 use p2ps_media::MediaInfo;
 use p2ps_metrics::Table;
-use p2ps_monitor::{fetch_status, Monitor, StatusServer};
+use p2ps_monitor::{
+    fetch_path, fetch_status, BridgeConfig, Monitor, StatusServer, TimeseriesBridge,
+};
 use p2ps_node::{Args, Clock, DirectoryServer, NodeConfig, PeerNode};
+use p2ps_proto::SessionEvent;
 
 const FLAGS: &[&str] = &[
     "dir",
@@ -45,6 +48,7 @@ const FLAGS: &[&str] = &[
     "threads",
     "status-port",
     "status-addr",
+    "trace",
 ];
 
 /// The one authoritative description of the CLI: every subcommand, every
@@ -77,11 +81,15 @@ subcommands:
   status      scrape a running p2psd and print human-readable tables
       --status-addr HOST:PORT   the endpoint another p2psd opened with
                                 --status-port (required)
+      --trace SESSION     instead of the tables, dump the session's flight
+                          recorder: one decoded protocol event per line
 
 observability (directory, seed and stream):
-      --status-port P     serve live metrics in the Prometheus text format
-                          on 127.0.0.1:P (0 = ephemeral); the bound address
-                          is printed on startup. See docs/OBSERVABILITY.md.
+      --status-port P     serve live metrics on 127.0.0.1:P (0 = ephemeral);
+                          the bound address is printed on startup. Routes:
+                          /metrics (Prometheus text), /timeseries (sampled
+                          history as CSV), /trace/<session> (flight-recorder
+                          dump). See docs/OBSERVABILITY.md.
 
 exit codes (script-friendly):
   0   success (including --help / -h / help)
@@ -117,19 +125,51 @@ fn node_config(args: &Args) -> Result<NodeConfig, Box<dyn std::error::Error>> {
     Ok(config)
 }
 
-/// Starts the Prometheus endpoint when `--status-port` was given and
-/// prints where it landed (scripts and tests parse this line).
+/// Starts the status endpoint when `--status-port` was given and prints
+/// where it landed (scripts and tests parse this line). The endpoint
+/// carries a timeseries bridge: a sampler thread snapshots the monitor
+/// tree once a second so `/timeseries` can serve recent history as CSV.
 fn maybe_status_server(
     args: &Args,
     monitor: &Monitor,
-) -> Result<Option<StatusServer>, Box<dyn std::error::Error>> {
+) -> Result<Option<(StatusServer, TimeseriesBridge)>, Box<dyn std::error::Error>> {
     if args.get("status-port").is_none() {
         return Ok(None);
     }
     let port: u16 = args.get_or("status-port", 0)?;
-    let server = StatusServer::start(port, monitor.clone(), "p2ps")?;
+    let bridge = TimeseriesBridge::start(monitor.clone(), "p2ps", BridgeConfig::default());
+    let server = StatusServer::start_with_bridge(port, monitor.clone(), "p2ps", bridge.handle())?;
     println!("status endpoint on http://{}/metrics", server.addr());
-    Ok(Some(server))
+    Ok(Some((server, bridge)))
+}
+
+/// Renders a `/trace/<session>` dump — `at_ms code a b` per line — as a
+/// human-readable timeline by decoding each event back through the
+/// shared [`SessionEvent`] catalog. Unknown codes (a newer daemon than
+/// this `status` client) are kept raw rather than dropped.
+fn render_trace(raw: &str) -> String {
+    let mut out = String::new();
+    for line in raw.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(at), Some(code), Some(a), Some(b)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let decoded = code
+            .parse::<u8>()
+            .ok()
+            .zip(a.parse::<u64>().ok().zip(b.parse::<u64>().ok()))
+            .and_then(|(code, (a, b))| SessionEvent::decode(code, a, b));
+        match decoded {
+            Some(ev) => out.push_str(&format!("{at:>10}  {ev}\n")),
+            None => out.push_str(&format!("{at:>10}  raw code={code} a={a} b={b}\n")),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("trace: no events recorded\n");
+    }
+    out
 }
 
 /// One parsed exposition sample: family name, label pairs, value.
@@ -398,8 +438,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         Some("status") => {
             let addr = args.require::<String>("status-addr")?;
-            let text = fetch_status(&addr)?;
-            print!("{}", render_status(&text));
+            if let Some(session) = args.get("trace") {
+                let raw = fetch_path(&addr, &format!("/trace/{session}"))?;
+                print!("{}", render_trace(&raw));
+            } else {
+                let text = fetch_status(&addr)?;
+                print!("{}", render_status(&text));
+            }
             Ok(())
         }
         other => {

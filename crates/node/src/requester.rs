@@ -26,10 +26,10 @@ use std::sync::mpsc::Sender;
 
 use p2ps_core::PeerClass;
 use p2ps_media::{MediaInfo, PlaybackBuffer, Segment, SegmentStore};
-use p2ps_monitor::{monotonic_ms, Counter, Gauge, Monitor, StateCell};
+use p2ps_monitor::{monotonic_ms, Counter, Gauge, Monitor, Recorder, StateCell};
 use p2ps_net::{ConnId, Ctx};
 use p2ps_policy::{SelectionPolicy, SessionContext, SharedPolicy};
-use p2ps_proto::{FrameDecoder, Message, RequesterSession, SessionPlan};
+use p2ps_proto::{FrameDecoder, Message, RequesterSession, SessionEvent, SessionPlan};
 
 use crate::serve::send;
 use crate::{DriverStep, NodeError, SessionDriver, StreamOutcome};
@@ -40,6 +40,12 @@ const STREAM_READ_TIMEOUT_MS: u64 = 30_000;
 
 /// The requester-side read-progress timer kind.
 const K_REQ_READ: u32 = 0;
+
+/// How many watchdog-driven recovery rounds a session may burn without a
+/// single segment arriving before it is written off as
+/// [`NodeError::SuppliersLost`]. Any real segment arrival resets the
+/// budget — the bound caps *fruitless* recoveries, not lifetime ones.
+const MAX_RECOVERY_ATTEMPTS: u32 = 3;
 
 /// Every state a session probe can report: the four
 /// [`SessionPhase`](p2ps_proto::SessionPhase) names plus the watchdog's
@@ -72,6 +78,9 @@ pub(crate) struct SessionProbe {
     /// largest per-supplier `spp · δt` stride in the plan).
     stride_ms: Gauge,
     bytes_received: Counter,
+    /// The session's flight recorder: the structured protocol timeline
+    /// (`p2ps_proto::SessionEvent` codes) served as `/trace/<session>`.
+    events: Recorder,
 }
 
 impl SessionProbe {
@@ -96,9 +105,16 @@ impl SessionProbe {
                 "worst-case healthy ms between consecutive segments",
             ),
             bytes_received: scope.counter("bytes_received_total", "segment payload bytes received"),
+            events: scope.events("events", "structured protocol events recorded"),
         };
         probe.last_progress_ms.set(monotonic_ms() as i64);
         probe
+    }
+
+    /// The session's flight recorder (the admission host records the
+    /// §4.2 handshake through it too).
+    pub(crate) fn record(&self, ev: SessionEvent) {
+        record(&self.events, ev);
     }
 
     /// The reactor adopted the lanes: record the plan's worst stride and
@@ -126,6 +142,12 @@ impl SessionProbe {
         self.owed.set(sm.owed_total() as i64);
         self.state.set(sm.phase().name());
     }
+}
+
+/// Encodes one [`SessionEvent`] into a flight-recorder ring.
+fn record(events: &Recorder, ev: SessionEvent) {
+    let (a, b) = ev.fields();
+    events.record(ev.code(), a, b);
 }
 
 /// What a finished reactor-hosted session delivers back to the caller.
@@ -225,6 +247,9 @@ struct ReqSession {
     lane_conns: Vec<Option<ConnId>>,
     theoretical_slots: u64,
     start_ms: u64,
+    /// Watchdog-driven recovery rounds burned since the last segment
+    /// arrival (any arrival resets it; `MAX_RECOVERY_ATTEMPTS` caps it).
+    recovery_attempts: u32,
     probe: SessionProbe,
     done: Sender<SessionResult>,
 }
@@ -234,6 +259,9 @@ struct ReqConn {
     session: u64,
     lane: usize,
     dec: FrameDecoder,
+    /// Reactor time of the lane's last inbound bytes (or of launch):
+    /// per-lane staleness for stall recovery's pick-the-worst-lane step.
+    last_ms: u64,
 }
 
 /// All receiving sessions hosted on one reactor shard. Owned by the
@@ -294,8 +322,13 @@ impl ReqSessions {
                             session,
                             lane: lane_idx,
                             dec: FrameDecoder::new(),
+                            last_ms: start_ms,
                         },
                     );
+                    probe.record(SessionEvent::PlanSent {
+                        lane: lane_idx as u64,
+                        segments: specs[lane_idx].1.segments.len() as u64,
+                    });
                     send(
                         ctx,
                         conn,
@@ -326,6 +359,7 @@ impl ReqSessions {
                 lane_conns,
                 theoretical_slots,
                 start_ms,
+                recovery_attempts: 0,
                 probe,
                 done,
             },
@@ -345,6 +379,7 @@ impl ReqSessions {
         let Some(mut rc) = self.conns.remove(&conn) else {
             return;
         };
+        rc.last_ms = ctx.now_ms();
         rc.dec.feed(data);
         loop {
             match rc.dec.poll() {
@@ -406,6 +441,12 @@ impl ReqSessions {
                 let at = ctx.now_ms().saturating_sub(sess.start_ms);
                 let payload_bytes = payload.len() as u64;
                 let step = sess.driver.on_segment(rc.lane, index, payload, at);
+                // Real progress pays back the recovery budget.
+                sess.recovery_attempts = 0;
+                sess.probe.record(SessionEvent::SegmentArrived {
+                    lane: rc.lane as u64,
+                    index,
+                });
                 sess.probe.progress(sess.driver.machine(), payload_bytes);
                 if matches!(step, DriverStep::Complete) {
                     self.finish(ctx, rc.session, None);
@@ -454,6 +495,104 @@ impl ReqSessions {
         self.apply(ctx, session, step);
     }
 
+    /// Watchdog-escalated stall recovery: fail the *stalest* live lane
+    /// and let the ordinary loss path replan its share over the
+    /// survivors — the same [`SelectionPolicy::replan`] route a
+    /// connection drop takes, so recovery exercises no special machinery.
+    ///
+    /// One attempt settles exactly one lane. At session-stall time every
+    /// live lane has been quiet past the watchdog bound (healthy lanes
+    /// that drained their schedule ended cleanly and are no longer
+    /// live), so the oldest `last_ms` points at the supplier most likely
+    /// wedged; the survivors get its share and the session flips back to
+    /// `streaming` while the new plan ships. If segments still don't
+    /// arrive the watchdog re-flags and the next attempt fails the next
+    /// stalest lane — bounded by [`MAX_RECOVERY_ATTEMPTS`] fruitless
+    /// rounds, after which the session fails with
+    /// [`NodeError::SuppliersLost`].
+    ///
+    /// Spurious escalations (progress resumed between the flag and this
+    /// command, or the session already finished) are ignored without
+    /// burning an attempt.
+    pub(crate) fn recover(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        session: u64,
+        grace_ms: u64,
+        recoveries: &Counter,
+        giveups: &Counter,
+    ) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return; // already finished — the flag raced the outcome
+        };
+        let now = ctx.now_ms();
+        let quiet_bound = sess.driver.stride_ms() + grace_ms;
+        // The stalest live lane: oldest last inbound bytes, and only if
+        // genuinely quiet past the watchdog's own bound.
+        let stalest = self
+            .conns
+            .values()
+            .filter(|rc| rc.session == session)
+            .filter(|rc| now.saturating_sub(rc.last_ms) > quiet_bound)
+            .min_by_key(|rc| rc.last_ms)
+            .map(|rc| rc.lane);
+        let Some(lane) = stalest else {
+            return; // every lane spoke recently: nothing to cut loose
+        };
+        sess.recovery_attempts += 1;
+        let attempt = sess.recovery_attempts;
+        let outstanding = sess.driver.machine().total_segments() - sess.driver.machine().received();
+        // Clone the recorder handle first: the give-up paths below tear
+        // the session (and its probe) down, and the terminal event must
+        // still land in the ring any held snapshot shares.
+        let events = sess.probe.events.clone();
+        record(
+            &events,
+            SessionEvent::RecoveryStarted {
+                lane: lane as u64,
+                attempt: u64::from(attempt),
+            },
+        );
+        if attempt > MAX_RECOVERY_ATTEMPTS {
+            giveups.incr();
+            record(
+                &events,
+                SessionEvent::GaveUp {
+                    missing: outstanding,
+                },
+            );
+            self.finish(
+                ctx,
+                session,
+                Some(NodeError::SuppliersLost {
+                    missing: outstanding,
+                }),
+            );
+            return;
+        }
+        self.fail_lane(ctx, session, lane);
+        if self.sessions.contains_key(&session) {
+            // Survivors absorbed the share: the session is recovering.
+            recoveries.incr();
+            record(
+                &events,
+                SessionEvent::Recovered {
+                    attempt: u64::from(attempt),
+                },
+            );
+        } else {
+            // The failed lane was the last hope: the loss path already
+            // finished the session with its own verdict.
+            giveups.incr();
+            record(
+                &events,
+                SessionEvent::GaveUp {
+                    missing: outstanding,
+                },
+            );
+        }
+    }
+
     /// Executes a [`DriverStep`]: ships replanned shares as explicit
     /// `StartSession`s (surviving suppliers append them to their running
     /// schedule and keep pacing at their class rate), finishes on
@@ -467,6 +606,10 @@ impl ReqSessions {
                 };
                 for (lane, plan) in plans {
                     let conn = sess.lane_conns[lane].expect("survivor has a live connection");
+                    sess.probe.record(SessionEvent::Replanned {
+                        lane: lane as u64,
+                        segments: plan.segments.len() as u64,
+                    });
                     send(ctx, conn, &Message::StartSession { session, plan });
                 }
                 sess.probe.sync(sess.driver.machine());
@@ -486,6 +629,11 @@ impl ReqSessions {
             ctx.close(conn);
         }
         let done = sess.done.clone();
+        if err.is_none() {
+            sess.probe.record(SessionEvent::Completed {
+                received: sess.driver.machine().received(),
+            });
+        }
         let result = match err {
             Some(e) => Err(e),
             None => Ok(Self::complete(sess, ctx.now_ms())),

@@ -66,6 +66,16 @@ pub(crate) enum NodeCmd {
     /// granted lanes straight into a receiving session (boxed: the
     /// launch carries streams, classes and a result channel).
     StartAdmission(Box<AdmissionLaunch>),
+    /// The stall watchdog flagged `session` on this shard: fail its
+    /// stalest quiet lane and replan the share over the survivors
+    /// (`grace_ms` is the watchdog's own quiet bound, reused for the
+    /// per-lane staleness test).
+    Recover {
+        /// The flagged session's id.
+        session: u64,
+        /// Slack past the session stride before a lane counts as quiet.
+        grace_ms: u64,
+    },
 }
 
 /// Per-connection protocol phase (the supplier half of §4.2).
@@ -152,14 +162,37 @@ pub(crate) struct NodeServeHandler {
     /// Reactor-hosted admission rounds (the requester's §4.2 probe).
     adm: Admissions,
     stats: ServeStats,
+    /// Root counter: watchdog-escalated recoveries where survivors
+    /// absorbed the stalest lane's share.
+    recoveries: Counter,
+    /// Root counter: watchdog-escalated recoveries that ended the
+    /// session (`SuppliersLost`).
+    giveups: Counter,
 }
 
 impl Default for NodeServeHandler {
     /// A handler reporting to a detached monitor (tests and embedders
     /// that don't scrape).
     fn default() -> Self {
-        NodeServeHandler::new(&Monitor::default())
+        let detached = Monitor::default();
+        let (recoveries, giveups) = recovery_counters(&detached);
+        NodeServeHandler::new(&detached, recoveries, giveups)
     }
+}
+
+/// Registers the watchdog-recovery outcome counters on `root` (shared by
+/// every shard's handler, so the totals are process-wide).
+pub(crate) fn recovery_counters(root: &Monitor) -> (Counter, Counter) {
+    (
+        root.counter(
+            "watchdog_recoveries_total",
+            "stalled sessions replanned onto surviving suppliers",
+        ),
+        root.counter(
+            "watchdog_giveups_total",
+            "stalled sessions abandoned after bounded recovery attempts",
+        ),
+    )
 }
 
 /// Queues every chunk of `msg`'s frame on `conn` — the one place that
@@ -174,14 +207,17 @@ pub(crate) fn send(ctx: &mut Ctx<'_>, conn: ConnId, msg: &Message) {
 
 impl NodeServeHandler {
     /// A handler whose shard metrics register on `monitor` (the shard's
-    /// `reactor={i}` scope).
-    pub(crate) fn new(monitor: &Monitor) -> Self {
+    /// `reactor={i}` scope); the recovery counters live at the root,
+    /// shared across shards.
+    pub(crate) fn new(monitor: &Monitor, recoveries: Counter, giveups: Counter) -> Self {
         NodeServeHandler {
             nodes: HashMap::new(),
             conns: HashMap::new(),
             req: ReqSessions::default(),
             adm: Admissions::default(),
             stats: ServeStats::register(monitor),
+            recoveries,
+            giveups,
         }
     }
 
@@ -489,6 +525,10 @@ impl Handler for NodeServeHandler {
                     self.req.start_adopted(ctx, ready);
                 }
             }
+            NodeCmd::Recover { session, grace_ms } => {
+                self.req
+                    .recover(ctx, session, grace_ms, &self.recoveries, &self.giveups);
+            }
         }
     }
 
@@ -663,10 +703,17 @@ impl NodeReactor {
             monitor: monitor.clone(),
             ..ReactorConfig::default()
         };
+        let (recoveries, giveups) = recovery_counters(&monitor);
         let pool = ReactorPool::spawn(threads, cfg, |i| {
-            NodeServeHandler::new(&monitor.child("reactor", i))
+            NodeServeHandler::new(
+                &monitor.child("reactor", i),
+                recoveries.clone(),
+                giveups.clone(),
+            )
         })?;
-        let watchdog = Watchdog::start(monitor.clone(), watchdog);
+        // The watchdog escalates each flagged session back into its own
+        // reactor shard, where the recovery replan runs.
+        let watchdog = Watchdog::start(monitor.clone(), watchdog, Some(pool.handle()));
         Ok(NodeReactor {
             pool,
             monitor,

@@ -1,5 +1,6 @@
-//! The stall watchdog: a timer that walks the monitor tree and flags
-//! sessions whose §3 pacing deadline slipped.
+//! The stall watchdog: a timer that walks the monitor tree, flags
+//! sessions whose §3 pacing deadline slipped, and escalates each flagged
+//! session back into its reactor shard for recovery.
 //!
 //! Healthy pacing (paper §3) delivers a session's next segment within its
 //! worst per-supplier stride `spp · δt`. Each requester session publishes
@@ -8,20 +9,34 @@
 //! and, for every session still in the `streaming` state, compares the
 //! time since last progress against `stride + grace`. A session past the
 //! bound is flagged *through its live snapshot row*: its state cell flips
-//! to `stalled`, the root `watchdog_stalls_total` counter increments, and
-//! one structured line goes to stderr. The flag is edge-triggered — a
-//! stalled session is skipped on later ticks until a segment arrival
-//! moves it back to `streaming`.
+//! to `stalled`, the root `watchdog_stalls_total` counter increments, a
+//! `StallFlagged` event lands in the session's flight recorder, and a
+//! `Recover` command is routed to the session's own reactor shard —
+//! where [`ReqSessions::recover`](crate::requester::ReqSessions) fails
+//! the stalest quiet lane and replans its share over the survivors.
+//!
+//! The flag is edge-triggered per tick — a stalled session is skipped on
+//! later ticks until something moves it back to `streaming` (a segment
+//! arrival, or the recovery replan shipping). The stderr line is
+//! rate-limited harder: one line per session per stall *episode*, where
+//! an episode only ends once real progress is observed — recovery cycles
+//! that flip the state without delivering data do not re-print.
 //!
 //! The watchdog never touches reactor threads or hot-path locks: it reads
-//! and writes the same relaxed atomics the sessions publish.
+//! and writes the same relaxed atomics the sessions publish, and its
+//! escalations ride the same command queue as every other reactor input.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use p2ps_monitor::{monotonic_ms, Counter, Monitor};
+use p2ps_net::PoolHandle;
+use p2ps_proto::SessionEvent;
+
+use crate::serve::NodeCmd;
 
 /// Tuning for a [`NodeReactor`](crate::NodeReactor)'s stall watchdog.
 #[derive(Debug, Clone)]
@@ -51,8 +66,15 @@ pub(crate) struct Watchdog {
 
 impl Watchdog {
     /// Starts the watchdog over the tree rooted at `root`, registering
-    /// the root-level `watchdog_stalls_total` counter.
-    pub(crate) fn start(root: Monitor, cfg: WatchdogConfig) -> Watchdog {
+    /// the root-level `watchdog_stalls_total` counter. With a `pool`,
+    /// every flagged session is escalated to its reactor shard as a
+    /// [`NodeCmd::Recover`]; without one (tests observing flags only)
+    /// the watchdog just flags.
+    pub(crate) fn start(
+        root: Monitor,
+        cfg: WatchdogConfig,
+        pool: Option<PoolHandle<NodeCmd>>,
+    ) -> Watchdog {
         let stalls = root.counter(
             "watchdog_stalls_total",
             "sessions the stall watchdog flagged",
@@ -63,12 +85,13 @@ impl Watchdog {
         let thread = std::thread::Builder::new()
             .name("p2ps-watchdog".into())
             .spawn(move || {
+                let mut reported = HashSet::new();
                 while !stop_flag.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);
                     if stop_flag.load(Ordering::Relaxed) {
                         break;
                     }
-                    tick(&root, &stalls, cfg.grace_ms);
+                    tick(&root, &stalls, cfg.grace_ms, pool.as_ref(), &mut reported);
                 }
             })
             .expect("spawning the watchdog thread cannot fail");
@@ -92,10 +115,19 @@ impl Drop for Watchdog {
     }
 }
 
-/// One watchdog pass over the tree.
-fn tick(root: &Monitor, stalls: &Counter, grace_ms: u64) {
+/// One watchdog pass over the tree. `reported` carries the stderr rate
+/// limit across ticks: session ids whose current stall episode has
+/// already been printed (pruned when the session progresses or vanishes).
+fn tick(
+    root: &Monitor,
+    stalls: &Counter,
+    grace_ms: u64,
+    pool: Option<&PoolHandle<NodeCmd>>,
+    reported: &mut HashSet<u64>,
+) {
     let snap = root.snapshot();
     let now = monotonic_ms();
+    let mut seen = HashSet::new();
     for node in snap.nodes() {
         if node.kind() != Some("session") {
             continue;
@@ -105,8 +137,9 @@ fn tick(root: &Monitor, stalls: &Counter, grace_ms: u64) {
         let Some(state) = node.metric("state").and_then(|m| m.handle().as_state()) else {
             continue;
         };
-        if !state.is("streaming") {
-            continue;
+        let session: Option<u64> = node.label("session").and_then(|s| s.parse().ok());
+        if let Some(id) = session {
+            seen.insert(id);
         }
         let gauge = |name: &str| {
             node.metric(name)
@@ -117,16 +150,41 @@ fn tick(root: &Monitor, stalls: &Counter, grace_ms: u64) {
             continue;
         };
         let lag = now.saturating_sub(last);
-        if lag > stride + grace_ms {
-            state.set("stalled");
-            stalls.incr();
+        if !state.is("streaming") {
+            continue;
+        }
+        if lag <= stride + grace_ms {
+            // Fresh progress ends the session's stall episode: the next
+            // stall prints (and counts) again.
+            if let Some(id) = session {
+                reported.remove(&id);
+            }
+            continue;
+        }
+        state.set("stalled");
+        stalls.incr();
+        if let Some(rec) = node.metric("events").and_then(|m| m.handle().as_recorder()) {
+            let (a, b) = SessionEvent::StallFlagged { lag_ms: lag }.fields();
+            rec.record(SessionEvent::StallFlagged { lag_ms: lag }.code(), a, b);
+        }
+        // One stderr line per stall episode, however many recovery
+        // cycles the episode takes.
+        if session.is_none_or(|id| reported.insert(id)) {
             eprintln!(
                 "p2ps-watchdog: stall session={} reactor={} lag_ms={lag} stride_ms={stride} grace_ms={grace_ms}",
                 node.label("session").unwrap_or("?"),
                 node.label("reactor").unwrap_or("?"),
             );
         }
+        if let (Some(pool), Some(id)) = (pool, session) {
+            pool.shard(id).send(NodeCmd::Recover {
+                session: id,
+                grace_ms,
+            });
+        }
     }
+    // Finished sessions drop their scopes; drop our memory of them too.
+    reported.retain(|id| seen.contains(id));
 }
 
 #[cfg(test)]
@@ -135,7 +193,9 @@ mod tests {
 
     /// Drives `tick` directly (no thread, no sleeps): a quiet streaming
     /// session is flagged, a fresh one is not, and a flagged one is
-    /// skipped until it reports progress again.
+    /// skipped until it reports progress again. The stderr rate-limit
+    /// set tracks episodes: a re-flag within one episode re-counts but
+    /// does not re-report.
     #[test]
     fn tick_flags_only_quiet_streaming_sessions() {
         const STATES: &[&str] = &["probing", "streaming", "stalled"];
@@ -146,6 +206,7 @@ mod tests {
         let root = Monitor::root();
         let stalls = root.counter("watchdog_stalls_total", "flags");
         let scope = root.child("reactor", 0);
+        let mut reported = HashSet::new();
 
         let quiet = scope.child("session", 1);
         let quiet_state = quiet.state("state", "phase", STATES);
@@ -166,21 +227,53 @@ mod tests {
         probing.gauge("last_progress_ms", "t").set(0);
         probing.gauge("stride_ms", "stride").set(10);
 
-        tick(&root, &stalls, 0);
+        tick(&root, &stalls, 0, None, &mut reported);
         assert!(quiet_state.is("stalled"), "quiet session flagged");
         assert!(fresh_state.is("streaming"), "fresh session untouched");
         assert!(probing_state.is("probing"), "non-streaming never flagged");
         assert_eq!(stalls.get(), 1);
+        assert!(reported.contains(&1), "episode recorded for stderr limit");
 
         // Edge-triggered: no re-flagging while still stalled.
-        tick(&root, &stalls, 0);
+        tick(&root, &stalls, 0, None, &mut reported);
         assert_eq!(stalls.get(), 1);
 
-        // Progress recovers the session; going quiet flags it again.
+        // A recovery replan flips the state back without data progress:
+        // the re-flag counts, but the episode stays reported (one stderr
+        // line per episode).
         quiet_state.set("streaming");
-        quiet.gauge("last_progress_ms", "t").set(0);
-        tick(&root, &stalls, 0);
+        tick(&root, &stalls, 0, None, &mut reported);
         assert!(quiet_state.is("stalled"));
         assert_eq!(stalls.get(), 2);
+        assert!(reported.contains(&1), "still the same episode");
+
+        // Real progress ends the episode...
+        quiet_state.set("streaming");
+        quiet
+            .gauge("last_progress_ms", "t")
+            .set(monotonic_ms() as i64);
+        tick(&root, &stalls, 0, None, &mut reported);
+        assert!(quiet_state.is("streaming"));
+        assert_eq!(stalls.get(), 2);
+        assert!(!reported.contains(&1), "progress ends the episode");
+
+        // ...and the session's events ring witnesses the next flag.
+        let events = quiet.events("events", "timeline");
+        quiet.gauge("last_progress_ms", "t").set(0);
+        tick(&root, &stalls, 0, None, &mut reported);
+        assert!(quiet_state.is("stalled"));
+        assert_eq!(stalls.get(), 3);
+        let flagged = events.events();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(
+            flagged[0].code,
+            SessionEvent::StallFlagged { lag_ms: 0 }.code()
+        );
+        assert!(flagged[0].a > 0, "lag_ms rides the event payload");
+
+        // Vanished sessions are pruned from the rate-limit set.
+        drop((quiet, quiet_state, events));
+        tick(&root, &stalls, 0, None, &mut reported);
+        assert!(!reported.contains(&1));
     }
 }

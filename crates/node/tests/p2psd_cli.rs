@@ -172,8 +172,10 @@ fn help_documents_every_flag_and_exit_code() {
             "--threads",
             "--status-port",
             "--status-addr",
+            "--trace",
             "--dir",
             "--serve-secs",
+            "/timeseries",
             "exit codes",
         ] {
             assert!(
@@ -236,6 +238,42 @@ fn status_subcommand_renders_a_live_directory() {
             "status output lacks {needle:?}: {rendered}"
         );
     }
+}
+
+#[test]
+fn status_endpoint_serves_timeseries_and_answers_unknown_traces() {
+    // A directory with a status endpoint: its bridge samples the tree
+    // once a second, but the /timeseries route must answer (with at
+    // least the CSV header) immediately.
+    let child = p2psd()
+        .args(["directory", "--status-port", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut child = Reaper(child);
+    let mut stdout = child.0.stdout.take().unwrap();
+    let status_line = wait_for_line(&mut stdout, |l| l.contains("status endpoint on"));
+    let status_addr = status_line
+        .rsplit("http://")
+        .next()
+        .unwrap()
+        .trim_end_matches("/metrics")
+        .to_owned();
+
+    let csv = p2ps_monitor::fetch_path(&status_addr, "/timeseries").unwrap();
+    assert!(
+        csv.starts_with("series,time_ms,value"),
+        "timeseries route must serve CSV, got: {csv}"
+    );
+
+    // A directory hosts no sessions, so any session trace is a 404 —
+    // and `status --trace` surfaces that as a runtime error, exit 1.
+    let out = p2psd()
+        .args(["status", "--status-addr", &status_addr, "--trace", "42"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
 }
 
 #[test]

@@ -1,24 +1,27 @@
 //! The stall watchdog against real sessions: a supplier that freezes its
-//! §3 pacing gets its session flagged `stalled` within the grace window,
-//! while a healthy multi-session swarm is never flagged — and the
-//! introspection tree exposes per-reactor queue depth, per-session state
-//! and owed-queue lag for all of it without touching the data path.
+//! §3 pacing gets its session flagged `stalled` within the grace window
+//! and *recovered* — the watchdog escalates into the reactor, the
+//! stalest lane is cut loose, and the survivors absorb its share so the
+//! session completes byte-identical with no caller intervention. When no
+//! survivor remains the session fails as `SuppliersLost` after bounded
+//! attempts instead of hanging. A healthy multi-session swarm is never
+//! flagged, and the flight recorder witnesses each sequence.
 
 use std::net::TcpListener;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use p2ps_core::assignment::SegmentDuration;
 use p2ps_core::{PeerClass, PeerId};
-use p2ps_media::MediaInfo;
+use p2ps_media::{MediaFile, MediaInfo};
 use p2ps_node::{
     Clock, DirectoryServer, NodeConfig, NodeError, NodeReactor, PeerNode, WatchdogConfig,
 };
-use p2ps_proto::{read_message, write_message, CandidateRecord, Message};
+use p2ps_proto::{read_message, write_message, CandidateRecord, Message, SessionEvent};
 
 /// A supplier that passes admission and then freezes: accepts one
 /// connection, grants the stream request, reads the `StartSession`, and
 /// never sends a single segment. Returns the listener's port.
-fn frozen_supplier() -> u16 {
+fn frozen_supplier(class: PeerClass) -> u16 {
     let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
     let port = listener.local_addr().unwrap().port();
     std::thread::spawn(move || {
@@ -31,13 +34,7 @@ fn frozen_supplier() -> u16 {
         let Ok(Message::StreamRequest { session, .. }) = read_message(&mut conn) else {
             return;
         };
-        let _ = write_message(
-            &mut conn,
-            &Message::Grant {
-                session,
-                class: PeerClass::HIGHEST,
-            },
-        );
+        let _ = write_message(&mut conn, &Message::Grant { session, class });
         let Ok(Message::StartSession { .. }) = read_message(&mut conn) else {
             return;
         };
@@ -47,17 +44,176 @@ fn frozen_supplier() -> u16 {
     port
 }
 
-/// One frozen supplier, one healthy seed: the watchdog must flag exactly
-/// the frozen supplier's session — and must flag it within the grace
-/// window, not on the 30 s read timeout the reactor would eventually hit.
+/// A scripted survivor: grants, serves its planned share promptly, then
+/// keeps the socket open *without* `EndSession` — exactly the posture of
+/// a healthy supplier whose partner stalled (its own schedule is drained
+/// but the lane is still live). When the recovery replan arrives as an
+/// explicit `StartSession`, it serves that share too. Returns the
+/// listener's port.
+fn rescuer_supplier(class: PeerClass, file: MediaFile) -> u16 {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        let Ok((mut conn, _)) = listener.accept() else {
+            return;
+        };
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
+        let Ok(Message::StreamRequest { session, .. }) = read_message(&mut conn) else {
+            return;
+        };
+        let _ = write_message(&mut conn, &Message::Grant { session, class });
+        // Serve every plan we are sent (the base share, then the
+        // recovery share); the requester closes the connection once the
+        // file completes.
+        while let Ok(Message::StartSession { plan, .. }) = read_message(&mut conn) {
+            for index in plan.expanded() {
+                let msg = Message::SegmentData {
+                    session,
+                    index,
+                    payload: file.segment(index).into_payload(),
+                };
+                if write_message(&mut conn, &msg).is_err() {
+                    return;
+                }
+            }
+        }
+    });
+    port
+}
+
+/// Returns the position of each event code of `sequence` in `codes`,
+/// requiring them to appear in order; panics (with the full timeline)
+/// when one is missing.
+fn assert_ordered(codes: &[u8], sequence: &[SessionEvent]) {
+    let mut from = 0;
+    for ev in sequence {
+        match codes[from..].iter().position(|&c| c == ev.code()) {
+            Some(i) => from += i + 1,
+            None => panic!("event {ev} missing (in order) from timeline {codes:?}"),
+        }
+    }
+}
+
+/// The tentpole pin: one supplier freezes mid-stream, one keeps its lane
+/// open. The watchdog flags the stall and the escalated recovery replans
+/// the frozen share onto the survivor — the session completes
+/// byte-identical with the caller doing nothing but `wait()`, the
+/// recovery counter increments, and the flight recorder witnesses
+/// flag → recovery → replan → completion.
 #[test]
-fn watchdog_flags_the_stalled_session_and_only_it() {
+fn stalled_session_recovers_over_the_surviving_supplier() {
+    // Two class-2 suppliers: each covers half the rate, so the §3 plan
+    // needs both — the frozen one's share is real, and the survivor can
+    // absorb it (an explicit replan paces at the survivor's own rate).
+    let class2 = PeerClass::new(2).unwrap();
+    let info = MediaInfo::new("recover-test", 16, SegmentDuration::from_millis(20), 64);
+    let file = MediaFile::synthesize(info.clone());
+    let dir = DirectoryServer::start().unwrap();
+    let clock = Clock::new();
+    // Aggressive watchdog: stride for a class-2 lane is 2·δt = 40 ms, so
+    // the flag lands ≈ 40 + 150 ms after the survivor's last segment.
+    let reactor = NodeReactor::with_options(
+        2,
+        WatchdogConfig {
+            interval_ms: 25,
+            grace_ms: 150,
+        },
+    )
+    .unwrap();
+
+    let frozen_port = frozen_supplier(class2);
+    let rescuer_port = rescuer_supplier(class2, file.clone());
+    let cfg = NodeConfig::new(PeerId::new(3), PeerClass::HIGHEST, info.clone(), dir.addr());
+    let node = PeerNode::spawn_on(cfg, clock, &reactor).unwrap();
+    let pending = node
+        .begin_stream_from(vec![
+            CandidateRecord {
+                id: PeerId::new(98),
+                class: class2,
+                port: frozen_port,
+            },
+            CandidateRecord {
+                id: PeerId::new(99),
+                class: class2,
+                port: rescuer_port,
+            },
+        ])
+        .unwrap();
+
+    // Hold a snapshot from the probing phase: its live handles keep the
+    // session's scope (and flight-recorder ring) reachable after the
+    // session finishes and drops its probe.
+    let early = reactor.monitor().snapshot();
+
+    // No caller intervention: wait() alone must deliver the full file.
+    let outcome = pending.wait().expect("recovery must complete the session");
+    assert_eq!(outcome.supplier_count, 2);
+    assert_eq!(
+        node.media_file().expect("completed stream is stored"),
+        file,
+        "recovered stream must be byte-identical"
+    );
+
+    // Counters: at least one stall flagged, at least one successful
+    // recovery, and no give-up.
+    let snap = reactor.monitor().snapshot();
+    let counter = |name: &str| snap.find(&[], name).unwrap().value().as_i64();
+    assert!(counter("watchdog_stalls_total") >= 1, "stall was flagged");
+    assert!(counter("watchdog_recoveries_total") >= 1, "recovery ran");
+    assert_eq!(counter("watchdog_giveups_total"), 0);
+
+    // The flight recorder witnesses the whole arc, in causal order.
+    let session_node = early
+        .nodes()
+        .iter()
+        .find(|n| n.kind() == Some("session"))
+        .expect("the early snapshot holds the session scope");
+    let events = session_node
+        .metric("events")
+        .and_then(|m| m.handle().as_recorder())
+        .expect("sessions register a flight recorder")
+        .events();
+    let codes: Vec<u8> = events.iter().map(|e| e.code).collect();
+    assert_ordered(
+        &codes,
+        &[
+            SessionEvent::AdmissionRequest { lane: 0 },
+            SessionEvent::AdmissionGrant { lane: 0 },
+            SessionEvent::PlanSent {
+                lane: 0,
+                segments: 0,
+            },
+            SessionEvent::SegmentArrived { lane: 0, index: 0 },
+            SessionEvent::StallFlagged { lag_ms: 0 },
+            SessionEvent::RecoveryStarted {
+                lane: 0,
+                attempt: 0,
+            },
+            SessionEvent::Replanned {
+                lane: 0,
+                segments: 0,
+            },
+            SessionEvent::Recovered { attempt: 0 },
+            SessionEvent::SegmentArrived { lane: 0, index: 0 },
+            SessionEvent::Completed { received: 0 },
+        ],
+    );
+
+    node.shutdown();
+    reactor.shutdown();
+    dir.shutdown();
+}
+
+/// Total loss: the only supplier freezes, so recovery has no survivor to
+/// replan onto. The session must fail as `SuppliersLost` after the first
+/// fruitless attempt — within the watchdog's window, not the 30 s read
+/// timeout — while a concurrent healthy session is never flagged. The
+/// give-up is structured: counter plus `GaveUp` flight-recorder event.
+#[test]
+fn total_supplier_loss_gives_up_as_suppliers_lost() {
     let info = MediaInfo::new("stall-test", 16, SegmentDuration::from_millis(20), 64);
     let dir = DirectoryServer::start().unwrap();
     let clock = Clock::new();
-    // Aggressive watchdog so the test observes a flag in tens of ms:
-    // stride for a class-1 lane is 1·δt = 20 ms, so the deadline is
-    // 20 + 150 ms past the last segment.
     let reactor = NodeReactor::with_options(
         2,
         WatchdogConfig {
@@ -75,80 +231,78 @@ fn watchdog_flags_the_stalled_session_and_only_it() {
     let healthy_pending = healthy.begin_stream(4).unwrap();
 
     // The stalled half: admission succeeds, then nothing ever arrives.
-    let frozen_port = frozen_supplier();
+    let frozen_port = frozen_supplier(PeerClass::HIGHEST);
     let stalled_cfg = NodeConfig::new(PeerId::new(3), PeerClass::HIGHEST, info.clone(), dir.addr());
     let stalled = PeerNode::spawn_on(stalled_cfg, clock.clone(), &reactor).unwrap();
-    let _stalled_pending = stalled
+    let stalled_pending = stalled
         .begin_stream_from(vec![CandidateRecord {
             id: PeerId::new(99),
             class: PeerClass::HIGHEST,
             port: frozen_port,
         }])
         .unwrap();
+    let early = reactor.monitor().snapshot();
 
-    // Poll the tree until the watchdog verdict lands. Deadline ≈ stride
-    // (20 ms) + grace (150 ms) + one interval (25 ms); 5 s of slack keeps
-    // a loaded CI machine from flaking the pin.
-    let deadline = Instant::now() + Duration::from_secs(5);
-    let flagged_at = loop {
-        let snap = reactor.monitor().snapshot();
-        let stalled_sessions = snap
-            .nodes()
-            .iter()
-            .filter(|n| n.kind() == Some("session"))
-            .filter(|n| {
-                n.metric("state")
-                    .map(|m| m.value().state_name() == Some("stalled"))
-                    .unwrap_or(false)
-            })
-            .count();
-        if stalled_sessions == 1 {
-            break snap;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "watchdog never flagged the frozen session"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    };
+    // The watchdog must resolve the stall on its own: flag ≈ stride
+    // (20 ms) + grace (150 ms) + one interval after launch, then the
+    // escalated recovery fails the only lane and gives up — wait()
+    // returns SuppliersLost without the reactor's 30 s read timeout.
+    match stalled_pending.wait() {
+        Err(NodeError::SuppliersLost { missing }) => assert_eq!(missing, 16),
+        other => panic!("expected SuppliersLost, got {other:?}"),
+    }
 
-    // The flagged session is genuinely the frozen one: it received
-    // nothing while still owing its whole file.
-    let flagged = flagged_at
+    // The healthy session streams through all of it untouched.
+    healthy_pending.wait().unwrap();
+    let snap = reactor.monitor().snapshot();
+    let counter = |name: &str| snap.find(&[], name).unwrap().value().as_i64();
+    assert_eq!(
+        counter("watchdog_stalls_total"),
+        1,
+        "only the frozen session may be flagged"
+    );
+    assert_eq!(
+        counter("watchdog_giveups_total"),
+        1,
+        "one structured give-up"
+    );
+    assert_eq!(
+        counter("watchdog_recoveries_total"),
+        0,
+        "nothing to recover onto"
+    );
+
+    // The timeline ends in GaveUp, with no Recovered and no Completed.
+    let session_node = early
         .nodes()
         .iter()
         .find(|n| {
             n.kind() == Some("session")
-                && n.metric("state")
-                    .map(|m| m.value().state_name() == Some("stalled"))
+                && n.metric("received_segments")
+                    .map(|m| m.value().as_i64() == 0)
                     .unwrap_or(false)
         })
-        .unwrap();
-    assert_eq!(
-        flagged
-            .metric("received_segments")
-            .unwrap()
-            .value()
-            .as_i64(),
-        0,
-        "the frozen supplier never delivered"
+        .expect("the early snapshot holds the frozen session's scope");
+    let events = session_node
+        .metric("events")
+        .and_then(|m| m.handle().as_recorder())
+        .expect("sessions register a flight recorder")
+        .events();
+    let codes: Vec<u8> = events.iter().map(|e| e.code).collect();
+    assert_ordered(
+        &codes,
+        &[
+            SessionEvent::StallFlagged { lag_ms: 0 },
+            SessionEvent::RecoveryStarted {
+                lane: 0,
+                attempt: 0,
+            },
+            SessionEvent::GaveUp { missing: 0 },
+        ],
     );
-    assert_eq!(
-        flagged.metric("owed_segments").unwrap().value().as_i64(),
-        16,
-        "the frozen lane still owes the whole file"
-    );
-
-    // The healthy session completes and is never the flagged one: the
-    // stall counter stays at exactly one event (edge-triggered).
-    healthy_pending.wait().unwrap();
-    let snap = reactor.monitor().snapshot();
-    let stalls = snap
-        .find(&[], "watchdog_stalls_total")
-        .expect("the watchdog registers its counter at the root")
-        .value()
-        .as_i64();
-    assert_eq!(stalls, 1, "only the frozen session may be flagged");
+    let gone = |ev: SessionEvent| !codes.contains(&ev.code());
+    assert!(gone(SessionEvent::Recovered { attempt: 0 }));
+    assert!(gone(SessionEvent::Completed { received: 0 }));
 
     stalled.shutdown();
     healthy.shutdown();

@@ -46,6 +46,7 @@ mod admission;
 mod chunks;
 mod codec;
 mod error;
+mod event;
 mod message;
 mod requester;
 mod sansio;
@@ -55,6 +56,7 @@ pub use admission::{AdmissionAction, AdmissionDriver, AdmissionVerdict};
 pub use chunks::{ChunkQueue, MAX_GATHER_SLICES};
 pub use codec::{decode_frame, encode_frame, read_message, write_message, MAX_FRAME_LEN};
 pub use error::DecodeError;
+pub use event::SessionEvent;
 pub use message::{CandidateRecord, Message, SessionPlan};
 pub use requester::{RequesterSession, SessionPhase};
 pub use sansio::{FrameDecoder, FrameEncoder};

@@ -1,5 +1,7 @@
 //! What one simulated run reports back to the sweep.
 
+use p2ps_monitor::RawEvent;
+
 use crate::ScenarioKind;
 
 /// How a simulated session ended.
@@ -104,6 +106,12 @@ pub struct SimReport {
     pub denials: u64,
     /// `Reminder` frames that reached a supplier after a rejection.
     pub reminders: u64,
+    /// The session's flight-recorder timeline, virtual-clock stamped —
+    /// the same [`SessionEvent`](p2ps_proto::SessionEvent) stream the
+    /// live requester records, compared whole by the sweep's run-twice
+    /// determinism check (and folded event-by-event into
+    /// [`trace_hash`](Self::trace_hash)).
+    pub recorder: Vec<RawEvent>,
 }
 
 impl SimReport {

@@ -33,11 +33,12 @@ use rand::{Rng, SeedableRng};
 use p2ps_core::assignment::SegmentDuration;
 use p2ps_core::PeerClass;
 use p2ps_media::{MediaFile, MediaInfo};
+use p2ps_monitor::Recorder;
 use p2ps_node::{DriverStep, NodeError, SessionDriver};
 use p2ps_policy::{SessionContext, SharedPolicy};
 use p2ps_proto::{
     AdmissionAction, AdmissionDriver, AdmissionVerdict, FrameDecoder, FrameEncoder, Message,
-    SessionPlan, SupplierSchedule,
+    SessionEvent, SessionPlan, SupplierSchedule,
 };
 
 use crate::link::Link;
@@ -115,6 +116,10 @@ const T_REPLAN: u8 = 8;
 const T_OUTCOME: u8 = 9;
 const T_ADM_TX: u8 = 10;
 const T_ADM_RX: u8 = 11;
+/// A flight-recorder event: the simulated session records the same
+/// [`SessionEvent`] catalog the live requester does, and each one folds
+/// into the digest so a recorder divergence breaks determinism loudly.
+const T_EVENT: u8 = 12;
 
 /// Small stable code for an admission-phase frame in the trace.
 fn adm_code(msg: &Message) -> u64 {
@@ -161,6 +166,9 @@ pub struct SimWorld {
     queue: BinaryHeap<Scheduled>,
     rng: SmallRng,
     trace: TraceHasher,
+    /// The session's flight recorder, virtual-clock stamped — the same
+    /// ring type the live requester publishes on its monitor scope.
+    recorder: Recorder,
 
     session: u64,
     file: MediaFile,
@@ -247,6 +255,7 @@ impl SimWorld {
             .map(|&spec| [Link::new(spec), Link::new(spec)])
             .collect();
         let lane_count = classes.len();
+        let segment_capacity = schedule.segment_count as usize * 2 + 64;
         let rng_seed = schedule.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ schedule.scenario.salt();
         let scheduled_deaths = schedule.deaths.clone();
 
@@ -260,6 +269,10 @@ impl SimWorld {
             queue: BinaryHeap::new(),
             rng: SmallRng::seed_from_u64(rng_seed),
             trace: TraceHasher::new(),
+            // Sized to retain the whole run (one arrival per segment
+            // plus the admission/replan bookends) — the report carries
+            // the full timeline, not a wrapped tail.
+            recorder: Recorder::standalone(segment_capacity),
             session,
             file,
             policy: SharedPolicy::default(),
@@ -355,7 +368,19 @@ impl SimWorld {
             grants: self.grants,
             denials: self.denials,
             reminders: self.reminders,
+            recorder: self.recorder.events(),
         }
+    }
+
+    /// Records `ev` into the flight recorder (virtual-clock stamped) and
+    /// folds it into the trace digest: the recorder stream is part of
+    /// the determinism contract, so a divergence in *what the session
+    /// observed* breaks the seed sweep even when the wire bytes agree.
+    fn event(&mut self, ev: SessionEvent) {
+        let (a, b) = ev.fields();
+        self.recorder.record_at(self.now, ev.code(), a, b);
+        self.trace
+            .record(T_EVENT, &[self.now, u64::from(ev.code()), a, b]);
     }
 
     /// Schedules `ev` at virtual time `at` (tie-broken by push order).
@@ -419,6 +444,15 @@ impl SimWorld {
                 AdmissionAction::Send { lane, msg } => {
                     self.trace
                         .record(T_ADM_TX, &[self.now, lane as u64, adm_code(&msg)]);
+                    match &msg {
+                        Message::StreamRequest { .. } => {
+                            self.event(SessionEvent::AdmissionRequest { lane: lane as u64 })
+                        }
+                        Message::Reminder { .. } => {
+                            self.event(SessionEvent::AdmissionReminder { lane: lane as u64 })
+                        }
+                        _ => {}
+                    }
                     let bytes = wire_bytes(&msg);
                     self.send_stream(lane, Dir::ToSupplier, &bytes);
                 }
@@ -488,6 +522,10 @@ impl SimWorld {
             if !self.lane_open[mix_idx] {
                 continue; // granted, then died mid-round: failed below
             }
+            self.event(SessionEvent::PlanSent {
+                lane: mix_idx as u64,
+                segments: plan.segments.len() as u64,
+            });
             let bytes = wire_bytes(&Message::StartSession {
                 session: self.session,
                 plan,
@@ -589,6 +627,10 @@ impl SimWorld {
                         T_SEGMENT,
                         &[self.now, lane as u64, index, payload.len() as u64],
                     );
+                    self.event(SessionEvent::SegmentArrived {
+                        lane: lane as u64,
+                        index,
+                    });
                     let step = self.driver.as_mut().expect("streaming phase").on_segment(
                         driver_lane,
                         index,
@@ -633,6 +675,15 @@ impl SimWorld {
                 Ok(Some(msg)) => {
                     self.trace
                         .record(T_ADM_RX, &[self.now, lane as u64, adm_code(&msg)]);
+                    match &msg {
+                        Message::Grant { .. } => {
+                            self.event(SessionEvent::AdmissionGrant { lane: lane as u64 })
+                        }
+                        Message::Deny { .. } => {
+                            self.event(SessionEvent::AdmissionDeny { lane: lane as u64 })
+                        }
+                        _ => {}
+                    }
                     let mut adm = self.adm.take().expect("checked above");
                     adm.on_message(lane, &msg);
                     self.adm = Some(adm);
@@ -800,6 +851,10 @@ impl SimWorld {
                         T_REPLAN,
                         &[self.now, mix_idx as u64, plan.segments.len() as u64],
                     );
+                    self.event(SessionEvent::Replanned {
+                        lane: mix_idx as u64,
+                        segments: plan.segments.len() as u64,
+                    });
                     let bytes = wire_bytes(&Message::StartSession {
                         session: self.session,
                         plan,
@@ -807,8 +862,19 @@ impl SimWorld {
                     self.send_stream(mix_idx, Dir::ToSupplier, &bytes);
                 }
             }
-            DriverStep::Complete => self.outcome = Some(RawOutcome::Complete),
-            DriverStep::Failed(e) => self.outcome = Some(RawOutcome::Failed(e)),
+            DriverStep::Complete => {
+                self.event(SessionEvent::Completed {
+                    received: self.segments_delivered,
+                });
+                self.outcome = Some(RawOutcome::Complete);
+            }
+            DriverStep::Failed(e) => {
+                if let NodeError::SuppliersLost { missing } = &e {
+                    let missing = *missing;
+                    self.event(SessionEvent::GaveUp { missing });
+                }
+                self.outcome = Some(RawOutcome::Failed(e));
+            }
             _ => unreachable!("non-exhaustive DriverStep grew a variant"),
         }
     }

@@ -7,6 +7,7 @@
 //! one-line `SIMNET_SEED=…` repro; setting that variable re-runs just
 //! the offending seed across all scenarios.
 
+use p2ps_proto::SessionEvent;
 use p2ps_simnet::{repro_hint, run, ScenarioKind, SimOutcome};
 
 /// Seeds per scenario in the tier-1 sweep (5 scenarios ⇒ 1,280
@@ -43,6 +44,25 @@ fn check_one(seed: u64, scenario: ScenarioKind) -> p2ps_simnet::SimReport {
         first.outcome,
         repro_hint(seed, scenario)
     );
+    // The flight recorder rides the determinism contract: every run
+    // opens with an admission request, and a completed run's timeline
+    // must close with the `Completed` event.
+    assert!(
+        !first.recorder.is_empty(),
+        "seed {seed} ({}) recorded no flight-recorder events\n{}",
+        scenario.name(),
+        repro_hint(seed, scenario)
+    );
+    if matches!(first.outcome, SimOutcome::Completed { .. }) {
+        let last = first.recorder.last().expect("checked non-empty");
+        assert_eq!(
+            last.code,
+            SessionEvent::Completed { received: 0 }.code(),
+            "seed {seed} ({}) completed without a terminal Completed event\n{}",
+            scenario.name(),
+            repro_hint(seed, scenario)
+        );
+    }
     first
 }
 
