@@ -1,0 +1,6 @@
+//! Amplification study: time to N-fold capacity at scale (beyond the paper).
+
+fn main() {
+    let mut harness = p2ps_bench::Harness::from_env();
+    p2ps_bench::experiments::amplification::run(&mut harness);
+}

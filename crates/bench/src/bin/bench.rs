@@ -18,8 +18,8 @@
 //!   committed value.
 //!
 //! ```text
-//! cargo run --release -p p2ps-bench --bin bench -- snapshot --out BENCH_9.json
-//! cargo run --release -p p2ps-bench --bin bench -- compare --against BENCH_9.json
+//! cargo run --release -p p2ps-bench --bin bench -- snapshot --out BENCH_10.json
+//! cargo run --release -p p2ps-bench --bin bench -- compare --against BENCH_10.json
 //! cargo run --release -p p2ps-bench --bin bench -- measure   # print only
 //! ```
 
@@ -232,6 +232,70 @@ fn recorder_metrics(out: &mut Vec<Metric>) {
     out.push(Metric::exact("recorder/allocs_per_event", per_event));
 }
 
+/// The amplification engine's pins. Deterministic: the trace digest of
+/// one fixed `(seed, config)` workload at 1, 2 and 4 shards — all three
+/// must stay equal *and* stable — plus its event count and the
+/// allocation count of a warmed single-thread replay (must be 0).
+/// Timing: wall-clock walls for 10⁴-, 10⁵- and 10⁶-peer flash crowds on
+/// 4 threads, the committed capacity-amplification perf trajectory.
+fn amplification_metrics(out: &mut Vec<Metric>) {
+    use p2ps_sim::{AmpConfig, AmpEngine, ArrivalProcess};
+
+    fn config(peers: u32, seeds: u32, items: u16, shards: u32, threads: usize) -> AmpConfig {
+        let mut builder = AmpConfig::builder();
+        builder
+            .requesting_peers(peers)
+            .seed_suppliers(seeds)
+            .catalog_items(items)
+            .process(ArrivalProcess::flash_crowd())
+            .arrival_window_secs(3_600)
+            .horizon_secs(4 * 3_600)
+            .epoch_secs(60)
+            .shards(shards)
+            .threads(threads);
+        builder.build().expect("valid bench config")
+    }
+
+    // Shard-count invariance, pinned into the baseline: the three
+    // digests must be identical to each other and across commits.
+    let mut events = 0;
+    for shards in [1u32, 2, 4] {
+        let report = AmpEngine::new(config(10_000, 64, 16, shards, 1), 7).run();
+        out.push(Metric::exact(
+            format!("amplification/10k/trace_hash/shards{shards}"),
+            format!("{:016x}", report.trace_hash),
+        ));
+        events = report.events;
+    }
+    out.push(Metric::exact("amplification/10k/events", events));
+
+    // The warmed replay allocates exactly nothing (threads = 1).
+    let mut engine = AmpEngine::new(config(10_000, 64, 16, 4, 1), 7);
+    engine.execute();
+    engine.reset(7);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    engine.execute();
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    out.push(Metric::exact("amplification/10k/warm_replay_allocs", delta));
+
+    // Population walls on 4 threads: the capacity-amplification
+    // trajectory this PR series commits to holding.
+    for (label, peers, seeds, items, shards) in [
+        ("1e4", 10_000u32, 64u32, 16u16, 4u32),
+        ("1e5", 100_000, 128, 32, 16),
+        ("1e6", 1_000_000, 512, 64, 64),
+    ] {
+        let started = Instant::now();
+        let report = AmpEngine::new(config(peers, seeds, items, shards, 4), 7).run();
+        assert!(report.admits > 0, "wall run must exercise the full path");
+        out.push(Metric::timing(
+            format!("amplification/{label}_wall_ms"),
+            Kind::TimeMs,
+            started.elapsed().as_secs_f64() * 1e3,
+        ));
+    }
+}
+
 /// A candidate that refuses after `delay`, accepting in a loop.
 fn deny_candidate(delay: Duration) -> u16 {
     let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
@@ -428,6 +492,8 @@ fn measure() -> Vec<Metric> {
     decode_alloc_metric(&mut out);
     eprintln!("measuring: flight-recorder record cost");
     recorder_metrics(&mut out);
+    eprintln!("measuring: amplification engine (digests, allocs, walls)");
+    amplification_metrics(&mut out);
     eprintln!("measuring: pipelined 64-candidate admission round");
     admission_round_metrics(&mut out);
     eprintln!("measuring: syscalls per session");
@@ -436,7 +502,7 @@ fn measure() -> Vec<Metric> {
 }
 
 fn to_json(metrics: &[Metric]) -> String {
-    let mut s = String::from("{\n  \"version\": 9,\n  \"metrics\": [\n");
+    let mut s = String::from("{\n  \"version\": 10,\n  \"metrics\": [\n");
     for (i, m) in metrics.iter().enumerate() {
         s.push_str(&format!(
             "    {{ \"name\": \"{}\", \"kind\": \"{}\", \"value\": \"{}\" }}{}\n",
@@ -529,7 +595,7 @@ fn compare(baseline: &[Metric], fresh: &[Metric]) -> usize {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench snapshot [--out FILE]   write a new baseline (default BENCH_9.json)\n\
+        "usage: bench snapshot [--out FILE]   write a new baseline (default BENCH_10.json)\n\
          \u{20}      bench compare --against FILE  re-measure and fail on regression\n\
          \u{20}      bench measure                 print metrics without touching disk"
     );
@@ -547,7 +613,7 @@ fn main() {
         Some("snapshot") => {
             let out = match args.get(1).map(String::as_str) {
                 Some("--out") => args.get(2).cloned().unwrap_or_else(|| usage()),
-                None => "BENCH_9.json".to_string(),
+                None => "BENCH_10.json".to_string(),
                 _ => usage(),
             };
             let metrics = measure();

@@ -2,6 +2,7 @@
 //! corresponding result on a [`Harness`](crate::Harness).
 
 pub mod ablation;
+pub mod amplification;
 pub mod churn;
 pub mod fig1;
 pub mod fig3;
@@ -28,4 +29,5 @@ pub fn run_all(harness: &mut crate::Harness) {
     ablation::run(harness);
     churn::run(harness);
     policy_matrix::run(harness);
+    amplification::run(harness);
 }

@@ -1,0 +1,96 @@
+//! Fixed-width number formatting for aligned table output.
+
+/// Suffixes for successive powers of 1000 (engineering notation).
+const SUFFIXES: [char; 7] = [' ', 'k', 'M', 'G', 'T', 'P', 'E'];
+
+/// Formats `value` in fixed-width engineering notation: a mantissa in
+/// `[0, 1000)` with three decimals, right-aligned to seven characters,
+/// followed by a power-of-1000 suffix (`' '`, `k`, `M`, `G`, `T`, `P`,
+/// `E`) — eight characters total, so columns of counts spanning `1` to
+/// `10⁶`-and-beyond align on the decimal point.
+///
+/// Non-finite values render as a right-aligned token of the same width.
+/// Negative values carry a leading sign inside the mantissa field and
+/// keep the eight-character width down to `-99.999`; larger negative
+/// mantissas widen by one character.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_metrics::eng;
+///
+/// assert_eq!(eng(0.0), "  0.000 ");
+/// assert_eq!(eng(950.0), "950.000 ");
+/// assert_eq!(eng(9_500.0), "  9.500k");
+/// assert_eq!(eng(1_000_000.0), "  1.000M");
+/// assert_eq!(eng(1.0e6) .len(), eng(12.0).len());
+/// ```
+pub fn eng(value: f64) -> String {
+    if !value.is_finite() {
+        return format!("{value:>8}");
+    }
+    let mut mantissa = value;
+    let mut tier = 0usize;
+    // 999.9995 rounds up to a four-digit mantissa at three decimals, so
+    // promote to the next tier just before that happens.
+    while mantissa.abs() >= 999.9995 && tier + 1 < SUFFIXES.len() {
+        mantissa /= 1000.0;
+        tier += 1;
+    }
+    format!("{mantissa:>7.3}{}", SUFFIXES[tier])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_magnitude_renders_eight_chars() {
+        let mut v = 1.0f64;
+        for _ in 0..19 {
+            assert_eq!(eng(v).len(), 8, "width of {v}: {:?}", eng(v));
+            v *= 10.0;
+        }
+        assert_eq!(eng(0.0).len(), 8);
+        assert_eq!(eng(0.001).len(), 8);
+    }
+
+    #[test]
+    fn tier_boundaries() {
+        assert_eq!(eng(999.0), "999.000 ");
+        assert_eq!(eng(1000.0), "  1.000k");
+        assert_eq!(eng(999_999.0), "999.999k");
+        assert_eq!(eng(1_000_000.0), "  1.000M");
+        assert_eq!(eng(2.5e9), "  2.500G");
+    }
+
+    #[test]
+    fn rounding_never_overflows_the_mantissa() {
+        // 999.9996 would format as "1000.000" without tier promotion.
+        assert_eq!(eng(999.9996), "  1.000k");
+        assert_eq!(eng(999_999.6), "  1.000M");
+        assert_eq!(eng(999.9996).len(), 8);
+    }
+
+    #[test]
+    fn small_negatives_keep_width() {
+        assert_eq!(eng(-12.5), "-12.500 ");
+        assert_eq!(eng(-12.5).len(), 8);
+    }
+
+    #[test]
+    fn million_peer_rows_align() {
+        // The motivating case: a table column mixing seed counts with
+        // million-peer populations must align on the decimal point.
+        let cells = [eng(100.0), eng(10_000.0), eng(1_000_000.0)];
+        assert!(cells.iter().all(|c| c.len() == 8));
+        let dots: Vec<usize> = cells.iter().map(|c| c.find('.').unwrap()).collect();
+        assert!(dots.windows(2).all(|w| w[0] == w[1]), "dots {dots:?}");
+    }
+
+    #[test]
+    fn non_finite_values_render_in_width() {
+        assert_eq!(eng(f64::NAN).len(), 8);
+        assert_eq!(eng(f64::INFINITY).len(), 8);
+    }
+}

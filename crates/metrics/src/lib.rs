@@ -16,6 +16,7 @@
 //! * [`Histogram`] — linear-bucket histogram with percentile queries.
 //! * [`Reservoir`] — uniform reservoir sample with exact quantiles.
 //! * [`Table`] — aligned text tables (paper Table 1).
+//! * [`eng`] — fixed-width engineering notation for large counts.
 //! * [`AsciiPlot`] — multi-series terminal line plots (paper figures).
 //! * [`CsvWriter`] — minimal CSV emission for post-processing.
 //! * [`prometheus`] — Prometheus text exposition rendering, used by the
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod csv;
+mod format;
 mod histogram;
 mod plot;
 pub mod prometheus;
@@ -52,6 +54,7 @@ mod timeseries;
 mod window;
 
 pub use csv::CsvWriter;
+pub use format::eng;
 pub use histogram::Histogram;
 pub use plot::AsciiPlot;
 pub use reservoir::Reservoir;

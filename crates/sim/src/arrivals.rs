@@ -11,6 +11,7 @@
 //! 4. **Periodic bursts** — bursts every 12 h with low constant arrivals
 //!    between bursts.
 
+use rand::distributions::{Distribution, Poisson};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -64,9 +65,14 @@ impl PiecewiseRate {
     pub fn total_mass(&self) -> f64 {
         self.pieces.iter().map(|&(s, e, w)| (e - s) * w).sum()
     }
+}
 
-    /// Draws one normalized arrival time by inverse-transform sampling.
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+/// Inverse-transform sampling of one normalized arrival time in `[0, 1)`
+/// — `PiecewiseRate` is a [`Distribution`] like any vendored one, so the
+/// arrival patterns compose with the `rand::distributions` machinery
+/// instead of an ad-hoc sampling loop.
+impl Distribution<f64> for PiecewiseRate {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         let target = rng.gen::<f64>() * self.total_mass();
         let mut acc = 0.0;
         for &(s, e, w) in &self.pieces {
@@ -184,6 +190,153 @@ impl std::fmt::Display for ArrivalPattern {
             None => write!(f, "pattern-custom"),
         }
     }
+}
+
+/// A stochastic first-time request arrival process for the
+/// capacity-amplification engine.
+///
+/// Where [`ArrivalPattern`] shapes a fixed population along a density,
+/// an `ArrivalProcess` models *how* arrivals occur in time: as a
+/// homogeneous Poisson process, or as a flash crowd (a dense burst on
+/// top of Poisson background traffic). Both are built on the vendored
+/// [`Poisson`] distribution; exactly `n` arrivals are always produced
+/// so runs stay comparable across processes.
+///
+/// # Examples
+///
+/// ```
+/// use p2ps_sim::ArrivalProcess;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let times = ArrivalProcess::default().generate(1_000, 3_600, &mut rng);
+/// assert_eq!(times.len(), 1_000);
+/// assert!(times.iter().all(|&t| t < 3_600));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// One of the paper's §5.1 density-shaped patterns.
+    Pattern(ArrivalPattern),
+    /// A homogeneous Poisson process: the window is cut into
+    /// [`ArrivalProcess::POISSON_BUCKETS`] buckets, each receiving a
+    /// `Poisson(n / buckets)` count of uniformly placed arrivals.
+    #[default]
+    Poisson,
+    /// A flash crowd: `burst_fraction` of all peers arrive uniformly
+    /// within `[burst_start, burst_start + burst_width)` (normalized
+    /// window time); the rest arrive as Poisson background over the
+    /// whole window.
+    FlashCrowd {
+        /// Fraction of arrivals belonging to the burst, in `[0, 1]`.
+        burst_fraction: f64,
+        /// Burst start as a fraction of the window, in `[0, 1)`.
+        burst_start: f64,
+        /// Burst width as a fraction of the window, in `(0, 1]`.
+        burst_width: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Number of buckets the Poisson process cuts the window into.
+    pub const POISSON_BUCKETS: usize = 256;
+
+    /// The paper-shaped flash crowd used by the amplification
+    /// experiments: 90 % of peers arrive within the first 5 % of the
+    /// window.
+    pub fn flash_crowd() -> Self {
+        ArrivalProcess::FlashCrowd {
+            burst_fraction: 0.9,
+            burst_start: 0.0,
+            burst_width: 0.05,
+        }
+    }
+
+    /// Generates exactly `n` arrival times (seconds) in
+    /// `[0, window_secs)`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs == 0` with `n > 0`, or if a
+    /// [`FlashCrowd`](ArrivalProcess::FlashCrowd) variant carries
+    /// fractions outside their documented ranges.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, window_secs: u64, rng: &mut R) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(window_secs > 0, "arrival window must be positive");
+        let mut times = match self {
+            ArrivalProcess::Pattern(pattern) => return pattern.generate(n, window_secs, rng),
+            ArrivalProcess::Poisson => poisson_times(n, 0, window_secs, rng),
+            ArrivalProcess::FlashCrowd {
+                burst_fraction,
+                burst_start,
+                burst_width,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(burst_fraction),
+                    "burst_fraction {burst_fraction} outside [0, 1]"
+                );
+                assert!(
+                    (0.0..1.0).contains(burst_start),
+                    "burst_start {burst_start} outside [0, 1)"
+                );
+                assert!(
+                    *burst_width > 0.0 && burst_start + burst_width <= 1.0,
+                    "burst [{burst_start}, {}) outside the window",
+                    burst_start + burst_width
+                );
+                let in_burst = ((n as f64) * burst_fraction).round() as usize;
+                let lo = (burst_start * window_secs as f64) as u64;
+                let hi = (((burst_start + burst_width) * window_secs as f64) as u64)
+                    .clamp(lo + 1, window_secs);
+                let mut times: Vec<u64> = (0..in_burst).map(|_| rng.gen_range(lo..hi)).collect();
+                times.extend(poisson_times(n - in_burst, 0, window_secs, rng));
+                times
+            }
+        };
+        times.sort_unstable();
+        times
+    }
+}
+
+impl std::fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalProcess::Pattern(p) => write!(f, "{p}"),
+            ArrivalProcess::Poisson => write!(f, "poisson"),
+            ArrivalProcess::FlashCrowd { .. } => write!(f, "flash-crowd"),
+        }
+    }
+}
+
+/// Exactly `n` arrival times in `[lo, hi)` from a bucketed homogeneous
+/// Poisson process: per-bucket counts are `Poisson(n / buckets)` draws,
+/// then the total is trimmed/topped up to `n` with uniform deletions and
+/// insertions so every caller gets a fixed population size.
+fn poisson_times<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let span = hi - lo;
+    let buckets = ArrivalProcess::POISSON_BUCKETS.min(span as usize).max(1);
+    let per_bucket = Poisson::new((n as f64 / buckets as f64).max(f64::MIN_POSITIVE));
+    let mut times = Vec::with_capacity(n + n / 8);
+    for b in 0..buckets as u64 {
+        let start = lo + b * span / buckets as u64;
+        let end = lo + (b + 1) * span / buckets as u64;
+        let count = per_bucket.sample(rng);
+        for _ in 0..count {
+            times.push(rng.gen_range(start..end.max(start + 1)));
+        }
+    }
+    while times.len() > n {
+        let i = rng.gen_range(0..times.len());
+        times.swap_remove(i);
+    }
+    while times.len() < n {
+        times.push(rng.gen_range(lo..hi));
+    }
+    times
 }
 
 #[cfg(test)]
@@ -318,5 +471,86 @@ mod tests {
     fn zero_arrivals_is_fine() {
         let times = ArrivalPattern::Constant.generate(0, 1_000, &mut rng());
         assert!(times.is_empty());
+    }
+
+    #[test]
+    fn poisson_process_is_exact_n_and_roughly_uniform() {
+        let window = 72 * 3_600;
+        let times = ArrivalProcess::Poisson.generate(20_000, window, &mut rng());
+        assert_eq!(times.len(), 20_000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*times.last().unwrap() < window);
+        let first_half = times.iter().filter(|&&t| t < window / 2).count();
+        assert!(
+            (9_000..11_000).contains(&first_half),
+            "first half got {first_half}"
+        );
+    }
+
+    #[test]
+    fn poisson_bucket_counts_actually_vary() {
+        // A fixed-rate generator would put exactly n/buckets arrivals in
+        // each bucket; a Poisson process must not.
+        let window = 256_000u64;
+        let n = 25_600;
+        let times = ArrivalProcess::Poisson.generate(n, window, &mut rng());
+        let bucket_width = window / ArrivalProcess::POISSON_BUCKETS as u64;
+        let mut counts = vec![0usize; ArrivalProcess::POISSON_BUCKETS];
+        let last = counts.len() - 1;
+        for &t in &times {
+            counts[((t / bucket_width) as usize).min(last)] += 1;
+        }
+        let distinct: std::collections::HashSet<usize> = counts.iter().copied().collect();
+        assert!(distinct.len() > 5, "bucket counts {distinct:?} too regular");
+    }
+
+    #[test]
+    fn flash_crowd_frontloads_the_burst() {
+        let window = 72 * 3_600;
+        let fc = ArrivalProcess::flash_crowd();
+        let times = fc.generate(10_000, window, &mut rng());
+        assert_eq!(times.len(), 10_000);
+        let burst_end = window / 20; // first 5 % of the window
+        let in_burst = times.iter().filter(|&&t| t < burst_end).count();
+        assert!(
+            in_burst >= 9_000,
+            "only {in_burst} of 10000 inside the burst"
+        );
+    }
+
+    #[test]
+    fn process_generation_is_deterministic_per_seed() {
+        for process in [
+            ArrivalProcess::Poisson,
+            ArrivalProcess::flash_crowd(),
+            ArrivalProcess::Pattern(ArrivalPattern::Ramp),
+        ] {
+            let a = process.generate(500, 7_200, &mut SmallRng::seed_from_u64(3));
+            let b = process.generate(500, 7_200, &mut SmallRng::seed_from_u64(3));
+            let c = process.generate(500, 7_200, &mut SmallRng::seed_from_u64(4));
+            assert_eq!(a, b, "{process}");
+            assert_ne!(a, c, "{process}");
+        }
+    }
+
+    #[test]
+    fn process_display_names() {
+        assert_eq!(format!("{}", ArrivalProcess::Poisson), "poisson");
+        assert_eq!(format!("{}", ArrivalProcess::flash_crowd()), "flash-crowd");
+        assert_eq!(
+            format!("{}", ArrivalProcess::Pattern(ArrivalPattern::Constant)),
+            "pattern-1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the window")]
+    fn flash_crowd_burst_outside_window_panics() {
+        let fc = ArrivalProcess::FlashCrowd {
+            burst_fraction: 0.5,
+            burst_start: 0.9,
+            burst_width: 0.5,
+        };
+        let _ = fc.generate(10, 1_000, &mut rng());
     }
 }

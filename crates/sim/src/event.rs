@@ -1,9 +1,8 @@
 //! The event queue driving the simulation.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use p2ps_core::PeerId;
+
+use crate::engine::IndexedHeap;
 
 /// A scheduled simulation event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -24,10 +23,11 @@ pub enum EventKind {
 
 /// Priority queue of `(time, sequence, kind)` — the sequence number makes
 /// event ordering total and therefore the simulation deterministic even
-/// when events share a timestamp.
+/// when events share a timestamp. Backed by the engine's flat
+/// [`IndexedHeap`] so a pre-sized run schedules without reallocating.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    heap: IndexedHeap<(u64, u64, EventKind)>,
     seq: u64,
 }
 
@@ -39,19 +39,19 @@ impl EventQueue {
 
     /// Schedules `kind` at absolute time `at` (seconds).
     pub fn schedule(&mut self, at: u64, kind: EventKind) {
-        self.heap.push(Reverse((at, self.seq, kind)));
+        self.heap.push((at, self.seq, kind));
         self.seq += 1;
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(u64, EventKind)> {
-        self.heap.pop().map(|Reverse((t, _, k))| (t, k))
+        self.heap.pop().map(|(t, _, k)| (t, k))
     }
 
     /// The time of the next event without removing it.
     #[allow(dead_code)] // used by tests and handy for debugging
     pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        self.heap.peek().map(|&(t, _, _)| t)
     }
 
     /// Number of pending events.

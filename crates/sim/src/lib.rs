@@ -50,6 +50,7 @@
 
 mod arrivals;
 mod config;
+mod engine;
 mod event;
 mod matrix;
 mod metrics;
@@ -57,8 +58,9 @@ mod report;
 mod scenario;
 mod system;
 
-pub use arrivals::{ArrivalPattern, PiecewiseRate};
+pub use arrivals::{ArrivalPattern, ArrivalProcess, PiecewiseRate};
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
+pub use engine::{AmpConfig, AmpConfigBuilder, AmpConfigError, AmpEngine, AmpReport, FoldCrossing};
 pub use matrix::{CellMetric, CellReport, MatrixReport, ScenarioMatrix};
 pub use metrics::ClassSeries;
 pub use report::SimReport;

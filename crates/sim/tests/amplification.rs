@@ -1,0 +1,162 @@
+//! Determinism properties of the capacity-amplification engine.
+//!
+//! The headline guarantee: one `u64` seed fully determines the trace.
+//! The FNV-1a digest over the per-epoch sorted trace records must be
+//! bit-identical no matter how the peer population is sharded or how
+//! many worker threads step the shards. These tests pin that property
+//! over 64 seeds, plus the basic shape of the reported curves.
+
+use p2ps_sim::{AmpConfig, AmpConfigBuilder, AmpEngine, ArrivalProcess};
+
+/// A small but non-degenerate population: every item has four seed
+/// suppliers, so sessions assemble, capacity amplifies, and the trace
+/// exercises every record kind.
+fn base_config() -> AmpConfigBuilder {
+    let mut builder = AmpConfig::builder();
+    builder
+        .requesting_peers(400)
+        .seed_suppliers(8)
+        .catalog_items(2)
+        .arrival_window_secs(1_800)
+        .horizon_secs(2 * 3_600)
+        .epoch_secs(60);
+    builder
+}
+
+fn hash_with(builder: &AmpConfigBuilder, shards: u32, threads: usize, seed: u64) -> u64 {
+    let mut b = builder.clone();
+    b.shards(shards).threads(threads);
+    AmpEngine::new(b.build().unwrap(), seed).run().trace_hash
+}
+
+/// The tentpole property: for 64 consecutive seeds, the trace hash is
+/// identical at 1, 2, and 4 shards. Sharding is an implementation
+/// detail of the engine, never an observable of the model.
+#[test]
+fn trace_hash_is_shard_count_invariant_over_64_seeds() {
+    let builder = base_config();
+    for seed in 0..64u64 {
+        let h1 = hash_with(&builder, 1, 1, seed);
+        let h2 = hash_with(&builder, 2, 1, seed);
+        let h4 = hash_with(&builder, 4, 1, seed);
+        assert_eq!(h1, h2, "seed {seed}: 1-shard vs 2-shard hash diverged");
+        assert_eq!(h1, h4, "seed {seed}: 1-shard vs 4-shard hash diverged");
+    }
+}
+
+/// Worker threads only change wall-clock time, never the trace: at a
+/// fixed shard count the digest is identical at 1, 2, and 4 threads.
+#[test]
+fn trace_hash_is_thread_count_invariant() {
+    let builder = base_config();
+    for seed in [3u64, 17, 42, 1_000_003] {
+        let h1 = hash_with(&builder, 4, 1, seed);
+        let h2 = hash_with(&builder, 4, 2, seed);
+        let h4 = hash_with(&builder, 4, 4, seed);
+        assert_eq!(h1, h2, "seed {seed}: 1-thread vs 2-thread hash diverged");
+        assert_eq!(h1, h4, "seed {seed}: 1-thread vs 4-thread hash diverged");
+    }
+}
+
+/// Different seeds must *not* collide: the digest actually depends on
+/// the trace, not just the configuration.
+#[test]
+fn distinct_seeds_produce_distinct_traces() {
+    let builder = base_config();
+    let mut hashes: Vec<u64> = (0..16u64)
+        .map(|seed| hash_with(&builder, 2, 1, seed))
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), 16, "seed collision in trace hashes");
+}
+
+/// Without churn the capacity curve is non-decreasing, starts at the
+/// seed capacity, and the fold crossings are consistent with it.
+#[test]
+fn capacity_curve_and_fold_crossings_are_consistent() {
+    let report = AmpEngine::new(base_config().build().unwrap(), 9).run();
+
+    assert!(report.admits > 0, "population never assembled a session");
+    assert_eq!(
+        report.capacity_curve.first().map(|&(t, _)| t),
+        Some(0),
+        "curve must start at t = 0"
+    );
+    assert_eq!(report.capacity_curve[0].1, report.initial_capacity_raw);
+    assert!(
+        report
+            .capacity_curve
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0),
+        "churn-free capacity evolution must be non-decreasing in time"
+    );
+    assert_eq!(
+        report.capacity_curve.last().map(|&(_, c)| c),
+        Some(report.final_capacity_raw)
+    );
+
+    // Crossings come out sorted by factor and by time, and each one is
+    // honest: capacity at that instant really is >= factor x seeds.
+    let mut prev_t = 0;
+    let mut prev_f = 0;
+    for c in &report.fold_crossings {
+        assert!(c.factor > prev_f && c.factor.is_power_of_two());
+        assert!(c.at_secs >= prev_t);
+        let at_crossing = report
+            .capacity_curve
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= c.at_secs)
+            .map(|&(_, cap)| cap)
+            .unwrap();
+        assert!(
+            at_crossing as i128 >= report.initial_capacity_raw as i128 * i128::from(c.factor),
+            "crossing {}x recorded at t={} but capacity there is {}",
+            c.factor,
+            c.at_secs,
+            at_crossing
+        );
+        prev_t = c.at_secs;
+        prev_f = c.factor;
+    }
+
+    // The rejection curve accounts for every attempt exactly once.
+    let (attempts, rejects) = report
+        .rejection_curve
+        .iter()
+        .fold((0u64, 0u64), |(a, r), &(_, wa, wr)| (a + wa, r + wr));
+    assert_eq!(attempts, report.attempts);
+    assert_eq!(rejects, report.rejects);
+}
+
+/// The acceptance-criterion smoke run: one million flash-crowd peers
+/// on 4 threads in under a minute. Run in nightly CI via
+/// `cargo test -p p2ps-sim --release -- --ignored million_peer`.
+#[test]
+#[ignore = "million-peer smoke: run explicitly with --ignored in release mode"]
+fn million_peer_flash_crowd_under_a_minute() {
+    let mut builder = AmpConfig::builder();
+    builder
+        .requesting_peers(1_000_000)
+        .seed_suppliers(512)
+        .catalog_items(64)
+        .process(ArrivalProcess::flash_crowd())
+        .arrival_window_secs(3_600)
+        .horizon_secs(6 * 3_600)
+        .epoch_secs(60)
+        .shards(64)
+        .threads(4);
+    let report = AmpEngine::new(builder.build().unwrap(), 1_000_000).run();
+
+    assert!(report.admits > 0);
+    assert!(
+        report.amplification() > 2.0,
+        "flash crowd failed to amplify"
+    );
+    assert!(
+        report.elapsed().as_secs() < 60,
+        "10^6-peer flash crowd took {:?} (budget: 60 s on 4 threads)",
+        report.elapsed()
+    );
+}

@@ -295,6 +295,137 @@ pub mod distributions {
             (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
         }
     }
+
+    fn unit_open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // (0, 1): the +1 keeps ln() finite in the inversion methods.
+        ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The Poisson distribution `Poisson(λ)`, over non-negative counts.
+    ///
+    /// Sampling uses Knuth's product-of-uniforms inversion for small `λ`
+    /// and a normal (Box–Muller) approximation with continuity
+    /// correction above [`Poisson::NORMAL_CUTOFF`], where the relative
+    /// error of the approximation is below the statistical noise any
+    /// consumer in this workspace can resolve.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Poisson {
+        mean: f64,
+    }
+
+    impl Poisson {
+        /// Mean above which sampling switches to the normal approximation.
+        pub const NORMAL_CUTOFF: f64 = 64.0;
+
+        /// A Poisson distribution with the given mean.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `mean` is not finite and strictly positive.
+        pub fn new(mean: f64) -> Self {
+            assert!(
+                mean.is_finite() && mean > 0.0,
+                "Poisson mean must be finite and > 0, got {mean}"
+            );
+            Poisson { mean }
+        }
+
+        /// The distribution mean `λ` (also its variance).
+        pub fn mean(&self) -> f64 {
+            self.mean
+        }
+    }
+
+    impl Distribution<u64> for Poisson {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.mean < Self::NORMAL_CUTOFF {
+                // Knuth: count uniforms until their product drops below
+                // e^-λ. Runs in O(λ) draws, fine for small means.
+                let limit = (-self.mean).exp();
+                let mut product = unit_open01(rng);
+                let mut count = 0u64;
+                while product > limit {
+                    product *= unit_open01(rng);
+                    count += 1;
+                }
+                count
+            } else {
+                // Box–Muller normal with μ = σ² = λ, rounded with a
+                // continuity correction and clamped at zero.
+                let u = unit_open01(rng);
+                let v = unit_open01(rng);
+                let z = (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+                let x = self.mean + self.mean.sqrt() * z + 0.5;
+                if x < 0.0 {
+                    0
+                } else {
+                    x.floor() as u64
+                }
+            }
+        }
+    }
+
+    /// The Zipf distribution over ranks `1..=n` with exponent `s`:
+    /// `P(k) ∝ k^-s`.
+    ///
+    /// Construction precomputes the normalized cumulative weights
+    /// (`O(n)` memory); sampling is one uniform draw plus a binary
+    /// search, `O(log n)` with no allocation.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// A Zipf distribution over `1..=n` with exponent `s`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0` or `s` is not finite and non-negative
+        /// (`s = 0` degenerates to the uniform distribution).
+        pub fn new(n: u64, s: f64) -> Self {
+            assert!(n > 0, "Zipf needs at least one rank");
+            assert!(
+                s.is_finite() && s >= 0.0,
+                "Zipf exponent must be finite and >= 0, got {s}"
+            );
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut total = 0.0f64;
+            for k in 1..=n {
+                total += (k as f64).powf(-s);
+                cdf.push(total);
+            }
+            for w in &mut cdf {
+                *w /= total;
+            }
+            // Guard against floating-point shortfall at the top end.
+            *cdf.last_mut().expect("n > 0") = 1.0;
+            Zipf { cdf }
+        }
+
+        /// Number of ranks `n`.
+        pub fn ranks(&self) -> u64 {
+            self.cdf.len() as u64
+        }
+
+        /// Probability of rank `k` (1-based), `0` outside `1..=n`.
+        pub fn probability(&self, k: u64) -> f64 {
+            if k == 0 || k > self.ranks() {
+                return 0.0;
+            }
+            let i = (k - 1) as usize;
+            let below = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+            self.cdf[i] - below
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let i = self.cdf.partition_point(|&c| c <= u);
+            (i.min(self.cdf.len() - 1) + 1) as u64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +486,97 @@ mod tests {
             hi = hi.max(x);
         }
         assert!(lo < 0.01 && hi > 0.99);
+    }
+
+    fn mean_and_variance(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn poisson_small_mean_matches_moments() {
+        use super::distributions::{Distribution, Poisson};
+        // λ = 4 exercises the Knuth branch; mean and variance must both
+        // land near λ (tolerance ≈ 5 standard errors at 40k samples).
+        let dist = Poisson::new(4.0);
+        let mut rng = SmallRng::seed_from_u64(0xA11CE);
+        let samples: Vec<f64> = (0..40_000).map(|_| dist.sample(&mut rng) as f64).collect();
+        let (mean, var) = mean_and_variance(&samples);
+        assert!((mean - 4.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_matches_moments() {
+        use super::distributions::{Distribution, Poisson};
+        // λ = 200 exercises the normal-approximation branch.
+        let dist = Poisson::new(200.0);
+        let mut rng = SmallRng::seed_from_u64(0xB0B);
+        let samples: Vec<f64> = (0..40_000).map(|_| dist.sample(&mut rng) as f64).collect();
+        let (mean, var) = mean_and_variance(&samples);
+        assert!((mean - 200.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 200.0).abs() < 10.0, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        use super::distributions::{Distribution, Poisson};
+        let dist = Poisson::new(12.5);
+        let mut a = SmallRng::seed_from_u64(77);
+        let mut b = SmallRng::seed_from_u64(77);
+        for _ in 0..200 {
+            assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_frequencies_follow_the_power_law() {
+        use super::distributions::{Distribution, Zipf};
+        let dist = Zipf::new(50, 1.0);
+        let mut rng = SmallRng::seed_from_u64(0x21F);
+        let mut counts = [0u64; 50];
+        let trials = 200_000;
+        for _ in 0..trials {
+            let k = dist.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        // With s = 1 the rank-1 : rank-2 and rank-1 : rank-4 frequency
+        // ratios must approach 2 and 4.
+        let r12 = counts[0] as f64 / counts[1] as f64;
+        let r14 = counts[0] as f64 / counts[3] as f64;
+        assert!((r12 - 2.0).abs() < 0.15, "rank1/rank2 {r12}");
+        assert!((r14 - 4.0).abs() < 0.3, "rank1/rank4 {r14}");
+        // Empirical rank-1 mass vs the analytic probability.
+        let p1 = counts[0] as f64 / trials as f64;
+        assert!((p1 - dist.probability(1)).abs() < 0.01, "p1 {p1}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        use super::distributions::{Distribution, Zipf};
+        let dist = Zipf::new(8, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[(dist.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / 80_000.0;
+            assert!((freq - 0.125).abs() < 0.01, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        use super::distributions::Zipf;
+        let dist = Zipf::new(100, 0.8);
+        let total: f64 = (1..=100).map(|k| dist.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert_eq!(dist.probability(0), 0.0);
+        assert_eq!(dist.probability(101), 0.0);
     }
 
     #[test]
